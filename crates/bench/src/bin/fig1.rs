@@ -1,0 +1,65 @@
+//! Figure 1: throughput vs. average transaction latency, PaRiS vs BPR.
+//!
+//! (a) 95:5 r:w ratio — paper: PaRiS up to 1.47× higher throughput with
+//!     5.91× lower latency.
+//! (b) 50:50 r:w ratio — paper: up to 1.46× higher throughput with
+//!     20.56× lower latency.
+//!
+//! Deployment: 5 DCs, 45 partitions, R = 2, 4 partitions per transaction,
+//! zipfian 0.99, 95:5 local:multi (paper §V-A defaults). Each dot is one
+//! offered-load level (client sessions per DC).
+
+use paris_bench::{client_ladder, load_sweep, paper_deployment, peak, section, write_csv};
+use paris_types::Mode;
+use paris_workload::WorkloadConfig;
+
+fn main() {
+    for (label, workload, csv) in [
+        ("Fig 1a: 95:5 r:w", WorkloadConfig::read_heavy(), "fig1a.csv"),
+        ("Fig 1b: 50:50 r:w", WorkloadConfig::write_heavy(), "fig1b.csv"),
+    ] {
+        section(label);
+        let mut rows = Vec::new();
+        let mut peaks = Vec::new();
+        for mode in [Mode::Bpr, Mode::Paris] {
+            eprintln!("{mode} sweep:");
+            let points = load_sweep(mode, &workload, &client_ladder(mode), |mode, wl, c| {
+                paper_deployment(mode, wl, c, 42 + u64::from(c))
+            });
+            println!("\n  {mode:<6} {:>12} {:>14} {:>12} {:>12}", "clients/DC", "tput (KTx/s)", "mean (ms)", "p99 (ms)");
+            for p in &points {
+                println!(
+                    "  {mode:<6} {:>12} {:>14.1} {:>12.2} {:>12.2}",
+                    p.clients_per_dc,
+                    p.report.ktps(),
+                    p.report.stats.mean_latency_ms(),
+                    p.report.stats.percentile_ms(99.0),
+                );
+                rows.push(format!(
+                    "{mode},{},{:.3},{:.3},{:.3}",
+                    p.clients_per_dc,
+                    p.report.ktps(),
+                    p.report.stats.mean_latency_ms(),
+                    p.report.stats.percentile_ms(99.0),
+                ));
+            }
+            peaks.push((mode, peak(&points).report.clone()));
+        }
+        write_csv(csv, "mode,clients_per_dc,ktps,mean_ms,p99_ms", &rows);
+
+        // The paper's headline ratios at peak throughput.
+        let bpr = &peaks[0].1;
+        let paris = &peaks[1].1;
+        println!(
+            "\n  PaRiS/BPR at peak: throughput {:.2}x, latency {:.2}x lower",
+            paris.ktps() / bpr.ktps(),
+            bpr.stats.mean_latency_ms() / paris.stats.mean_latency_ms(),
+        );
+        println!(
+            "  (paper: {} — throughput up to {}, latency {} lower)",
+            label,
+            if label.contains("95:5") { "1.47x" } else { "1.46x" },
+            if label.contains("95:5") { "5.91x" } else { "20.56x" },
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 2a: PaRiS throughput when varying the number of machines per DC
+//! (6, 12, 18) at 3 and 5 DCs.
+//!
+//! Paper result: "the ideal improvement of 3x when scaling from 6 to 18
+//! machines/DC" — near-linear horizontal scalability. Machines per DC
+//! maps to partitions via N = M·K/R (each server hosts one partition
+//! replica, R = 2).
+
+use paris_bench::{paper_deployment, quick, run_point, section, write_csv};
+use paris_bench::deployment;
+use paris_types::Mode;
+use paris_workload::WorkloadConfig;
+
+fn main() {
+    section("Fig 2a: throughput vs machines per DC (PaRiS)");
+    let machines = [6u32, 12, 18];
+    let dcs = [3u16, 5];
+    // Saturating load, proportional to the deployment size.
+    let clients_per_machine = if quick() { 4 } else { 8 };
+
+    let mut rows = Vec::new();
+    println!("\n  {:>4} {:>8} {:>14} {:>12}", "DCs", "M/DC", "tput (KTx/s)", "scale vs 6");
+    for &m in &dcs {
+        let mut base = None;
+        for &k in &machines {
+            let partitions = u32::from(m) * k / 2; // N = M·K/R
+            let config = if m == 5 && partitions == 45 {
+                paper_deployment(
+                    Mode::Paris,
+                    WorkloadConfig::read_heavy(),
+                    clients_per_machine * k,
+                    42,
+                )
+            } else {
+                deployment(
+                    m,
+                    partitions,
+                    Mode::Paris,
+                    WorkloadConfig::read_heavy(),
+                    clients_per_machine * k,
+                    42,
+                )
+            };
+            let report = run_point(config);
+            let ktps = report.ktps();
+            let scale = match base {
+                None => {
+                    base = Some(ktps);
+                    1.0
+                }
+                Some(b) => ktps / b,
+            };
+            println!("  {m:>4} {k:>8} {ktps:>14.1} {scale:>11.2}x");
+            rows.push(format!("{m},{k},{ktps:.3},{scale:.3}"));
+        }
+    }
+    write_csv("fig2a.csv", "dcs,machines_per_dc,ktps,scale_vs_6", &rows);
+    println!("\n  (paper: ideal 3x from 6 to 18 machines/DC at both 3 and 5 DCs)");
+}

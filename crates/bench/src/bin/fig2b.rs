@@ -1,0 +1,47 @@
+//! Figure 2b: PaRiS throughput when varying the number of DCs (3, 5, 10)
+//! at 6 and 12 machines per DC.
+//!
+//! Paper result: "the ideal improvement of 3.33x when scaling from 3 to
+//! 10 DCs" — adding replication sites adds throughput proportionally,
+//! because UST metadata stays a single timestamp regardless of M.
+
+use paris_bench::{deployment, quick, run_point, section, write_csv};
+use paris_types::Mode;
+use paris_workload::WorkloadConfig;
+
+fn main() {
+    section("Fig 2b: throughput vs number of DCs (PaRiS)");
+    let dcs = [3u16, 5, 10];
+    let machines = [6u32, 12];
+    let clients_per_machine = if quick() { 4 } else { 8 };
+
+    let mut rows = Vec::new();
+    println!("\n  {:>5} {:>6} {:>14} {:>12}", "M/DC", "DCs", "tput (KTx/s)", "scale vs 3");
+    for &k in &machines {
+        let mut base = None;
+        for &m in &dcs {
+            let partitions = u32::from(m) * k / 2; // N = M·K/R
+            let config = deployment(
+                m,
+                partitions,
+                Mode::Paris,
+                WorkloadConfig::read_heavy(),
+                clients_per_machine * k,
+                42,
+            );
+            let report = run_point(config);
+            let ktps = report.ktps();
+            let scale = match base {
+                None => {
+                    base = Some(ktps);
+                    1.0
+                }
+                Some(b) => ktps / b,
+            };
+            println!("  {k:>5} {m:>6} {ktps:>14.1} {scale:>11.2}x");
+            rows.push(format!("{k},{m},{ktps:.3},{scale:.3}"));
+        }
+    }
+    write_csv("fig2b.csv", "machines_per_dc,dcs,ktps,scale_vs_3", &rows);
+    println!("\n  (paper: ideal 3.33x from 3 to 10 DCs at both 6 and 12 machines/DC)");
+}

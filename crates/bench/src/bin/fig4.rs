@@ -1,0 +1,64 @@
+//! Figure 4: CDF of update visibility latency, PaRiS vs BPR.
+//!
+//! The visibility latency of an update X in DC_i is the wall-clock delta
+//! between X becoming visible in DC_i and X's commit in its origin DC.
+//! Paper result: PaRiS has *higher* visibility latency than BPR (~200 ms
+//! worse in the tail) — the deliberate freshness cost of reading from the
+//! universally-stable snapshot instead of blocking.
+
+use paris_bench::{paper_deployment, section, window_micros, warmup_micros, write_csv};
+use paris_runtime::SimCluster;
+use paris_types::Mode;
+use paris_workload::stats::Histogram;
+use paris_workload::WorkloadConfig;
+
+fn run_visibility(mode: Mode) -> Histogram {
+    let mut config = paper_deployment(mode, WorkloadConfig::read_heavy(), 16, 42);
+    config.record_events = true;
+    let mut sim = SimCluster::new(config);
+    sim.run_workload(warmup_micros(), window_micros());
+    sim.settle(1_000_000);
+    sim.report().visibility.expect("events recorded")
+}
+
+fn main() {
+    section("Fig 4: update visibility latency CDF (PaRiS vs BPR)");
+    let mut rows = Vec::new();
+    let mut summaries = Vec::new();
+    for mode in [Mode::Bpr, Mode::Paris] {
+        eprintln!("running {mode}...");
+        let hist = run_visibility(mode);
+        println!(
+            "\n  {mode}: {} samples — p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+            hist.count(),
+            hist.percentile(50.0) as f64 / 1_000.0,
+            hist.percentile(90.0) as f64 / 1_000.0,
+            hist.percentile(99.0) as f64 / 1_000.0,
+            hist.max() as f64 / 1_000.0,
+        );
+        println!("  CDF (visibility ms : cumulative fraction):");
+        // Print a decile sketch of the CDF like the paper's figure.
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
+            println!(
+                "    p{p:<4} {:>10.1} ms",
+                hist.percentile(p) as f64 / 1_000.0
+            );
+        }
+        for (v, f) in hist.cdf() {
+            rows.push(format!("{mode},{v},{f:.6}"));
+        }
+        summaries.push((mode, hist));
+    }
+    write_csv("fig4.csv", "mode,visibility_micros,cum_fraction", &rows);
+
+    let bpr = &summaries[0].1;
+    let paris = &summaries[1].1;
+    println!(
+        "\n  PaRiS p90 is {:.0} ms higher than BPR p90 (paper: ~200 ms difference in the tail)",
+        (paris.percentile(90.0) as f64 - bpr.percentile(90.0) as f64) / 1_000.0
+    );
+    assert!(
+        paris.percentile(50.0) > bpr.percentile(50.0),
+        "PaRiS must trade freshness for non-blocking reads"
+    );
+}

@@ -1,0 +1,224 @@
+//! The Hybrid Logical Clock.
+
+use crate::physical::PhysicalClock;
+use paris_types::Timestamp;
+
+/// A Hybrid Logical Clock (Kulkarni et al., OPODIS'14), as used by PaRiS to
+/// generate every timestamp in the system.
+///
+/// The clock maintains the highest timestamp it has produced or observed.
+/// Three operations mirror the paper's uses:
+///
+/// * [`Hlc::now`] — a local/send event: `HLC ← max(Clock, HLC + 1)`.
+///   Produces a strictly increasing timestamp (used when proposing prepare
+///   timestamps, Alg. 3 line 10, together with the `ht + 1` bound folded in
+///   via [`Hlc::observe`]).
+/// * [`Hlc::observe`] — a receive event: `HLC ← max(HLC, incoming, Clock)`
+///   without producing a new timestamp (Alg. 3 line 16: commit handling).
+/// * [`Hlc::peek`] — reads `max(Clock, HLC)` without advancing the logical
+///   component; used for version-clock bounds (Alg. 4 line 7).
+///
+/// The HLC never blocks: an incoming timestamp from a server with a fast
+/// physical clock simply pulls the logical component forward.
+#[derive(Debug, Clone, Default)]
+pub struct Hlc {
+    latest: Timestamp,
+}
+
+impl Hlc {
+    /// Creates an HLC at time zero.
+    pub fn new() -> Self {
+        Hlc {
+            latest: Timestamp::ZERO,
+        }
+    }
+
+    /// The highest timestamp produced or observed so far.
+    #[inline]
+    pub fn latest(&self) -> Timestamp {
+        self.latest
+    }
+
+    /// Produces a new strictly increasing timestamp for a local event:
+    /// `HLC ← max(Clock, HLC + 1)`.
+    pub fn now<C: PhysicalClock>(&mut self, clock: &C) -> Timestamp {
+        let phys = Timestamp::from_physical_micros(clock.now_micros());
+        self.latest = phys.max(self.latest.tick());
+        self.latest
+    }
+
+    /// Produces a new timestamp strictly greater than both the local state
+    /// and `floor`: `HLC ← max(Clock, floor + 1, HLC + 1)` (Alg. 3 line 10,
+    /// where `floor` is `ht`, the max timestamp seen by the committing
+    /// client).
+    pub fn now_after<C: PhysicalClock>(&mut self, clock: &C, floor: Timestamp) -> Timestamp {
+        let phys = Timestamp::from_physical_micros(clock.now_micros());
+        self.latest = phys.max(floor.tick()).max(self.latest.tick());
+        self.latest
+    }
+
+    /// Folds an incoming timestamp into the clock without producing a new
+    /// one: `HLC ← max(HLC, incoming, Clock)` (Alg. 3 line 16).
+    pub fn observe<C: PhysicalClock>(&mut self, clock: &C, incoming: Timestamp) {
+        let phys = Timestamp::from_physical_micros(clock.now_micros());
+        self.latest = self.latest.max(incoming).max(phys);
+    }
+
+    /// Reads `max(Clock, HLC)` without advancing the clock (Alg. 4 line 7:
+    /// `ub ← max(Clock, HLC)` when the prepared queue is empty).
+    pub fn peek<C: PhysicalClock>(&self, clock: &C) -> Timestamp {
+        Timestamp::from_physical_micros(clock.now_micros()).max(self.latest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::SimClock;
+    use proptest::prelude::*;
+
+    #[test]
+    fn now_tracks_physical_clock_when_ahead() {
+        let phys = SimClock::new();
+        phys.advance_to(1_000);
+        let mut hlc = Hlc::new();
+        let t = hlc.now(&phys);
+        assert_eq!(t.physical_micros(), 1_000);
+        assert_eq!(t.logical(), 0);
+    }
+
+    #[test]
+    fn now_is_strictly_monotonic_with_frozen_clock() {
+        let phys = SimClock::new();
+        phys.advance_to(5);
+        let mut hlc = Hlc::new();
+        let a = hlc.now(&phys);
+        let b = hlc.now(&phys);
+        let c = hlc.now(&phys);
+        assert!(a < b && b < c);
+        assert_eq!(b.physical_micros(), 5, "logical component absorbs ties");
+        assert_eq!(c.logical(), 2);
+    }
+
+    #[test]
+    fn observe_pulls_clock_forward_without_emitting() {
+        let phys = SimClock::new();
+        let mut hlc = Hlc::new();
+        let remote = Timestamp::from_parts(9_999, 3);
+        hlc.observe(&phys, remote);
+        assert_eq!(hlc.latest(), remote);
+        // Next local event must exceed the observed remote timestamp.
+        let t = hlc.now(&phys);
+        assert!(t > remote);
+    }
+
+    #[test]
+    fn observe_never_moves_backwards() {
+        let phys = SimClock::new();
+        phys.advance_to(100);
+        let mut hlc = Hlc::new();
+        let t = hlc.now(&phys);
+        hlc.observe(&phys, Timestamp::ZERO);
+        assert_eq!(hlc.latest(), t);
+    }
+
+    #[test]
+    fn now_after_exceeds_floor() {
+        let phys = SimClock::new();
+        let mut hlc = Hlc::new();
+        let floor = Timestamp::from_parts(500, 7);
+        let t = hlc.now_after(&phys, floor);
+        assert!(t > floor);
+        assert_eq!(t, floor.tick(), "floor dominates a zero clock");
+    }
+
+    #[test]
+    fn now_after_uses_physical_clock_when_dominant() {
+        let phys = SimClock::new();
+        phys.advance_to(10_000);
+        let mut hlc = Hlc::new();
+        let t = hlc.now_after(&phys, Timestamp::from_physical_micros(2));
+        assert_eq!(t.physical_micros(), 10_000);
+        assert_eq!(t.logical(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_advance_state() {
+        let phys = SimClock::new();
+        phys.advance_to(42);
+        let hlc = Hlc::new();
+        assert_eq!(hlc.peek(&phys).physical_micros(), 42);
+        assert_eq!(hlc.latest(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn peek_returns_hlc_when_clock_lags() {
+        let phys = SimClock::new();
+        let mut hlc = Hlc::new();
+        hlc.observe(&phys, Timestamp::from_parts(77, 1));
+        assert_eq!(hlc.peek(&phys), Timestamp::from_parts(77, 1));
+    }
+
+    proptest! {
+        /// Core HLC safety: any interleaving of local events and observations
+        /// yields strictly increasing outputs of `now`, each ≥ every
+        /// previously observed timestamp.
+        #[test]
+        fn prop_monotonic_under_arbitrary_interleavings(
+            ops in proptest::collection::vec(
+                prop_oneof![
+                    // (advance physical clock by, None) = local event
+                    (0u64..1_000).prop_map(|adv| (adv, None)),
+                    // (advance, Some(remote physical, remote logical))
+                    ((0u64..1_000), (0u64..1 << 20), any::<u16>())
+                        .prop_map(|(adv, p, l)| (adv, Some((p, l)))),
+                ],
+                1..200,
+            )
+        ) {
+            let phys = SimClock::new();
+            let mut hlc = Hlc::new();
+            let mut time = 0u64;
+            let mut last_emitted: Option<Timestamp> = None;
+            let mut max_observed = Timestamp::ZERO;
+            for (adv, remote) in ops {
+                time += adv;
+                phys.advance_to(time);
+                match remote {
+                    None => {
+                        let t = hlc.now(&phys);
+                        if let Some(prev) = last_emitted {
+                            prop_assert!(t > prev, "now() must be strictly increasing");
+                        }
+                        prop_assert!(t >= max_observed);
+                        prop_assert!(t.physical_micros() >= time || t >= max_observed);
+                        last_emitted = Some(t);
+                    }
+                    Some((p, l)) => {
+                        let r = Timestamp::from_parts(p, l);
+                        hlc.observe(&phys, r);
+                        max_observed = max_observed.max(r);
+                        prop_assert!(hlc.latest() >= r);
+                    }
+                }
+            }
+        }
+
+        /// `now_after` always exceeds its floor and prior outputs.
+        #[test]
+        fn prop_now_after_exceeds_floor(
+            floors in proptest::collection::vec((0u64..1 << 20, any::<u16>()), 1..50)
+        ) {
+            let phys = SimClock::new();
+            let mut hlc = Hlc::new();
+            let mut prev = Timestamp::ZERO;
+            for (p, l) in floors {
+                let floor = Timestamp::from_parts(p, l);
+                let t = hlc.now_after(&phys, floor);
+                prop_assert!(t > floor);
+                prop_assert!(t > prev || prev == Timestamp::ZERO);
+                prev = t;
+            }
+        }
+    }
+}

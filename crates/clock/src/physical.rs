@@ -1,0 +1,206 @@
+//! Physical clock sources.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically non-decreasing source of physical time in microseconds.
+///
+/// The paper assumes every server "has access to a monotonically increasing
+/// physical clock" (§IV-A) loosely synchronized with NTP; perfect synchrony
+/// is *not* required for correctness (the HLC absorbs skew), only for
+/// snapshot freshness.
+pub trait PhysicalClock {
+    /// Current physical time in microseconds since an arbitrary epoch.
+    fn now_micros(&self) -> u64;
+}
+
+/// The process-wide real clock, measured from process start.
+///
+/// Used by the threaded runtime. Backed by [`Instant`], so it is
+/// monotonic even if the wall clock steps.
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// Creates a system clock whose epoch is the moment of creation.
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl PhysicalClock for SystemClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A simulation-controlled clock, shared by everything in one simulation.
+///
+/// The discrete-event executor advances it; servers read it. Cloning shares
+/// the underlying time cell.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a simulated clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Advances the clock to `micros`.
+    ///
+    /// Calls with an earlier time are ignored — simulated time never runs
+    /// backwards, even if events are (incorrectly) processed out of order.
+    pub fn advance_to(&self, micros: u64) {
+        self.micros.fetch_max(micros, Ordering::SeqCst);
+    }
+}
+
+impl PhysicalClock for SimClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+/// A skewed view of an underlying clock: models imperfect NTP synchrony.
+///
+/// Each server in a deployment gets its own skew offset; the skew is
+/// constant for the lifetime of the clock (drift is dominated by offset at
+/// the paper's time scales). Negative skews are clamped so the result stays
+/// monotonic and non-negative.
+#[derive(Debug, Clone)]
+pub struct SkewedClock<C> {
+    inner: C,
+    /// Offset added to the inner clock, in microseconds.
+    offset: i64,
+}
+
+impl<C: PhysicalClock> SkewedClock<C> {
+    /// Wraps `inner` with a constant skew `offset_micros` (may be negative).
+    pub fn new(inner: C, offset_micros: i64) -> Self {
+        SkewedClock {
+            inner,
+            offset: offset_micros,
+        }
+    }
+
+    /// The configured skew offset in microseconds.
+    pub fn offset_micros(&self) -> i64 {
+        self.offset
+    }
+
+    /// Consumes the wrapper, returning the inner clock.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: PhysicalClock> PhysicalClock for SkewedClock<C> {
+    fn now_micros(&self) -> u64 {
+        let base = self.inner.now_micros();
+        if self.offset >= 0 {
+            base.saturating_add(self.offset as u64)
+        } else {
+            base.saturating_sub(self.offset.unsigned_abs())
+        }
+    }
+}
+
+impl<C: PhysicalClock + ?Sized> PhysicalClock for &C {
+    fn now_micros(&self) -> u64 {
+        (**self).now_micros()
+    }
+}
+
+impl<C: PhysicalClock + ?Sized> PhysicalClock for Box<C> {
+    fn now_micros(&self) -> u64 {
+        (**self).now_micros()
+    }
+}
+
+impl<C: PhysicalClock + ?Sized> PhysicalClock for Arc<C> {
+    fn now_micros(&self) -> u64 {
+        (**self).now_micros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sim_clock_starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.advance_to(10);
+        assert_eq!(c.now_micros(), 10);
+    }
+
+    #[test]
+    fn sim_clock_ignores_backwards_advance() {
+        let c = SimClock::new();
+        c.advance_to(100);
+        c.advance_to(50);
+        assert_eq!(c.now_micros(), 100);
+    }
+
+    #[test]
+    fn sim_clock_clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance_to(7);
+        assert_eq!(b.now_micros(), 7);
+    }
+
+    #[test]
+    fn skewed_clock_applies_positive_offset() {
+        let base = SimClock::new();
+        base.advance_to(1_000);
+        let skewed = SkewedClock::new(base, 250);
+        assert_eq!(skewed.now_micros(), 1_250);
+        assert_eq!(skewed.offset_micros(), 250);
+    }
+
+    #[test]
+    fn skewed_clock_applies_negative_offset_and_saturates() {
+        let base = SimClock::new();
+        base.advance_to(100);
+        let skewed = SkewedClock::new(base.clone(), -250);
+        assert_eq!(skewed.now_micros(), 0, "saturates instead of wrapping");
+        base.advance_to(1_000);
+        assert_eq!(skewed.now_micros(), 750);
+    }
+
+    #[test]
+    fn clock_trait_objects_and_refs_work() {
+        let sim = SimClock::new();
+        sim.advance_to(5);
+        let by_ref: &dyn PhysicalClock = &sim;
+        assert_eq!(by_ref.now_micros(), 5);
+        let boxed: Box<dyn PhysicalClock> = Box::new(sim.clone());
+        assert_eq!(boxed.now_micros(), 5);
+        let arced: Arc<dyn PhysicalClock> = Arc::new(sim);
+        assert_eq!(arced.now_micros(), 5);
+    }
+}

@@ -1,0 +1,708 @@
+//! Consistency checking of recorded executions.
+//!
+//! The paper proves (§IV-C) that PaRiS implements TCC: transactions read
+//! from causal snapshots (Proposition 3) and writes are atomic
+//! (Proposition 4), building on snapshot < commit (Lemma 1) and
+//! `u1 ⇝ u2 ⇒ u1.ut < u2.ut` (Proposition 1). The [`HistoryChecker`]
+//! validates the *observable* counterparts of those properties on a
+//! recorded execution:
+//!
+//! * **session monotonicity** — snapshots assigned to a client never
+//!   regress;
+//! * **Lemma 1** — every update transaction's `ct` exceeds its snapshot;
+//! * **read-your-own-writes** — a read never returns a version older than
+//!   the session's last committed write of that key;
+//! * **repeatable reads** — re-reads in one transaction return the same
+//!   version;
+//! * **snapshot maximality** — a server-sourced read at snapshot `s`
+//!   returns the version with the greatest total order among all versions
+//!   of the key with `ut ≤ s` that the whole execution ever produced
+//!   (timestamp-based causal snapshots make this equivalent to reading a
+//!   causally consistent snapshot, by Proposition 1);
+//! * **atomic visibility** — if a transaction reads any version written by
+//!   update transaction `T` and also reads another key written by `T`,
+//!   it must observe `T`'s write (or a newer one) there too;
+//! * **convergence** — after quiescence, all replicas of a partition hold
+//!   identical latest versions (last-writer-wins).
+
+use std::collections::{BTreeSet, HashMap};
+
+use paris_types::{ClientId, Key, Timestamp, TxId, VersionOrd};
+
+use crate::client::{ClientRead, ReadSource};
+
+/// A read observed by a client, as recorded for checking.
+#[derive(Debug, Clone)]
+pub struct RecordedRead {
+    /// Key read.
+    pub key: Key,
+    /// Order tuple of the returned version, `None` when no version was
+    /// visible.
+    pub version: Option<VersionOrd>,
+    /// Which tier satisfied the read.
+    pub source: ReadSource,
+}
+
+/// One transaction as observed by its client.
+#[derive(Debug, Clone)]
+pub struct RecordedTx {
+    /// Transaction id.
+    pub tx: TxId,
+    /// Snapshot assigned at start.
+    pub snapshot: Timestamp,
+    /// All reads, in issue order.
+    pub reads: Vec<RecordedRead>,
+    /// Keys written.
+    pub writes: Vec<Key>,
+    /// Commit timestamp (`None` or zero for read-only transactions).
+    pub ct: Option<Timestamp>,
+}
+
+/// A consistency violation found by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A client's snapshots regressed.
+    NonMonotonicSnapshot {
+        /// The offending session.
+        client: ClientId,
+        /// Earlier snapshot.
+        prev: Timestamp,
+        /// Later (smaller) snapshot.
+        next: Timestamp,
+    },
+    /// An update transaction's commit time did not exceed its snapshot.
+    CommitNotAboveSnapshot {
+        /// The transaction.
+        tx: TxId,
+        /// Its snapshot.
+        snapshot: Timestamp,
+        /// Its commit time.
+        ct: Timestamp,
+    },
+    /// A read returned a version older than the session's own last write.
+    ReadYourWritesViolated {
+        /// The session.
+        client: ClientId,
+        /// The key.
+        key: Key,
+        /// Commit time of the session's previous write of the key.
+        own_write_ct: Timestamp,
+        /// What the read returned.
+        read: Option<Timestamp>,
+    },
+    /// Two reads of one key in one transaction disagreed.
+    NonRepeatableRead {
+        /// The transaction.
+        tx: TxId,
+        /// The key.
+        key: Key,
+    },
+    /// A server read skipped a visible version (stale or wrong order).
+    SnapshotNotMaximal {
+        /// The transaction.
+        tx: TxId,
+        /// The key.
+        key: Key,
+        /// Snapshot of the transaction.
+        snapshot: Timestamp,
+        /// Version returned.
+        returned: Option<VersionOrd>,
+        /// Fresher version that was within the snapshot.
+        expected: VersionOrd,
+    },
+    /// Atomicity broken: part of a transaction's write set observed,
+    /// another part missed.
+    AtomicityViolated {
+        /// The reading transaction.
+        reader: TxId,
+        /// The writing transaction partially observed.
+        writer: TxId,
+        /// Key where the writer's version was observed.
+        observed_key: Key,
+        /// Key where it was missed.
+        missed_key: Key,
+    },
+    /// Replicas of one partition diverged after quiescence.
+    ReplicasDiverged {
+        /// The key.
+        key: Key,
+        /// The distinct latest versions seen across replicas.
+        versions: Vec<Option<VersionOrd>>,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::NonMonotonicSnapshot { client, prev, next } => write!(
+                f,
+                "client {client}: snapshot regressed from {prev} to {next}"
+            ),
+            Violation::CommitNotAboveSnapshot { tx, snapshot, ct } => {
+                write!(f, "{tx}: commit {ct} not above snapshot {snapshot}")
+            }
+            Violation::ReadYourWritesViolated {
+                client,
+                key,
+                own_write_ct,
+                read,
+            } => write!(
+                f,
+                "client {client}: read of {key} returned {read:?}, older than own write at {own_write_ct}"
+            ),
+            Violation::NonRepeatableRead { tx, key } => {
+                write!(f, "{tx}: non-repeatable read of {key}")
+            }
+            Violation::SnapshotNotMaximal {
+                tx,
+                key,
+                snapshot,
+                returned,
+                expected,
+            } => write!(
+                f,
+                "{tx}: read of {key} at snapshot {snapshot} returned {returned:?} but {expected:?} was visible"
+            ),
+            Violation::AtomicityViolated {
+                reader,
+                writer,
+                observed_key,
+                missed_key,
+            } => write!(
+                f,
+                "{reader}: observed {writer} at {observed_key} but missed it at {missed_key}"
+            ),
+            Violation::ReplicasDiverged { key, versions } => {
+                write!(f, "replicas diverged on {key}: {versions:?}")
+            }
+        }
+    }
+}
+
+/// Collects per-session histories and global ground truth, then checks
+/// them. See the module docs for the properties verified.
+#[derive(Debug, Default)]
+pub struct HistoryChecker {
+    sessions: HashMap<ClientId, Vec<RecordedTx>>,
+    /// Ground truth: every version of every key the execution produced
+    /// (collected from the union of all partition stores after the run).
+    versions: HashMap<Key, BTreeSet<VersionOrd>>,
+    /// Ground truth: write set and commit time per update transaction.
+    tx_writes: HashMap<TxId, (Timestamp, Vec<Key>)>,
+}
+
+impl HistoryChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        HistoryChecker::default()
+    }
+
+    /// Records a finished transaction for `client`.
+    pub fn record_tx(&mut self, client: ClientId, record: RecordedTx) {
+        if let Some(ct) = record.ct {
+            if ct != Timestamp::ZERO && !record.writes.is_empty() {
+                self.tx_writes
+                    .insert(record.tx, (ct, record.writes.clone()));
+            }
+        }
+        self.sessions.entry(client).or_default().push(record);
+    }
+
+    /// Converts a [`ClientRead`] into its recorded form.
+    pub fn recorded_read(read: &ClientRead) -> RecordedRead {
+        RecordedRead {
+            key: read.key,
+            version: read.version.as_ref().map(|v| v.order()),
+            source: read.source,
+        }
+    }
+
+    /// Registers ground-truth versions of a key (from a partition store).
+    pub fn record_versions(&mut self, key: Key, orders: impl IntoIterator<Item = VersionOrd>) {
+        self.versions.entry(key).or_default().extend(orders);
+    }
+
+    /// Number of transactions recorded.
+    pub fn transactions(&self) -> usize {
+        self.sessions.values().map(Vec::len).sum()
+    }
+
+    /// Runs every check, returning all violations found.
+    pub fn check(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        self.check_sessions(&mut violations);
+        self.check_snapshot_maximality(&mut violations);
+        self.check_atomicity(&mut violations);
+        violations
+    }
+
+    fn check_sessions(&self, out: &mut Vec<Violation>) {
+        for (client, txs) in &self.sessions {
+            let mut prev_snapshot = Timestamp::ZERO;
+            // Last committed write per key in this session.
+            let mut own_writes: HashMap<Key, Timestamp> = HashMap::new();
+            for tx in txs {
+                if tx.snapshot < prev_snapshot {
+                    out.push(Violation::NonMonotonicSnapshot {
+                        client: *client,
+                        prev: prev_snapshot,
+                        next: tx.snapshot,
+                    });
+                }
+                prev_snapshot = prev_snapshot.max(tx.snapshot);
+
+                if let Some(ct) = tx.ct {
+                    if ct != Timestamp::ZERO && ct <= tx.snapshot {
+                        out.push(Violation::CommitNotAboveSnapshot {
+                            tx: tx.tx,
+                            snapshot: tx.snapshot,
+                            ct,
+                        });
+                    }
+                }
+
+                // Read-your-writes across transactions.
+                for read in &tx.reads {
+                    if read.source == ReadSource::WriteSet {
+                        continue; // own uncommitted buffer, trivially fine
+                    }
+                    if let Some(&own_ct) = own_writes.get(&read.key) {
+                        let seen = read.version.map(|v| v.ut);
+                        if seen.is_none() || seen.unwrap() < own_ct {
+                            out.push(Violation::ReadYourWritesViolated {
+                                client: *client,
+                                key: read.key,
+                                own_write_ct: own_ct,
+                                read: seen,
+                            });
+                        }
+                    }
+                }
+
+                // Repeatable reads within the transaction.
+                let mut seen: HashMap<Key, Option<VersionOrd>> = HashMap::new();
+                for read in &tx.reads {
+                    if read.source == ReadSource::WriteSet {
+                        continue;
+                    }
+                    match seen.get(&read.key) {
+                        None => {
+                            seen.insert(read.key, read.version);
+                        }
+                        Some(prev) => {
+                            if *prev != read.version {
+                                out.push(Violation::NonRepeatableRead {
+                                    tx: tx.tx,
+                                    key: read.key,
+                                });
+                            }
+                        }
+                    }
+                }
+
+                // Update own-write map after the transaction commits.
+                if let Some(ct) = tx.ct {
+                    if ct != Timestamp::ZERO {
+                        for key in &tx.writes {
+                            own_writes.insert(*key, ct);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_snapshot_maximality(&self, out: &mut Vec<Violation>) {
+        for txs in self.sessions.values() {
+            for tx in txs {
+                for read in &tx.reads {
+                    if read.source != ReadSource::Server {
+                        continue;
+                    }
+                    let Some(all) = self.versions.get(&read.key) else {
+                        continue;
+                    };
+                    // Greatest *recorded* version with ut ≤ snapshot. The
+                    // recorded set may have holes where garbage collection
+                    // removed superseded versions between recording
+                    // points, so a read returning something *fresher* than
+                    // `expected` is fine (it read a since-collected
+                    // version); staleness is returning something *older*
+                    // (or nothing) when a visible version is recorded.
+                    let expected = all
+                        .iter()
+                        .rev()
+                        .find(|v| v.ut <= tx.snapshot)
+                        .copied();
+                    let stale = match (read.version, expected) {
+                        (None, Some(_)) => true,
+                        (Some(r), Some(e)) => r < e,
+                        _ => false,
+                    };
+                    if stale {
+                        out.push(Violation::SnapshotNotMaximal {
+                            tx: tx.tx,
+                            key: read.key,
+                            snapshot: tx.snapshot,
+                            returned: read.version,
+                            expected: expected.expect("stale implies expected"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_atomicity(&self, out: &mut Vec<Violation>) {
+        for txs in self.sessions.values() {
+            for tx in txs {
+                // Versions observed per writer transaction.
+                for read in &tx.reads {
+                    let Some(v) = read.version else { continue };
+                    if read.source != ReadSource::Server {
+                        continue;
+                    }
+                    let Some((writer_ct, writer_keys)) = self.tx_writes.get(&v.tx) else {
+                        continue;
+                    };
+                    // For every other key the writer wrote that this
+                    // transaction also read from a server, the read must
+                    // observe the writer's version or something newer.
+                    for other in &tx.reads {
+                        if other.source != ReadSource::Server || other.key == read.key {
+                            continue;
+                        }
+                        if !writer_keys.contains(&other.key) {
+                            continue;
+                        }
+                        let ok = match other.version {
+                            Some(ov) => ov.ut >= *writer_ct,
+                            None => false,
+                        };
+                        if !ok {
+                            out.push(Violation::AtomicityViolated {
+                                reader: tx.tx,
+                                writer: v.tx,
+                                observed_key: read.key,
+                                missed_key: other.key,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convergence check: given, per partition, the latest version of each
+    /// key at each replica, verify all replicas agree. Call after the
+    /// system quiesced (all replication applied).
+    pub fn check_convergence(
+        replica_latest: &[HashMap<Key, Option<VersionOrd>>],
+    ) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut keys: BTreeSet<Key> = BTreeSet::new();
+        for m in replica_latest {
+            keys.extend(m.keys().copied());
+        }
+        for key in keys {
+            let versions: Vec<Option<VersionOrd>> = replica_latest
+                .iter()
+                .map(|m| m.get(&key).copied().flatten())
+                .collect();
+            if versions.windows(2).any(|w| w[0] != w[1]) {
+                out.push(Violation::ReplicasDiverged { key, versions });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paris_types::{DcId, PartitionId, ServerId};
+
+    fn tx_id(seq: u64) -> TxId {
+        TxId::new(ServerId::new(DcId(0), PartitionId(0)), seq)
+    }
+
+    fn client() -> ClientId {
+        ClientId::new(DcId(0), 0)
+    }
+
+    fn ord(ut: u64, seq: u64) -> VersionOrd {
+        VersionOrd {
+            ut: Timestamp::from_physical_micros(ut),
+            tx: tx_id(seq),
+            src: DcId(0),
+        }
+    }
+
+    fn server_read(key: u64, v: Option<VersionOrd>) -> RecordedRead {
+        RecordedRead {
+            key: Key(key),
+            version: v,
+            source: ReadSource::Server,
+        }
+    }
+
+    #[test]
+    fn clean_history_has_no_violations() {
+        let mut c = HistoryChecker::new();
+        c.record_versions(Key(1), [ord(10, 1)]);
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(1),
+                snapshot: Timestamp::from_physical_micros(5),
+                reads: vec![],
+                writes: vec![Key(1)],
+                ct: Some(Timestamp::from_physical_micros(10)),
+            },
+        );
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(2),
+                snapshot: Timestamp::from_physical_micros(20),
+                reads: vec![server_read(1, Some(ord(10, 1)))],
+                writes: vec![],
+                ct: None,
+            },
+        );
+        assert!(c.check().is_empty(), "{:?}", c.check());
+        assert_eq!(c.transactions(), 2);
+    }
+
+    #[test]
+    fn detects_non_monotonic_snapshot() {
+        let mut c = HistoryChecker::new();
+        for (seq, snap) in [(1u64, 100u64), (2, 50)] {
+            c.record_tx(
+                client(),
+                RecordedTx {
+                    tx: tx_id(seq),
+                    snapshot: Timestamp::from_physical_micros(snap),
+                    reads: vec![],
+                    writes: vec![],
+                    ct: None,
+                },
+            );
+        }
+        let v = c.check();
+        assert!(matches!(v[0], Violation::NonMonotonicSnapshot { .. }));
+    }
+
+    #[test]
+    fn detects_commit_not_above_snapshot() {
+        let mut c = HistoryChecker::new();
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(1),
+                snapshot: Timestamp::from_physical_micros(100),
+                reads: vec![],
+                writes: vec![Key(1)],
+                ct: Some(Timestamp::from_physical_micros(100)),
+            },
+        );
+        let v = c.check();
+        assert!(matches!(v[0], Violation::CommitNotAboveSnapshot { .. }));
+    }
+
+    #[test]
+    fn detects_read_your_writes_violation() {
+        let mut c = HistoryChecker::new();
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(1),
+                snapshot: Timestamp::from_physical_micros(5),
+                reads: vec![],
+                writes: vec![Key(9)],
+                ct: Some(Timestamp::from_physical_micros(50)),
+            },
+        );
+        // Later read sees an older version.
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(2),
+                snapshot: Timestamp::from_physical_micros(10),
+                reads: vec![server_read(9, Some(ord(8, 0)))],
+                writes: vec![],
+                ct: None,
+            },
+        );
+        let v = c.check();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ReadYourWritesViolated { .. })));
+    }
+
+    #[test]
+    fn cache_read_satisfies_read_your_writes() {
+        let mut c = HistoryChecker::new();
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(1),
+                snapshot: Timestamp::from_physical_micros(5),
+                reads: vec![],
+                writes: vec![Key(9)],
+                ct: Some(Timestamp::from_physical_micros(50)),
+            },
+        );
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(2),
+                snapshot: Timestamp::from_physical_micros(10),
+                reads: vec![RecordedRead {
+                    key: Key(9),
+                    version: Some(ord(50, 1)),
+                    source: ReadSource::Cache,
+                }],
+                writes: vec![],
+                ct: None,
+            },
+        );
+        assert!(c.check().is_empty(), "{:?}", c.check());
+    }
+
+    #[test]
+    fn detects_non_repeatable_read() {
+        let mut c = HistoryChecker::new();
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(1),
+                snapshot: Timestamp::from_physical_micros(100),
+                reads: vec![
+                    server_read(1, Some(ord(10, 1))),
+                    server_read(1, Some(ord(20, 2))),
+                ],
+                writes: vec![],
+                ct: None,
+            },
+        );
+        let v = c.check();
+        assert!(v.iter().any(|x| matches!(x, Violation::NonRepeatableRead { .. })));
+    }
+
+    #[test]
+    fn detects_stale_read() {
+        let mut c = HistoryChecker::new();
+        c.record_versions(Key(1), [ord(10, 1), ord(20, 2)]);
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(3),
+                snapshot: Timestamp::from_physical_micros(25),
+                reads: vec![server_read(1, Some(ord(10, 1)))], // missed ord(20)
+                writes: vec![],
+                ct: None,
+            },
+        );
+        let v = c.check();
+        assert!(v.iter().any(|x| matches!(x, Violation::SnapshotNotMaximal { .. })));
+    }
+
+    #[test]
+    fn fresh_read_within_snapshot_passes() {
+        let mut c = HistoryChecker::new();
+        c.record_versions(Key(1), [ord(10, 1), ord(30, 2)]);
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(3),
+                snapshot: Timestamp::from_physical_micros(25),
+                reads: vec![server_read(1, Some(ord(10, 1)))], // 30 is above snapshot
+                writes: vec![],
+                ct: None,
+            },
+        );
+        assert!(c.check().is_empty());
+    }
+
+    #[test]
+    fn detects_atomicity_violation() {
+        let mut c = HistoryChecker::new();
+        // Writer tx 7 wrote keys 1 and 2 at ct=40.
+        c.record_tx(
+            ClientId::new(DcId(1), 9),
+            RecordedTx {
+                tx: tx_id(7),
+                snapshot: Timestamp::from_physical_micros(30),
+                reads: vec![],
+                writes: vec![Key(1), Key(2)],
+                ct: Some(Timestamp::from_physical_micros(40)),
+            },
+        );
+        // Reader observes tx 7 at key 1 but misses it at key 2.
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(8),
+                snapshot: Timestamp::from_physical_micros(50),
+                reads: vec![
+                    server_read(1, Some(ord(40, 7))),
+                    server_read(2, Some(ord(5, 0))),
+                ],
+                writes: vec![],
+                ct: None,
+            },
+        );
+        let v = c.check();
+        assert!(v.iter().any(|x| matches!(x, Violation::AtomicityViolated { .. })));
+    }
+
+    #[test]
+    fn atomic_observation_passes() {
+        let mut c = HistoryChecker::new();
+        c.record_tx(
+            ClientId::new(DcId(1), 9),
+            RecordedTx {
+                tx: tx_id(7),
+                snapshot: Timestamp::from_physical_micros(30),
+                reads: vec![],
+                writes: vec![Key(1), Key(2)],
+                ct: Some(Timestamp::from_physical_micros(40)),
+            },
+        );
+        c.record_tx(
+            client(),
+            RecordedTx {
+                tx: tx_id(8),
+                snapshot: Timestamp::from_physical_micros(50),
+                reads: vec![
+                    server_read(1, Some(ord(40, 7))),
+                    server_read(2, Some(ord(40, 7))),
+                ],
+                writes: vec![],
+                ct: None,
+            },
+        );
+        assert!(c.check().is_empty());
+    }
+
+    #[test]
+    fn convergence_detects_divergence() {
+        let mut a = HashMap::new();
+        a.insert(Key(1), Some(ord(10, 1)));
+        let mut b = HashMap::new();
+        b.insert(Key(1), Some(ord(20, 2)));
+        let v = HistoryChecker::check_convergence(&[a.clone(), b]);
+        assert!(matches!(v[0], Violation::ReplicasDiverged { .. }));
+        assert!(HistoryChecker::check_convergence(&[a.clone(), a]).is_empty());
+    }
+
+    #[test]
+    fn violations_display_nonempty() {
+        let v = Violation::NonRepeatableRead {
+            tx: tx_id(1),
+            key: Key(3),
+        };
+        assert!(!v.to_string().is_empty());
+    }
+}

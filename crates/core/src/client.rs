@@ -1,0 +1,751 @@
+//! The client session state machine (paper Algorithm 1).
+//!
+//! A [`ClientSession`] holds the paper's client-side state: the highest
+//! stable snapshot seen (`ust_c`), the commit time of the last update
+//! transaction (`hwt_c`), the private write cache (`WC_c`) holding the
+//! client's own writes not yet covered by the stable snapshot, and — for
+//! the open transaction — the read set (`RS_c`) and write set (`WS_c`).
+//!
+//! The session is sans-I/O: API calls return either an immediately
+//! available result or an [`Envelope`] to send; [`ClientSession::handle`]
+//! consumes responses and emits [`ClientEvent`]s. Clients are sequential
+//! (one outstanding operation), matching §II-C.
+
+use std::collections::HashMap;
+
+use paris_proto::{Endpoint, Envelope, Msg, ReadResult};
+use paris_types::{
+    ClientId, Error, Key, Mode, ServerId, Timestamp, TxId, Value, Version, WriteSetEntry,
+};
+
+/// Where a read result came from, in the priority order of Alg. 1 line 11:
+/// write set, then read set, then write cache, then the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadSource {
+    /// The open transaction's own buffered (uncommitted) write.
+    WriteSet,
+    /// A repeat of an earlier read in the same transaction.
+    ReadSet,
+    /// The client's private cache of committed-but-not-yet-stable writes —
+    /// this is what preserves read-your-own-writes over the slightly stale
+    /// UST snapshot.
+    Cache,
+    /// A server slice read from the stable snapshot.
+    Server,
+}
+
+/// One completed read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientRead {
+    /// The key read.
+    pub key: Key,
+    /// The value, or `None` if no visible version exists.
+    pub value: Option<Value>,
+    /// The full version tuple when one exists (absent for `WriteSet`
+    /// reads, which have no commit timestamp yet).
+    pub version: Option<Version>,
+    /// Which tier satisfied the read.
+    pub source: ReadSource,
+}
+
+/// Events produced by [`ClientSession::handle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// `START-TX` completed (Alg. 1 lines 1–7).
+    Started {
+        /// The transaction id.
+        tx: TxId,
+        /// The assigned snapshot.
+        snapshot: Timestamp,
+    },
+    /// A `READ` completed (Alg. 1 lines 8–20).
+    ReadDone {
+        /// The transaction id.
+        tx: TxId,
+        /// Results in no particular order.
+        reads: Vec<ClientRead>,
+    },
+    /// `COMMIT-TX` completed (Alg. 1 lines 26–32).
+    Committed {
+        /// The transaction id.
+        tx: TxId,
+        /// Commit timestamp; `Timestamp::ZERO` for read-only transactions.
+        ct: Timestamp,
+    },
+    /// The coordinator aborted the transaction because a target partition
+    /// had no reachable replica (§III-C unavailability). The session is
+    /// idle again; none of the transaction's writes took effect.
+    Aborted {
+        /// The transaction id.
+        tx: TxId,
+    },
+}
+
+/// Outcome of [`ClientSession::read`]: either all keys were satisfied
+/// locally, or a request must be sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadStep {
+    /// Every key was served from the write set / read set / cache.
+    Done(Vec<ClientRead>),
+    /// Send this to the coordinator; completion arrives via `handle`.
+    Send(Envelope),
+}
+
+#[derive(Debug)]
+struct OpenTx {
+    tx: TxId,
+    snapshot: Timestamp,
+    /// `RS_c`: completed reads, for repeatable-read semantics.
+    read_set: HashMap<Key, ClientRead>,
+    /// `WS_c`: buffered writes (last write per key wins, Alg. 1 line 23).
+    write_set: HashMap<Key, Value>,
+    /// Reads satisfied locally while a server round-trip is in flight.
+    pending_local: Vec<ClientRead>,
+    /// Whether a server operation is in flight.
+    in_flight: bool,
+}
+
+/// A cached own-write: value plus the commit timestamp it received.
+#[derive(Debug, Clone)]
+struct CachedWrite {
+    version: Version,
+}
+
+/// The PaRiS client session (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use paris_core::{ClientSession, Topology};
+/// use paris_types::{ClientId, ClusterConfig, DcId, Mode};
+///
+/// let topo = Topology::new(ClusterConfig::default());
+/// let id = ClientId::new(DcId(0), 7);
+/// let coordinator = topo.coordinator_for(id.dc, id.seq);
+/// let mut session = ClientSession::new(id, coordinator, Mode::Paris);
+/// let start = session.begin()?; // envelope to send to the coordinator
+/// assert_eq!(start.dst, coordinator.into());
+/// # Ok::<(), paris_types::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ClientSession {
+    id: ClientId,
+    coordinator: ServerId,
+    mode: Mode,
+    /// `ust_c`: highest stable snapshot seen.
+    ust: Timestamp,
+    /// `hwt_c`: commit time of the last update transaction.
+    hwt: Timestamp,
+    /// `WC_c`: own committed writes not yet in the stable snapshot.
+    cache: HashMap<Key, CachedWrite>,
+    open: Option<OpenTx>,
+    /// Waiting for a `StartTxResp`.
+    starting: bool,
+    /// Transactions run (stats).
+    started_count: u64,
+    committed_count: u64,
+}
+
+impl ClientSession {
+    /// Creates a session pinned to `coordinator` in the client's local DC.
+    pub fn new(id: ClientId, coordinator: ServerId, mode: Mode) -> Self {
+        debug_assert_eq!(id.dc, coordinator.dc, "coordinator must be local");
+        ClientSession {
+            id,
+            coordinator,
+            mode,
+            ust: Timestamp::ZERO,
+            hwt: Timestamp::ZERO,
+            cache: HashMap::new(),
+            open: None,
+            starting: false,
+            started_count: 0,
+            committed_count: 0,
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The coordinator server.
+    pub fn coordinator(&self) -> ServerId {
+        self.coordinator
+    }
+
+    /// Highest stable snapshot seen (`ust_c`).
+    pub fn ust(&self) -> Timestamp {
+        self.ust
+    }
+
+    /// Commit time of the last update transaction (`hwt_c`).
+    pub fn hwt(&self) -> Timestamp {
+        self.hwt
+    }
+
+    /// Number of entries currently in the private write cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The open transaction's id, if a transaction is open.
+    pub fn open_tx(&self) -> Option<TxId> {
+        self.open.as_ref().map(|o| o.tx)
+    }
+
+    /// The open transaction's snapshot, if a transaction is open — what
+    /// the measurement harness records for the consistency checker.
+    pub fn open_snapshot(&self) -> Option<Timestamp> {
+        self.open.as_ref().map(|o| o.snapshot)
+    }
+
+    /// Transactions started / committed so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.started_count, self.committed_count)
+    }
+
+    // ------------------------------------------------------------ START
+
+    /// `START-TX` (Alg. 1 lines 1–7): returns the request envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TransactionAlreadyOpen`] if a transaction is open or
+    /// starting.
+    pub fn begin(&mut self) -> Result<Envelope, Error> {
+        if self.open.is_some() || self.starting {
+            return Err(Error::TransactionAlreadyOpen);
+        }
+        self.starting = true;
+        Ok(Envelope::new(
+            self.id,
+            self.coordinator,
+            Msg::StartTxReq {
+                client_ust: self.ust,
+            },
+        ))
+    }
+
+    // ------------------------------------------------------------- READ
+
+    /// `READ` (Alg. 1 lines 8–20): serves keys from the write set, read
+    /// set and cache (in that order); missing keys go to the coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoOpenTransaction`] outside a transaction, or
+    /// [`Error::TransactionAlreadyOpen`] if an operation is in flight.
+    pub fn read(&mut self, keys: &[Key]) -> Result<ReadStep, Error> {
+        let open = self.open.as_mut().ok_or(Error::NoOpenTransaction)?;
+        if open.in_flight {
+            return Err(Error::TransactionAlreadyOpen);
+        }
+        let mut local: Vec<ClientRead> = Vec::new();
+        let mut remote: Vec<Key> = Vec::new();
+        for &key in keys {
+            // Alg. 1 line 11: check WS_c, RS_c, WC_c in this order.
+            if let Some(value) = open.write_set.get(&key) {
+                local.push(ClientRead {
+                    key,
+                    value: Some(value.clone()),
+                    version: None,
+                    source: ReadSource::WriteSet,
+                });
+            } else if let Some(prev) = open.read_set.get(&key) {
+                local.push(ClientRead {
+                    key,
+                    value: prev.value.clone(),
+                    version: prev.version.clone(),
+                    source: ReadSource::ReadSet,
+                });
+            } else if self.mode == Mode::Paris && self.cache.contains_key(&key) {
+                let cached = &self.cache[&key];
+                local.push(ClientRead {
+                    key,
+                    value: Some(cached.version.value.clone()),
+                    version: Some(cached.version.clone()),
+                    source: ReadSource::Cache,
+                });
+            } else {
+                remote.push(key);
+            }
+        }
+        if remote.is_empty() {
+            for r in &local {
+                open.read_set.entry(r.key).or_insert_with(|| r.clone());
+            }
+            return Ok(ReadStep::Done(local));
+        }
+        open.in_flight = true;
+        open.pending_local = local;
+        let tx = open.tx;
+        Ok(ReadStep::Send(Envelope::new(
+            self.id,
+            self.coordinator,
+            Msg::ReadReq { tx, keys: remote },
+        )))
+    }
+
+    // ------------------------------------------------------------ WRITE
+
+    /// `WRITE` (Alg. 1 lines 21–25): buffers the writes locally.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoOpenTransaction`] outside a transaction.
+    pub fn write(&mut self, entries: &[(Key, Value)]) -> Result<(), Error> {
+        let open = self.open.as_mut().ok_or(Error::NoOpenTransaction)?;
+        for (key, value) in entries {
+            open.write_set.insert(*key, value.clone());
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- COMMIT
+
+    /// `COMMIT-TX` (Alg. 1 lines 26–32): ships the write set to the
+    /// coordinator with `hwt_c`. Also used to close read-only
+    /// transactions (empty write set), which frees the coordinator's
+    /// context (and its hold on the GC horizon).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoOpenTransaction`] outside a transaction, or
+    /// [`Error::TransactionAlreadyOpen`] if an operation is in flight.
+    pub fn commit(&mut self) -> Result<Envelope, Error> {
+        let open = self.open.as_mut().ok_or(Error::NoOpenTransaction)?;
+        if open.in_flight {
+            return Err(Error::TransactionAlreadyOpen);
+        }
+        open.in_flight = true;
+        let writes: Vec<WriteSetEntry> = open
+            .write_set
+            .iter()
+            .map(|(k, v)| WriteSetEntry::new(*k, v.clone()))
+            .collect();
+        Ok(Envelope::new(
+            self.id,
+            self.coordinator,
+            Msg::CommitReq {
+                tx: open.tx,
+                hwt: self.hwt,
+                writes,
+            },
+        ))
+    }
+
+    // ----------------------------------------------------------- HANDLE
+
+    /// Consumes a response from the coordinator.
+    ///
+    /// Returns the completed event, or `None` for stale/duplicate
+    /// messages.
+    pub fn handle(&mut self, env: &Envelope) -> Option<ClientEvent> {
+        debug_assert_eq!(env.dst, Endpoint::Client(self.id));
+        match &env.msg {
+            Msg::StartTxResp { tx, snapshot } => {
+                if !self.starting {
+                    return None;
+                }
+                self.starting = false;
+                self.started_count += 1;
+                // Alg. 1 line 4: ust_c ← ust. The coordinator guarantees
+                // monotonicity (it maxes with the piggybacked ust_c).
+                self.ust = self.ust.max(*snapshot);
+                // Alg. 1 line 6: prune cache entries covered by ust_c.
+                let horizon = self.ust;
+                self.cache.retain(|_, w| w.version.ut > horizon);
+                self.open = Some(OpenTx {
+                    tx: *tx,
+                    snapshot: *snapshot,
+                    read_set: HashMap::new(),
+                    write_set: HashMap::new(),
+                    pending_local: Vec::new(),
+                    in_flight: false,
+                });
+                Some(ClientEvent::Started {
+                    tx: *tx,
+                    snapshot: *snapshot,
+                })
+            }
+            Msg::ReadResp { tx, results } => {
+                let open = self.open.as_mut()?;
+                if open.tx != *tx || !open.in_flight {
+                    return None;
+                }
+                open.in_flight = false;
+                let mut reads = std::mem::take(&mut open.pending_local);
+                for ReadResult { key, version } in results {
+                    reads.push(ClientRead {
+                        key: *key,
+                        value: version.as_ref().map(|v| v.value.clone()),
+                        version: version.clone(),
+                        source: ReadSource::Server,
+                    });
+                }
+                // Alg. 1 line 18: RS_c ← RS_c ∪ D.
+                for r in &reads {
+                    open.read_set.entry(r.key).or_insert_with(|| r.clone());
+                }
+                Some(ClientEvent::ReadDone { tx: *tx, reads })
+            }
+            Msg::CommitResp { tx, ct } => {
+                let open = self.open.take()?;
+                if open.tx != *tx {
+                    self.open = Some(open);
+                    return None;
+                }
+                self.committed_count += 1;
+                if *ct != Timestamp::ZERO {
+                    match self.mode {
+                        Mode::Paris => {
+                            // Alg. 1 lines 29–31: hwt_c ← ct; tag WS_c with
+                            // ct and move it into the cache.
+                            self.hwt = *ct;
+                            for (key, value) in open.write_set {
+                                self.cache.insert(
+                                    key,
+                                    CachedWrite {
+                                        version: Version::new(
+                                            key,
+                                            value,
+                                            *ct,
+                                            *tx,
+                                            self.id.dc,
+                                        ),
+                                    },
+                                );
+                            }
+                        }
+                        Mode::Bpr => {
+                            // BPR has no cache: the client instead raises
+                            // its snapshot floor so the next transaction
+                            // observes (and blocks for) its own writes.
+                            self.hwt = *ct;
+                            self.ust = self.ust.max(*ct);
+                        }
+                    }
+                }
+                Some(ClientEvent::Committed { tx: *tx, ct: *ct })
+            }
+            Msg::OpFailed { tx } => {
+                let open = self.open.take()?;
+                if open.tx != *tx {
+                    self.open = Some(open);
+                    return None;
+                }
+                // The transaction is gone coordinator-side; drop all local
+                // state (nothing committed, cache untouched).
+                Some(ClientEvent::Aborted { tx: *tx })
+            }
+            _ => {
+                debug_assert!(false, "unexpected message at client: {}", env.msg.kind());
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paris_types::{DcId, PartitionId};
+
+    fn session(mode: Mode) -> ClientSession {
+        let id = ClientId::new(DcId(0), 1);
+        ClientSession::new(id, ServerId::new(DcId(0), PartitionId(3)), mode)
+    }
+
+    fn tx(seq: u64) -> TxId {
+        TxId::new(ServerId::new(DcId(0), PartitionId(3)), seq)
+    }
+
+    fn started(s: &mut ClientSession, seq: u64, snap: u64) -> TxId {
+        let t = tx(seq);
+        s.begin().unwrap();
+        let ev = s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::StartTxResp {
+                tx: t,
+                snapshot: Timestamp::from_physical_micros(snap),
+            },
+        ));
+        assert!(matches!(ev, Some(ClientEvent::Started { .. })));
+        t
+    }
+
+    #[test]
+    fn begin_rejects_double_start() {
+        let mut s = session(Mode::Paris);
+        s.begin().unwrap();
+        assert_eq!(s.begin().unwrap_err(), Error::TransactionAlreadyOpen);
+    }
+
+    #[test]
+    fn read_and_write_require_open_tx() {
+        let mut s = session(Mode::Paris);
+        assert_eq!(s.read(&[Key(1)]).unwrap_err(), Error::NoOpenTransaction);
+        assert_eq!(
+            s.write(&[(Key(1), Value::from("x"))]).unwrap_err(),
+            Error::NoOpenTransaction
+        );
+        assert!(s.commit().is_err());
+    }
+
+    #[test]
+    fn read_own_buffered_write_from_write_set() {
+        let mut s = session(Mode::Paris);
+        started(&mut s, 1, 100);
+        s.write(&[(Key(5), Value::from("mine"))]).unwrap();
+        match s.read(&[Key(5)]).unwrap() {
+            ReadStep::Done(reads) => {
+                assert_eq!(reads.len(), 1);
+                assert_eq!(reads[0].source, ReadSource::WriteSet);
+                assert_eq!(reads[0].value.as_ref().unwrap().as_bytes(), b"mine");
+            }
+            ReadStep::Send(_) => panic!("should not hit the server"),
+        }
+    }
+
+    #[test]
+    fn last_write_wins_within_write_set() {
+        let mut s = session(Mode::Paris);
+        started(&mut s, 1, 100);
+        s.write(&[(Key(5), Value::from("a"))]).unwrap();
+        s.write(&[(Key(5), Value::from("b"))]).unwrap();
+        match s.read(&[Key(5)]).unwrap() {
+            ReadStep::Done(reads) => {
+                assert_eq!(reads[0].value.as_ref().unwrap().as_bytes(), b"b")
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn missing_keys_produce_read_request() {
+        let mut s = session(Mode::Paris);
+        let t = started(&mut s, 1, 100);
+        match s.read(&[Key(1), Key(2)]).unwrap() {
+            ReadStep::Send(env) => match env.msg {
+                Msg::ReadReq { tx, keys } => {
+                    assert_eq!(tx, t);
+                    assert_eq!(keys.len(), 2);
+                }
+                _ => panic!("wrong message"),
+            },
+            ReadStep::Done(_) => panic!("keys are not local"),
+        }
+    }
+
+    #[test]
+    fn repeatable_reads_from_read_set() {
+        let mut s = session(Mode::Paris);
+        let t = started(&mut s, 1, 100);
+        assert!(matches!(s.read(&[Key(1)]).unwrap(), ReadStep::Send(_)));
+        let ver = Version::new(
+            Key(1),
+            Value::from("v1"),
+            Timestamp::from_physical_micros(50),
+            tx(99),
+            DcId(1),
+        );
+        let ev = s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::ReadResp {
+                tx: t,
+                results: vec![ReadResult {
+                    key: Key(1),
+                    version: Some(ver),
+                }],
+            },
+        ));
+        assert!(matches!(ev, Some(ClientEvent::ReadDone { .. })));
+        // Second read of the same key is local and identical.
+        match s.read(&[Key(1)]).unwrap() {
+            ReadStep::Done(reads) => {
+                assert_eq!(reads[0].source, ReadSource::ReadSet);
+                assert_eq!(reads[0].value.as_ref().unwrap().as_bytes(), b"v1");
+            }
+            _ => panic!("read set must satisfy repeat reads"),
+        }
+    }
+
+    #[test]
+    fn commit_moves_writes_to_cache_and_sets_hwt() {
+        let mut s = session(Mode::Paris);
+        let t = started(&mut s, 1, 100);
+        s.write(&[(Key(7), Value::from("w"))]).unwrap();
+        let env = s.commit().unwrap();
+        assert!(matches!(env.msg, Msg::CommitReq { .. }));
+        let ct = Timestamp::from_physical_micros(500);
+        let ev = s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::CommitResp { tx: t, ct },
+        ));
+        assert_eq!(ev, Some(ClientEvent::Committed { tx: t, ct }));
+        assert_eq!(s.hwt(), ct);
+        assert_eq!(s.cache_len(), 1);
+        assert!(s.open_tx().is_none());
+    }
+
+    #[test]
+    fn cache_serves_read_your_own_writes_across_transactions() {
+        let mut s = session(Mode::Paris);
+        let t1 = started(&mut s, 1, 100);
+        s.write(&[(Key(7), Value::from("w"))]).unwrap();
+        s.commit().unwrap();
+        s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::CommitResp {
+                tx: t1,
+                ct: Timestamp::from_physical_micros(500),
+            },
+        ));
+        // Next tx gets a snapshot *older* than the commit: cache must hit.
+        started(&mut s, 2, 200);
+        match s.read(&[Key(7)]).unwrap() {
+            ReadStep::Done(reads) => {
+                assert_eq!(reads[0].source, ReadSource::Cache);
+                assert_eq!(reads[0].value.as_ref().unwrap().as_bytes(), b"w");
+            }
+            _ => panic!("cache must satisfy read-your-own-writes"),
+        }
+    }
+
+    #[test]
+    fn cache_prunes_when_snapshot_covers_commit() {
+        let mut s = session(Mode::Paris);
+        let t1 = started(&mut s, 1, 100);
+        s.write(&[(Key(7), Value::from("w"))]).unwrap();
+        s.commit().unwrap();
+        s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::CommitResp {
+                tx: t1,
+                ct: Timestamp::from_physical_micros(500),
+            },
+        ));
+        assert_eq!(s.cache_len(), 1);
+        // Snapshot ≥ ct: entry pruned (Alg. 1 line 6), server now serves it.
+        started(&mut s, 2, 600);
+        assert_eq!(s.cache_len(), 0);
+        assert!(matches!(s.read(&[Key(7)]).unwrap(), ReadStep::Send(_)));
+    }
+
+    #[test]
+    fn read_only_commit_keeps_hwt_and_cache_empty() {
+        let mut s = session(Mode::Paris);
+        let t = started(&mut s, 1, 100);
+        s.commit().unwrap();
+        let ev = s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::CommitResp {
+                tx: t,
+                ct: Timestamp::ZERO,
+            },
+        ));
+        assert_eq!(
+            ev,
+            Some(ClientEvent::Committed {
+                tx: t,
+                ct: Timestamp::ZERO
+            })
+        );
+        assert_eq!(s.hwt(), Timestamp::ZERO);
+        assert_eq!(s.cache_len(), 0);
+    }
+
+    #[test]
+    fn bpr_mode_has_no_cache_but_raises_snapshot_floor() {
+        let mut s = session(Mode::Bpr);
+        let t = started(&mut s, 1, 100);
+        s.write(&[(Key(7), Value::from("w"))]).unwrap();
+        s.commit().unwrap();
+        let ct = Timestamp::from_physical_micros(900);
+        s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::CommitResp { tx: t, ct },
+        ));
+        assert_eq!(s.cache_len(), 0, "BPR keeps no write cache");
+        assert!(s.ust() >= ct, "snapshot floor must cover own writes");
+        // Next begin piggybacks the raised floor.
+        let env = s.begin().unwrap();
+        match env.msg {
+            Msg::StartTxReq { client_ust } => assert!(client_ust >= ct),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn ust_is_monotonic_even_with_stale_coordinator() {
+        let mut s = session(Mode::Paris);
+        started(&mut s, 1, 1_000);
+        // Finish tx 1 (read-only).
+        s.commit().unwrap();
+        s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::CommitResp {
+                tx: tx(1),
+                ct: Timestamp::ZERO,
+            },
+        ));
+        // A (buggy) coordinator replies with an older snapshot: ust_c must
+        // not regress.
+        started(&mut s, 2, 50);
+        assert_eq!(s.ust(), Timestamp::from_physical_micros(1_000));
+    }
+
+    #[test]
+    fn stale_responses_are_ignored() {
+        let mut s = session(Mode::Paris);
+        let t = started(&mut s, 1, 100);
+        // A ReadResp with no read in flight.
+        assert!(s
+            .handle(&Envelope::new(
+                s.coordinator(),
+                s.id(),
+                Msg::ReadResp {
+                    tx: t,
+                    results: vec![]
+                },
+            ))
+            .is_none());
+        // A CommitResp for a different transaction.
+        assert!(s
+            .handle(&Envelope::new(
+                s.coordinator(),
+                s.id(),
+                Msg::CommitResp {
+                    tx: tx(42),
+                    ct: Timestamp::ZERO
+                },
+            ))
+            .is_none());
+        assert_eq!(s.open_tx(), Some(t));
+    }
+
+    #[test]
+    fn counts_track_lifecycle() {
+        let mut s = session(Mode::Paris);
+        let t = started(&mut s, 1, 100);
+        s.commit().unwrap();
+        s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::CommitResp {
+                tx: t,
+                ct: Timestamp::ZERO,
+            },
+        ));
+        assert_eq!(s.counts(), (1, 1));
+    }
+}

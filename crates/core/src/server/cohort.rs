@@ -1,0 +1,165 @@
+//! Transaction-cohort role (paper Algorithm 3).
+
+use paris_proto::{Envelope, Msg, ReadResult};
+use paris_types::{DcId, Key, Mode, ServerId, Timestamp, TxId, WriteSetEntry};
+
+use super::{BlockedRead, CommittedTx, PreparedTx, Server};
+
+impl Server {
+    /// `ReadSliceReq` (Alg. 3 lines 1–8).
+    ///
+    /// PaRiS serves immediately: the snapshot is universally stable, so the
+    /// freshest version `≤ snapshot` is guaranteed present — the
+    /// non-blocking read property. BPR must first check that the partition
+    /// has *installed* the (fresh) snapshot — `min(VV) ≥ snapshot` — and
+    /// parks the read otherwise (§V).
+    pub(super) fn on_read_slice_req(
+        &mut self,
+        tx: TxId,
+        snapshot: Timestamp,
+        keys: &[Key],
+        reply_to: ServerId,
+        now: u64,
+    ) -> Vec<Envelope> {
+        match self.mode {
+            Mode::Paris => {
+                // Alg. 3 line 2: ust ← max(ust, snapshot).
+                self.ust = self.ust.max(snapshot);
+                vec![self.serve_slice(tx, snapshot, keys, reply_to)]
+            }
+            Mode::Bpr => {
+                if self.installed_watermark() >= snapshot {
+                    vec![self.serve_slice(tx, snapshot, keys, reply_to)]
+                } else {
+                    self.stats.blocked_reads += 1;
+                    self.blocked.push(BlockedRead {
+                        tx,
+                        snapshot,
+                        keys: keys.to_vec(),
+                        reply_to,
+                        blocked_at: now,
+                    });
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Serves a slice read from the store (Alg. 3 lines 3–8): freshest
+    /// version within the snapshot per key.
+    pub(super) fn serve_slice(
+        &mut self,
+        tx: TxId,
+        snapshot: Timestamp,
+        keys: &[Key],
+        reply_to: ServerId,
+    ) -> Envelope {
+        self.stats.slice_reads += 1;
+        self.stats.keys_read += keys.len() as u64;
+        let results: Vec<ReadResult> = keys
+            .iter()
+            .map(|&key| ReadResult {
+                key,
+                version: self.store.read_at(key, snapshot).cloned(),
+            })
+            .collect();
+        Envelope::new(
+            self.id,
+            reply_to,
+            Msg::ReadSliceResp {
+                tx,
+                partition: self.id.partition,
+                results,
+            },
+        )
+    }
+
+    /// Re-examines blocked reads after the installed watermark advanced
+    /// (BPR); returns the responses for reads that can now be served.
+    pub(super) fn drain_blocked(&mut self, now: u64) -> Vec<Envelope> {
+        if self.blocked.is_empty() {
+            return Vec::new();
+        }
+        let watermark = self.installed_watermark();
+        let mut out = Vec::new();
+        let mut still_blocked = Vec::with_capacity(self.blocked.len());
+        for b in std::mem::take(&mut self.blocked) {
+            if b.snapshot <= watermark {
+                let waited = now.saturating_sub(b.blocked_at);
+                self.stats.blocked_micros_total += waited;
+                self.stats.blocked_micros_max = self.stats.blocked_micros_max.max(waited);
+                out.push(self.serve_slice(b.tx, b.snapshot, &b.keys, b.reply_to));
+            } else {
+                still_blocked.push(b);
+            }
+        }
+        self.blocked = still_blocked;
+        out
+    }
+
+    /// `PrepareReq` (Alg. 3 lines 9–14): propose a commit timestamp that
+    /// exceeds the transaction snapshot, the client's last commit (`ht`)
+    /// and everything this server has seen (`HLC`).
+    pub(super) fn on_prepare_req(
+        &mut self,
+        tx: TxId,
+        snapshot: Timestamp,
+        ht: Timestamp,
+        writes: &[WriteSetEntry],
+        reply_to: ServerId,
+        src_dc: DcId,
+    ) -> Vec<Envelope> {
+        self.stats.prepares += 1;
+        // Alg. 3 line 11: ust ← max(ust, snapshot).
+        self.ust = self.ust.max(snapshot);
+        // Alg. 3 lines 10 & 12 combined: the proposal is strictly above
+        // ht, the snapshot, the current UST and the previous HLC value,
+        // and at least the physical clock.
+        let floor = ht.max(self.ust);
+        let pt = self.hlc.now_after(&self.clock, floor);
+        self.prepared.insert(
+            tx,
+            PreparedTx {
+                pt,
+                writes: writes.to_vec(),
+                src: src_dc,
+            },
+        );
+        self.prepared_index.insert((pt, tx));
+        vec![Envelope::new(
+            self.id,
+            reply_to,
+            Msg::PrepareResp {
+                tx,
+                partition: self.id.partition,
+                proposed: pt,
+            },
+        )]
+    }
+
+    /// `CommitTx` (Alg. 3 lines 15–19): move the transaction from the
+    /// prepared to the committed queue under its final commit timestamp.
+    pub(super) fn on_commit_tx(&mut self, tx: TxId, ct: Timestamp) -> Vec<Envelope> {
+        // Alg. 3 line 16: HLC ← max(HLC, ct, Clock).
+        self.hlc.observe(&self.clock, ct);
+        let Some(p) = self.prepared.remove(&tx) else {
+            debug_assert!(false, "commit for unprepared transaction {tx}");
+            return Vec::new();
+        };
+        self.prepared_index.remove(&(p.pt, tx));
+        debug_assert!(ct >= p.pt, "commit time below proposal");
+        self.committed.insert(
+            (ct, tx),
+            CommittedTx {
+                writes: p.writes,
+                src: p.src,
+            },
+        );
+        Vec::new()
+    }
+
+    /// Lowest proposed timestamp among prepared transactions, if any.
+    pub(crate) fn min_prepared(&self) -> Option<Timestamp> {
+        self.prepared_index.iter().next().map(|(pt, _)| *pt)
+    }
+}

@@ -1,0 +1,439 @@
+//! The PaRiS partition server `p_n^m`: a sans-I/O state machine.
+//!
+//! A [`Server`] implements every server-side role of the paper:
+//!
+//! * **transaction coordinator** (Alg. 2): snapshot assignment, parallel
+//!   read fan-out, 2PC commit;
+//! * **transaction cohort** (Alg. 3): slice reads, prepare, commit;
+//! * **replication** (Alg. 4): applying committed transactions in commit
+//!   order, pushing them to peer replicas, heartbeats;
+//! * **stabilization** (Alg. 4 lines 34–38): the UST gossip over the
+//!   intra-DC tree and the inter-DC root exchange, plus the GC horizon.
+//!
+//! The state machine is driven entirely through [`Server::handle`] and the
+//! `on_*_tick` timer entry points; every call returns the envelopes to
+//! send. The same code runs under the deterministic simulator and the
+//! threaded runtime, in PaRiS or BPR mode.
+
+mod cohort;
+mod coordinator;
+mod replication;
+mod stabilization;
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use paris_clock::{Hlc, PhysicalClock};
+use paris_proto::{Envelope, Msg, ReadResult};
+use paris_storage::PartitionStore;
+use paris_types::{
+    ClientId, DcId, Mode, PartitionId, ServerId, Timestamp, TxId, WriteSetEntry,
+};
+
+use crate::topology::Topology;
+
+/// Coordinator-side state of one running transaction (the paper's
+/// `TX[id_T]`, Alg. 2 line 4).
+#[derive(Debug)]
+pub(crate) struct TxContext {
+    /// Snapshot assigned at start.
+    pub snapshot: Timestamp,
+    /// The client that owns the transaction.
+    pub client: ClientId,
+    /// The operation currently in flight, if any (clients are sequential,
+    /// so at most one).
+    pub pending: Option<PendingOp>,
+    /// Simulated/real time at which the transaction started (staleness
+    /// accounting).
+    pub started_at: u64,
+}
+
+/// An in-flight fan-out operation at the coordinator.
+#[derive(Debug)]
+pub(crate) enum PendingOp {
+    /// A parallel read awaiting slice responses (Alg. 2 lines 10–15).
+    Read {
+        /// Partitions not yet heard from.
+        awaiting: HashSet<PartitionId>,
+        /// Accumulated results.
+        results: Vec<ReadResult>,
+    },
+    /// A 2PC awaiting prepare responses (Alg. 2 lines 21–25).
+    Commit {
+        /// Partitions not yet heard from.
+        awaiting: HashSet<PartitionId>,
+        /// Cohort servers contacted (phase-2 targets).
+        participants: Vec<ServerId>,
+        /// Max proposed timestamp so far (Alg. 2 line 26).
+        max_proposed: Timestamp,
+    },
+}
+
+/// A transaction in the prepared queue (Alg. 3 line 13).
+#[derive(Debug, Clone)]
+pub(crate) struct PreparedTx {
+    /// Proposed commit timestamp.
+    pub pt: Timestamp,
+    /// Writes destined for this partition.
+    pub writes: Vec<WriteSetEntry>,
+    /// DC where the transaction committed (version source).
+    pub src: DcId,
+}
+
+/// A transaction in the committed queue awaiting apply (Alg. 3 line 19).
+#[derive(Debug, Clone)]
+pub(crate) struct CommittedTx {
+    /// Writes destined for this partition.
+    pub writes: Vec<WriteSetEntry>,
+    /// DC where the transaction committed.
+    pub src: DcId,
+}
+
+/// A read parked by the BPR baseline until the partition has installed the
+/// snapshot (§V, "BPR").
+#[derive(Debug)]
+pub(crate) struct BlockedRead {
+    pub tx: TxId,
+    pub snapshot: Timestamp,
+    pub keys: Vec<paris_types::Key>,
+    pub reply_to: ServerId,
+    pub blocked_at: u64,
+}
+
+/// Counters exposed by a server, aggregated by the measurement harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Messages handled, any kind.
+    pub msgs_handled: u64,
+    /// Update transactions committed with this server as coordinator.
+    pub txs_coordinated: u64,
+    /// Slice reads served (including after unblocking).
+    pub slice_reads: u64,
+    /// Keys returned by slice reads.
+    pub keys_read: u64,
+    /// Prepares handled.
+    pub prepares: u64,
+    /// Transactions applied locally (as 2PC participant).
+    pub applied_local: u64,
+    /// Transactions applied from remote replication.
+    pub applied_remote: u64,
+    /// Replication batches sent.
+    pub replicate_batches: u64,
+    /// Heartbeats sent.
+    pub heartbeats: u64,
+    /// Reads that had to block (BPR only).
+    pub blocked_reads: u64,
+    /// Total microseconds reads spent blocked (BPR only).
+    pub blocked_micros_total: u64,
+    /// Maximum single blocking duration (BPR only).
+    pub blocked_micros_max: u64,
+    /// Versions removed by GC.
+    pub gc_removed: u64,
+}
+
+/// Timestamped protocol events, recorded when
+/// [`ServerOptions::record_events`] is set; the benchmark harness derives
+/// update-visibility latency (Fig. 4) and staleness from these.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    /// Coordinator decided commit `(tx, ct)` at time `now`.
+    pub commits: Vec<(TxId, Timestamp, u64)>,
+    /// A version of transaction `tx` with commit time `ct` was applied on
+    /// this server at time `now`.
+    pub applies: Vec<(TxId, Timestamp, u64)>,
+    /// This server's UST advanced to `ust` at time `now`.
+    pub ust_advances: Vec<(Timestamp, u64)>,
+}
+
+/// Construction options for a [`Server`].
+pub struct ServerOptions {
+    /// The server's identity.
+    pub id: ServerId,
+    /// Cluster topology (shared).
+    pub topology: std::sync::Arc<Topology>,
+    /// Physical clock source (possibly skewed).
+    pub clock: Box<dyn PhysicalClock + Send>,
+    /// Protocol variant.
+    pub mode: Mode,
+    /// Record the [`EventLog`] (costs memory; benches enable it only for
+    /// visibility runs).
+    pub record_events: bool,
+}
+
+/// The PaRiS partition server state machine. See the module docs.
+pub struct Server {
+    pub(crate) id: ServerId,
+    pub(crate) topo: std::sync::Arc<Topology>,
+    pub(crate) mode: Mode,
+    pub(crate) clock: Box<dyn PhysicalClock + Send>,
+    pub(crate) hlc: Hlc,
+    pub(crate) store: PartitionStore,
+    /// Version vector `VV_n^m`: one entry per replica DC of this partition
+    /// (keyed by DC for clarity; own DC included).
+    pub(crate) vv: BTreeMap<DcId, Timestamp>,
+    /// Universal stable time `ust_n^m`.
+    pub(crate) ust: Timestamp,
+    /// GC horizon `S_old`.
+    pub(crate) s_old: Timestamp,
+    /// Next transaction sequence number (coordinator).
+    pub(crate) next_seq: u64,
+    /// Coordinator contexts.
+    pub(crate) tx_ctx: HashMap<TxId, TxContext>,
+    /// Prepared queue (`Prepared_n^m`), with a sorted index for `min pt`.
+    pub(crate) prepared: HashMap<TxId, PreparedTx>,
+    pub(crate) prepared_index: BTreeSet<(Timestamp, TxId)>,
+    /// Committed queue (`Committed_n^m`), ordered by (ct, tx).
+    pub(crate) committed: BTreeMap<(Timestamp, TxId), CommittedTx>,
+    /// BPR: reads blocked until `min(VV) ≥ snapshot`.
+    pub(crate) blocked: Vec<BlockedRead>,
+    /// Stabilization: freshest report per tree child partition.
+    pub(crate) child_reports: HashMap<PartitionId, (Vec<(DcId, Timestamp)>, Timestamp)>,
+    /// Root only: latest (gst, oldest_active) per DC.
+    pub(crate) dc_gsts: HashMap<DcId, (Timestamp, Timestamp)>,
+    /// DCs this server currently considers unreachable (fed by the
+    /// runtime's failure detector; §III-C availability).
+    pub(crate) unreachable: HashSet<DcId>,
+    /// Statistics.
+    pub(crate) stats: ServerStats,
+    /// Optional event log.
+    pub(crate) events: Option<EventLog>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("id", &self.id)
+            .field("mode", &self.mode)
+            .field("ust", &self.ust)
+            .field("vv", &self.vv)
+            .field("prepared", &self.prepared.len())
+            .field("committed", &self.committed.len())
+            .field("blocked", &self.blocked.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Creates a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology does not place this server's partition in
+    /// its DC (the server would not exist in the deployment).
+    pub fn new(options: ServerOptions) -> Self {
+        let ServerOptions {
+            id,
+            topology,
+            clock,
+            mode,
+            record_events,
+        } = options;
+        assert!(
+            topology.is_replicated_at(id.partition, id.dc),
+            "server {id} is not part of the placement"
+        );
+        let vv = topology
+            .replicas(id.partition)
+            .into_iter()
+            .map(|dc| (dc, Timestamp::ZERO))
+            .collect();
+        let mut server = Server {
+            id,
+            topo: topology,
+            mode,
+            clock,
+            hlc: Hlc::new(),
+            store: PartitionStore::new(),
+            vv,
+            ust: Timestamp::ZERO,
+            s_old: Timestamp::ZERO,
+            next_seq: 0,
+            tx_ctx: HashMap::new(),
+            prepared: HashMap::new(),
+            prepared_index: BTreeSet::new(),
+            committed: BTreeMap::new(),
+            blocked: Vec::new(),
+            child_reports: HashMap::new(),
+            dc_gsts: HashMap::new(),
+            unreachable: HashSet::new(),
+            stats: ServerStats::default(),
+            events: record_events.then(EventLog::default),
+        };
+        // The stabilization aggregate must under-approximate unreported
+        // children (see `stabilization`).
+        server.seed_child_reports();
+        server
+    }
+
+    /// The server's identity.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The protocol variant this server runs.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Current universal stable time.
+    pub fn ust(&self) -> Timestamp {
+        self.ust
+    }
+
+    /// Current GC horizon.
+    pub fn s_old(&self) -> Timestamp {
+        self.s_old
+    }
+
+    /// The version vector (per replica DC).
+    pub fn version_vector(&self) -> &BTreeMap<DcId, Timestamp> {
+        &self.vv
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The recorded event log, if enabled.
+    pub fn events(&self) -> Option<&EventLog> {
+        self.events.as_ref()
+    }
+
+    /// Read-only access to the partition store (checker, tests).
+    pub fn store(&self) -> &PartitionStore {
+        &self.store
+    }
+
+    /// Number of currently open coordinator contexts.
+    pub fn open_transactions(&self) -> usize {
+        self.tx_ctx.len()
+    }
+
+    /// Number of currently blocked reads (BPR).
+    pub fn blocked_reads_now(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// Handles one incoming envelope at time `now` (microseconds on the
+    /// substrate's clock), returning the envelopes to send.
+    pub fn handle(&mut self, env: &Envelope, now: u64) -> Vec<Envelope> {
+        self.stats.msgs_handled += 1;
+        match &env.msg {
+            // Coordinator role.
+            Msg::StartTxReq { client_ust } => self.on_start_tx(env, *client_ust, now),
+            Msg::ReadReq { tx, keys } => self.on_read_req(env, *tx, keys, now),
+            Msg::CommitReq { tx, hwt, writes } => self.on_commit_req(env, *tx, *hwt, writes, now),
+            Msg::ReadSliceResp {
+                tx,
+                partition,
+                results,
+            } => self.on_read_slice_resp(*tx, *partition, results, now),
+            Msg::PrepareResp {
+                tx,
+                partition,
+                proposed,
+            } => self.on_prepare_resp(*tx, *partition, *proposed, now),
+
+            // Cohort role.
+            Msg::ReadSliceReq {
+                tx,
+                snapshot,
+                keys,
+                reply_to,
+            } => self.on_read_slice_req(*tx, *snapshot, keys, *reply_to, now),
+            Msg::PrepareReq {
+                tx,
+                snapshot,
+                ht,
+                writes,
+                reply_to,
+                src_dc,
+            } => self.on_prepare_req(*tx, *snapshot, *ht, writes, *reply_to, *src_dc),
+            Msg::CommitTx { tx, ct } => self.on_commit_tx(*tx, *ct),
+
+            // Replication.
+            Msg::Replicate {
+                partition,
+                txs,
+                watermark,
+            } => self.on_replicate(env, *partition, txs, *watermark, now),
+            Msg::Heartbeat {
+                partition,
+                watermark,
+            } => self.on_heartbeat(env, *partition, *watermark, now),
+
+            // Stabilization.
+            Msg::GstReport {
+                partition,
+                mins,
+                oldest_active,
+            } => self.on_gst_report(*partition, mins, *oldest_active),
+            Msg::RootGst {
+                dc,
+                gst,
+                oldest_active,
+            } => self.on_root_gst(*dc, *gst, *oldest_active),
+            Msg::UstBroadcast { ust, s_old } => self.on_ust_broadcast(*ust, *s_old, now),
+
+            // Client-bound messages never arrive at a server.
+            Msg::StartTxResp { .. }
+            | Msg::ReadResp { .. }
+            | Msg::CommitResp { .. }
+            | Msg::OpFailed { .. } => {
+                debug_assert!(false, "client-bound message delivered to server");
+                Vec::new()
+            }
+        }
+    }
+
+    /// Marks a remote DC reachable or unreachable. Fed by the runtime's
+    /// failure detector; the coordinator routes around unreachable DCs
+    /// (§III-C: any replica can serve any operation) and aborts
+    /// operations whose target partition has no reachable replica.
+    pub fn set_dc_reachability(&mut self, dc: DcId, reachable: bool) {
+        if reachable {
+            self.unreachable.remove(&dc);
+        } else if dc != self.id.dc {
+            self.unreachable.insert(dc);
+        }
+    }
+
+    /// DCs currently considered unreachable.
+    pub fn unreachable_dcs(&self) -> &HashSet<DcId> {
+        &self.unreachable
+    }
+
+    /// Drops coordinator contexts older than `timeout_micros` (§III-C:
+    /// "contexts corresponding to transactions of failed clients are
+    /// cleaned in the background after a timeout"). Returns the number of
+    /// contexts dropped. Call with a timeout far above any legitimate
+    /// transaction duration.
+    pub fn cleanup_stale_contexts(&mut self, now: u64, timeout_micros: u64) -> usize {
+        let before = self.tx_ctx.len();
+        self.tx_ctx
+            .retain(|_, ctx| now.saturating_sub(ctx.started_at) < timeout_micros);
+        before - self.tx_ctx.len()
+    }
+
+    /// Runs periodic garbage collection (the paper's background GC,
+    /// §IV-B): trims every version chain to the horizon `S_old` computed by
+    /// the stabilization protocol. Returns versions removed.
+    pub fn on_gc_tick(&mut self) -> usize {
+        let removed = self.store.gc(self.s_old);
+        self.stats.gc_removed += removed as u64;
+        removed
+    }
+
+    /// The minimum entry of the version vector: everything up to this
+    /// timestamp has been installed on this partition (local + remote).
+    pub(crate) fn installed_watermark(&self) -> Timestamp {
+        self.vv.values().copied().min().unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Records a UST advance in the event log.
+    pub(crate) fn log_ust(&mut self, ust: Timestamp, now: u64) {
+        if let Some(log) = self.events.as_mut() {
+            log.ust_advances.push((ust, now));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The Universal Stable Time protocol (paper §IV-B, Alg. 4 lines 34–38).
+//!
+//! Within each DC, servers form an aggregation tree. Every ∆G each server
+//! merges its version vector with the freshest reports of its tree
+//! children and forwards the aggregate towards the DC root; the root's
+//! aggregate is the DC's Global Stabilization Vector (GSV), whose minimum
+//! entry is the DC's Global Stable Time (GST). Roots exchange GSTs; every
+//! ∆U each root takes the minimum over all DCs — the **UST** — and
+//! broadcasts it (monotonically) to its DC. The same messages carry the
+//! oldest-active-snapshot aggregate that bounds garbage collection
+//! (`S_old`).
+//!
+//! Safety note: a server's aggregate must *under*-approximate its subtree,
+//! so children it has not heard from yet are seeded at `Timestamp::ZERO`
+//! for every DC their partition replicates with.
+
+use std::collections::HashMap;
+
+use paris_proto::{Envelope, Msg};
+use paris_types::{DcId, PartitionId, Timestamp};
+
+use super::Server;
+
+impl Server {
+    /// Seeds the child-report table so the aggregate is conservative until
+    /// every child has reported (called from `Server::new` via this
+    /// crate-internal hook).
+    pub(crate) fn seed_child_reports(&mut self) {
+        for child in self.topo.tree_children(self.id) {
+            let mins = self
+                .topo
+                .replicas(child.partition)
+                .into_iter()
+                .map(|dc| (dc, Timestamp::ZERO))
+                .collect();
+            self.child_reports
+                .insert(child.partition, (mins, Timestamp::ZERO));
+        }
+    }
+
+    /// This server's subtree aggregate: per-source-DC minimum over its own
+    /// version vector and all child reports, plus the subtree's oldest
+    /// active snapshot.
+    fn subtree_aggregate(&self) -> (Vec<(DcId, Timestamp)>, Timestamp) {
+        let mut mins: HashMap<DcId, Timestamp> =
+            self.vv.iter().map(|(dc, ts)| (*dc, *ts)).collect();
+        let mut oldest = self.oldest_active_snapshot();
+        for (report, child_oldest) in self.child_reports.values() {
+            for (dc, ts) in report {
+                mins.entry(*dc)
+                    .and_modify(|cur| *cur = (*cur).min(*ts))
+                    .or_insert(*ts);
+            }
+            oldest = oldest.min(*child_oldest);
+        }
+        let mut mins: Vec<(DcId, Timestamp)> = mins.into_iter().collect();
+        mins.sort_unstable_by_key(|(dc, _)| *dc);
+        (mins, oldest)
+    }
+
+    /// The ∆G tick: push the subtree aggregate one level up the tree, or —
+    /// at the root — refresh the DC's GSV/GST and exchange it with the
+    /// other DC roots.
+    pub fn on_gst_tick(&mut self, _now: u64) -> Vec<Envelope> {
+        let (mins, oldest_active) = self.subtree_aggregate();
+        match self.topo.tree_parent(self.id) {
+            Some(parent) => vec![Envelope::new(
+                self.id,
+                parent,
+                Msg::GstReport {
+                    partition: self.id.partition,
+                    mins,
+                    oldest_active,
+                },
+            )],
+            None => {
+                // Root: GST = min over the GSV entries (Alg. 4 line 35).
+                let gst = mins
+                    .iter()
+                    .map(|(_, ts)| *ts)
+                    .min()
+                    .unwrap_or(Timestamp::ZERO);
+                self.dc_gsts.insert(self.id.dc, (gst, oldest_active));
+                self.topo
+                    .all_roots()
+                    .into_iter()
+                    .filter(|r| r.dc != self.id.dc)
+                    .map(|r| {
+                        Envelope::new(
+                            self.id,
+                            r,
+                            Msg::RootGst {
+                                dc: self.id.dc,
+                                gst,
+                                oldest_active,
+                            },
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The ∆U tick (roots only): UST = min over every DC's GST
+    /// (Alg. 4 lines 36–38), `S_old` = min over every DC's oldest active
+    /// snapshot; both advance monotonically and are broadcast to the DC.
+    pub fn on_ust_tick(&mut self, now: u64) -> Vec<Envelope> {
+        if self.topo.tree_parent(self.id).is_some() {
+            return Vec::new(); // not a root
+        }
+        // All M DCs must have reported at least once (own included).
+        if self.dc_gsts.len() < self.topo.dcs() as usize {
+            return Vec::new();
+        }
+        let min_gst = self
+            .dc_gsts
+            .values()
+            .map(|(gst, _)| *gst)
+            .min()
+            .expect("non-empty");
+        let min_oldest = self
+            .dc_gsts
+            .values()
+            .map(|(_, oldest)| *oldest)
+            .min()
+            .expect("non-empty");
+        // Alg. 4 line 38: enforce monotonicity.
+        if min_gst > self.ust {
+            self.ust = min_gst;
+            self.log_ust(min_gst, now);
+        }
+        self.s_old = self.s_old.max(min_oldest.min(self.ust));
+        let (ust, s_old) = (self.ust, self.s_old);
+        self.topo
+            .servers_in_dc(self.id.dc)
+            .into_iter()
+            .filter(|s| *s != self.id)
+            .map(|s| Envelope::new(self.id, s, Msg::UstBroadcast { ust, s_old }))
+            .collect()
+    }
+
+    /// A child's subtree report (tree-internal message).
+    pub(super) fn on_gst_report(
+        &mut self,
+        partition: PartitionId,
+        mins: &[(DcId, Timestamp)],
+        oldest_active: Timestamp,
+    ) -> Vec<Envelope> {
+        self.child_reports
+            .insert(partition, (mins.to_vec(), oldest_active));
+        Vec::new()
+    }
+
+    /// Another DC root's GST (inter-DC exchange).
+    pub(super) fn on_root_gst(
+        &mut self,
+        dc: DcId,
+        gst: Timestamp,
+        oldest_active: Timestamp,
+    ) -> Vec<Envelope> {
+        // FIFO channels keep these monotonic per sender; max defensively.
+        let entry = self
+            .dc_gsts
+            .entry(dc)
+            .or_insert((Timestamp::ZERO, Timestamp::ZERO));
+        entry.0 = entry.0.max(gst);
+        entry.1 = entry.1.max(oldest_active);
+        Vec::new()
+    }
+
+    /// The root's UST/S_old broadcast.
+    pub(super) fn on_ust_broadcast(
+        &mut self,
+        ust: Timestamp,
+        s_old: Timestamp,
+        now: u64,
+    ) -> Vec<Envelope> {
+        if ust > self.ust {
+            self.ust = ust;
+            self.log_ust(ust, now);
+        }
+        self.s_old = self.s_old.max(s_old);
+        Vec::new()
+    }
+}

@@ -1,0 +1,577 @@
+//! End-to-end protocol tests on a hand-pumped miniature cluster.
+//!
+//! These tests drive the real server/client state machines through a
+//! zero-latency synchronous message pump — no network substrate — so any
+//! failure is a protocol bug, not a harness artifact.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use paris_clock::SimClock;
+use paris_core::{
+    ClientEvent, ClientSession, Mode, ReadStep, Server, ServerOptions, Topology,
+};
+use paris_proto::{Endpoint, Envelope};
+use paris_types::{
+    ClientId, ClusterConfig, DcId, Key, PartitionId, ServerId, Timestamp, Value,
+};
+
+/// A tiny synchronous cluster: all messages delivered in FIFO order with
+/// zero latency; ticks run on demand.
+struct MiniCluster {
+    topo: Arc<Topology>,
+    clock: SimClock,
+    servers: HashMap<ServerId, Server>,
+    clients: HashMap<ClientId, ClientSession>,
+    queue: VecDeque<Envelope>,
+    events: Vec<(ClientId, ClientEvent)>,
+    now: u64,
+}
+
+impl MiniCluster {
+    fn new(dcs: u16, partitions: u32, r: u16, mode: Mode) -> Self {
+        let cfg = ClusterConfig::builder()
+            .dcs(dcs)
+            .partitions(partitions)
+            .replication_factor(r)
+            .max_clock_skew_micros(0)
+            .build()
+            .unwrap();
+        let topo = Arc::new(Topology::new(cfg));
+        let clock = SimClock::new();
+        let servers = topo
+            .all_servers()
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    Server::new(ServerOptions {
+                        id,
+                        topology: Arc::clone(&topo),
+                        clock: Box::new(clock.clone()),
+                        mode,
+                        record_events: false,
+                    }),
+                )
+            })
+            .collect();
+        MiniCluster {
+            topo,
+            clock,
+            servers,
+            clients: HashMap::new(),
+            queue: VecDeque::new(),
+            events: Vec::new(),
+            now: 0,
+        }
+    }
+
+    fn add_client(&mut self, dc: u16, seq: u32, mode: Mode) -> ClientId {
+        let id = ClientId::new(DcId(dc), seq);
+        let coord = self.topo.coordinator_for(id.dc, id.seq);
+        self.clients.insert(id, ClientSession::new(id, coord, mode));
+        id
+    }
+
+    fn advance(&mut self, micros: u64) {
+        self.now += micros;
+        self.clock.advance_to(self.now);
+    }
+
+    /// Delivers all queued messages until quiescent.
+    fn pump(&mut self) {
+        while let Some(env) = self.queue.pop_front() {
+            match env.dst {
+                Endpoint::Server(sid) => {
+                    let out = self
+                        .servers
+                        .get_mut(&sid)
+                        .unwrap_or_else(|| panic!("no server {sid}"))
+                        .handle(&env, self.now);
+                    self.queue.extend(out);
+                }
+                Endpoint::Client(cid) => {
+                    if let Some(ev) = self.clients.get_mut(&cid).unwrap().handle(&env) {
+                        self.events.push((cid, ev));
+                    }
+                }
+            }
+        }
+    }
+
+    /// One round of background ticks on every server, then pump.
+    fn tick_all(&mut self) {
+        self.advance(1_000);
+        let ids: Vec<ServerId> = self.servers.keys().copied().collect();
+        for id in &ids {
+            let out = self.servers.get_mut(id).unwrap().on_replicate_tick(self.now);
+            self.queue.extend(out);
+        }
+        self.pump();
+        for id in &ids {
+            let out = self.servers.get_mut(id).unwrap().on_gst_tick(self.now);
+            self.queue.extend(out);
+        }
+        self.pump();
+        // Children reported: roots need a second aggregation pass before
+        // their GSV reflects this round's version vectors.
+        for id in &ids {
+            let out = self.servers.get_mut(id).unwrap().on_gst_tick(self.now);
+            self.queue.extend(out);
+        }
+        self.pump();
+        for id in &ids {
+            let out = self.servers.get_mut(id).unwrap().on_ust_tick(self.now);
+            self.queue.extend(out);
+        }
+        self.pump();
+    }
+
+    fn begin(&mut self, c: ClientId) {
+        let env = self.clients.get_mut(&c).unwrap().begin().unwrap();
+        self.queue.push_back(env);
+        self.pump();
+    }
+
+    fn read(&mut self, c: ClientId, keys: &[Key]) -> Vec<(Key, Option<Value>)> {
+        let step = self.clients.get_mut(&c).unwrap().read(keys).unwrap();
+        let reads = match step {
+            ReadStep::Done(reads) => reads,
+            ReadStep::Send(env) => {
+                self.queue.push_back(env);
+                self.pump();
+                match self.events.pop() {
+                    Some((cid, ClientEvent::ReadDone { reads, .. })) => {
+                        assert_eq!(cid, c);
+                        reads
+                    }
+                    other => panic!("expected ReadDone, got {other:?}"),
+                }
+            }
+        };
+        reads.into_iter().map(|r| (r.key, r.value)).collect()
+    }
+
+    fn write(&mut self, c: ClientId, key: Key, value: &str) {
+        self.clients
+            .get_mut(&c)
+            .unwrap()
+            .write(&[(key, Value::from(value))])
+            .unwrap();
+    }
+
+    fn commit(&mut self, c: ClientId) -> Timestamp {
+        let env = self.clients.get_mut(&c).unwrap().commit().unwrap();
+        self.queue.push_back(env);
+        self.pump();
+        match self.events.pop() {
+            Some((cid, ClientEvent::Committed { ct, .. })) => {
+                assert_eq!(cid, c);
+                ct
+            }
+            other => panic!("expected Committed, got {other:?}"),
+        }
+    }
+
+    fn value_of(&mut self, c: ClientId, key: Key) -> Option<String> {
+        self.read(c, &[key])
+            .into_iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| v)
+            .map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned())
+    }
+
+    fn min_ust(&self) -> Timestamp {
+        self.servers.values().map(|s| s.ust()).min().unwrap()
+    }
+}
+
+#[test]
+fn update_transaction_commits_and_is_readable_after_stabilization() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    c.advance(10_000);
+
+    c.begin(alice);
+    let key = Key(0); // partition 0, replicated at DC0 & DC1
+    c.write(alice, key, "hello");
+    let ct = c.commit(alice);
+    assert!(ct > Timestamp::ZERO);
+
+    // Before stabilization, another client's snapshot cannot include it...
+    let bob = c.add_client(1, 0, Mode::Paris);
+    c.begin(bob);
+    assert_eq!(c.value_of(bob, key), None, "snapshot is stable, so stale");
+    c.commit(bob);
+
+    // ... after enough rounds (apply + gossip), the UST covers ct and every
+    // client everywhere reads it — without blocking.
+    for _ in 0..5 {
+        c.tick_all();
+    }
+    assert!(c.min_ust() >= ct, "UST must cover the committed write");
+    c.begin(bob);
+    assert_eq!(c.value_of(bob, key), Some("hello".into()));
+    c.commit(bob);
+
+    // A client in a DC that does NOT replicate partition 0 (DC2) reads it
+    // transparently through a remote slice read.
+    let carol = c.add_client(2, 0, Mode::Paris);
+    c.begin(carol);
+    assert_eq!(c.value_of(carol, key), Some("hello".into()));
+}
+
+#[test]
+fn read_your_own_writes_via_cache_before_stabilization() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    c.advance(10_000);
+
+    c.begin(alice);
+    c.write(alice, Key(1), "mine");
+    c.commit(alice);
+
+    // No stabilization has run: the snapshot cannot include the write, yet
+    // the cache must serve it.
+    c.begin(alice);
+    assert_eq!(c.value_of(alice, Key(1)), Some("mine".into()));
+    let session = &c.clients[&alice];
+    assert!(session.cache_len() > 0, "cache still holds the write");
+    c.commit(alice);
+
+    // After stabilization the cache prunes and the server serves the key.
+    for _ in 0..5 {
+        c.tick_all();
+    }
+    c.begin(alice);
+    assert_eq!(c.value_of(alice, Key(1)), Some("mine".into()));
+    assert_eq!(c.clients[&alice].cache_len(), 0, "pruned by ust_c");
+}
+
+#[test]
+fn atomicity_multi_partition_writes_visible_together() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    c.advance(10_000);
+
+    // Keys on different partitions (0 and 1) and different replica sets.
+    c.begin(alice);
+    c.write(alice, Key(0), "x");
+    c.write(alice, Key(1), "y");
+    let ct = c.commit(alice);
+
+    for _ in 0..5 {
+        c.tick_all();
+    }
+    assert!(c.min_ust() >= ct);
+
+    // Any other client sees both or neither — here, both.
+    let bob = c.add_client(1, 0, Mode::Paris);
+    c.begin(bob);
+    let reads = c.read(bob, &[Key(0), Key(1)]);
+    let vals: Vec<Option<String>> = reads
+        .into_iter()
+        .map(|(_, v)| v.map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned()))
+        .collect();
+    assert_eq!(vals.len(), 2);
+    assert!(vals.contains(&Some("x".into())) && vals.contains(&Some("y".into())));
+}
+
+#[test]
+fn causal_order_write_then_dependent_write_has_larger_ct() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    let bob = c.add_client(1, 0, Mode::Paris);
+    c.advance(10_000);
+
+    c.begin(alice);
+    c.write(alice, Key(2), "first");
+    let ct1 = c.commit(alice);
+
+    for _ in 0..5 {
+        c.tick_all();
+    }
+
+    // Bob reads Alice's write, then writes a dependent value.
+    c.begin(bob);
+    assert_eq!(c.value_of(bob, Key(2)), Some("first".into()));
+    c.write(bob, Key(3), "second");
+    let ct2 = c.commit(bob);
+    assert!(
+        ct2 > ct1,
+        "Proposition 1: dependent update must have larger timestamp"
+    );
+}
+
+#[test]
+fn session_order_is_reflected_in_commit_timestamps() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    c.advance(10_000);
+
+    let mut last = Timestamp::ZERO;
+    for i in 0..5 {
+        c.begin(alice);
+        c.write(alice, Key(i % 3), "v");
+        let ct = c.commit(alice);
+        assert!(ct > last, "hwt piggyback must order session commits");
+        last = ct;
+    }
+}
+
+#[test]
+fn ust_advances_without_any_writes_via_heartbeats() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    c.advance(50_000);
+    for _ in 0..4 {
+        c.tick_all();
+    }
+    let ust = c.min_ust();
+    assert!(
+        ust > Timestamp::ZERO,
+        "heartbeats alone must advance the UST (got {ust})"
+    );
+}
+
+#[test]
+fn snapshots_are_monotonic_per_client_across_coordinator_staleness() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    c.advance(10_000);
+    for _ in 0..3 {
+        c.tick_all();
+    }
+
+    let mut prev = Timestamp::ZERO;
+    for _ in 0..5 {
+        c.begin(alice);
+        let snap = c.clients[&alice].open_snapshot().unwrap();
+        assert!(snap >= prev, "snapshot regressed");
+        prev = snap;
+        c.commit(alice);
+        c.tick_all();
+    }
+    assert!(prev > Timestamp::ZERO);
+}
+
+#[test]
+fn bpr_serves_fresh_data_without_waiting_for_ust() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Bpr);
+    let alice = c.add_client(0, 0, Mode::Bpr);
+    let bob = c.add_client(1, 0, Mode::Bpr);
+    c.advance(10_000);
+
+    c.begin(alice);
+    c.write(alice, Key(0), "fresh");
+    let ct = c.commit(alice);
+
+    // One replicate round applies the write locally and ships it to the
+    // peer replica — no UST progress needed for BPR visibility.
+    c.tick_all();
+    assert!(c.min_ust() < ct || c.min_ust() >= ct); // ust irrelevant for BPR
+
+    c.begin(bob);
+    // Bob's snapshot (coordinator clock) is above ct: the blocking read
+    // waits for the apply, which has already happened after tick_all.
+    assert_eq!(c.value_of(bob, Key(0)), Some("fresh".into()));
+}
+
+#[test]
+fn bpr_read_blocks_until_snapshot_installed() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Bpr);
+    let alice = c.add_client(0, 0, Mode::Bpr);
+    c.advance(10_000);
+
+    // Client with a fresh snapshot reads a partition that has not applied
+    // anything yet: the read must park, then complete after ticks.
+    c.begin(alice);
+    let step = c
+        .clients
+        .get_mut(&alice)
+        .unwrap()
+        .read(&[Key(0)])
+        .unwrap();
+    let env = match step {
+        ReadStep::Send(env) => env,
+        ReadStep::Done(_) => panic!("key is not local"),
+    };
+    c.events.clear(); // drop the Started event
+    c.queue.push_back(env);
+    c.pump();
+    // No ReadDone yet: the slice read is blocked server-side.
+    assert!(c.events.is_empty(), "read must block, got {:?}", c.events);
+    let blocked: usize = c.servers.values().map(|s| s.blocked_reads_now()).sum();
+    assert_eq!(blocked, 1);
+
+    // Version clocks advance past the snapshot via replicate ticks.
+    c.tick_all();
+    c.tick_all();
+    let done = c
+        .events
+        .iter()
+        .any(|(_, e)| matches!(e, ClientEvent::ReadDone { .. }));
+    assert!(done, "blocked read must complete once installed");
+    let stats_blocked: u64 = c.servers.values().map(|s| s.stats().blocked_reads).sum();
+    assert_eq!(stats_blocked, 1);
+}
+
+#[test]
+fn paris_reads_never_block() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    c.advance(10_000);
+    for _ in 0..3 {
+        c.tick_all();
+    }
+    c.begin(alice);
+    // Spread reads over all partitions, local and remote.
+    let keys: Vec<Key> = (0..6).map(Key).collect();
+    let reads = c.read(alice, &keys);
+    assert_eq!(reads.len(), 6);
+    let blocked: u64 = c.servers.values().map(|s| s.stats().blocked_reads).sum();
+    assert_eq!(blocked, 0, "PaRiS reads must never block");
+}
+
+#[test]
+fn concurrent_conflicting_writes_converge_last_writer_wins() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    let bob = c.add_client(1, 0, Mode::Paris);
+    c.advance(10_000);
+
+    // Both write key 0 concurrently (no causal order between them).
+    c.begin(alice);
+    c.begin(bob);
+    c.write(alice, Key(0), "from-alice");
+    c.write(bob, Key(0), "from-bob");
+    let ct_a = c.commit(alice);
+    let ct_b = c.commit(bob);
+
+    for _ in 0..6 {
+        c.tick_all();
+    }
+
+    // All replicas of partition 0 agree on the LWW winner. Ties on the
+    // commit timestamp are settled by (tx id, source DC) — §IV-B — so the
+    // winner is determined by the full version order, not ct alone.
+    let order_a = (ct_a, c.clients[&alice].coordinator().dc);
+    let order_b = (ct_b, c.clients[&bob].coordinator().dc);
+    let winner = if order_b > order_a {
+        "from-bob"
+    } else {
+        "from-alice"
+    };
+    for dc in [0u16, 1] {
+        let sid = ServerId::new(DcId(dc), PartitionId(0));
+        let latest = c.servers[&sid].store().latest(Key(0)).unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(latest.value.as_bytes()),
+            winner,
+            "replica {sid} disagreed"
+        );
+    }
+
+    // And readers see the winner.
+    let carol = c.add_client(2, 0, Mode::Paris);
+    c.begin(carol);
+    assert_eq!(c.value_of(carol, Key(0)), Some(winner.into()));
+}
+
+#[test]
+fn garbage_collection_trims_old_versions_but_preserves_reads() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    c.advance(10_000);
+
+    for i in 0..5 {
+        c.begin(alice);
+        c.write(alice, Key(0), &format!("v{i}"));
+        c.commit(alice);
+        c.tick_all();
+    }
+    for _ in 0..4 {
+        c.tick_all();
+    }
+
+    let sid = ServerId::new(DcId(0), PartitionId(0));
+    let before = c.servers[&sid].store().chain(Key(0)).unwrap().len();
+    assert!(before >= 5);
+
+    let s_old = c.servers[&sid].s_old();
+    assert!(s_old > Timestamp::ZERO, "GC horizon must advance");
+    let removed: usize = {
+        let server = c.servers.get_mut(&sid).unwrap();
+        server.on_gc_tick()
+    };
+    assert!(removed > 0, "old versions must be collected");
+
+    // The latest value is still served.
+    let bob = c.add_client(1, 0, Mode::Paris);
+    c.begin(bob);
+    assert_eq!(c.value_of(bob, Key(0)), Some("v4".into()));
+}
+
+#[test]
+fn stale_context_cleanup_removes_abandoned_transactions() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    c.advance(10_000);
+    c.begin(alice); // never committed (client "fails")
+    let coord = c.clients[&alice].coordinator();
+    assert_eq!(c.servers[&coord].open_transactions(), 1);
+    c.advance(60_000_000); // one minute later
+    let dropped = c
+        .servers
+        .get_mut(&coord)
+        .unwrap()
+        .cleanup_stale_contexts(c.now, 30_000_000);
+    assert_eq!(dropped, 1);
+    assert_eq!(c.servers[&coord].open_transactions(), 0);
+}
+
+#[test]
+fn read_only_commit_releases_coordinator_context() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    c.advance(10_000);
+    c.begin(alice);
+    c.read(alice, &[Key(0)]);
+    let coord = c.clients[&alice].coordinator();
+    assert_eq!(c.servers[&coord].open_transactions(), 1);
+    let ct = c.commit(alice);
+    assert_eq!(ct, Timestamp::ZERO, "read-only commit carries no timestamp");
+    assert_eq!(c.servers[&coord].open_transactions(), 0);
+}
+
+#[test]
+fn replication_is_idempotent_under_duplicate_delivery() {
+    let mut c = MiniCluster::new(3, 6, 2, Mode::Paris);
+    let alice = c.add_client(0, 0, Mode::Paris);
+    c.advance(10_000);
+    c.begin(alice);
+    c.write(alice, Key(0), "once");
+    c.commit(alice);
+
+    // Capture the replicate batch from DC0's partition-0 replica and
+    // deliver it twice to the peer.
+    c.advance(1_000);
+    let src = ServerId::new(DcId(0), PartitionId(0));
+    let out = c.servers.get_mut(&src).unwrap().on_replicate_tick(c.now);
+    let replicate: Vec<Envelope> = out
+        .iter()
+        .filter(|e| matches!(e.msg, paris_proto::Msg::Replicate { .. }))
+        .cloned()
+        .collect();
+    assert_eq!(replicate.len(), 1);
+    for env in out {
+        c.queue.push_back(env);
+    }
+    c.pump();
+    // Duplicate delivery.
+    c.queue.push_back(replicate[0].clone());
+    c.pump();
+
+    let peer = ServerId::new(DcId(1), PartitionId(0));
+    let chain = c.servers[&peer].store().chain(Key(0)).unwrap();
+    assert_eq!(chain.len(), 1, "duplicate replication must not fork versions");
+}

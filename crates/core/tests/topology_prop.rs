@@ -1,0 +1,152 @@
+//! Property tests of the placement and routing invariants the protocol
+//! relies on, over arbitrary cluster shapes.
+
+use paris_core::Topology;
+use paris_types::{ClusterConfig, DcId, Key, PartitionId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_shape() -> impl Strategy<Value = (u16, u32, u16)> {
+    // dcs 1..=10, r 1..=dcs, partitions 1..=60
+    (1u16..=10).prop_flat_map(|dcs| {
+        (Just(dcs), 1u32..=60, 1u16..=dcs)
+    })
+}
+
+proptest! {
+    /// Every partition gets exactly R distinct replica DCs, all in range.
+    #[test]
+    fn prop_every_partition_has_r_distinct_replicas((dcs, parts, r) in arb_shape()) {
+        let topo = Topology::new(
+            ClusterConfig::builder().dcs(dcs).partitions(parts).replication_factor(r).build().unwrap(),
+        );
+        for p in 0..parts {
+            let reps = topo.replicas(PartitionId(p));
+            prop_assert_eq!(reps.len(), usize::from(r));
+            let set: HashSet<_> = reps.iter().collect();
+            prop_assert_eq!(set.len(), usize::from(r), "replicas must be distinct");
+            for dc in reps {
+                prop_assert!(dc.0 < dcs);
+            }
+        }
+    }
+
+    /// `replica_idx` agrees with `replicas` everywhere, and is `None`
+    /// exactly off the replica set.
+    #[test]
+    fn prop_replica_idx_consistent((dcs, parts, r) in arb_shape()) {
+        let topo = Topology::new(
+            ClusterConfig::builder().dcs(dcs).partitions(parts).replication_factor(r).build().unwrap(),
+        );
+        for p in 0..parts {
+            let p = PartitionId(p);
+            let reps = topo.replicas(p);
+            for dc in 0..dcs {
+                let dc = DcId(dc);
+                match reps.iter().position(|d| *d == dc) {
+                    Some(i) => prop_assert_eq!(
+                        topo.replica_idx(p, dc).map(|x| x.index()),
+                        Some(i)
+                    ),
+                    None => prop_assert_eq!(topo.replica_idx(p, dc), None),
+                }
+            }
+        }
+    }
+
+    /// Routing always lands on a genuine replica, and is local whenever a
+    /// local replica exists.
+    #[test]
+    fn prop_target_dc_is_always_a_replica((dcs, parts, r) in arb_shape()) {
+        let topo = Topology::new(
+            ClusterConfig::builder().dcs(dcs).partitions(parts).replication_factor(r).build().unwrap(),
+        );
+        for p in 0..parts {
+            let p = PartitionId(p);
+            for dc in 0..dcs {
+                let dc = DcId(dc);
+                let target = topo.target_dc(p, dc);
+                prop_assert!(topo.is_replicated_at(p, target));
+                if topo.is_replicated_at(p, dc) {
+                    prop_assert_eq!(target, dc, "local replica must be preferred");
+                }
+            }
+        }
+    }
+
+    /// The per-DC server lists partition the full replica set: summing
+    /// them over DCs counts every partition exactly R times.
+    #[test]
+    fn prop_servers_cover_placement((dcs, parts, r) in arb_shape()) {
+        let topo = Topology::new(
+            ClusterConfig::builder().dcs(dcs).partitions(parts).replication_factor(r).build().unwrap(),
+        );
+        let mut count = vec![0u32; parts as usize];
+        for dc in 0..dcs {
+            for s in topo.servers_in_dc(DcId(dc)) {
+                count[s.partition.index()] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == u32::from(r)));
+        prop_assert_eq!(topo.all_servers().len(), (parts * u32::from(r)) as usize);
+    }
+
+    /// Key routing is total and stable: every key maps to a partition in
+    /// range and `key_at` inverts it.
+    #[test]
+    fn prop_key_routing_total((dcs, parts, r) in arb_shape(), key in any::<u64>()) {
+        let topo = Topology::new(
+            ClusterConfig::builder().dcs(dcs).partitions(parts).replication_factor(r).build().unwrap(),
+        );
+        let p = topo.partition_of(Key(key));
+        prop_assert!(p.0 < parts);
+        let k2 = topo.key_at(p, key / u64::from(parts));
+        prop_assert_eq!(topo.partition_of(k2), p);
+    }
+
+    /// The stabilization tree spans every server of a DC exactly once,
+    /// for any branching factor.
+    #[test]
+    fn prop_tree_spans_dc((dcs, parts, r) in arb_shape(), bf in 0usize..5) {
+        let topo = Topology::with_branching(
+            ClusterConfig::builder().dcs(dcs).partitions(parts).replication_factor(r).build().unwrap(),
+            bf,
+        );
+        for dc in 0..dcs {
+            let dc = DcId(dc);
+            let servers = topo.servers_in_dc(dc);
+            if servers.is_empty() {
+                continue; // shapes with fewer partitions than DCs
+            }
+            let root = topo.dc_root(dc);
+            prop_assert_eq!(topo.tree_parent(root), None);
+            let mut reached = HashSet::new();
+            let mut stack = vec![root];
+            while let Some(s) = stack.pop() {
+                prop_assert!(reached.insert(s), "cycle at {}", s);
+                for c in topo.tree_children(s) {
+                    prop_assert_eq!(topo.tree_parent(c), Some(s));
+                    stack.push(c);
+                }
+            }
+            prop_assert_eq!(reached.len(), servers.len());
+        }
+    }
+
+    /// Client coordinators are always local servers.
+    #[test]
+    fn prop_coordinators_are_local((dcs, parts, r) in arb_shape(), seq in 0u32..1000) {
+        let topo = Topology::new(
+            ClusterConfig::builder().dcs(dcs).partitions(parts).replication_factor(r).build().unwrap(),
+        );
+        for dc in 0..dcs {
+            let dc = DcId(dc);
+            if topo.servers_in_dc(dc).is_empty() {
+                continue;
+            }
+            let c = topo.coordinator_for(dc, seq);
+            prop_assert_eq!(c.dc, dc);
+            prop_assert!(topo.is_replicated_at(c.partition, dc));
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Deterministic discrete-event simulation substrate.
+
+mod engine;
+mod network;
+mod service;
+
+pub use engine::{EventQueue, Scheduled};
+pub use network::{RegionMatrix, SimNetwork, AWS_REGION_NAMES, INTRA_DC_ONE_WAY_MICROS};
+pub use service::ServiceModel;

@@ -1,0 +1,1026 @@
+//! Compact binary wire codec.
+//!
+//! A fixed-layout little-endian codec over [`bytes`]. Its purposes:
+//!
+//! 1. **Metadata accounting** (Table I of the paper): [`encoded_len`] gives
+//!    the exact on-wire size of every message, so the benchmark harness can
+//!    measure how many metadata bytes PaRiS spends per operation — one
+//!    8-byte timestamp, independent of the number of DCs or partitions.
+//! 2. **Round-trip testing**: property tests assert `decode(encode(m)) == m`
+//!    for arbitrary messages, ensuring the message definitions have no
+//!    hidden unserializable state.
+//! 3. The threaded runtime can optionally ship encoded frames to account
+//!    for bandwidth exactly as a networked deployment would.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use paris_types::{
+    DcId, Key, PartitionId, ServerId, Timestamp, TxId, Value, Version, WriteSetEntry,
+};
+
+use crate::messages::{Msg, ReadResult, ReplicatedTx};
+
+/// Error returned when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the message was complete.
+    Truncated,
+    /// An unknown message tag was encountered.
+    UnknownTag(u8),
+    /// A collection length prefix exceeded the remaining buffer.
+    BadLength,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::BadLength => write!(f, "length prefix exceeds buffer"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------- helpers
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_ts(buf: &mut BytesMut, ts: Timestamp) {
+    buf.put_u64_le(ts.as_u64());
+}
+
+fn get_ts(buf: &mut Bytes) -> Result<Timestamp, DecodeError> {
+    need(buf, 8)?;
+    Ok(Timestamp::from_u64(buf.get_u64_le()))
+}
+
+fn put_dc(buf: &mut BytesMut, dc: DcId) {
+    buf.put_u16_le(dc.0);
+}
+
+fn get_dc(buf: &mut Bytes) -> Result<DcId, DecodeError> {
+    need(buf, 2)?;
+    Ok(DcId(buf.get_u16_le()))
+}
+
+fn put_partition(buf: &mut BytesMut, p: PartitionId) {
+    buf.put_u32_le(p.0);
+}
+
+fn get_partition(buf: &mut Bytes) -> Result<PartitionId, DecodeError> {
+    need(buf, 4)?;
+    Ok(PartitionId(buf.get_u32_le()))
+}
+
+fn put_server(buf: &mut BytesMut, s: ServerId) {
+    put_dc(buf, s.dc);
+    put_partition(buf, s.partition);
+}
+
+fn get_server(buf: &mut Bytes) -> Result<ServerId, DecodeError> {
+    Ok(ServerId::new(get_dc(buf)?, get_partition(buf)?))
+}
+
+fn put_tx(buf: &mut BytesMut, tx: TxId) {
+    put_dc(buf, tx.dc);
+    put_partition(buf, tx.partition);
+    buf.put_u64_le(tx.seq);
+}
+
+fn get_tx(buf: &mut Bytes) -> Result<TxId, DecodeError> {
+    let dc = get_dc(buf)?;
+    let partition = get_partition(buf)?;
+    need(buf, 8)?;
+    let seq = buf.get_u64_le();
+    Ok(TxId {
+        dc,
+        partition,
+        seq,
+    })
+}
+
+fn put_key(buf: &mut BytesMut, k: Key) {
+    buf.put_u64_le(k.0);
+}
+
+fn get_key(buf: &mut Bytes) -> Result<Key, DecodeError> {
+    need(buf, 8)?;
+    Ok(Key(buf.get_u64_le()))
+}
+
+fn put_len(buf: &mut BytesMut, len: usize) {
+    buf.put_u32_le(len as u32);
+}
+
+fn get_len(buf: &mut Bytes) -> Result<usize, DecodeError> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le() as usize)
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    put_len(buf, v.len());
+    buf.put_slice(v.as_bytes());
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value, DecodeError> {
+    let len = get_len(buf)?;
+    if buf.remaining() < len {
+        return Err(DecodeError::BadLength);
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    Ok(Value(bytes))
+}
+
+fn put_version(buf: &mut BytesMut, v: &Version) {
+    put_key(buf, v.key);
+    put_value(buf, &v.value);
+    put_ts(buf, v.ut);
+    put_tx(buf, v.tx);
+    put_dc(buf, v.src);
+}
+
+fn get_version(buf: &mut Bytes) -> Result<Version, DecodeError> {
+    Ok(Version {
+        key: get_key(buf)?,
+        value: get_value(buf)?,
+        ut: get_ts(buf)?,
+        tx: get_tx(buf)?,
+        src: get_dc(buf)?,
+    })
+}
+
+fn put_write(buf: &mut BytesMut, w: &WriteSetEntry) {
+    put_key(buf, w.key);
+    put_value(buf, &w.value);
+}
+
+fn get_write(buf: &mut Bytes) -> Result<WriteSetEntry, DecodeError> {
+    Ok(WriteSetEntry {
+        key: get_key(buf)?,
+        value: get_value(buf)?,
+    })
+}
+
+fn put_read_result(buf: &mut BytesMut, r: &ReadResult) {
+    put_key(buf, r.key);
+    match &r.version {
+        None => buf.put_u8(0),
+        Some(v) => {
+            buf.put_u8(1);
+            put_version(buf, v);
+        }
+    }
+}
+
+fn get_read_result(buf: &mut Bytes) -> Result<ReadResult, DecodeError> {
+    let key = get_key(buf)?;
+    need(buf, 1)?;
+    let version = match buf.get_u8() {
+        0 => None,
+        _ => Some(get_version(buf)?),
+    };
+    Ok(ReadResult { key, version })
+}
+
+// Message tags.
+const T_START_REQ: u8 = 1;
+const T_START_RESP: u8 = 2;
+const T_READ_REQ: u8 = 3;
+const T_READ_RESP: u8 = 4;
+const T_COMMIT_REQ: u8 = 5;
+const T_COMMIT_RESP: u8 = 6;
+const T_READ_SLICE_REQ: u8 = 7;
+const T_READ_SLICE_RESP: u8 = 8;
+const T_PREPARE_REQ: u8 = 9;
+const T_PREPARE_RESP: u8 = 10;
+const T_COMMIT_TX: u8 = 11;
+const T_REPLICATE: u8 = 12;
+const T_HEARTBEAT: u8 = 13;
+const T_GST_REPORT: u8 = 14;
+const T_ROOT_GST: u8 = 15;
+const T_UST_BROADCAST: u8 = 16;
+const T_OP_FAILED: u8 = 17;
+
+/// Encodes a message to its wire representation.
+pub fn encode(msg: &Msg) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(msg));
+    match msg {
+        Msg::StartTxReq { client_ust } => {
+            buf.put_u8(T_START_REQ);
+            put_ts(&mut buf, *client_ust);
+        }
+        Msg::StartTxResp { tx, snapshot } => {
+            buf.put_u8(T_START_RESP);
+            put_tx(&mut buf, *tx);
+            put_ts(&mut buf, *snapshot);
+        }
+        Msg::ReadReq { tx, keys } => {
+            buf.put_u8(T_READ_REQ);
+            put_tx(&mut buf, *tx);
+            put_len(&mut buf, keys.len());
+            for k in keys {
+                put_key(&mut buf, *k);
+            }
+        }
+        Msg::ReadResp { tx, results } => {
+            buf.put_u8(T_READ_RESP);
+            put_tx(&mut buf, *tx);
+            put_len(&mut buf, results.len());
+            for r in results {
+                put_read_result(&mut buf, r);
+            }
+        }
+        Msg::CommitReq { tx, hwt, writes } => {
+            buf.put_u8(T_COMMIT_REQ);
+            put_tx(&mut buf, *tx);
+            put_ts(&mut buf, *hwt);
+            put_len(&mut buf, writes.len());
+            for w in writes {
+                put_write(&mut buf, w);
+            }
+        }
+        Msg::CommitResp { tx, ct } => {
+            buf.put_u8(T_COMMIT_RESP);
+            put_tx(&mut buf, *tx);
+            put_ts(&mut buf, *ct);
+        }
+        Msg::ReadSliceReq {
+            tx,
+            snapshot,
+            keys,
+            reply_to,
+        } => {
+            buf.put_u8(T_READ_SLICE_REQ);
+            put_tx(&mut buf, *tx);
+            put_ts(&mut buf, *snapshot);
+            put_server(&mut buf, *reply_to);
+            put_len(&mut buf, keys.len());
+            for k in keys {
+                put_key(&mut buf, *k);
+            }
+        }
+        Msg::ReadSliceResp {
+            tx,
+            partition,
+            results,
+        } => {
+            buf.put_u8(T_READ_SLICE_RESP);
+            put_tx(&mut buf, *tx);
+            put_partition(&mut buf, *partition);
+            put_len(&mut buf, results.len());
+            for r in results {
+                put_read_result(&mut buf, r);
+            }
+        }
+        Msg::PrepareReq {
+            tx,
+            snapshot,
+            ht,
+            writes,
+            reply_to,
+            src_dc,
+        } => {
+            buf.put_u8(T_PREPARE_REQ);
+            put_tx(&mut buf, *tx);
+            put_ts(&mut buf, *snapshot);
+            put_ts(&mut buf, *ht);
+            put_server(&mut buf, *reply_to);
+            put_dc(&mut buf, *src_dc);
+            put_len(&mut buf, writes.len());
+            for w in writes {
+                put_write(&mut buf, w);
+            }
+        }
+        Msg::PrepareResp {
+            tx,
+            partition,
+            proposed,
+        } => {
+            buf.put_u8(T_PREPARE_RESP);
+            put_tx(&mut buf, *tx);
+            put_partition(&mut buf, *partition);
+            put_ts(&mut buf, *proposed);
+        }
+        Msg::CommitTx { tx, ct } => {
+            buf.put_u8(T_COMMIT_TX);
+            put_tx(&mut buf, *tx);
+            put_ts(&mut buf, *ct);
+        }
+        Msg::Replicate {
+            partition,
+            txs,
+            watermark,
+        } => {
+            buf.put_u8(T_REPLICATE);
+            put_partition(&mut buf, *partition);
+            put_ts(&mut buf, *watermark);
+            put_len(&mut buf, txs.len());
+            for t in txs {
+                put_tx(&mut buf, t.tx);
+                put_ts(&mut buf, t.ct);
+                put_dc(&mut buf, t.src);
+                put_len(&mut buf, t.writes.len());
+                for w in &t.writes {
+                    put_write(&mut buf, w);
+                }
+            }
+        }
+        Msg::Heartbeat {
+            partition,
+            watermark,
+        } => {
+            buf.put_u8(T_HEARTBEAT);
+            put_partition(&mut buf, *partition);
+            put_ts(&mut buf, *watermark);
+        }
+        Msg::GstReport {
+            partition,
+            mins,
+            oldest_active,
+        } => {
+            buf.put_u8(T_GST_REPORT);
+            put_partition(&mut buf, *partition);
+            put_ts(&mut buf, *oldest_active);
+            put_len(&mut buf, mins.len());
+            for (dc, ts) in mins {
+                put_dc(&mut buf, *dc);
+                put_ts(&mut buf, *ts);
+            }
+        }
+        Msg::RootGst {
+            dc,
+            gst,
+            oldest_active,
+        } => {
+            buf.put_u8(T_ROOT_GST);
+            put_dc(&mut buf, *dc);
+            put_ts(&mut buf, *gst);
+            put_ts(&mut buf, *oldest_active);
+        }
+        Msg::UstBroadcast { ust, s_old } => {
+            buf.put_u8(T_UST_BROADCAST);
+            put_ts(&mut buf, *ust);
+            put_ts(&mut buf, *s_old);
+        }
+        Msg::OpFailed { tx } => {
+            buf.put_u8(T_OP_FAILED);
+            put_tx(&mut buf, *tx);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a message from its wire representation.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the buffer is truncated, carries an
+/// unknown tag, or declares impossible lengths.
+pub fn decode(bytes: &[u8]) -> Result<Msg, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    need(&buf, 1)?;
+    let tag = buf.get_u8();
+    let msg = match tag {
+        T_START_REQ => Msg::StartTxReq {
+            client_ust: get_ts(&mut buf)?,
+        },
+        T_START_RESP => Msg::StartTxResp {
+            tx: get_tx(&mut buf)?,
+            snapshot: get_ts(&mut buf)?,
+        },
+        T_READ_REQ => {
+            let tx = get_tx(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            let mut keys = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                keys.push(get_key(&mut buf)?);
+            }
+            Msg::ReadReq { tx, keys }
+        }
+        T_READ_RESP => {
+            let tx = get_tx(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            let mut results = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                results.push(get_read_result(&mut buf)?);
+            }
+            Msg::ReadResp { tx, results }
+        }
+        T_COMMIT_REQ => {
+            let tx = get_tx(&mut buf)?;
+            let hwt = get_ts(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            let mut writes = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                writes.push(get_write(&mut buf)?);
+            }
+            Msg::CommitReq { tx, hwt, writes }
+        }
+        T_COMMIT_RESP => Msg::CommitResp {
+            tx: get_tx(&mut buf)?,
+            ct: get_ts(&mut buf)?,
+        },
+        T_READ_SLICE_REQ => {
+            let tx = get_tx(&mut buf)?;
+            let snapshot = get_ts(&mut buf)?;
+            let reply_to = get_server(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            let mut keys = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                keys.push(get_key(&mut buf)?);
+            }
+            Msg::ReadSliceReq {
+                tx,
+                snapshot,
+                keys,
+                reply_to,
+            }
+        }
+        T_READ_SLICE_RESP => {
+            let tx = get_tx(&mut buf)?;
+            let partition = get_partition(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            let mut results = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                results.push(get_read_result(&mut buf)?);
+            }
+            Msg::ReadSliceResp {
+                tx,
+                partition,
+                results,
+            }
+        }
+        T_PREPARE_REQ => {
+            let tx = get_tx(&mut buf)?;
+            let snapshot = get_ts(&mut buf)?;
+            let ht = get_ts(&mut buf)?;
+            let reply_to = get_server(&mut buf)?;
+            let src_dc = get_dc(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            let mut writes = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                writes.push(get_write(&mut buf)?);
+            }
+            Msg::PrepareReq {
+                tx,
+                snapshot,
+                ht,
+                writes,
+                reply_to,
+                src_dc,
+            }
+        }
+        T_PREPARE_RESP => Msg::PrepareResp {
+            tx: get_tx(&mut buf)?,
+            partition: get_partition(&mut buf)?,
+            proposed: get_ts(&mut buf)?,
+        },
+        T_COMMIT_TX => Msg::CommitTx {
+            tx: get_tx(&mut buf)?,
+            ct: get_ts(&mut buf)?,
+        },
+        T_REPLICATE => {
+            let partition = get_partition(&mut buf)?;
+            let watermark = get_ts(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            let mut txs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let tx = get_tx(&mut buf)?;
+                let ct = get_ts(&mut buf)?;
+                let src = get_dc(&mut buf)?;
+                let m = get_len(&mut buf)?;
+                let mut writes = Vec::with_capacity(m.min(1024));
+                for _ in 0..m {
+                    writes.push(get_write(&mut buf)?);
+                }
+                txs.push(ReplicatedTx {
+                    tx,
+                    ct,
+                    src,
+                    writes,
+                });
+            }
+            Msg::Replicate {
+                partition,
+                txs,
+                watermark,
+            }
+        }
+        T_HEARTBEAT => Msg::Heartbeat {
+            partition: get_partition(&mut buf)?,
+            watermark: get_ts(&mut buf)?,
+        },
+        T_GST_REPORT => {
+            let partition = get_partition(&mut buf)?;
+            let oldest_active = get_ts(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            let mut mins = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let dc = get_dc(&mut buf)?;
+                let ts = get_ts(&mut buf)?;
+                mins.push((dc, ts));
+            }
+            Msg::GstReport {
+                partition,
+                mins,
+                oldest_active,
+            }
+        }
+        T_ROOT_GST => Msg::RootGst {
+            dc: get_dc(&mut buf)?,
+            gst: get_ts(&mut buf)?,
+            oldest_active: get_ts(&mut buf)?,
+        },
+        T_UST_BROADCAST => Msg::UstBroadcast {
+            ust: get_ts(&mut buf)?,
+            s_old: get_ts(&mut buf)?,
+        },
+        T_OP_FAILED => Msg::OpFailed {
+            tx: get_tx(&mut buf)?,
+        },
+        other => return Err(DecodeError::UnknownTag(other)),
+    };
+    Ok(msg)
+}
+
+/// Exact encoded size of a message, without allocating.
+///
+/// Used by the simulated network for bandwidth accounting and by the
+/// Table I metadata benchmark.
+pub fn encoded_len(msg: &Msg) -> usize {
+    const TS: usize = 8;
+    const DC: usize = 2;
+    const PART: usize = 4;
+    const TX: usize = DC + PART + 8;
+    const SERVER: usize = DC + PART;
+    const KEY: usize = 8;
+    const LEN: usize = 4;
+    fn value_len(v: &Value) -> usize {
+        LEN + v.len()
+    }
+    fn version_len(v: &Version) -> usize {
+        KEY + value_len(&v.value) + TS + TX + DC
+    }
+    fn write_len(w: &WriteSetEntry) -> usize {
+        KEY + value_len(&w.value)
+    }
+    fn result_len(r: &ReadResult) -> usize {
+        KEY + 1 + r.version.as_ref().map_or(0, version_len)
+    }
+    1 + match msg {
+        Msg::StartTxReq { .. } => TS,
+        Msg::StartTxResp { .. } => TX + TS,
+        Msg::ReadReq { keys, .. } => TX + LEN + keys.len() * KEY,
+        Msg::ReadResp { results, .. } => {
+            TX + LEN + results.iter().map(result_len).sum::<usize>()
+        }
+        Msg::CommitReq { writes, .. } => {
+            TX + TS + LEN + writes.iter().map(write_len).sum::<usize>()
+        }
+        Msg::CommitResp { .. } => TX + TS,
+        Msg::ReadSliceReq { keys, .. } => TX + TS + SERVER + LEN + keys.len() * KEY,
+        Msg::ReadSliceResp { results, .. } => {
+            TX + PART + LEN + results.iter().map(result_len).sum::<usize>()
+        }
+        Msg::PrepareReq { writes, .. } => {
+            TX + TS + TS + SERVER + DC + LEN + writes.iter().map(write_len).sum::<usize>()
+        }
+        Msg::PrepareResp { .. } => TX + PART + TS,
+        Msg::CommitTx { .. } => TX + TS,
+        Msg::Replicate { txs, .. } => {
+            PART + TS
+                + LEN
+                + txs
+                    .iter()
+                    .map(|t| {
+                        TX + TS + DC + LEN + t.writes.iter().map(write_len).sum::<usize>()
+                    })
+                    .sum::<usize>()
+        }
+        Msg::Heartbeat { .. } => PART + TS,
+        Msg::GstReport { mins, .. } => PART + TS + LEN + mins.len() * (DC + TS),
+        Msg::RootGst { .. } => DC + TS + TS,
+        Msg::UstBroadcast { .. } => TS + TS,
+        Msg::OpFailed { .. } => TX,
+    }
+}
+
+/// Metadata bytes in a message: everything that is not key or value
+/// payload and not the message tag — i.e. the dependency-tracking cost the
+/// paper's Table I compares across systems.
+pub fn metadata_len(msg: &Msg) -> usize {
+    fn payload(v: &Value) -> usize {
+        v.len() + 4 // bytes + length prefix
+    }
+    let payload_bytes: usize = match msg {
+        Msg::ReadReq { keys, .. } => keys.len() * 8,
+        Msg::ReadResp { results, .. } => results
+            .iter()
+            .map(|r| 8 + r.version.as_ref().map_or(0, |v| 8 + payload(&v.value)))
+            .sum(),
+        Msg::CommitReq { writes, .. } => {
+            writes.iter().map(|w| 8 + payload(&w.value)).sum()
+        }
+        Msg::ReadSliceReq { keys, .. } => keys.len() * 8,
+        Msg::ReadSliceResp { results, .. } => results
+            .iter()
+            .map(|r| 8 + r.version.as_ref().map_or(0, |v| 8 + payload(&v.value)))
+            .sum(),
+        Msg::PrepareReq { writes, .. } => {
+            writes.iter().map(|w| 8 + payload(&w.value)).sum()
+        }
+        Msg::Replicate { txs, .. } => txs
+            .iter()
+            .map(|t| t.writes.iter().map(|w| 8 + payload(&w.value)).sum::<usize>())
+            .sum(),
+        _ => 0,
+    };
+    encoded_len(msg) - 1 - payload_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tx(dc: u16, p: u32, seq: u64) -> TxId {
+        TxId {
+            dc: DcId(dc),
+            partition: PartitionId(p),
+            seq,
+        }
+    }
+
+    fn sample_messages() -> Vec<Msg> {
+        let t = tx(1, 2, 3);
+        let srv = ServerId::new(DcId(0), PartitionId(7));
+        let ver = Version::new(
+            Key(9),
+            Value::from("hello"),
+            Timestamp::from_parts(100, 1),
+            t,
+            DcId(1),
+        );
+        vec![
+            Msg::StartTxReq {
+                client_ust: Timestamp::from_parts(5, 0),
+            },
+            Msg::StartTxResp {
+                tx: t,
+                snapshot: Timestamp::from_parts(10, 2),
+            },
+            Msg::ReadReq {
+                tx: t,
+                keys: vec![Key(1), Key(2)],
+            },
+            Msg::ReadResp {
+                tx: t,
+                results: vec![
+                    ReadResult {
+                        key: Key(1),
+                        version: Some(ver.clone()),
+                    },
+                    ReadResult {
+                        key: Key(2),
+                        version: None,
+                    },
+                ],
+            },
+            Msg::CommitReq {
+                tx: t,
+                hwt: Timestamp::from_parts(50, 0),
+                writes: vec![WriteSetEntry::new(Key(3), Value::from("v"))],
+            },
+            Msg::CommitResp {
+                tx: t,
+                ct: Timestamp::from_parts(60, 0),
+            },
+            Msg::ReadSliceReq {
+                tx: t,
+                snapshot: Timestamp::from_parts(10, 0),
+                keys: vec![Key(4)],
+                reply_to: srv,
+            },
+            Msg::ReadSliceResp {
+                tx: t,
+                partition: PartitionId(7),
+                results: vec![ReadResult {
+                    key: Key(4),
+                    version: Some(ver.clone()),
+                }],
+            },
+            Msg::PrepareReq {
+                tx: t,
+                snapshot: Timestamp::from_parts(10, 0),
+                ht: Timestamp::from_parts(55, 0),
+                writes: vec![WriteSetEntry::new(Key(3), Value::from("v"))],
+                reply_to: srv,
+                src_dc: DcId(1),
+            },
+            Msg::PrepareResp {
+                tx: t,
+                partition: PartitionId(7),
+                proposed: Timestamp::from_parts(70, 1),
+            },
+            Msg::CommitTx {
+                tx: t,
+                ct: Timestamp::from_parts(71, 0),
+            },
+            Msg::Replicate {
+                partition: PartitionId(7),
+                txs: vec![ReplicatedTx {
+                    tx: t,
+                    ct: Timestamp::from_parts(71, 0),
+                    src: DcId(1),
+                    writes: vec![WriteSetEntry::new(Key(3), Value::from("v"))],
+                }],
+                watermark: Timestamp::from_parts(80, 0),
+            },
+            Msg::Heartbeat {
+                partition: PartitionId(7),
+                watermark: Timestamp::from_parts(81, 0),
+            },
+            Msg::GstReport {
+                partition: PartitionId(7),
+                mins: vec![
+                    (DcId(0), Timestamp::from_parts(40, 0)),
+                    (DcId(1), Timestamp::from_parts(41, 0)),
+                ],
+                oldest_active: Timestamp::from_parts(39, 0),
+            },
+            Msg::RootGst {
+                dc: DcId(2),
+                gst: Timestamp::from_parts(38, 0),
+                oldest_active: Timestamp::from_parts(37, 0),
+            },
+            Msg::UstBroadcast {
+                ust: Timestamp::from_parts(36, 0),
+                s_old: Timestamp::from_parts(30, 0),
+            },
+            Msg::OpFailed { tx: t },
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in sample_messages() {
+            let bytes = encode(&msg);
+            let back = decode(&bytes).unwrap_or_else(|e| panic!("{}: {e}", msg.kind()));
+            assert_eq!(back, msg, "{} roundtrip", msg.kind());
+        }
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_every_message() {
+        for msg in sample_messages() {
+            assert_eq!(
+                encode(&msg).len(),
+                encoded_len(&msg),
+                "{} length",
+                msg.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        assert_eq!(decode(&[200u8]), Err(DecodeError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        for msg in sample_messages() {
+            let bytes = encode(&msg);
+            // Every strict prefix must fail, never panic.
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode(&bytes[..cut]).is_err(),
+                    "{} prefix {cut} decoded",
+                    msg.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_oversized_value_length() {
+        // CommitReq with a write whose value length prefix exceeds buffer.
+        let msg = Msg::CommitReq {
+            tx: tx(0, 0, 1),
+            hwt: Timestamp::ZERO,
+            writes: vec![WriteSetEntry::new(Key(1), Value::from("abc"))],
+        };
+        let mut bytes = encode(&msg).to_vec();
+        // The value length prefix sits 4+3 bytes from the end; corrupt it.
+        let n = bytes.len();
+        bytes[n - 7..n - 3].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn snapshot_metadata_is_one_timestamp() {
+        // The headline Table I claim: transactional snapshot metadata in
+        // client-facing messages is exactly one 8-byte timestamp.
+        let start = Msg::StartTxReq {
+            client_ust: Timestamp::ZERO,
+        };
+        assert_eq!(metadata_len(&start), 8);
+        let ust = Msg::UstBroadcast {
+            ust: Timestamp::ZERO,
+            s_old: Timestamp::ZERO,
+        };
+        assert_eq!(metadata_len(&ust), 16);
+    }
+
+    #[test]
+    fn metadata_excludes_key_and_value_payload() {
+        let small = Msg::CommitReq {
+            tx: tx(0, 0, 1),
+            hwt: Timestamp::ZERO,
+            writes: vec![WriteSetEntry::new(Key(1), Value::filled(8, 1))],
+        };
+        let large = Msg::CommitReq {
+            tx: tx(0, 0, 1),
+            hwt: Timestamp::ZERO,
+            writes: vec![WriteSetEntry::new(Key(1), Value::filled(4096, 1))],
+        };
+        assert_eq!(
+            metadata_len(&small),
+            metadata_len(&large),
+            "metadata must not scale with payload"
+        );
+    }
+
+    #[test]
+    fn display_of_decode_errors() {
+        assert_eq!(DecodeError::Truncated.to_string(), "message truncated");
+        assert_eq!(
+            DecodeError::UnknownTag(9).to_string(),
+            "unknown message tag 9"
+        );
+        assert_eq!(
+            DecodeError::BadLength.to_string(),
+            "length prefix exceeds buffer"
+        );
+    }
+
+    // Strategies for arbitrary messages.
+    fn arb_ts() -> impl Strategy<Value = Timestamp> {
+        (0u64..(1 << 40), any::<u16>()).prop_map(|(p, l)| Timestamp::from_parts(p, l))
+    }
+
+    fn arb_tx() -> impl Strategy<Value = TxId> {
+        (any::<u16>(), any::<u32>(), any::<u64>()).prop_map(|(d, p, s)| tx(d, p, s))
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value)
+    }
+
+    fn arb_version() -> impl Strategy<Value = Version> {
+        (any::<u64>(), arb_value(), arb_ts(), arb_tx(), any::<u16>()).prop_map(
+            |(k, v, ts, tx, dc)| Version::new(Key(k), v, ts, tx, DcId(dc)),
+        )
+    }
+
+    fn arb_writes() -> impl Strategy<Value = Vec<WriteSetEntry>> {
+        proptest::collection::vec(
+            (any::<u64>(), arb_value()).prop_map(|(k, v)| WriteSetEntry::new(Key(k), v)),
+            0..8,
+        )
+    }
+
+    fn arb_results() -> impl Strategy<Value = Vec<ReadResult>> {
+        proptest::collection::vec(
+            (any::<u64>(), proptest::option::of(arb_version()))
+                .prop_map(|(k, v)| ReadResult {
+                    key: Key(k),
+                    version: v,
+                }),
+            0..8,
+        )
+    }
+
+    fn arb_msg() -> impl Strategy<Value = Msg> {
+        prop_oneof![
+            arb_ts().prop_map(|client_ust| Msg::StartTxReq { client_ust }),
+            (arb_tx(), arb_ts()).prop_map(|(tx, snapshot)| Msg::StartTxResp { tx, snapshot }),
+            (arb_tx(), proptest::collection::vec(any::<u64>(), 0..16))
+                .prop_map(|(tx, ks)| Msg::ReadReq {
+                    tx,
+                    keys: ks.into_iter().map(Key).collect()
+                }),
+            (arb_tx(), arb_results()).prop_map(|(tx, results)| Msg::ReadResp { tx, results }),
+            (arb_tx(), arb_ts(), arb_writes())
+                .prop_map(|(tx, hwt, writes)| Msg::CommitReq { tx, hwt, writes }),
+            (arb_tx(), arb_ts()).prop_map(|(tx, ct)| Msg::CommitResp { tx, ct }),
+            (
+                arb_tx(),
+                arb_ts(),
+                proptest::collection::vec(any::<u64>(), 0..16),
+                any::<u16>(),
+                any::<u32>()
+            )
+                .prop_map(|(tx, snapshot, ks, d, p)| Msg::ReadSliceReq {
+                    tx,
+                    snapshot,
+                    keys: ks.into_iter().map(Key).collect(),
+                    reply_to: ServerId::new(DcId(d), PartitionId(p)),
+                }),
+            (arb_tx(), any::<u32>(), arb_results()).prop_map(|(tx, p, results)| {
+                Msg::ReadSliceResp {
+                    tx,
+                    partition: PartitionId(p),
+                    results,
+                }
+            }),
+            (
+                arb_tx(),
+                arb_ts(),
+                arb_ts(),
+                arb_writes(),
+                any::<u16>(),
+                any::<u32>(),
+                any::<u16>()
+            )
+                .prop_map(|(tx, snapshot, ht, writes, d, p, sd)| Msg::PrepareReq {
+                    tx,
+                    snapshot,
+                    ht,
+                    writes,
+                    reply_to: ServerId::new(DcId(d), PartitionId(p)),
+                    src_dc: DcId(sd),
+                }),
+            (arb_tx(), any::<u32>(), arb_ts()).prop_map(|(tx, p, proposed)| Msg::PrepareResp {
+                tx,
+                partition: PartitionId(p),
+                proposed,
+            }),
+            (arb_tx(), arb_ts()).prop_map(|(tx, ct)| Msg::CommitTx { tx, ct }),
+            (
+                any::<u32>(),
+                arb_ts(),
+                proptest::collection::vec(
+                    (arb_tx(), arb_ts(), any::<u16>(), arb_writes()),
+                    0..4
+                )
+            )
+                .prop_map(|(p, wm, txs)| Msg::Replicate {
+                    partition: PartitionId(p),
+                    watermark: wm,
+                    txs: txs
+                        .into_iter()
+                        .map(|(tx, ct, src, writes)| ReplicatedTx {
+                            tx,
+                            ct,
+                            src: DcId(src),
+                            writes,
+                        })
+                        .collect(),
+                }),
+            (any::<u32>(), arb_ts()).prop_map(|(p, wm)| Msg::Heartbeat {
+                partition: PartitionId(p),
+                watermark: wm,
+            }),
+            (
+                any::<u32>(),
+                proptest::collection::vec((any::<u16>(), arb_ts()), 0..8),
+                arb_ts()
+            )
+                .prop_map(|(p, mins, oa)| Msg::GstReport {
+                    partition: PartitionId(p),
+                    mins: mins.into_iter().map(|(d, t)| (DcId(d), t)).collect(),
+                    oldest_active: oa,
+                }),
+            (any::<u16>(), arb_ts(), arb_ts()).prop_map(|(d, gst, oa)| Msg::RootGst {
+                dc: DcId(d),
+                gst,
+                oldest_active: oa,
+            }),
+            (arb_ts(), arb_ts()).prop_map(|(ust, s_old)| Msg::UstBroadcast { ust, s_old }),
+            arb_tx().prop_map(|tx| Msg::OpFailed { tx }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_arbitrary_messages(msg in arb_msg()) {
+            let bytes = encode(&msg);
+            prop_assert_eq!(bytes.len(), encoded_len(&msg));
+            prop_assert_eq!(decode(&bytes).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Cluster runtimes: drive the PaRiS state machines over a substrate.
+//!
+//! * [`SimCluster`] — the deterministic discrete-event runtime that stands
+//!   in for the paper's AWS deployment: WAN latency matrix, per-server CPU
+//!   service queues, closed-loop clients, fault injection. Every figure of
+//!   the paper is regenerated on it.
+//! * [`ThreadCluster`] — a real multi-threaded in-process deployment over
+//!   crossbeam channels: one thread per server, used by integration tests
+//!   to exercise the protocol under genuine concurrency.
+//!
+//! Both runtimes execute the same `paris-core` state machines and produce
+//! a [`RunReport`] with throughput, latency percentiles, blocking
+//! statistics, update-visibility latency and (optionally) the consistency
+//! checker's verdict.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod measure;
+mod sim_cluster;
+mod thread_cluster;
+
+pub use measure::{visibility_histogram, BlockingStats, RunReport};
+pub use sim_cluster::{SimCluster, SimConfig};
+pub use thread_cluster::{ThreadCluster, ThreadClusterConfig};

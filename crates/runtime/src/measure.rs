@@ -1,0 +1,217 @@
+//! Measurement extraction: run reports, blocking statistics and update
+//! visibility latency (paper §V-E).
+
+use paris_core::{EventLog, Violation};
+use paris_types::{Mode, TxId};
+#[cfg(test)]
+use paris_types::Timestamp;
+use paris_workload::stats::{Histogram, RunStats};
+use std::collections::HashMap;
+
+/// Aggregated BPR read-blocking statistics (paper §V-B reports the mean
+/// blocking time of the read phase: 29 ms read-heavy / 41 ms write-heavy
+/// at peak throughput).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockingStats {
+    /// Reads that blocked.
+    pub blocked_reads: u64,
+    /// Total microseconds spent blocked.
+    pub total_micros: u64,
+    /// Longest single block.
+    pub max_micros: u64,
+}
+
+impl BlockingStats {
+    /// Mean blocking time in milliseconds (0 when nothing blocked).
+    pub fn mean_ms(&self) -> f64 {
+        if self.blocked_reads == 0 {
+            return 0.0;
+        }
+        self.total_micros as f64 / self.blocked_reads as f64 / 1_000.0
+    }
+}
+
+/// The outcome of a cluster run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Protocol variant measured.
+    pub mode: Mode,
+    /// Transaction throughput/latency inside the measurement window.
+    pub stats: RunStats,
+    /// BPR blocking statistics (zero under PaRiS).
+    pub blocking: BlockingStats,
+    /// Update-visibility latency histogram (µs), when event recording was
+    /// enabled (Fig. 4).
+    pub visibility: Option<Histogram>,
+    /// Consistency violations, when history recording was enabled.
+    pub violations: Vec<Violation>,
+    /// Total messages the network carried.
+    pub net_messages: u64,
+    /// Total wire bytes the network carried.
+    pub net_bytes: u64,
+}
+
+impl RunReport {
+    /// Throughput in KTx/s — the unit of the paper's figures.
+    pub fn ktps(&self) -> f64 {
+        self.stats.throughput_tps() / 1_000.0
+    }
+
+    /// One-line summary, e.g. for progress output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {:.1} KTx/s, mean {:.2} ms, p99 {:.2} ms ({} tx)",
+            self.mode,
+            self.ktps(),
+            self.stats.mean_latency_ms(),
+            self.stats.percentile_ms(99.0),
+            self.stats.committed
+        )
+    }
+}
+
+/// Derives the update-visibility latency histogram (Fig. 4) from server
+/// event logs.
+///
+/// The visibility latency of update `X` in DC `i` is the wall-clock delta
+/// between `X` becoming visible in DC `i` and `X`'s commit in its origin
+/// DC (§V-E). An update is visible on a PaRiS server once it is applied
+/// *and* the server's UST covers its commit timestamp (transactions read
+/// from the UST snapshot); on a BPR server, applying suffices (fresh
+/// snapshots expose it immediately).
+pub fn visibility_histogram<'a>(
+    mode: Mode,
+    logs: impl IntoIterator<Item = &'a EventLog>,
+) -> Histogram {
+    let logs: Vec<&EventLog> = logs.into_iter().collect();
+    // Commit wall time per transaction (from the coordinators' logs).
+    let mut commit_at: HashMap<TxId, u64> = HashMap::new();
+    for log in &logs {
+        for (tx, _ct, now) in &log.commits {
+            commit_at.entry(*tx).or_insert(*now);
+        }
+    }
+    let mut hist = Histogram::new();
+    for log in &logs {
+        for (tx, ct, applied_at) in &log.applies {
+            let Some(&committed_at) = commit_at.get(tx) else {
+                continue;
+            };
+            let visible_at = match mode {
+                Mode::Bpr => *applied_at,
+                Mode::Paris => {
+                    // First UST advance covering ct (logs are sorted by
+                    // time, and UST is monotonic, so also by ust).
+                    let idx = log.ust_advances.partition_point(|(ust, _)| *ust < *ct);
+                    match log.ust_advances.get(idx) {
+                        Some((_, now)) => (*applied_at).max(*now),
+                        None => continue, // never became visible in the run
+                    }
+                }
+            };
+            hist.record(visible_at.saturating_sub(committed_at));
+        }
+    }
+    hist
+}
+
+/// Internal helper for tests: build an event log.
+#[cfg(test)]
+fn log(
+    commits: Vec<(TxId, Timestamp, u64)>,
+    applies: Vec<(TxId, Timestamp, u64)>,
+    ust_advances: Vec<(Timestamp, u64)>,
+) -> EventLog {
+    EventLog {
+        commits,
+        applies,
+        ust_advances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paris_types::{DcId, PartitionId, ServerId};
+
+    fn tx(seq: u64) -> TxId {
+        TxId::new(ServerId::new(DcId(0), PartitionId(0)), seq)
+    }
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_physical_micros(t)
+    }
+
+    #[test]
+    fn blocking_stats_mean() {
+        let b = BlockingStats {
+            blocked_reads: 4,
+            total_micros: 8_000,
+            max_micros: 5_000,
+        };
+        assert!((b.mean_ms() - 2.0).abs() < 1e-9);
+        assert_eq!(BlockingStats::default().mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn bpr_visibility_is_apply_minus_commit() {
+        let coordinator = log(vec![(tx(1), ts(100), 1_000)], vec![], vec![]);
+        let replica = log(vec![], vec![(tx(1), ts(100), 41_000)], vec![]);
+        let h = visibility_histogram(Mode::Bpr, [&coordinator, &replica]);
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 39_000 && h.max() <= 41_000);
+    }
+
+    #[test]
+    fn paris_visibility_waits_for_ust() {
+        let coordinator = log(vec![(tx(1), ts(100), 1_000)], vec![], vec![]);
+        // Applied at 41 ms but UST covers ct=100 only at 200 ms.
+        let replica = log(
+            vec![],
+            vec![(tx(1), ts(100), 41_000)],
+            vec![(ts(50), 100_000), (ts(150), 200_000)],
+        );
+        let h = visibility_histogram(Mode::Paris, [&coordinator, &replica]);
+        assert_eq!(h.count(), 1);
+        let v = h.max();
+        assert!((190_000..=200_000).contains(&v), "got {v}");
+    }
+
+    #[test]
+    fn paris_visibility_skips_never_visible_updates() {
+        let coordinator = log(vec![(tx(1), ts(100), 1_000)], vec![], vec![]);
+        let replica = log(
+            vec![],
+            vec![(tx(1), ts(100), 41_000)],
+            vec![(ts(50), 100_000)], // UST never reaches 100
+        );
+        let h = visibility_histogram(Mode::Paris, [&coordinator, &replica]);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn unknown_commits_are_ignored() {
+        let replica = log(vec![], vec![(tx(9), ts(5), 10)], vec![]);
+        let h = visibility_histogram(Mode::Bpr, [&replica]);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn run_report_summary_mentions_mode_and_throughput() {
+        let mut stats = RunStats::new(1_000_000);
+        stats.committed = 5_000;
+        stats.latency.record(2_000);
+        let report = RunReport {
+            mode: Mode::Paris,
+            stats,
+            blocking: BlockingStats::default(),
+            visibility: None,
+            violations: vec![],
+            net_messages: 0,
+            net_bytes: 0,
+        };
+        assert!((report.ktps() - 5.0).abs() < 1e-9);
+        let s = report.summary();
+        assert!(s.contains("PaRiS") && s.contains("5.0 KTx/s"));
+    }
+}

@@ -1,0 +1,676 @@
+//! The deterministic discrete-event cluster runtime.
+//!
+//! Substitutes for the paper's AWS deployment: every server is a state
+//! machine behind a single-queue CPU (service-time model), the network is
+//! the AWS RTT matrix with per-link FIFO, clients are closed-loop sessions
+//! collocated with their coordinator (paper §V-A), and the whole run is
+//! reproducible from a seed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use paris_clock::{SimClock, SkewedClock};
+use paris_core::checker::{HistoryChecker, RecordedTx};
+use paris_core::{
+    ClientEvent, ClientSession, ReadStep, Server, ServerOptions, Topology, Violation,
+};
+use paris_net::sim::{EventQueue, RegionMatrix, ServiceModel, SimNetwork};
+use paris_proto::{Endpoint, Envelope};
+use paris_types::{ClientId, ClusterConfig, DcId, Mode, ServerId, Timestamp, TxId};
+use paris_workload::stats::RunStats;
+use paris_workload::{TxSpec, WorkloadConfig, WorkloadGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::measure::{visibility_histogram, BlockingStats, RunReport};
+
+/// Configuration of a simulated deployment.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cluster shape (DCs, partitions, replication factor, intervals…).
+    pub cluster: ClusterConfig,
+    /// Inter-DC latency matrix.
+    pub matrix: RegionMatrix,
+    /// Network jitter fraction.
+    pub jitter: f64,
+    /// Per-message CPU costs.
+    pub service: ServiceModel,
+    /// Master RNG seed: same seed ⇒ identical run.
+    pub seed: u64,
+    /// Closed-loop client sessions per DC (the paper's "threads ×
+    /// processes"; each session runs transactions back to back).
+    pub clients_per_dc: u32,
+    /// Workload shape.
+    pub workload: WorkloadConfig,
+    /// Record server event logs (visibility latency, Fig. 4).
+    pub record_events: bool,
+    /// Record client histories and run the consistency checker.
+    pub record_history: bool,
+    /// Stabilization-tree branching factor (`0` = flat tree rooted at the
+    /// lowest partition per DC, the default; the tree-shape ablation sets
+    /// small fanouts).
+    pub stab_branching: usize,
+}
+
+impl SimConfig {
+    /// A deployment with the paper's default shape (5 DCs on the AWS
+    /// matrix, 45 partitions, R = 2) but scaled-down client load; benches
+    /// override fields as each figure requires.
+    pub fn paper_default() -> Self {
+        let cluster = ClusterConfig::default();
+        let matrix = RegionMatrix::aws_10(cluster.dcs);
+        SimConfig {
+            cluster,
+            matrix,
+            jitter: 0.05,
+            service: ServiceModel::default(),
+            seed: 42,
+            clients_per_dc: 64,
+            workload: WorkloadConfig::read_heavy(),
+            record_events: false,
+            record_history: false,
+            stab_branching: 0,
+        }
+    }
+
+    /// A small deployment for tests: `dcs`×`partitions`, R = 2, uniform
+    /// 10 ms one-way WAN latency, modest load, checker enabled.
+    pub fn small_test(dcs: u16, partitions: u32, mode: Mode, seed: u64) -> Self {
+        let cluster = ClusterConfig::builder()
+            .dcs(dcs)
+            .partitions(partitions)
+            .replication_factor(2)
+            .keys_per_partition(200)
+            .mode(mode)
+            .build()
+            .expect("valid test config");
+        SimConfig {
+            matrix: RegionMatrix::uniform(dcs, 10_000),
+            cluster,
+            jitter: 0.02,
+            service: ServiceModel::default(),
+            seed,
+            clients_per_dc: 4,
+            workload: WorkloadConfig {
+                keys_per_partition: 200,
+                ..WorkloadConfig::read_heavy()
+            },
+            record_events: true,
+            record_history: true,
+            stab_branching: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TickKind {
+    Replicate,
+    Gst,
+    Ust,
+    Gc,
+}
+
+#[derive(Debug)]
+enum SimEvent {
+    Deliver(Envelope),
+    Tick(ServerId, TickKind),
+    ClientKick(ClientId),
+}
+
+struct ServerSlot {
+    server: Server,
+    busy_until: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Starting,
+    Reading,
+    Committing,
+}
+
+struct ClientSlot {
+    session: ClientSession,
+    generator: WorkloadGenerator,
+    rng: StdRng,
+    phase: Phase,
+    spec: Option<TxSpec>,
+    tx_begin: u64,
+    // History recording for the checker.
+    cur_tx: Option<TxId>,
+    cur_snapshot: Timestamp,
+    cur_reads: Vec<paris_core::RecordedRead>,
+}
+
+/// The simulated cluster. See the module docs.
+pub struct SimCluster {
+    config: SimConfig,
+    topo: Arc<Topology>,
+    clock: SimClock,
+    net: SimNetwork,
+    rng: StdRng,
+    queue: EventQueue<SimEvent>,
+    servers: HashMap<ServerId, ServerSlot>,
+    clients: HashMap<ClientId, ClientSlot>,
+    now: u64,
+    /// Clients stop beginning new transactions at this time.
+    client_stop: u64,
+    /// Measurement window for throughput/latency.
+    window_start: u64,
+    window_end: u64,
+    stats: RunStats,
+    checker: Option<HistoryChecker>,
+    failure_detection: bool,
+}
+
+impl SimCluster {
+    /// Builds the deployment: all servers with skewed clocks, all client
+    /// sessions, background ticks scheduled with random phase offsets.
+    pub fn new(config: SimConfig) -> Self {
+        let topo = Arc::new(Topology::with_branching(
+            config.cluster.clone(),
+            config.stab_branching,
+        ));
+        let clock = SimClock::new();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let net = SimNetwork::new(config.matrix.clone(), config.jitter);
+        let mut queue = EventQueue::new();
+
+        let mut servers = HashMap::new();
+        let skew = config.cluster.max_clock_skew_micros as i64;
+        for id in topo.all_servers() {
+            let offset = if skew > 0 {
+                rng.gen_range(-skew..=skew)
+            } else {
+                0
+            };
+            let server = Server::new(ServerOptions {
+                id,
+                topology: Arc::clone(&topo),
+                clock: Box::new(SkewedClock::new(clock.clone(), offset)),
+                mode: config.cluster.mode,
+                record_events: config.record_events,
+            });
+            servers.insert(
+                id,
+                ServerSlot {
+                    server,
+                    busy_until: 0,
+                },
+            );
+            // Stagger the periodic protocols per server.
+            let iv = &config.cluster.intervals;
+            queue.push(
+                rng.gen_range(0..iv.replication_micros),
+                SimEvent::Tick(id, TickKind::Replicate),
+            );
+            queue.push(
+                rng.gen_range(0..iv.gst_micros),
+                SimEvent::Tick(id, TickKind::Gst),
+            );
+            if topo.tree_parent(id).is_none() {
+                queue.push(
+                    rng.gen_range(0..iv.ust_micros),
+                    SimEvent::Tick(id, TickKind::Ust),
+                );
+            }
+            queue.push(
+                rng.gen_range(0..iv.gc_micros),
+                SimEvent::Tick(id, TickKind::Gc),
+            );
+        }
+
+        let mut clients = HashMap::new();
+        for dc in 0..config.cluster.dcs {
+            let dc = DcId(dc);
+            let local_partitions = topo.partitions_in_dc(dc);
+            for seq in 0..config.clients_per_dc {
+                let id = ClientId::new(dc, seq);
+                let coordinator = topo.coordinator_for(dc, seq);
+                let session = ClientSession::new(id, coordinator, config.cluster.mode);
+                let generator = WorkloadGenerator::new(
+                    config.workload.clone(),
+                    config.cluster.partitions,
+                    local_partitions.clone(),
+                );
+                let client_rng =
+                    StdRng::seed_from_u64(config.seed ^ (u64::from(dc.0) << 32) ^ u64::from(seq));
+                clients.insert(
+                    id,
+                    ClientSlot {
+                        session,
+                        generator,
+                        rng: client_rng,
+                        phase: Phase::Idle,
+                        spec: None,
+                        tx_begin: 0,
+                        cur_tx: None,
+                        cur_snapshot: Timestamp::ZERO,
+                        cur_reads: Vec::new(),
+                    },
+                );
+            }
+        }
+
+        let checker = config.record_history.then(HistoryChecker::new);
+        SimCluster {
+            config,
+            topo,
+            clock,
+            net,
+            rng,
+            queue,
+            servers,
+            clients,
+            now: 0,
+            client_stop: 0,
+            window_start: 0,
+            window_end: 0,
+            stats: RunStats::new(0),
+            checker,
+            failure_detection: false,
+        }
+    }
+
+    /// Current simulated time (microseconds).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The minimum UST across all servers.
+    pub fn min_ust(&self) -> Timestamp {
+        self.servers
+            .values()
+            .map(|s| s.server.ust())
+            .min()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// A server, for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server does not exist in the deployment.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[&id].server
+    }
+
+    /// Enables or disables the failure detector: when enabled, fault
+    /// injection (isolate/partition) immediately informs every server of
+    /// the lost links, so coordinators route around unreachable replicas
+    /// (§III-C availability) instead of waiting on held traffic. Disabled
+    /// by default, modelling the window before detection.
+    pub fn set_failure_detection(&mut self, enabled: bool) {
+        self.failure_detection = enabled;
+    }
+
+    fn notify_link(&mut self, a: DcId, b: DcId, reachable: bool) {
+        if !self.failure_detection {
+            return;
+        }
+        for slot in self.servers.values_mut() {
+            if slot.server.id().dc == a {
+                slot.server.set_dc_reachability(b, reachable);
+            } else if slot.server.id().dc == b {
+                slot.server.set_dc_reachability(a, reachable);
+            }
+        }
+    }
+
+    /// Partitions the given DC away from every other DC (§III-C fault
+    /// scenario). Traffic is held, not lost, until [`Self::heal_dc`].
+    pub fn isolate_dc(&mut self, dc: DcId) {
+        self.net.isolate(dc);
+        for other in 0..self.config.cluster.dcs {
+            let other = DcId(other);
+            if other != dc {
+                self.notify_link(dc, other, false);
+            }
+        }
+    }
+
+    /// Heals all partitions involving `dc`, re-injecting held traffic.
+    pub fn heal_dc(&mut self, dc: DcId) {
+        let held = self.net.heal_all(dc);
+        self.reinject(held);
+        for other in 0..self.config.cluster.dcs {
+            let other = DcId(other);
+            if other != dc {
+                self.notify_link(dc, other, true);
+            }
+        }
+    }
+
+    /// Cuts the single link between two DCs (both directions). Traffic is
+    /// held, not lost, until [`Self::heal_link`].
+    pub fn partition_link(&mut self, a: DcId, b: DcId) {
+        self.net.partition(a, b);
+        self.notify_link(a, b, false);
+    }
+
+    /// Heals one link, re-injecting held traffic.
+    pub fn heal_link(&mut self, a: DcId, b: DcId) {
+        let held = self.net.heal(a, b);
+        self.reinject(held);
+        self.notify_link(a, b, true);
+    }
+
+    fn reinject(&mut self, held: Vec<Envelope>) {
+        for env in held {
+            if let Some(at) = self.net.send(self.now, env.clone(), &mut self.rng) {
+                self.queue.push(at, SimEvent::Deliver(env));
+            }
+        }
+    }
+
+    /// Runs the workload: clients start (staggered), the measurement
+    /// window is `[warmup, warmup + window]`, then clients stop and
+    /// in-flight transactions drain.
+    pub fn run_workload(&mut self, warmup_micros: u64, window_micros: u64) {
+        self.window_start = self.now + warmup_micros;
+        self.window_end = self.window_start + window_micros;
+        self.client_stop = self.window_end;
+        self.stats = RunStats::new(window_micros);
+        let mut ids: Vec<ClientId> = self.clients.keys().copied().collect();
+        ids.sort_unstable(); // HashMap order must not leak into the schedule
+        for id in ids {
+            let offset = self.rng.gen_range(0..1_000);
+            self.queue.push(self.now + offset, SimEvent::ClientKick(id));
+        }
+        // Drain budget: a multi-DC transaction needs a few WAN round trips.
+        let drain = 2_000_000;
+        self.run_until(self.window_end + drain);
+    }
+
+    /// Runs background protocols only (no new client transactions) for
+    /// `micros` — lets replication and stabilization quiesce.
+    pub fn settle(&mut self, micros: u64) {
+        self.client_stop = self.now; // no new transactions
+        let horizon = self.now + micros;
+        self.run_until(horizon);
+    }
+
+    fn run_until(&mut self, horizon: u64) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = self.now.max(ev.time);
+            self.clock.advance_to(self.now);
+            match ev.event {
+                SimEvent::Deliver(env) => self.deliver(env),
+                SimEvent::Tick(id, kind) => self.tick(id, kind),
+                SimEvent::ClientKick(id) => self.kick_client(id),
+            }
+        }
+        self.now = self.now.max(horizon);
+        self.clock.advance_to(self.now);
+    }
+
+    fn send_all(&mut self, at: u64, envs: Vec<Envelope>) {
+        for env in envs {
+            if let Some(deliver_at) = self.net.send(at, env.clone(), &mut self.rng) {
+                self.queue.push(deliver_at, SimEvent::Deliver(env));
+            }
+        }
+    }
+
+    fn deliver(&mut self, env: Envelope) {
+        match env.dst {
+            Endpoint::Server(sid) => {
+                let Some(slot) = self.servers.get_mut(&sid) else {
+                    debug_assert!(false, "message to unknown server {sid}");
+                    return;
+                };
+                let start = self.now.max(slot.busy_until);
+                let cost = self.config.service.cost(&env.msg);
+                let blocked_before = slot.server.blocked_reads_now() as u64;
+                let blocks_before = slot.server.stats().blocked_reads;
+                let finish = start + cost;
+                slot.busy_until = finish;
+                let out = slot.server.handle(&env, finish);
+                // BPR pays to park a read and to wake it back up — the
+                // "synchronization overhead to block and unblock reads" the
+                // paper charges BPR's throughput loss to (§V-B).
+                let newly_blocked = slot.server.stats().blocked_reads - blocks_before;
+                let drained = (blocked_before + newly_blocked)
+                    .saturating_sub(slot.server.blocked_reads_now() as u64);
+                slot.busy_until += self.config.service.block_overhead * (newly_blocked + drained);
+                self.send_all(finish, out);
+            }
+            Endpoint::Client(cid) => {
+                let Some(event) = self
+                    .clients
+                    .get_mut(&cid)
+                    .and_then(|slot| slot.session.handle(&env))
+                else {
+                    return;
+                };
+                self.client_event(cid, event);
+            }
+        }
+    }
+
+    fn tick(&mut self, id: ServerId, kind: TickKind) {
+        let iv = &self.config.cluster.intervals;
+        let (interval, cost) = match kind {
+            TickKind::Replicate => (iv.replication_micros, self.config.service.gossip),
+            TickKind::Gst => (iv.gst_micros, self.config.service.gossip),
+            TickKind::Ust => (iv.ust_micros, self.config.service.gossip),
+            TickKind::Gc => (iv.gc_micros, self.config.service.gossip),
+        };
+        let slot = self.servers.get_mut(&id).expect("tick for unknown server");
+        let start = self.now.max(slot.busy_until);
+        let finish = start + cost;
+        slot.busy_until = finish;
+        let blocked_before = slot.server.blocked_reads_now() as u64;
+        let out = match kind {
+            TickKind::Replicate => slot.server.on_replicate_tick(finish),
+            TickKind::Gst => slot.server.on_gst_tick(finish),
+            TickKind::Ust => slot.server.on_ust_tick(finish),
+            TickKind::Gc => {
+                slot.server.on_gc_tick();
+                Vec::new()
+            }
+        };
+        let drained = blocked_before.saturating_sub(slot.server.blocked_reads_now() as u64);
+        slot.busy_until += self.config.service.block_overhead * drained;
+        self.send_all(finish, out);
+        self.queue.push(self.now + interval, SimEvent::Tick(id, kind));
+    }
+
+    // ------------------------------------------------------ client driving
+
+    fn kick_client(&mut self, cid: ClientId) {
+        if self.now >= self.client_stop {
+            return;
+        }
+        let slot = self.clients.get_mut(&cid).expect("unknown client");
+        if slot.phase != Phase::Idle {
+            // Still mid-transaction (e.g. waiting on traffic held behind a
+            // network partition); it re-enters the loop on completion.
+            return;
+        }
+        slot.phase = Phase::Starting;
+        slot.tx_begin = self.now;
+        let env = slot.session.begin().expect("session is idle");
+        self.send_all(self.now, vec![env]);
+    }
+
+    fn client_event(&mut self, cid: ClientId, event: ClientEvent) {
+        match event {
+            ClientEvent::Started { tx, snapshot } => {
+                let slot = self.clients.get_mut(&cid).expect("unknown client");
+                debug_assert_eq!(slot.phase, Phase::Starting);
+                slot.cur_tx = Some(tx);
+                slot.cur_snapshot = snapshot;
+                slot.cur_reads.clear();
+                let spec = slot.generator.next_tx(&mut slot.rng);
+                let read_keys = spec.read_keys.clone();
+                slot.spec = Some(spec);
+                if read_keys.is_empty() {
+                    self.client_commit(cid);
+                    return;
+                }
+                slot.phase = Phase::Reading;
+                match slot.session.read(&read_keys).expect("tx is open") {
+                    ReadStep::Done(reads) => {
+                        if self.checker.is_some() {
+                            slot.cur_reads
+                                .extend(reads.iter().map(HistoryChecker::recorded_read));
+                        }
+                        self.client_commit(cid);
+                    }
+                    ReadStep::Send(env) => self.send_all(self.now, vec![env]),
+                }
+            }
+            ClientEvent::ReadDone { reads, .. } => {
+                {
+                    let slot = self.clients.get_mut(&cid).expect("unknown client");
+                    debug_assert_eq!(slot.phase, Phase::Reading);
+                    if self.checker.is_some() {
+                        slot.cur_reads
+                            .extend(reads.iter().map(HistoryChecker::recorded_read));
+                    }
+                }
+                self.client_commit(cid);
+            }
+            ClientEvent::Committed { ct, .. } => {
+                let slot = self.clients.get_mut(&cid).expect("unknown client");
+                debug_assert_eq!(slot.phase, Phase::Committing);
+                slot.phase = Phase::Idle;
+                let latency = self.now.saturating_sub(slot.tx_begin);
+                if self.now >= self.window_start && self.now <= self.window_end {
+                    self.stats.committed += 1;
+                    self.stats.latency.record(latency);
+                }
+                if let Some(checker) = self.checker.as_mut() {
+                    let spec = slot.spec.take().expect("spec present");
+                    checker.record_tx(
+                        cid,
+                        RecordedTx {
+                            tx: slot.cur_tx.take().expect("tx recorded"),
+                            snapshot: slot.cur_snapshot,
+                            reads: std::mem::take(&mut slot.cur_reads),
+                            writes: spec.writes.iter().map(|(k, _)| *k).collect(),
+                            ct: Some(ct),
+                        },
+                    );
+                } else {
+                    slot.spec = None;
+                }
+                // Closed loop: next transaction immediately.
+                self.queue.push(self.now + 1, SimEvent::ClientKick(cid));
+            }
+            ClientEvent::Aborted { .. } => {
+                // No reachable replica for some partition (§III-C): the
+                // transaction is gone; record and retry after a beat.
+                let slot = self.clients.get_mut(&cid).expect("unknown client");
+                slot.phase = Phase::Idle;
+                slot.spec = None;
+                slot.cur_tx = None;
+                slot.cur_reads.clear();
+                if self.now >= self.window_start && self.now <= self.window_end {
+                    self.stats.aborted += 1;
+                }
+                self.queue
+                    .push(self.now + 10_000, SimEvent::ClientKick(cid));
+            }
+        }
+    }
+
+    fn client_commit(&mut self, cid: ClientId) {
+        let slot = self.clients.get_mut(&cid).expect("unknown client");
+        let writes = slot.spec.as_ref().expect("spec present").writes.clone();
+        if !writes.is_empty() {
+            slot.session.write(&writes).expect("tx is open");
+        }
+        slot.phase = Phase::Committing;
+        let env = slot.session.commit().expect("tx is open");
+        self.send_all(self.now, vec![env]);
+    }
+
+    // -------------------------------------------------------- reporting
+
+    /// Aggregated BPR blocking statistics across all servers.
+    pub fn blocking_stats(&self) -> BlockingStats {
+        let mut out = BlockingStats::default();
+        for slot in self.servers.values() {
+            let s = slot.server.stats();
+            out.blocked_reads += s.blocked_reads;
+            out.total_micros += s.blocked_micros_total;
+            out.max_micros = out.max_micros.max(s.blocked_micros_max);
+        }
+        out
+    }
+
+    /// Builds the run report: throughput/latency stats, blocking,
+    /// visibility (if events recorded) and checker verdict (if history
+    /// recorded).
+    pub fn report(&mut self) -> RunReport {
+        let visibility = self.config.record_events.then(|| {
+            visibility_histogram(
+                self.config.cluster.mode,
+                self.servers.values().filter_map(|s| s.server.events()),
+            )
+        });
+        let violations = match self.checker.as_mut() {
+            Some(checker) => {
+                // Feed ground truth from every store.
+                for slot in self.servers.values() {
+                    for (key, chain) in slot.server.store().iter() {
+                        checker.record_versions(*key, chain.iter().map(|v| v.order()));
+                    }
+                }
+                checker.check()
+            }
+            None => Vec::new(),
+        };
+        RunReport {
+            mode: self.config.cluster.mode,
+            stats: self.stats.clone(),
+            blocking: self.blocking_stats(),
+            visibility,
+            violations,
+            net_messages: self.net.messages_sent(),
+            net_bytes: self.net.bytes_sent(),
+        }
+    }
+
+    /// Checks replica convergence: all replicas of every partition must
+    /// agree on the latest version of every key. Only meaningful after
+    /// [`Self::settle`].
+    pub fn check_convergence(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for p in 0..self.config.cluster.partitions {
+            let p = paris_types::PartitionId(p);
+            let maps: Vec<HashMap<paris_types::Key, Option<paris_types::VersionOrd>>> = self
+                .topo
+                .replicas(p)
+                .into_iter()
+                .map(|dc| {
+                    let server = &self.servers[&ServerId::new(dc, p)].server;
+                    server
+                        .store()
+                        .iter()
+                        .map(|(k, chain)| (*k, chain.latest_order()))
+                        .collect()
+                })
+                .collect();
+            violations.extend(HistoryChecker::check_convergence(&maps));
+        }
+        violations
+    }
+
+    /// Number of transactions the checker has recorded.
+    pub fn recorded_transactions(&self) -> usize {
+        self.checker.as_ref().map_or(0, HistoryChecker::transactions)
+    }
+}

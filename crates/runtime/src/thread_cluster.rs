@@ -1,0 +1,394 @@
+//! A real multi-threaded in-process cluster.
+//!
+//! One OS thread per server, one per client session, crossbeam channels
+//! with WAN-shaped (scaled) latencies between them. This runtime exists to
+//! subject the exact same protocol state machines to genuine concurrency —
+//! real interleavings, real races in message arrival — and to validate
+//! that the consistency checker still finds nothing.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::RecvTimeoutError;
+use paris_clock::{PhysicalClock, SystemClock};
+use paris_core::checker::{HistoryChecker, RecordedTx};
+use paris_core::{
+    ClientEvent, ClientSession, ReadStep, Server, ServerOptions, Topology, Violation,
+};
+use paris_net::threaded::{Router, ThreadedNetConfig};
+use paris_types::{ClientId, ClusterConfig, DcId, Mode, ServerId};
+use paris_workload::stats::RunStats;
+use paris_workload::{WorkloadConfig, WorkloadGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::measure::{BlockingStats, RunReport};
+
+/// Configuration of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadClusterConfig {
+    /// Cluster shape.
+    pub cluster: ClusterConfig,
+    /// Transport configuration (latency matrix + compression scale).
+    pub net: ThreadedNetConfig,
+    /// Closed-loop client sessions per DC.
+    pub clients_per_dc: u32,
+    /// Workload shape.
+    pub workload: WorkloadConfig,
+    /// RNG seed for the workload.
+    pub seed: u64,
+}
+
+impl ThreadClusterConfig {
+    /// A small fast-test deployment: `dcs`×`partitions`, R = 2, AWS
+    /// latencies compressed 100×.
+    pub fn small(dcs: u16, partitions: u32, mode: Mode) -> Self {
+        ThreadClusterConfig {
+            cluster: ClusterConfig::builder()
+                .dcs(dcs)
+                .partitions(partitions)
+                .replication_factor(2)
+                .keys_per_partition(100)
+                .mode(mode)
+                .intervals(paris_types::Intervals {
+                    replication_micros: 2_000,
+                    gst_micros: 2_000,
+                    ust_micros: 2_000,
+                    gc_micros: 500_000,
+                })
+                .build()
+                .expect("valid test config"),
+            net: ThreadedNetConfig::fast(dcs),
+            clients_per_dc: 2,
+            workload: WorkloadConfig {
+                keys_per_partition: 100,
+                ..WorkloadConfig::read_heavy()
+            },
+            seed: 7,
+        }
+    }
+}
+
+/// Outcome of a threaded run.
+pub struct ThreadRunOutcome {
+    /// Throughput/latency/blocking report (no visibility histogram — the
+    /// threaded runtime is for correctness, not curves).
+    pub report: RunReport,
+    /// Consistency checker verdict over all sessions and stores.
+    pub violations: Vec<Violation>,
+    /// Replica-convergence verdict.
+    pub convergence: Vec<Violation>,
+    /// Transactions recorded by the checker.
+    pub transactions: usize,
+}
+
+struct ClientOutcome {
+    records: Vec<(ClientId, RecordedTx)>,
+    committed: u64,
+    latency: paris_workload::stats::Histogram,
+}
+
+/// The threaded cluster runner.
+pub struct ThreadCluster;
+
+impl ThreadCluster {
+    /// Runs the workload for `duration`, then drains, settles the
+    /// background protocols, and checks consistency plus convergence.
+    pub fn run(config: ThreadClusterConfig, duration: Duration) -> ThreadRunOutcome {
+        let topo = Arc::new(Topology::new(config.cluster.clone()));
+        let router = Router::start(config.net.clone());
+        let clock = Arc::new(SystemClock::new());
+        let stop_clients = Arc::new(AtomicBool::new(false));
+        let stop_servers = Arc::new(AtomicBool::new(false));
+
+        // ---------------------------------------------------- servers
+        let mut server_handles: Vec<JoinHandle<Server>> = Vec::new();
+        for id in topo.all_servers() {
+            let inbox = router.register(id);
+            let net = router.handle();
+            let topo = Arc::clone(&topo);
+            let clock = Arc::clone(&clock);
+            let stop = Arc::clone(&stop_servers);
+            let intervals = config.cluster.intervals;
+            let mode = config.cluster.mode;
+            server_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("server-{id}"))
+                    .spawn(move || {
+                        let mut server = Server::new(ServerOptions {
+                            id,
+                            topology: Arc::clone(&topo),
+                            clock: Box::new(Arc::clone(&clock)),
+                            mode,
+                            record_events: false,
+                        });
+                        let is_root = topo.tree_parent(id).is_none();
+                        let mut next_rep = clock.now_micros() + intervals.replication_micros;
+                        let mut next_gst = clock.now_micros() + intervals.gst_micros;
+                        let mut next_ust = clock.now_micros() + intervals.ust_micros;
+                        let mut next_gc = clock.now_micros() + intervals.gc_micros;
+                        loop {
+                            let now = clock.now_micros();
+                            let mut deadline = next_rep.min(next_gst).min(next_gc);
+                            if is_root {
+                                deadline = deadline.min(next_ust);
+                            }
+                            let timeout =
+                                Duration::from_micros(deadline.saturating_sub(now).min(5_000));
+                            match inbox.recv_timeout(timeout) {
+                                Ok(env) => {
+                                    let out = server.handle(&env, clock.now_micros());
+                                    for e in out {
+                                        net.send(e);
+                                    }
+                                }
+                                Err(RecvTimeoutError::Timeout) => {}
+                                Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                            let now = clock.now_micros();
+                            if now >= next_rep {
+                                for e in server.on_replicate_tick(now) {
+                                    net.send(e);
+                                }
+                                next_rep = now + intervals.replication_micros;
+                            }
+                            if now >= next_gst {
+                                for e in server.on_gst_tick(now) {
+                                    net.send(e);
+                                }
+                                next_gst = now + intervals.gst_micros;
+                            }
+                            if is_root && now >= next_ust {
+                                for e in server.on_ust_tick(now) {
+                                    net.send(e);
+                                }
+                                next_ust = now + intervals.ust_micros;
+                            }
+                            if now >= next_gc {
+                                server.on_gc_tick();
+                                next_gc = now + intervals.gc_micros;
+                            }
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                        server
+                    })
+                    .expect("spawn server thread"),
+            );
+        }
+
+        // ---------------------------------------------------- clients
+        let mut client_handles: Vec<JoinHandle<ClientOutcome>> = Vec::new();
+        for dc in 0..config.cluster.dcs {
+            let dc = DcId(dc);
+            let local_partitions = topo.partitions_in_dc(dc);
+            for seq in 0..config.clients_per_dc {
+                let id = ClientId::new(dc, seq);
+                let inbox = router.register(id);
+                let net = router.handle();
+                let coordinator = topo.coordinator_for(dc, seq);
+                let mode = config.cluster.mode;
+                let stop = Arc::clone(&stop_clients);
+                let clock = Arc::clone(&clock);
+                let workload = config.workload.clone();
+                let n_partitions = config.cluster.partitions;
+                let local = local_partitions.clone();
+                let seed = config.seed ^ (u64::from(dc.0) << 32) ^ u64::from(seq);
+                client_handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("client-{id}"))
+                        .spawn(move || {
+                            run_client(
+                                id,
+                                coordinator,
+                                mode,
+                                workload,
+                                n_partitions,
+                                local,
+                                seed,
+                                inbox,
+                                net,
+                                stop,
+                                clock,
+                            )
+                        })
+                        .expect("spawn client thread"),
+                );
+            }
+        }
+
+        // ------------------------------------------------ orchestration
+        std::thread::sleep(duration);
+        stop_clients.store(true, Ordering::Relaxed);
+        let mut outcomes = Vec::new();
+        for h in client_handles {
+            outcomes.push(h.join().expect("client thread panicked"));
+        }
+        // Let replication/stabilization settle before stopping servers.
+        std::thread::sleep(Duration::from_millis(300));
+        stop_servers.store(true, Ordering::Relaxed);
+        let mut servers: Vec<Server> = Vec::new();
+        for h in server_handles {
+            servers.push(h.join().expect("server thread panicked"));
+        }
+        drop(router);
+
+        // --------------------------------------------------- checking
+        let mut checker = HistoryChecker::new();
+        let mut stats = RunStats::new(duration.as_micros() as u64);
+        for outcome in outcomes {
+            stats.committed += outcome.committed;
+            stats.latency.merge(&outcome.latency);
+            for (cid, rec) in outcome.records {
+                checker.record_tx(cid, rec);
+            }
+        }
+        for server in &servers {
+            for (key, chain) in server.store().iter() {
+                checker.record_versions(*key, chain.iter().map(|v| v.order()));
+            }
+        }
+        let violations = checker.check();
+
+        // Convergence across replicas.
+        let by_id: HashMap<ServerId, &Server> = servers.iter().map(|s| (s.id(), s)).collect();
+        let mut convergence = Vec::new();
+        for p in 0..config.cluster.partitions {
+            let p = paris_types::PartitionId(p);
+            let maps: Vec<HashMap<paris_types::Key, Option<paris_types::VersionOrd>>> = topo
+                .replicas(p)
+                .into_iter()
+                .map(|dc| {
+                    by_id[&ServerId::new(dc, p)]
+                        .store()
+                        .iter()
+                        .map(|(k, chain)| (*k, chain.latest_order()))
+                        .collect()
+                })
+                .collect();
+            convergence.extend(HistoryChecker::check_convergence(&maps));
+        }
+
+        let mut blocking = BlockingStats::default();
+        for server in &servers {
+            let s = server.stats();
+            blocking.blocked_reads += s.blocked_reads;
+            blocking.total_micros += s.blocked_micros_total;
+            blocking.max_micros = blocking.max_micros.max(s.blocked_micros_max);
+        }
+
+        let transactions = checker.transactions();
+        ThreadRunOutcome {
+            report: RunReport {
+                mode: config.cluster.mode,
+                stats,
+                blocking,
+                visibility: None,
+                violations: Vec::new(),
+                net_messages: 0,
+                net_bytes: 0,
+            },
+            violations,
+            convergence,
+            transactions,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    id: ClientId,
+    coordinator: ServerId,
+    mode: Mode,
+    workload: WorkloadConfig,
+    n_partitions: u32,
+    local_partitions: Vec<paris_types::PartitionId>,
+    seed: u64,
+    inbox: crossbeam::channel::Receiver<paris_proto::Envelope>,
+    net: paris_net::threaded::NetHandle,
+    stop: Arc<AtomicBool>,
+    clock: Arc<SystemClock>,
+) -> ClientOutcome {
+    let mut session = ClientSession::new(id, coordinator, mode);
+    let mut generator = WorkloadGenerator::new(workload, n_partitions, local_partitions);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records = Vec::new();
+    let mut latency = paris_workload::stats::Histogram::new();
+    let mut committed = 0u64;
+
+    // Waits for the next client event, bailing out on stop.
+    let wait_event = |session: &mut ClientSession| -> Option<ClientEvent> {
+        loop {
+            match inbox.recv_timeout(Duration::from_millis(100)) {
+                Ok(env) => {
+                    if let Some(ev) = session.handle(&env) {
+                        return Some(ev);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if stop.load(Ordering::Relaxed) {
+                        return None;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    };
+
+    while !stop.load(Ordering::Relaxed) {
+        let begin = clock.now_micros();
+        net.send(session.begin().expect("idle session"));
+        let Some(ClientEvent::Started { tx, snapshot }) = wait_event(&mut session) else {
+            break;
+        };
+        let spec = generator.next_tx(&mut rng);
+        let mut reads = Vec::new();
+        if !spec.read_keys.is_empty() {
+            match session.read(&spec.read_keys).expect("open tx") {
+                ReadStep::Done(local) => {
+                    reads.extend(local.iter().map(HistoryChecker::recorded_read))
+                }
+                ReadStep::Send(env) => {
+                    net.send(env);
+                    match wait_event(&mut session) {
+                        Some(ClientEvent::ReadDone { reads: got, .. }) => {
+                            reads.extend(got.iter().map(HistoryChecker::recorded_read));
+                        }
+                        Some(ClientEvent::Aborted { .. }) => continue, // retry
+                        _ => break,
+                    }
+                }
+            }
+        }
+        if !spec.writes.is_empty() {
+            session.write(&spec.writes).expect("open tx");
+        }
+        net.send(session.commit().expect("open tx"));
+        let ct = match wait_event(&mut session) {
+            Some(ClientEvent::Committed { ct, .. }) => ct,
+            Some(ClientEvent::Aborted { .. }) => continue, // retry
+            _ => break,
+        };
+        committed += 1;
+        latency.record(clock.now_micros().saturating_sub(begin));
+        records.push((
+            id,
+            RecordedTx {
+                tx,
+                snapshot,
+                reads,
+                writes: spec.writes.iter().map(|(k, _)| *k).collect(),
+                ct: Some(ct),
+            },
+        ));
+    }
+    ClientOutcome {
+        records,
+        committed,
+        latency,
+    }
+}

@@ -1,0 +1,91 @@
+//! Availability tests (paper §III-C): with failure detection on, a DC
+//! keeps serving every operation as long as one replica per partition is
+//! reachable; only total replica loss makes operations fail — and then
+//! explicitly, with aborts, never by hanging or by violating TCC.
+
+use paris_runtime::{SimCluster, SimConfig};
+use paris_types::{DcId, Mode};
+
+#[test]
+fn reads_fail_over_to_surviving_replica() {
+    // 3 DCs, 6 partitions, R = 2 (ring placement): from DC0's viewpoint,
+    // partitions {1, 4} live at DCs 1 and 2 only. Cutting DC0 ↔ DC1 makes
+    // DC1 unreachable; the coordinator must route those partitions' reads
+    // to DC2 instead of failing.
+    let mut config = SimConfig::small_test(3, 6, Mode::Paris, 71);
+    config.workload.local_tx_ratio = 0.0; // constant remote traffic
+    let mut sim = SimCluster::new(config);
+    sim.set_failure_detection(true);
+    sim.run_workload(500_000, 1_000_000);
+    let before = sim.report().stats.committed;
+    assert!(before > 0);
+
+    sim.partition_link(DcId(0), DcId(1));
+    sim.run_workload(0, 2_000_000);
+    let report = sim.report();
+    assert!(
+        report.stats.committed > before,
+        "transactions must keep completing via the surviving replicas"
+    );
+    assert_eq!(
+        report.stats.aborted, 0,
+        "R=2 with one cut link leaves a reachable replica for every partition"
+    );
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+
+    // After healing, everything converges.
+    sim.heal_link(DcId(0), DcId(1));
+    sim.settle(4_000_000);
+    assert!(sim.check_convergence().is_empty());
+}
+
+#[test]
+fn total_replica_loss_aborts_explicitly_instead_of_hanging() {
+    // Isolate DC2 entirely with detection on: clients inside DC2 cannot
+    // reach partitions with no replica in DC2 → those operations abort
+    // (visibly), while purely local transactions keep committing.
+    let mut config = SimConfig::small_test(3, 6, Mode::Paris, 73);
+    config.workload.local_tx_ratio = 0.5; // mix of local and remote
+    let mut sim = SimCluster::new(config);
+    sim.set_failure_detection(true);
+    sim.run_workload(500_000, 1_000_000);
+
+    sim.isolate_dc(DcId(2));
+    sim.run_workload(0, 2_000_000);
+    let report = sim.report();
+    assert!(
+        report.stats.aborted > 0,
+        "multi-DC operations from the isolated DC must abort explicitly"
+    );
+    assert!(
+        report.stats.committed > 0,
+        "local transactions keep committing during the partition"
+    );
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+
+    // Heal: aborts stop (each run_workload measures a fresh window),
+    // convergence resumes.
+    sim.heal_dc(DcId(2));
+    sim.run_workload(0, 1_000_000);
+    sim.settle(4_000_000);
+    let report = sim.report();
+    assert_eq!(report.stats.aborted, 0, "no new aborts after healing");
+    assert!(report.stats.committed > 0);
+    assert!(sim.check_convergence().is_empty());
+}
+
+#[test]
+fn failure_detection_off_preserves_held_traffic_semantics() {
+    // Without detection (default), the same cut merely delays operations:
+    // nothing aborts, traffic is held and delivered on heal.
+    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 79));
+    sim.run_workload(500_000, 1_000_000);
+    sim.partition_link(DcId(0), DcId(1));
+    sim.run_workload(0, 1_000_000);
+    assert_eq!(sim.report().stats.aborted, 0, "no detector → no aborts");
+    sim.heal_link(DcId(0), DcId(1));
+    sim.settle(4_000_000);
+    let report = sim.report();
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    assert!(sim.check_convergence().is_empty());
+}

@@ -1,0 +1,87 @@
+//! Fault-injection tests on the simulated cluster (paper §III-C,
+//! "Fault tolerance" and "Availability").
+
+use paris_runtime::{SimCluster, SimConfig};
+use paris_types::{DcId, Mode, Timestamp};
+
+#[test]
+fn single_link_partition_freezes_ust_when_replica_groups_span_it() {
+    // Ring placement: partition n lives at DCs (n, n+1) mod M — DC0 and
+    // DC1 share replica groups, so cutting that one link stalls their
+    // replication and, transitively, the global UST minimum.
+    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 41));
+    sim.run_workload(500_000, 1_000_000);
+    let before = sim.min_ust();
+    assert!(before > Timestamp::ZERO);
+
+    // Cut only DC0 ↔ DC1 (not full isolation): the other links stay up.
+    sim.partition_link(DcId(0), DcId(1));
+    sim.settle(3_000_000);
+    let frozen = sim.min_ust();
+    let lag = sim.now().saturating_sub(frozen.physical_micros());
+    assert!(
+        lag > 2_000_000,
+        "UST must stall while a replica-group link is cut (lag {lag} µs)"
+    );
+
+    sim.heal_link(DcId(0), DcId(1));
+    sim.settle(3_000_000);
+    let healed = sim.min_ust();
+    let lag = sim.now().saturating_sub(healed.physical_micros());
+    assert!(lag < 1_000_000, "UST must recover after heal (lag {lag} µs)");
+}
+
+#[test]
+fn no_committed_data_lost_across_partition_and_heal() {
+    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 43));
+    // Commit traffic, cut a DC mid-run, keep committing, heal, settle:
+    // replication must deliver everything (TCP-like held links) and
+    // replicas must converge with zero checker violations.
+    sim.run_workload(300_000, 700_000);
+    sim.isolate_dc(DcId(1));
+    sim.run_workload(0, 700_000); // clients keep going during the cut
+    sim.heal_dc(DcId(1));
+    sim.run_workload(0, 700_000);
+    sim.settle(4_000_000);
+
+    let report = sim.report();
+    assert!(report.stats.committed > 0);
+    assert!(
+        report.violations.is_empty(),
+        "partition+heal must not violate TCC: {:#?}",
+        report.violations
+    );
+    let convergence = sim.check_convergence();
+    assert!(
+        convergence.is_empty(),
+        "all replicas must converge after heal: {convergence:#?}"
+    );
+}
+
+#[test]
+fn staleness_grows_during_partition_but_reads_stay_available() {
+    // §III-C: during a partition "transactions see increasingly stale
+    // snapshots" — but local operations never block.
+    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 47));
+    sim.run_workload(500_000, 1_000_000);
+    let committed_before = sim.report().stats.committed;
+    assert!(committed_before > 0);
+
+    sim.isolate_dc(DcId(2));
+    // Clients in all DCs keep running against frozen snapshots.
+    sim.run_workload(0, 1_500_000);
+    let report = sim.report();
+    assert!(
+        report.stats.committed > 0,
+        "transactions must keep committing during the partition"
+    );
+    assert_eq!(
+        report.blocking.blocked_reads, 0,
+        "PaRiS reads stay non-blocking even while partitioned"
+    );
+    assert!(
+        report.violations.is_empty(),
+        "stale but still causal: {:#?}",
+        report.violations
+    );
+}

@@ -1,0 +1,76 @@
+//! Integration tests on the real multi-threaded cluster: the same
+//! protocol code under genuine concurrency, with the consistency checker
+//! as the oracle.
+
+use std::time::Duration;
+
+use paris_runtime::{ThreadCluster, ThreadClusterConfig};
+use paris_types::Mode;
+
+#[test]
+fn threaded_paris_run_is_consistent_and_converges() {
+    let outcome = ThreadCluster::run(
+        ThreadClusterConfig::small(3, 6, Mode::Paris),
+        Duration::from_millis(1_500),
+    );
+    assert!(
+        outcome.report.stats.committed > 20,
+        "progress: {} txs",
+        outcome.report.stats.committed
+    );
+    assert!(
+        outcome.violations.is_empty(),
+        "violations under real concurrency: {:#?}",
+        outcome.violations
+    );
+    assert!(
+        outcome.convergence.is_empty(),
+        "replicas diverged: {:#?}",
+        outcome.convergence
+    );
+    assert_eq!(outcome.report.blocking.blocked_reads, 0, "PaRiS never blocks");
+    assert!(outcome.transactions > 20);
+}
+
+#[test]
+fn threaded_bpr_run_is_consistent_and_converges() {
+    let outcome = ThreadCluster::run(
+        ThreadClusterConfig::small(3, 6, Mode::Bpr),
+        Duration::from_millis(1_500),
+    );
+    assert!(outcome.report.stats.committed > 20);
+    assert!(
+        outcome.violations.is_empty(),
+        "violations under real concurrency: {:#?}",
+        outcome.violations
+    );
+    assert!(
+        outcome.convergence.is_empty(),
+        "replicas diverged: {:#?}",
+        outcome.convergence
+    );
+}
+
+#[test]
+fn threaded_write_heavy_mix_is_consistent() {
+    let mut config = ThreadClusterConfig::small(3, 6, Mode::Paris);
+    config.workload = paris_workload::WorkloadConfig {
+        keys_per_partition: 100,
+        ..paris_workload::WorkloadConfig::write_heavy()
+    };
+    let outcome = ThreadCluster::run(config, Duration::from_millis(1_500));
+    assert!(outcome.report.stats.committed > 20);
+    assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
+    assert!(outcome.convergence.is_empty(), "{:#?}", outcome.convergence);
+}
+
+#[test]
+fn threaded_five_dc_deployment_smoke() {
+    let outcome = ThreadCluster::run(
+        ThreadClusterConfig::small(5, 10, Mode::Paris),
+        Duration::from_millis(1_200),
+    );
+    assert!(outcome.report.stats.committed > 10);
+    assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
+    assert!(outcome.convergence.is_empty(), "{:#?}", outcome.convergence);
+}

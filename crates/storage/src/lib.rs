@@ -1,0 +1,40 @@
+//! Multi-version key-value storage for PaRiS partitions.
+//!
+//! Each server owns one partition of the keyspace and stores, per key, a
+//! *version chain*: every committed update creates a new [`Version`]
+//! (paper §II-C, "multi-version data store"). Reads are snapshot reads —
+//! "for each key, the version within the snapshot with the highest
+//! timestamp" (Alg. 3 lines 4–7) — with ties broken by the
+//! (timestamp, transaction id, source DC) total order of §IV-B.
+//!
+//! Old versions are garbage-collected up to the oldest snapshot visible to
+//! any running transaction (`S_old`, §IV-B "Garbage collection"): the chain
+//! keeps every version newer than `S_old` plus the freshest version at or
+//! below it, which is exactly the set a future read may return.
+//!
+//! # Example
+//!
+//! ```
+//! use paris_storage::PartitionStore;
+//! use paris_types::{DcId, Key, PartitionId, ServerId, Timestamp, TxId, Value};
+//!
+//! let mut store = PartitionStore::new();
+//! let tx = TxId::new(ServerId::new(DcId(0), PartitionId(0)), 1);
+//! store.apply(Key(7), Value::from("a"), Timestamp::from_physical_micros(10), tx, DcId(0));
+//! store.apply(Key(7), Value::from("b"), Timestamp::from_physical_micros(20), tx, DcId(0));
+//!
+//! // A snapshot at t=15 sees the first write only.
+//! let v = store.read_at(Key(7), Timestamp::from_physical_micros(15)).unwrap();
+//! assert_eq!(v.value.as_bytes(), b"a");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod store;
+
+pub use chain::VersionChain;
+pub use store::{PartitionStore, StoreStats};
+
+pub use paris_types::Version;

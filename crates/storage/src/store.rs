@@ -1,0 +1,181 @@
+//! The per-partition multi-version store.
+
+use std::collections::HashMap;
+
+use paris_types::{DcId, Key, Timestamp, TxId, Value, Version};
+
+use crate::chain::VersionChain;
+
+/// Counters describing a [`PartitionStore`]'s contents and activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of distinct keys with at least one version.
+    pub keys: usize,
+    /// Total retained versions across all chains.
+    pub versions: usize,
+    /// Versions applied since creation (including GC'd ones).
+    pub applied: u64,
+    /// Versions removed by garbage collection since creation.
+    pub gc_removed: u64,
+}
+
+/// The multi-version store owned by one partition server.
+///
+/// This is the `update(k, v, ut, id_T)` target of Alg. 4 lines 1–4: each
+/// apply "insert[s the] new item d in the version chain of key k".
+/// The store is deliberately synchronous and single-writer — the owning
+/// server state machine serializes access — so no interior locking is
+/// needed on either substrate.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionStore {
+    chains: HashMap<Key, VersionChain>,
+    applied: u64,
+    gc_removed: u64,
+}
+
+impl PartitionStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PartitionStore::default()
+    }
+
+    /// Applies one update: creates version `⟨k, v, ut, tx, src⟩` and inserts
+    /// it into `k`'s chain (Alg. 4, `update`).
+    ///
+    /// Idempotent under replication re-delivery; returns `true` if the
+    /// version was new.
+    pub fn apply(&mut self, key: Key, value: Value, ut: Timestamp, tx: TxId, src: DcId) -> bool {
+        let inserted = self
+            .chains
+            .entry(key)
+            .or_default()
+            .insert(Version::new(key, value, ut, tx, src));
+        if inserted {
+            self.applied += 1;
+        }
+        inserted
+    }
+
+    /// Snapshot read: the freshest version of `key` with `ut ≤ ts`
+    /// (Alg. 3 lines 5–6). `None` if the key has no visible version.
+    pub fn read_at(&self, key: Key, ts: Timestamp) -> Option<&Version> {
+        self.chains.get(&key).and_then(|c| c.read_at(ts))
+    }
+
+    /// The freshest version of `key` regardless of snapshot.
+    pub fn latest(&self, key: Key) -> Option<&Version> {
+        self.chains.get(&key).and_then(VersionChain::latest)
+    }
+
+    /// The chain of `key`, if any version was ever applied.
+    pub fn chain(&self, key: Key) -> Option<&VersionChain> {
+        self.chains.get(&key)
+    }
+
+    /// Runs garbage collection on every chain with the oldest-active
+    /// snapshot horizon `s_old` (§IV-B). Returns versions removed.
+    pub fn gc(&mut self, s_old: Timestamp) -> usize {
+        let mut removed = 0;
+        for chain in self.chains.values_mut() {
+            removed += chain.gc(s_old);
+        }
+        self.gc_removed += removed as u64;
+        removed
+    }
+
+    /// Iterates over all (key, chain) pairs — used by the consistency
+    /// checker and convergence tests.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &VersionChain)> {
+        self.chains.iter()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            keys: self.chains.len(),
+            versions: self.chains.values().map(VersionChain::len).sum(),
+            applied: self.applied,
+            gc_removed: self.gc_removed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paris_types::{PartitionId, ServerId};
+
+    fn tx(seq: u64) -> TxId {
+        TxId::new(ServerId::new(DcId(0), PartitionId(0)), seq)
+    }
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_physical_micros(t)
+    }
+
+    #[test]
+    fn apply_then_read_roundtrip() {
+        let mut s = PartitionStore::new();
+        assert!(s.apply(Key(1), Value::from("x"), ts(10), tx(1), DcId(0)));
+        let v = s.read_at(Key(1), ts(10)).unwrap();
+        assert_eq!(v.value.as_bytes(), b"x");
+        assert!(s.read_at(Key(1), ts(9)).is_none());
+        assert!(s.read_at(Key(2), ts(99)).is_none());
+    }
+
+    #[test]
+    fn apply_is_idempotent_and_counts_once() {
+        let mut s = PartitionStore::new();
+        assert!(s.apply(Key(1), Value::from("x"), ts(10), tx(1), DcId(0)));
+        assert!(!s.apply(Key(1), Value::from("x"), ts(10), tx(1), DcId(0)));
+        assert_eq!(s.stats().applied, 1);
+        assert_eq!(s.stats().versions, 1);
+    }
+
+    #[test]
+    fn distinct_keys_have_independent_chains() {
+        let mut s = PartitionStore::new();
+        s.apply(Key(1), Value::from("a"), ts(10), tx(1), DcId(0));
+        s.apply(Key(2), Value::from("b"), ts(20), tx(2), DcId(0));
+        assert_eq!(s.stats().keys, 2);
+        assert_eq!(s.read_at(Key(1), ts(15)).unwrap().value.as_bytes(), b"a");
+        assert!(s.read_at(Key(2), ts(15)).is_none());
+    }
+
+    #[test]
+    fn gc_across_keys_counts_removed() {
+        let mut s = PartitionStore::new();
+        for t in [10u64, 20, 30] {
+            s.apply(Key(1), Value::filled(4, t), ts(t), tx(t), DcId(0));
+            s.apply(Key(2), Value::filled(4, t), ts(t), tx(t), DcId(0));
+        }
+        let removed = s.gc(ts(100));
+        assert_eq!(removed, 4, "two stale versions per key");
+        assert_eq!(s.stats().versions, 2);
+        assert_eq!(s.stats().gc_removed, 4);
+        // Latest still readable.
+        assert_eq!(s.latest(Key(1)).unwrap().ut, ts(30));
+    }
+
+    #[test]
+    fn iter_visits_all_chains() {
+        let mut s = PartitionStore::new();
+        s.apply(Key(1), Value::from("a"), ts(1), tx(1), DcId(0));
+        s.apply(Key(9), Value::from("b"), ts(2), tx(2), DcId(0));
+        let keys: Vec<u64> = {
+            let mut v: Vec<u64> = s.iter().map(|(k, _)| k.as_u64()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(keys, vec![1, 9]);
+    }
+
+    #[test]
+    fn chain_accessor_exposes_versions() {
+        let mut s = PartitionStore::new();
+        s.apply(Key(1), Value::from("a"), ts(1), tx(1), DcId(0));
+        s.apply(Key(1), Value::from("b"), ts(2), tx(2), DcId(0));
+        assert_eq!(s.chain(Key(1)).unwrap().len(), 2);
+        assert!(s.chain(Key(2)).is_none());
+    }
+}

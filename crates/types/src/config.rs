@@ -1,0 +1,325 @@
+//! Cluster configuration shared by every substrate and the protocol core.
+
+use crate::error::ConfigError;
+
+/// Protocol variant to run.
+///
+/// The paper evaluates PaRiS against **BPR** (Blocking Partial Replication,
+/// §V): an identical system except that transaction snapshots are fresh
+/// (coordinator clock) and reads block until the serving partition has
+/// installed the snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// PaRiS: non-blocking reads from the UST-stable snapshot plus the
+    /// client-side write cache.
+    #[default]
+    Paris,
+    /// BPR: fresh snapshots, blocking reads (the paper's baseline).
+    Bpr,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Paris => write!(f, "PaRiS"),
+            Mode::Bpr => write!(f, "BPR"),
+        }
+    }
+}
+
+/// Periods of the background protocols, in simulated/real microseconds.
+///
+/// The paper runs all stabilization protocols every 5 ms (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Intervals {
+    /// ∆R: period of the apply/replicate tick (Alg. 4 line 5).
+    pub replication_micros: u64,
+    /// ∆G: period of the intra-DC GST aggregation (Alg. 4 line 34).
+    pub gst_micros: u64,
+    /// ∆U: period of the UST computation at DC roots (Alg. 4 line 36).
+    pub ust_micros: u64,
+    /// Period of the garbage-collection aggregation (§IV-B).
+    pub gc_micros: u64,
+}
+
+impl Default for Intervals {
+    /// Paper defaults: 5 ms stabilization everywhere; GC every second.
+    fn default() -> Self {
+        Intervals {
+            replication_micros: 5_000,
+            gst_micros: 5_000,
+            ust_micros: 5_000,
+            gc_micros: 1_000_000,
+        }
+    }
+}
+
+/// Static description of a PaRiS deployment.
+///
+/// `M` DCs, `N` partitions, replication factor `R`: each partition is
+/// replicated at `R` DCs, so each DC hosts `N·R/M` servers when the
+/// placement is balanced (the paper's deployments always are: e.g. 45
+/// partitions × R=2 over 5 DCs = 18 servers/DC).
+///
+/// Use [`ClusterConfig::builder`] to construct one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of data centers `M`.
+    pub dcs: u16,
+    /// Number of partitions `N`.
+    pub partitions: u32,
+    /// Replication factor `R` (paper default: 2).
+    pub replication_factor: u16,
+    /// Keys per partition in the workload keyspace.
+    pub keys_per_partition: u64,
+    /// Payload size of written values, in bytes (paper: 8).
+    pub value_size: usize,
+    /// Background protocol periods.
+    pub intervals: Intervals,
+    /// Protocol variant.
+    pub mode: Mode,
+    /// Maximum absolute physical-clock skew injected per server, in
+    /// microseconds (NTP-like; 0 disables skew).
+    pub max_clock_skew_micros: u64,
+}
+
+impl ClusterConfig {
+    /// Starts building a configuration with the paper's defaults.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder::new()
+    }
+
+    /// Number of servers each DC hosts under balanced placement.
+    ///
+    /// Exact when `N·R` is divisible by `M` (all paper deployments);
+    /// otherwise DCs differ by at most one server and this returns the
+    /// rounded-down count.
+    pub fn servers_per_dc(&self) -> u32 {
+        self.partitions * u32::from(self.replication_factor) / u32::from(self.dcs)
+    }
+
+    /// Total number of servers (partition replicas) in the system.
+    pub fn total_servers(&self) -> u32 {
+        self.partitions * u32::from(self.replication_factor)
+    }
+
+    /// Total number of keys in the keyspace.
+    pub fn total_keys(&self) -> u64 {
+        u64::from(self.partitions) * self.keys_per_partition
+    }
+
+    /// Validates the invariants the protocol relies on.
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.dcs == 0 {
+            return Err(ConfigError::new("at least one DC is required"));
+        }
+        if self.partitions == 0 {
+            return Err(ConfigError::new("at least one partition is required"));
+        }
+        if self.replication_factor == 0 {
+            return Err(ConfigError::new("replication factor must be at least 1"));
+        }
+        if self.replication_factor > self.dcs {
+            return Err(ConfigError::new(
+                "replication factor cannot exceed the number of DCs",
+            ));
+        }
+        if self.keys_per_partition == 0 {
+            return Err(ConfigError::new("keys per partition must be at least 1"));
+        }
+        if self.intervals.replication_micros == 0
+            || self.intervals.gst_micros == 0
+            || self.intervals.ust_micros == 0
+            || self.intervals.gc_micros == 0
+        {
+            return Err(ConfigError::new("protocol intervals must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClusterConfig {
+    /// The paper's default deployment: 5 DCs, 45 partitions, R = 2
+    /// (18 servers per DC), 8-byte items.
+    fn default() -> Self {
+        ClusterConfig::builder().build().expect("defaults are valid")
+    }
+}
+
+/// Builder for [`ClusterConfig`].
+///
+/// ```
+/// use paris_types::{ClusterConfig, Mode};
+///
+/// let cfg = ClusterConfig::builder()
+///     .dcs(3)
+///     .partitions(9)
+///     .replication_factor(2)
+///     .mode(Mode::Bpr)
+///     .build()?;
+/// assert_eq!(cfg.servers_per_dc(), 6);
+/// # Ok::<(), paris_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Creates a builder seeded with the paper's default deployment.
+    pub fn new() -> Self {
+        ClusterConfigBuilder {
+            cfg: ClusterConfig {
+                dcs: 5,
+                partitions: 45,
+                replication_factor: 2,
+                keys_per_partition: 100_000,
+                value_size: 8,
+                intervals: Intervals::default(),
+                mode: Mode::Paris,
+                max_clock_skew_micros: 500,
+            },
+        }
+    }
+
+    /// Sets the number of DCs `M`.
+    pub fn dcs(mut self, dcs: u16) -> Self {
+        self.cfg.dcs = dcs;
+        self
+    }
+
+    /// Sets the number of partitions `N`.
+    pub fn partitions(mut self, partitions: u32) -> Self {
+        self.cfg.partitions = partitions;
+        self
+    }
+
+    /// Sets the replication factor `R`.
+    pub fn replication_factor(mut self, r: u16) -> Self {
+        self.cfg.replication_factor = r;
+        self
+    }
+
+    /// Sets the number of keys per partition.
+    pub fn keys_per_partition(mut self, keys: u64) -> Self {
+        self.cfg.keys_per_partition = keys;
+        self
+    }
+
+    /// Sets the written value payload size in bytes.
+    pub fn value_size(mut self, bytes: usize) -> Self {
+        self.cfg.value_size = bytes;
+        self
+    }
+
+    /// Sets the background protocol periods.
+    pub fn intervals(mut self, intervals: Intervals) -> Self {
+        self.cfg.intervals = intervals;
+        self
+    }
+
+    /// Sets the protocol variant.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Sets the maximum injected physical clock skew (microseconds).
+    pub fn max_clock_skew_micros(mut self, micros: u64) -> Self {
+        self.cfg.max_clock_skew_micros = micros;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any invariant is violated (e.g.
+    /// `R > M`, zero partitions, zero intervals).
+    pub fn build(self) -> Result<ClusterConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+impl Default for ClusterConfigBuilder {
+    fn default() -> Self {
+        ClusterConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_deployment() {
+        let cfg = ClusterConfig::default();
+        assert_eq!(cfg.dcs, 5);
+        assert_eq!(cfg.partitions, 45);
+        assert_eq!(cfg.replication_factor, 2);
+        assert_eq!(cfg.servers_per_dc(), 18);
+        assert_eq!(cfg.total_servers(), 90);
+        assert_eq!(cfg.value_size, 8);
+        assert_eq!(cfg.mode, Mode::Paris);
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let cfg = ClusterConfig::builder()
+            .dcs(3)
+            .partitions(9)
+            .replication_factor(3)
+            .keys_per_partition(10)
+            .value_size(64)
+            .mode(Mode::Bpr)
+            .max_clock_skew_micros(0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.servers_per_dc(), 9);
+        assert_eq!(cfg.total_keys(), 90);
+        assert_eq!(cfg.mode, Mode::Bpr);
+        assert_eq!(cfg.max_clock_skew_micros, 0);
+    }
+
+    #[test]
+    fn rejects_replication_factor_above_dcs() {
+        let err = ClusterConfig::builder()
+            .dcs(2)
+            .replication_factor(3)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("replication factor"));
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(ClusterConfig::builder().dcs(0).build().is_err());
+        assert!(ClusterConfig::builder().partitions(0).build().is_err());
+        assert!(ClusterConfig::builder().replication_factor(0).build().is_err());
+        assert!(ClusterConfig::builder().keys_per_partition(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_intervals() {
+        let bad = Intervals {
+            replication_micros: 0,
+            ..Intervals::default()
+        };
+        assert!(ClusterConfig::builder().intervals(bad).build().is_err());
+    }
+
+    #[test]
+    fn intervals_default_to_paper_values() {
+        let iv = Intervals::default();
+        assert_eq!(iv.replication_micros, 5_000);
+        assert_eq!(iv.gst_micros, 5_000);
+        assert_eq!(iv.ust_micros, 5_000);
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(Mode::Paris.to_string(), "PaRiS");
+        assert_eq!(Mode::Bpr.to_string(), "BPR");
+    }
+}

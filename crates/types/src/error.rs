@@ -1,0 +1,120 @@
+//! Error types shared across the workspace.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error produced when building an invalid [`crate::ClusterConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: &'static str,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with a static description.
+    pub fn new(message: &'static str) -> Self {
+        ConfigError { message }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cluster configuration: {}", self.message)
+    }
+}
+
+impl StdError for ConfigError {}
+
+/// Top-level error type for operations on a PaRiS deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The configuration was invalid.
+    Config(ConfigError),
+    /// An operation referenced a transaction id unknown to the coordinator
+    /// (e.g. already committed, or a bogus id).
+    UnknownTransaction,
+    /// An operation targeted a partition that no reachable DC replicates
+    /// (paper §III-C: this is the partial-replication unavailability case).
+    PartitionUnreachable,
+    /// A client issued an operation outside of an open transaction.
+    NoOpenTransaction,
+    /// A client tried to start a transaction while one is already open
+    /// (sessions are sequential: one outstanding operation at a time, §II-C).
+    TransactionAlreadyOpen,
+    /// Commit was invoked with an empty write set; the paper only invokes
+    /// commit for update transactions (Alg. 1 line 26).
+    EmptyWriteSet,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "{e}"),
+            Error::UnknownTransaction => write!(f, "unknown transaction id"),
+            Error::PartitionUnreachable => {
+                write!(f, "no reachable replica for the target partition")
+            }
+            Error::NoOpenTransaction => write!(f, "no transaction is open in this session"),
+            Error::TransactionAlreadyOpen => {
+                write!(f, "a transaction is already open in this session")
+            }
+            Error::EmptyWriteSet => write!(f, "commit requires a non-empty write set"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_error_display() {
+        let e = ConfigError::new("boom");
+        assert_eq!(e.to_string(), "invalid cluster configuration: boom");
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_terse() {
+        for e in [
+            Error::UnknownTransaction,
+            Error::PartitionUnreachable,
+            Error::NoOpenTransaction,
+            Error::TransactionAlreadyOpen,
+            Error::EmptyWriteSet,
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_wraps_config_error_as_source() {
+        let e: Error = ConfigError::new("bad").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert_eq!(e, Error::Config(ConfigError::new("bad")));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+        assert_bounds::<ConfigError>();
+    }
+}

@@ -1,0 +1,121 @@
+//! Keys and values of the data store.
+
+use std::fmt;
+
+/// A key in the distributed key-value store.
+///
+/// Workload keys are dense integers (as in YCSB); the hash that maps a key
+/// to its partition lives in `paris-core::topology` so that all routing
+/// decisions share one implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// The raw key value.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(v: u64) -> Self {
+        Key(v)
+    }
+}
+
+/// A value stored under a key.
+///
+/// The paper's evaluation uses small 8-byte items (§V-A), so values are
+/// plain byte vectors; the payload size is workload-configurable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Value(pub Vec<u8>);
+
+impl Value {
+    /// Creates a value of `len` bytes filled with a marker byte derived from
+    /// `seed` — cheap to generate and easy to spot in assertions.
+    pub fn filled(len: usize, seed: u64) -> Self {
+        Value(vec![(seed % 251) as u8 + 1; len])
+    }
+
+    /// Byte length of the value.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v[{}B]", self.0.len())
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value(v)
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(v: &[u8]) -> Self {
+        Value(v.to_vec())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value(v.as_bytes().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip_and_display() {
+        let k = Key::from(42u64);
+        assert_eq!(k.as_u64(), 42);
+        assert_eq!(k.to_string(), "k42");
+    }
+
+    #[test]
+    fn value_filled_has_requested_len_and_nonzero_bytes() {
+        let v = Value::filled(8, 123);
+        assert_eq!(v.len(), 8);
+        assert!(!v.is_empty());
+        assert!(v.as_bytes().iter().all(|&b| b != 0));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from("hi").as_bytes(), b"hi");
+        assert_eq!(Value::from(vec![1, 2]).len(), 2);
+        assert_eq!(Value::from(&b"xyz"[..]).len(), 3);
+    }
+
+    #[test]
+    fn empty_value_display_is_nonempty() {
+        assert_eq!(Value::default().to_string(), "v[0B]");
+        assert!(Value::default().is_empty());
+    }
+}

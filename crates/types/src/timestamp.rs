@@ -1,0 +1,252 @@
+//! Scalar hybrid timestamps.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A scalar hybrid logical-physical timestamp.
+///
+/// PaRiS tracks dependencies and defines transactional snapshots with a
+/// *single* timestamp (paper §I, §III-B). We follow the standard HLC
+/// encoding (Kulkarni et al., OPODIS'14): the upper 48 bits hold physical
+/// time in microseconds, the lower 16 bits hold a logical counter used to
+/// preserve causality when the physical component ties.
+///
+/// The packed representation makes comparison a single `u64` compare and the
+/// wire size exactly 8 bytes, which is the "1 ts" metadata cost in the
+/// paper's Table I.
+///
+/// # Example
+///
+/// ```
+/// use paris_types::Timestamp;
+///
+/// let a = Timestamp::from_parts(500, 0);
+/// let b = a.with_logical(1);
+/// assert!(a < b);
+/// assert_eq!(b.physical_micros(), 500);
+/// assert_eq!(b.logical(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+/// Number of bits reserved for the logical counter.
+const LOGICAL_BITS: u32 = 16;
+/// Mask extracting the logical counter.
+const LOGICAL_MASK: u64 = (1 << LOGICAL_BITS) - 1;
+
+impl Timestamp {
+    /// The zero timestamp: before everything.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The maximum representable timestamp: after everything.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Builds a timestamp from physical microseconds and a logical counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical_micros` does not fit in 48 bits (≈ 8.9 years of
+    /// microseconds) — unreachable in any simulation or realistic run.
+    #[inline]
+    pub fn from_parts(physical_micros: u64, logical: u16) -> Self {
+        assert!(
+            physical_micros < (1 << (64 - LOGICAL_BITS)),
+            "physical component out of range"
+        );
+        Timestamp((physical_micros << LOGICAL_BITS) | u64::from(logical))
+    }
+
+    /// Builds a timestamp with physical component only (logical = 0).
+    #[inline]
+    pub fn from_physical_micros(micros: u64) -> Self {
+        Timestamp::from_parts(micros, 0)
+    }
+
+    /// The raw packed value.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a timestamp from a raw packed value (e.g. off the wire).
+    #[inline]
+    pub fn from_u64(raw: u64) -> Self {
+        Timestamp(raw)
+    }
+
+    /// Physical component in microseconds.
+    #[inline]
+    pub fn physical_micros(self) -> u64 {
+        self.0 >> LOGICAL_BITS
+    }
+
+    /// Logical counter component.
+    #[inline]
+    pub fn logical(self) -> u16 {
+        (self.0 & LOGICAL_MASK) as u16
+    }
+
+    /// Returns this timestamp with the logical counter replaced.
+    #[inline]
+    pub fn with_logical(self, logical: u16) -> Self {
+        Timestamp((self.0 & !LOGICAL_MASK) | u64::from(logical))
+    }
+
+    /// The next representable timestamp (logical + 1, carrying into the
+    /// physical component on overflow).
+    ///
+    /// Used by the HLC rule `HLC ← max(Clock, ht + 1, HLC + 1)`
+    /// (Alg. 3 line 10).
+    #[inline]
+    pub fn tick(self) -> Self {
+        Timestamp(self.0.checked_add(1).expect("timestamp overflow"))
+    }
+
+    /// The previous representable timestamp, saturating at zero.
+    ///
+    /// Used for the `min(prepared) − 1` version-clock bound (Alg. 4 line 6).
+    #[inline]
+    pub fn pred(self) -> Self {
+        Timestamp(self.0.saturating_sub(1))
+    }
+
+    /// Difference of the physical components, in microseconds, saturating
+    /// at zero. Used to measure staleness and visibility latency.
+    #[inline]
+    pub fn physical_delta_micros(self, earlier: Timestamp) -> u64 {
+        self.physical_micros()
+            .saturating_sub(earlier.physical_micros())
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ts({}.{})", self.physical_micros(), self.logical())
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us+{}", self.physical_micros(), self.logical())
+    }
+}
+
+impl Add<u64> for Timestamp {
+    type Output = Timestamp;
+
+    /// Adds `micros` microseconds to the physical component, clearing the
+    /// logical counter. Handy for tests and timer arithmetic.
+    fn add(self, micros: u64) -> Timestamp {
+        Timestamp::from_physical_micros(self.physical_micros() + micros)
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = u64;
+
+    /// Physical difference in microseconds (saturating).
+    fn sub(self, rhs: Timestamp) -> u64 {
+        self.physical_delta_micros(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_is_minimal() {
+        assert_eq!(Timestamp::ZERO.physical_micros(), 0);
+        assert_eq!(Timestamp::ZERO.logical(), 0);
+        assert!(Timestamp::ZERO < Timestamp::from_parts(0, 1));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let ts = Timestamp::from_parts(123_456_789, 42);
+        assert_eq!(ts.physical_micros(), 123_456_789);
+        assert_eq!(ts.logical(), 42);
+        assert_eq!(Timestamp::from_u64(ts.as_u64()), ts);
+    }
+
+    #[test]
+    fn ordering_is_physical_then_logical() {
+        let a = Timestamp::from_parts(10, 65_535);
+        let b = Timestamp::from_parts(11, 0);
+        assert!(a < b);
+        let c = Timestamp::from_parts(10, 1);
+        let d = Timestamp::from_parts(10, 2);
+        assert!(c < d);
+    }
+
+    #[test]
+    fn tick_carries_into_physical() {
+        let a = Timestamp::from_parts(10, u16::MAX);
+        let b = a.tick();
+        assert_eq!(b.physical_micros(), 11);
+        assert_eq!(b.logical(), 0);
+    }
+
+    #[test]
+    fn pred_saturates() {
+        assert_eq!(Timestamp::ZERO.pred(), Timestamp::ZERO);
+        let a = Timestamp::from_parts(1, 0);
+        assert_eq!(a.pred(), Timestamp::from_parts(0, u16::MAX));
+    }
+
+    #[test]
+    fn with_logical_replaces_counter() {
+        let a = Timestamp::from_parts(99, 7);
+        assert_eq!(a.with_logical(0).logical(), 0);
+        assert_eq!(a.with_logical(0).physical_micros(), 99);
+    }
+
+    #[test]
+    fn add_and_sub_work_on_physical_micros() {
+        let a = Timestamp::from_physical_micros(1_000);
+        let b = a + 500;
+        assert_eq!(b.physical_micros(), 1_500);
+        assert_eq!(b - a, 500);
+        assert_eq!(a - b, 0, "sub saturates");
+    }
+
+    #[test]
+    #[should_panic(expected = "physical component out of range")]
+    fn from_parts_rejects_oversized_physical() {
+        let _ = Timestamp::from_parts(1 << 48, 0);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let ts = Timestamp::from_parts(5, 2);
+        assert_eq!(format!("{ts}"), "5us+2");
+        assert_eq!(format!("{ts:?}"), "Ts(5.2)");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_roundtrip(phys in 0u64..(1 << 48), log in any::<u16>()) {
+            let ts = Timestamp::from_parts(phys, log);
+            prop_assert_eq!(ts.physical_micros(), phys);
+            prop_assert_eq!(ts.logical(), log);
+        }
+
+        #[test]
+        fn prop_order_matches_tuple_order(
+            p1 in 0u64..(1 << 48), l1 in any::<u16>(),
+            p2 in 0u64..(1 << 48), l2 in any::<u16>()
+        ) {
+            let a = Timestamp::from_parts(p1, l1);
+            let b = Timestamp::from_parts(p2, l2);
+            prop_assert_eq!(a.cmp(&b), (p1, l1).cmp(&(p2, l2)));
+        }
+
+        #[test]
+        fn prop_tick_is_strictly_increasing(phys in 0u64..(1 << 47), log in any::<u16>()) {
+            let ts = Timestamp::from_parts(phys, log);
+            prop_assert!(ts.tick() > ts);
+            prop_assert_eq!(ts.tick().pred(), ts);
+        }
+    }
+}

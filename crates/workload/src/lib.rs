@@ -1,0 +1,23 @@
+//! YCSB-style workload generation and measurement statistics.
+//!
+//! Reproduces the paper's evaluation workloads (§V-A): transactions of 20
+//! operations — 19 reads + 1 write (the 95:5 read-heavy mix, YCSB-B-like)
+//! or 10 reads + 10 writes (the 50:50 write-heavy mix, YCSB-A-like) —
+//! touching a configurable number of partitions, with keys drawn from a
+//! zipfian distribution (θ = 0.99, the YCSB default) *within* each
+//! partition, 8-byte values, and a configurable local-DC : multi-DC
+//! transaction ratio.
+//!
+//! The [`stats`] module provides the log-bucketed latency histogram,
+//! percentile/CDF extraction and throughput accounting used by every
+//! benchmark figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+pub mod stats;
+mod zipf;
+
+pub use generator::{TxSpec, WorkloadConfig, WorkloadGenerator};
+pub use zipf::Zipfian;

@@ -1,0 +1,68 @@
+//! Write-heavy device telemetry on the simulated WAN cluster.
+//!
+//! Uses the discrete-event runtime (AWS latency matrix, CPU service
+//! model) the way the benchmark harness does: run the paper's 50:50
+//! write-heavy workload on a 3-DC deployment, then inspect throughput,
+//! latency percentiles, update-visibility latency and the consistency
+//! checker's verdict. This is the template to copy for your own
+//! performance experiments.
+//!
+//! Run with: `cargo run --release --example device_telemetry`
+
+use paris::runtime::{SimCluster, SimConfig};
+use paris::types::Mode;
+use paris::workload::WorkloadConfig;
+
+fn main() {
+    // A telemetry fleet: many small writes, reads of recent readings.
+    let mut config = SimConfig::small_test(3, 12, Mode::Paris, 2024);
+    config.clients_per_dc = 8;
+    config.workload = WorkloadConfig {
+        keys_per_partition: 500,
+        ..WorkloadConfig::write_heavy() // 10 reads + 10 writes per tx
+    };
+    config.record_events = true;
+    config.record_history = true;
+
+    println!("running 3 DCs × 12 partitions, 50:50 r:w, 24 closed-loop devices…");
+    let mut sim = SimCluster::new(config);
+    sim.run_workload(500_000, 3_000_000); // 0.5 s warmup, 3 s measured
+    sim.settle(2_000_000); // let replication/stabilization drain
+
+    let report = sim.report();
+    println!("\n{}", report.summary());
+    println!(
+        "  p50 {:.2} ms   p95 {:.2} ms   p99 {:.2} ms",
+        report.stats.percentile_ms(50.0),
+        report.stats.percentile_ms(95.0),
+        report.stats.percentile_ms(99.0),
+    );
+    println!(
+        "  network: {} messages, {:.1} MiB",
+        report.net_messages,
+        report.net_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    if let Some(vis) = &report.visibility {
+        println!(
+            "  update visibility: p50 {:.1} ms, p90 {:.1} ms ({} samples)",
+            vis.percentile(50.0) as f64 / 1_000.0,
+            vis.percentile(90.0) as f64 / 1_000.0,
+            vis.count()
+        );
+    }
+
+    // The consistency checker replayed every session against the global
+    // version history: TCC must hold.
+    assert!(
+        report.violations.is_empty(),
+        "consistency violations: {:#?}",
+        report.violations
+    );
+    let convergence = sim.check_convergence();
+    assert!(convergence.is_empty(), "replicas diverged: {convergence:#?}");
+    println!(
+        "\nTCC verified over {} recorded transactions ✓  replicas converged ✓",
+        sim.recorded_transactions()
+    );
+}

@@ -1,0 +1,66 @@
+//! # PaRiS — causally consistent transactions with non-blocking reads and
+//! partial replication
+//!
+//! A from-scratch Rust reproduction of *PaRiS: Causally Consistent
+//! Transactions with Non-blocking Reads and Partial Replication*
+//! (Spirovska, Didona, Zwaenepoel — ICDCS 2019).
+//!
+//! PaRiS implements **Transactional Causal Consistency** (TCC) on a
+//! sharded, partially replicated key-value store. Its core mechanism is
+//! the **Universal Stable Time (UST)**: a single scalar timestamp,
+//! computed by background gossip, identifying a snapshot already installed
+//! by *every* data center — so any server in any DC can serve
+//! transactional reads from it without blocking. A small client-side write
+//! cache preserves read-your-own-writes on top of the slightly stale
+//! stable snapshot.
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`types`] | ids, timestamps, versions, cluster configuration |
+//! | [`clock`] | physical clocks and the Hybrid Logical Clock |
+//! | [`storage`] | multi-version per-partition store with GC |
+//! | [`proto`] | protocol messages + binary wire codec |
+//! | [`net`] | discrete-event simulator and threaded transport |
+//! | [`core`] | server/client state machines, topology, checker |
+//! | [`runtime`] | simulated and threaded cluster drivers |
+//! | [`workload`] | YCSB-style generator and statistics |
+//!
+//! ## Quickstart
+//!
+//! The fastest way to a running system is the simulated cluster:
+//!
+//! ```
+//! use paris::runtime::{SimCluster, SimConfig};
+//! use paris::types::Mode;
+//!
+//! // 3 DCs × 6 partitions (replication factor 2), PaRiS mode.
+//! let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 7));
+//! sim.run_workload(200_000, 800_000); // 0.2 s warmup, 0.8 s window
+//! let report = sim.report();
+//! assert!(report.stats.committed > 0);
+//! assert!(report.violations.is_empty(), "TCC must hold");
+//! ```
+//!
+//! For driving the protocol by hand (your own substrate), see
+//! [`core::Server`] and [`core::ClientSession`]; the `examples/`
+//! directory walks through both styles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mini;
+
+pub use paris_clock as clock;
+pub use paris_core as core;
+pub use paris_net as net;
+pub use paris_proto as proto;
+pub use paris_runtime as runtime;
+pub use paris_storage as storage;
+pub use paris_types as types;
+pub use paris_workload as workload;
+
+pub use paris_core::{ClientSession, HistoryChecker, Server, ServerOptions, Topology};
+pub use paris_runtime::{RunReport, SimCluster, SimConfig, ThreadCluster, ThreadClusterConfig};
+pub use paris_types::{ClusterConfig, Mode};

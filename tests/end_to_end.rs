@@ -1,0 +1,174 @@
+//! Workspace-level integration tests exercising the public facade the way
+//! a downstream user would: the `paris::mini` embedded cluster, the
+//! simulated runtime, and the threaded runtime, across both protocol
+//! modes.
+
+use paris::mini::MiniCluster;
+use paris::types::{DcId, Key, Mode, Timestamp, Value};
+
+#[test]
+fn readme_flow_write_stabilize_read_everywhere() {
+    let mut cluster = MiniCluster::new(3, 6, 2, Mode::Paris).unwrap();
+    let writer = cluster.client(0);
+    cluster.begin(writer).unwrap();
+    cluster.write(writer, Key(4), Value::from("v")).unwrap();
+    let ct = cluster.commit(writer).unwrap();
+    cluster.stabilize(5);
+    assert!(cluster.min_ust() >= ct);
+
+    for dc in 0..3u16 {
+        let reader = cluster.client(dc);
+        cluster.begin(reader).unwrap();
+        assert_eq!(
+            cluster.read_one(reader, Key(4)).unwrap(),
+            Some(Value::from("v")),
+            "dc{dc} must read the stabilized write"
+        );
+        cluster.commit(reader).unwrap();
+    }
+}
+
+#[test]
+fn causal_chain_across_three_dcs() {
+    let mut cluster = MiniCluster::new(3, 9, 2, Mode::Paris).unwrap();
+    let a = cluster.client(0);
+    let b = cluster.client(1);
+    let c = cluster.client(2);
+
+    // a writes x; b reads x and writes y; c must not see y without x.
+    cluster.begin(a).unwrap();
+    cluster.write(a, Key(0), Value::from("x")).unwrap();
+    let ct_x = cluster.commit(a).unwrap();
+    cluster.stabilize(5);
+
+    cluster.begin(b).unwrap();
+    assert!(cluster.read_one(b, Key(0)).unwrap().is_some());
+    cluster.write(b, Key(1), Value::from("y")).unwrap();
+    let ct_y = cluster.commit(b).unwrap();
+    assert!(ct_y > ct_x, "dependent write must be timestamped later");
+    cluster.stabilize(5);
+
+    cluster.begin(c).unwrap();
+    let y = cluster.read_one(c, Key(1)).unwrap();
+    let x = cluster.read_one(c, Key(0)).unwrap();
+    assert!(y.is_some());
+    assert!(x.is_some(), "cause must be visible with its effect");
+    cluster.commit(c).unwrap();
+}
+
+#[test]
+fn write_write_conflict_converges_identically_everywhere() {
+    let mut cluster = MiniCluster::new(3, 6, 2, Mode::Paris).unwrap();
+    let a = cluster.client(0);
+    let b = cluster.client(1);
+
+    cluster.begin(a).unwrap();
+    cluster.begin(b).unwrap();
+    cluster.write(a, Key(0), Value::from("A")).unwrap();
+    cluster.write(b, Key(0), Value::from("B")).unwrap();
+    cluster.commit(a).unwrap();
+    cluster.commit(b).unwrap();
+    cluster.stabilize(8);
+
+    // Both replicas of partition 0 must agree (LWW).
+    let topo = cluster.topology().clone();
+    let replicas = topo.replicas(paris::types::PartitionId(0));
+    let values: Vec<Vec<u8>> = replicas
+        .iter()
+        .map(|dc| {
+            cluster
+                .server(paris::types::ServerId::new(*dc, paris::types::PartitionId(0)))
+                .unwrap()
+                .store()
+                .latest(Key(0))
+                .unwrap()
+                .value
+                .as_bytes()
+                .to_vec()
+        })
+        .collect();
+    assert_eq!(values[0], values[1], "replicas must converge");
+
+    // Readers in every DC see the same winner.
+    let mut seen = Vec::new();
+    for dc in 0..3u16 {
+        let r = cluster.client(dc);
+        cluster.begin(r).unwrap();
+        seen.push(cluster.read_one(r, Key(0)).unwrap().unwrap());
+        cluster.commit(r).unwrap();
+    }
+    assert!(seen.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn bpr_mode_full_flow() {
+    let mut cluster = MiniCluster::new(3, 6, 2, Mode::Bpr).unwrap();
+    let a = cluster.client(0);
+    cluster.begin(a).unwrap();
+    cluster.write(a, Key(2), Value::from("fresh")).unwrap();
+    let ct = cluster.commit(a).unwrap();
+    assert!(ct > Timestamp::ZERO);
+
+    // BPR reads block until installed; MiniCluster advances background
+    // rounds transparently, so this returns the fresh value without any
+    // UST requirement.
+    let b = cluster.client(1);
+    cluster.begin(b).unwrap();
+    assert_eq!(
+        cluster.read_one(b, Key(2)).unwrap(),
+        Some(Value::from("fresh"))
+    );
+    cluster.commit(b).unwrap();
+}
+
+#[test]
+fn snapshots_monotonic_and_staleness_bounded_in_mini_cluster() {
+    let mut cluster = MiniCluster::new(3, 6, 2, Mode::Paris).unwrap();
+    let a = cluster.client(0);
+    let mut prev = Timestamp::ZERO;
+    for i in 0..10u64 {
+        let snap = cluster.begin(a).unwrap();
+        assert!(snap >= prev, "snapshot regressed at tx {i}");
+        prev = snap;
+        cluster.write(a, Key(i % 6), Value::filled(8, i)).unwrap();
+        cluster.commit(a).unwrap();
+        cluster.stabilize(2);
+    }
+    assert!(prev > Timestamp::ZERO);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Compile-time sanity that the facade exposes the main types.
+    let cfg = paris::ClusterConfig::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication_factor(2)
+        .build()
+        .unwrap();
+    let topo = paris::Topology::new(cfg);
+    assert_eq!(topo.dcs(), 3);
+    assert_eq!(topo.partitions_in_dc(DcId(0)).len(), 4);
+}
+
+#[test]
+fn sim_runtime_through_facade() {
+    use paris::runtime::{SimCluster, SimConfig};
+    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 31));
+    sim.run_workload(200_000, 800_000);
+    let report = sim.report();
+    assert!(report.stats.committed > 0);
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+}
+
+#[test]
+fn threaded_runtime_through_facade() {
+    use paris::runtime::{ThreadCluster, ThreadClusterConfig};
+    let outcome = ThreadCluster::run(
+        ThreadClusterConfig::small(3, 6, Mode::Paris),
+        std::time::Duration::from_millis(600),
+    );
+    assert!(outcome.report.stats.committed > 0);
+    assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
+    assert!(outcome.convergence.is_empty(), "{:#?}", outcome.convergence);
+}
