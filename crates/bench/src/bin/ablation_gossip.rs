@@ -7,8 +7,7 @@
 //! the opposite. Throughput is largely insensitive — stabilization is off
 //! the critical path — which is exactly why PaRiS can afford a fresh UST.
 
-use paris_bench::{paper_deployment, section, warmup_micros, window_micros, write_csv};
-use paris_runtime::SimCluster;
+use paris_bench::{paper_deployment, run_settled, section, write_csv};
 use paris_types::{Intervals, Mode};
 use paris_workload::WorkloadConfig;
 
@@ -21,18 +20,15 @@ fn main() {
         "∆ (ms)", "tput (KTx/s)", "visib. p50 (ms)", "visib. p90 (ms)", "net msgs/tx"
     );
     for &delta in &intervals_ms {
-        let mut config = paper_deployment(Mode::Paris, WorkloadConfig::read_heavy(), 16, 42);
-        config.cluster.intervals = Intervals {
-            replication_micros: delta * 1_000,
-            gst_micros: delta * 1_000,
-            ust_micros: delta * 1_000,
-            gc_micros: 1_000_000,
-        };
-        config.record_events = true;
-        let mut sim = SimCluster::new(config);
-        sim.run_workload(warmup_micros(), window_micros());
-        sim.settle(1_000_000);
-        let report = sim.report();
+        let config = paper_deployment(Mode::Paris, WorkloadConfig::read_heavy(), 16, 42)
+            .intervals(Intervals {
+                replication_micros: delta * 1_000,
+                gst_micros: delta * 1_000,
+                ust_micros: delta * 1_000,
+                gc_micros: 1_000_000,
+            })
+            .record_events(true);
+        let report = run_settled(config);
         let vis = report.visibility.as_ref().expect("events recorded");
         let msgs_per_tx = report.net_messages as f64 / report.stats.committed.max(1) as f64;
         println!(

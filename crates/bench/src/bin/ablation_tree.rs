@@ -7,8 +7,7 @@
 //! hops, so the UST lags more and update visibility grows. The flat tree
 //! is the right default at the paper's 18 servers/DC.
 
-use paris_bench::{paper_deployment, section, warmup_micros, window_micros, write_csv};
-use paris_runtime::SimCluster;
+use paris_bench::{paper_deployment, run_settled, section, write_csv};
 use paris_types::Mode;
 use paris_workload::WorkloadConfig;
 
@@ -22,9 +21,9 @@ fn main() {
         "branching", "tree depth", "tput (KTx/s)", "visib. p50 (ms)", "visib. p90 (ms)"
     );
     for &bf in &branchings {
-        let mut config = paper_deployment(Mode::Paris, WorkloadConfig::read_heavy(), 16, 42);
-        config.record_events = true;
-        config.stab_branching = bf;
+        let config = paper_deployment(Mode::Paris, WorkloadConfig::read_heavy(), 16, 42)
+            .record_events(true)
+            .stab_branching(bf);
         // Depth of a complete bf-ary tree over 18 nodes (flat = 1).
         let depth = match bf {
             0 => 1,
@@ -40,12 +39,13 @@ fn main() {
                 depth
             }
         };
-        let mut sim = SimCluster::new(config);
-        sim.run_workload(warmup_micros(), window_micros());
-        sim.settle(1_000_000);
-        let report = sim.report();
+        let report = run_settled(config);
         let vis = report.visibility.as_ref().expect("events recorded");
-        let label = if bf == 0 { "flat".to_string() } else { bf.to_string() };
+        let label = if bf == 0 {
+            "flat".to_string()
+        } else {
+            bf.to_string()
+        };
         println!(
             "  {label:>9} {depth:>12} {:>14.1} {:>16.1} {:>16.1}",
             report.ktps(),

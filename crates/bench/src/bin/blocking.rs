@@ -4,8 +4,7 @@
 //! Paper result: 29 ms for the read-dominated workload and 41 ms for the
 //! write-dominated workload. PaRiS blocks zero reads by construction.
 
-use paris_bench::{client_ladder, paper_deployment, section, warmup_micros, window_micros, write_csv};
-use paris_runtime::SimCluster;
+use paris_bench::{client_ladder, paper_deployment, run_point, section, write_csv};
 use paris_types::Mode;
 use paris_workload::WorkloadConfig;
 
@@ -19,14 +18,15 @@ fn main() {
         // Find BPR's peak-throughput point, then report its blocking stats.
         let mut best: Option<(f64, paris_runtime::BlockingStats, u64)> = None;
         for &clients in &client_ladder(Mode::Bpr) {
-            let config = paper_deployment(Mode::Bpr, workload.clone(), clients, 42);
-            let mut sim = SimCluster::new(config);
-            sim.run_workload(warmup_micros(), window_micros());
-            let report = sim.report();
+            let report = run_point(paper_deployment(Mode::Bpr, workload.clone(), clients, 42));
             eprintln!("  [{label} {clients:>4} clients/DC] {}", report.summary());
             let better = best.as_ref().is_none_or(|(k, _, _)| report.ktps() > *k);
             if better {
-                best = Some((report.ktps(), report.blocking, report.blocking.blocked_reads));
+                best = Some((
+                    report.ktps(),
+                    report.blocking,
+                    report.blocking.blocked_reads,
+                ));
             }
         }
         let (ktps, blocking, _) = best.expect("sweep non-empty");
@@ -46,10 +46,7 @@ fn main() {
         ));
 
         // PaRiS control: zero blocked reads.
-        let config = paper_deployment(Mode::Paris, workload.clone(), 32, 42);
-        let mut sim = SimCluster::new(config);
-        sim.run_workload(warmup_micros(), window_micros());
-        let report = sim.report();
+        let report = run_point(paper_deployment(Mode::Paris, workload.clone(), 32, 42));
         assert_eq!(
             report.blocking.blocked_reads, 0,
             "PaRiS must never block a read"

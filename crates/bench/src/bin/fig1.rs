@@ -15,8 +15,16 @@ use paris_workload::WorkloadConfig;
 
 fn main() {
     for (label, workload, csv) in [
-        ("Fig 1a: 95:5 r:w", WorkloadConfig::read_heavy(), "fig1a.csv"),
-        ("Fig 1b: 50:50 r:w", WorkloadConfig::write_heavy(), "fig1b.csv"),
+        (
+            "Fig 1a: 95:5 r:w",
+            WorkloadConfig::read_heavy(),
+            "fig1a.csv",
+        ),
+        (
+            "Fig 1b: 50:50 r:w",
+            WorkloadConfig::write_heavy(),
+            "fig1b.csv",
+        ),
     ] {
         section(label);
         let mut rows = Vec::new();
@@ -26,7 +34,10 @@ fn main() {
             let points = load_sweep(mode, &workload, &client_ladder(mode), |mode, wl, c| {
                 paper_deployment(mode, wl, c, 42 + u64::from(c))
             });
-            println!("\n  {mode:<6} {:>12} {:>14} {:>12} {:>12}", "clients/DC", "tput (KTx/s)", "mean (ms)", "p99 (ms)");
+            println!(
+                "\n  {mode:<6} {:>12} {:>14} {:>12} {:>12}",
+                "clients/DC", "tput (KTx/s)", "mean (ms)", "p99 (ms)"
+            );
             for p in &points {
                 println!(
                     "  {mode:<6} {:>12} {:>14.1} {:>12.2} {:>12.2}",
@@ -58,8 +69,16 @@ fn main() {
         println!(
             "  (paper: {} — throughput up to {}, latency {} lower)",
             label,
-            if label.contains("95:5") { "1.47x" } else { "1.46x" },
-            if label.contains("95:5") { "5.91x" } else { "20.56x" },
+            if label.contains("95:5") {
+                "1.47x"
+            } else {
+                "1.46x"
+            },
+            if label.contains("95:5") {
+                "5.91x"
+            } else {
+                "20.56x"
+            },
         );
     }
 }

@@ -6,8 +6,8 @@
 //! maps to partitions via N = M·K/R (each server hosts one partition
 //! replica, R = 2).
 
-use paris_bench::{paper_deployment, quick, run_point, section, write_csv};
 use paris_bench::deployment;
+use paris_bench::{paper_deployment, quick, run_point, section, write_csv};
 use paris_types::Mode;
 use paris_workload::WorkloadConfig;
 
@@ -19,7 +19,10 @@ fn main() {
     let clients_per_machine = if quick() { 4 } else { 8 };
 
     let mut rows = Vec::new();
-    println!("\n  {:>4} {:>8} {:>14} {:>12}", "DCs", "M/DC", "tput (KTx/s)", "scale vs 6");
+    println!(
+        "\n  {:>4} {:>8} {:>14} {:>12}",
+        "DCs", "M/DC", "tput (KTx/s)", "scale vs 6"
+    );
     for &m in &dcs {
         let mut base = None;
         for &k in &machines {

@@ -16,7 +16,10 @@ fn main() {
     let clients_per_machine = if quick() { 4 } else { 8 };
 
     let mut rows = Vec::new();
-    println!("\n  {:>5} {:>6} {:>14} {:>12}", "M/DC", "DCs", "tput (KTx/s)", "scale vs 3");
+    println!(
+        "\n  {:>5} {:>6} {:>14} {:>12}",
+        "M/DC", "DCs", "tput (KTx/s)", "scale vs 3"
+    );
     for &k in &machines {
         let mut base = None;
         for &m in &dcs {

@@ -12,10 +12,18 @@ use paris_workload::WorkloadConfig;
 
 fn main() {
     section("Fig 3: throughput and latency vs transaction locality (PaRiS)");
-    let ratios = [(1.00, "100:0"), (0.95, "95:5"), (0.90, "90:10"), (0.50, "50:50")];
+    let ratios = [
+        (1.00, "100:0"),
+        (0.95, "95:5"),
+        (0.90, "90:10"),
+        (0.50, "50:50"),
+    ];
 
     let mut rows = Vec::new();
-    println!("\n  {:>8} {:>14} {:>12} {:>12}", "locality", "peak (KTx/s)", "mean (ms)", "p99 (ms)");
+    println!(
+        "\n  {:>8} {:>14} {:>12} {:>12}",
+        "locality", "peak (KTx/s)", "mean (ms)", "p99 (ms)"
+    );
     for (ratio, label) in ratios {
         // "The number of threads needed to saturate the system increases
         // as the locality decreases (from 32 to 512)" — §V-D. Extend the
@@ -43,5 +51,7 @@ fn main() {
         ));
     }
     write_csv("fig3.csv", "locality,peak_ktps,mean_ms,p99_ms", &rows);
-    println!("\n  (paper: throughput drops ~16% from 100:0 to 50:50; latency grows ~8 ms → ~150 ms)");
+    println!(
+        "\n  (paper: throughput drops ~16% from 100:0 to 50:50; latency grows ~8 ms → ~150 ms)"
+    );
 }

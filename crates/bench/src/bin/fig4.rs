@@ -6,19 +6,14 @@
 //! worse in the tail) — the deliberate freshness cost of reading from the
 //! universally-stable snapshot instead of blocking.
 
-use paris_bench::{paper_deployment, section, window_micros, warmup_micros, write_csv};
-use paris_runtime::SimCluster;
+use paris_bench::{paper_deployment, run_settled, section, write_csv};
 use paris_types::Mode;
 use paris_workload::stats::Histogram;
 use paris_workload::WorkloadConfig;
 
 fn run_visibility(mode: Mode) -> Histogram {
-    let mut config = paper_deployment(mode, WorkloadConfig::read_heavy(), 16, 42);
-    config.record_events = true;
-    let mut sim = SimCluster::new(config);
-    sim.run_workload(warmup_micros(), window_micros());
-    sim.settle(1_000_000);
-    sim.report().visibility.expect("events recorded")
+    let config = paper_deployment(mode, WorkloadConfig::read_heavy(), 16, 42).record_events(true);
+    run_settled(config).visibility.expect("events recorded")
 }
 
 fn main() {

@@ -67,7 +67,10 @@ fn main() {
             s_old: Timestamp::from_parts(5, 0),
         },
     ];
-    println!("\n  {:<16} {:>12} {:>16}", "message", "total bytes", "metadata bytes");
+    println!(
+        "\n  {:<16} {:>12} {:>16}",
+        "message", "total bytes", "metadata bytes"
+    );
     for msg in &msgs {
         println!(
             "  {:<16} {:>12} {:>16}",
@@ -82,5 +85,8 @@ fn main() {
         MetadataCost::PerDc.bytes(10, 0),
         MetadataCost::PerDependency.bytes(10, 25),
     );
-    assert_eq!(snapshot_meta, 8, "PaRiS tracks dependencies with 1 timestamp");
+    assert_eq!(
+        snapshot_meta, 8,
+        "PaRiS tracks dependencies with 1 timestamp"
+    );
 }

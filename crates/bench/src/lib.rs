@@ -1,10 +1,11 @@
 //! Shared harness for the figure/table benchmarks.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper (see `DESIGN.md` for the index) by running [`SimCluster`]
-//! deployments shaped like the paper's AWS testbed. The helpers here
-//! centralize deployment construction, load sweeps, and CSV output so the
-//! binaries stay declarative.
+//! paper (see `DESIGN.md` for the index) by running simulated deployments
+//! shaped like the paper's AWS testbed, all assembled through the
+//! `Paris::builder()` facade. The helpers here centralize deployment
+//! construction, load sweeps, and CSV output so the binaries stay
+//! declarative.
 //!
 //! Scale note: the simulator reproduces *shapes* (who wins, by what
 //! factor, where knees fall), not the paper's absolute numbers — the
@@ -19,9 +20,9 @@
 use std::io::Write;
 use std::path::Path;
 
-use paris_net::sim::{RegionMatrix, ServiceModel};
-use paris_runtime::{RunReport, SimCluster, SimConfig};
-use paris_types::{ClusterConfig, Mode};
+use paris_net::sim::ServiceModel;
+use paris_runtime::{Cluster, ClusterBuilder, Paris, RunReport};
+use paris_types::Mode;
 use paris_workload::WorkloadConfig;
 
 /// The service model used by all figure benches: the default per-message
@@ -88,31 +89,19 @@ pub fn deployment(
     workload: WorkloadConfig,
     clients_per_dc: u32,
     seed: u64,
-) -> SimConfig {
-    let keys = 10_000;
-    let cluster = ClusterConfig::builder()
+) -> ClusterBuilder {
+    Paris::builder()
         .dcs(dcs)
         .partitions(partitions)
-        .replication_factor(2)
-        .keys_per_partition(keys)
+        .replication(2)
+        .keys_per_partition(10_000)
         .mode(mode)
-        .build()
-        .expect("valid bench deployment");
-    SimConfig {
-        matrix: RegionMatrix::aws_10(dcs),
-        cluster,
-        jitter: 0.05,
-        service: bench_service(),
-        seed,
-        clients_per_dc,
-        workload: WorkloadConfig {
-            keys_per_partition: keys,
-            ..workload
-        },
-        record_events: false,
-        record_history: false,
-        stab_branching: 0,
-    }
+        .aws_latencies()
+        .jitter(0.05)
+        .service(bench_service())
+        .clients_per_dc(clients_per_dc)
+        .workload(workload)
+        .seed(seed)
 }
 
 /// The paper's default deployment: 5 DCs, 45 partitions, R=2
@@ -122,14 +111,25 @@ pub fn paper_deployment(
     workload: WorkloadConfig,
     clients_per_dc: u32,
     seed: u64,
-) -> SimConfig {
+) -> ClusterBuilder {
     deployment(5, 45, mode, workload, clients_per_dc, seed)
 }
 
 /// Runs one deployment and returns its report.
-pub fn run_point(config: SimConfig) -> RunReport {
-    let mut sim = SimCluster::new(config);
-    sim.run_workload(warmup_micros(), window_micros());
+pub fn run_point(builder: ClusterBuilder) -> RunReport {
+    let mut sim = builder.build_sim().expect("valid bench deployment");
+    sim.run_workload(warmup_micros(), window_micros())
+        .expect("simulated workload cannot fail")
+}
+
+/// Runs one deployment, lets background protocols settle for a second of
+/// simulated time, and returns the report (visibility histograms want the
+/// settle so late applies are counted).
+pub fn run_settled(builder: ClusterBuilder) -> RunReport {
+    let mut sim = builder.build_sim().expect("valid bench deployment");
+    sim.run_workload(warmup_micros(), window_micros())
+        .expect("simulated workload cannot fail");
+    sim.settle(1_000_000);
     sim.report()
 }
 
@@ -149,7 +149,7 @@ pub fn load_sweep(
     mode: Mode,
     workload: &WorkloadConfig,
     clients: &[u32],
-    mk: impl Fn(Mode, WorkloadConfig, u32) -> SimConfig,
+    mk: impl Fn(Mode, WorkloadConfig, u32) -> ClusterBuilder,
 ) -> Vec<SweepPoint> {
     clients
         .iter()
@@ -202,8 +202,8 @@ pub fn write_csv(path: impl AsRef<Path>, header: &str, rows: &[String]) {
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(path.as_ref());
     let path = path.as_path();
-    let mut f = std::fs::File::create(path)
-        .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+    let mut f =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
     writeln!(f, "{header}").expect("write header");
     for row in rows {
         writeln!(f, "{row}").expect("write row");
@@ -231,11 +231,12 @@ mod tests {
 
     #[test]
     fn deployment_has_paper_shape() {
-        let cfg = paper_deployment(Mode::Paris, WorkloadConfig::read_heavy(), 8, 1);
-        assert_eq!(cfg.cluster.dcs, 5);
-        assert_eq!(cfg.cluster.partitions, 45);
-        assert_eq!(cfg.cluster.servers_per_dc(), 18);
-        assert_eq!(cfg.matrix.dcs(), 5);
+        let sim = paper_deployment(Mode::Paris, WorkloadConfig::read_heavy(), 8, 1)
+            .build_sim()
+            .unwrap();
+        assert_eq!(sim.topology().dcs(), 5);
+        assert_eq!(sim.topology().partitions(), 45);
+        assert_eq!(sim.topology().servers_in_dc(paris_types::DcId(0)).len(), 18);
     }
 
     #[test]
@@ -263,10 +264,14 @@ mod tests {
     #[test]
     fn tiny_simulation_runs_end_to_end() {
         // A minimal smoke run through the bench path (not paper-sized).
-        let cfg = deployment(3, 6, Mode::Paris, WorkloadConfig::read_heavy(), 2, 5);
-        let mut sim = SimCluster::new(cfg);
-        sim.run_workload(100_000, 400_000);
-        let report = sim.report();
+        let report = run_point(deployment(
+            3,
+            6,
+            Mode::Paris,
+            WorkloadConfig::read_heavy(),
+            2,
+            5,
+        ));
         assert!(report.stats.committed > 0);
     }
 }

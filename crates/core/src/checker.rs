@@ -329,11 +329,7 @@ impl HistoryChecker {
                     // `expected` is fine (it read a since-collected
                     // version); staleness is returning something *older*
                     // (or nothing) when a visible version is recorded.
-                    let expected = all
-                        .iter()
-                        .rev()
-                        .find(|v| v.ut <= tx.snapshot)
-                        .copied();
+                    let expected = all.iter().rev().find(|v| v.ut <= tx.snapshot).copied();
                     let stale = match (read.version, expected) {
                         (None, Some(_)) => true,
                         (Some(r), Some(e)) => r < e,
@@ -587,7 +583,9 @@ mod tests {
             },
         );
         let v = c.check();
-        assert!(v.iter().any(|x| matches!(x, Violation::NonRepeatableRead { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::NonRepeatableRead { .. })));
     }
 
     #[test]
@@ -605,7 +603,9 @@ mod tests {
             },
         );
         let v = c.check();
-        assert!(v.iter().any(|x| matches!(x, Violation::SnapshotNotMaximal { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::SnapshotNotMaximal { .. })));
     }
 
     #[test]
@@ -654,7 +654,9 @@ mod tests {
             },
         );
         let v = c.check();
-        assert!(v.iter().any(|x| matches!(x, Violation::AtomicityViolated { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::AtomicityViolated { .. })));
     }
 
     #[test]

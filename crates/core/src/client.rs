@@ -407,13 +407,7 @@ impl ClientSession {
                                 self.cache.insert(
                                     key,
                                     CachedWrite {
-                                        version: Version::new(
-                                            key,
-                                            value,
-                                            *ct,
-                                            *tx,
-                                            self.id.dc,
-                                        ),
+                                        version: Version::new(key, value, *ct, *tx, self.id.dc),
                                     },
                                 );
                             }

@@ -90,26 +90,146 @@ pub fn table1() -> Vec<SystemRow> {
     use MetadataCost::*;
     use TxSupport::*;
     vec![
-        SystemRow { name: "COPS", txs: ReadOnly, nonblocking_reads: true, partial_replication: false, metadata: PerDependency },
-        SystemRow { name: "Eiger", txs: ReadOnlyWriteOnly, nonblocking_reads: true, partial_replication: false, metadata: PerDependency },
-        SystemRow { name: "ChainReaction", txs: ReadOnly, nonblocking_reads: false, partial_replication: false, metadata: PerDc },
-        SystemRow { name: "Orbe", txs: ReadOnly, nonblocking_reads: false, partial_replication: false, metadata: OneTimestamp },
-        SystemRow { name: "GentleRain", txs: ReadOnly, nonblocking_reads: false, partial_replication: false, metadata: OneTimestamp },
-        SystemRow { name: "POCC", txs: ReadOnly, nonblocking_reads: false, partial_replication: false, metadata: PerDc },
-        SystemRow { name: "COPS-SNOW", txs: ReadOnly, nonblocking_reads: true, partial_replication: false, metadata: PerDependency },
-        SystemRow { name: "OCCULT", txs: Generic, nonblocking_reads: false, partial_replication: false, metadata: PerDc },
-        SystemRow { name: "Cure", txs: Generic, nonblocking_reads: false, partial_replication: false, metadata: PerDc },
-        SystemRow { name: "Wren", txs: Generic, nonblocking_reads: true, partial_replication: false, metadata: TwoTimestamps },
-        SystemRow { name: "AV", txs: Generic, nonblocking_reads: true, partial_replication: false, metadata: PerDc },
-        SystemRow { name: "Xiang-Vaidya", txs: None, nonblocking_reads: false, partial_replication: true, metadata: OneTimestamp },
-        SystemRow { name: "Contrarian", txs: ReadOnly, nonblocking_reads: true, partial_replication: false, metadata: PerDc },
-        SystemRow { name: "C3", txs: None, nonblocking_reads: true, partial_replication: true, metadata: PerDc },
-        SystemRow { name: "Saturn", txs: None, nonblocking_reads: true, partial_replication: true, metadata: OneTimestamp },
-        SystemRow { name: "Karma", txs: ReadOnly, nonblocking_reads: true, partial_replication: true, metadata: PerDependency },
-        SystemRow { name: "CausalSpartan", txs: None, nonblocking_reads: true, partial_replication: false, metadata: PerDc },
-        SystemRow { name: "Bolt-on CC", txs: None, nonblocking_reads: true, partial_replication: false, metadata: PerDc },
-        SystemRow { name: "EunomiaKV", txs: None, nonblocking_reads: true, partial_replication: false, metadata: PerDc },
-        SystemRow { name: "PaRiS", txs: Generic, nonblocking_reads: true, partial_replication: true, metadata: OneTimestamp },
+        SystemRow {
+            name: "COPS",
+            txs: ReadOnly,
+            nonblocking_reads: true,
+            partial_replication: false,
+            metadata: PerDependency,
+        },
+        SystemRow {
+            name: "Eiger",
+            txs: ReadOnlyWriteOnly,
+            nonblocking_reads: true,
+            partial_replication: false,
+            metadata: PerDependency,
+        },
+        SystemRow {
+            name: "ChainReaction",
+            txs: ReadOnly,
+            nonblocking_reads: false,
+            partial_replication: false,
+            metadata: PerDc,
+        },
+        SystemRow {
+            name: "Orbe",
+            txs: ReadOnly,
+            nonblocking_reads: false,
+            partial_replication: false,
+            metadata: OneTimestamp,
+        },
+        SystemRow {
+            name: "GentleRain",
+            txs: ReadOnly,
+            nonblocking_reads: false,
+            partial_replication: false,
+            metadata: OneTimestamp,
+        },
+        SystemRow {
+            name: "POCC",
+            txs: ReadOnly,
+            nonblocking_reads: false,
+            partial_replication: false,
+            metadata: PerDc,
+        },
+        SystemRow {
+            name: "COPS-SNOW",
+            txs: ReadOnly,
+            nonblocking_reads: true,
+            partial_replication: false,
+            metadata: PerDependency,
+        },
+        SystemRow {
+            name: "OCCULT",
+            txs: Generic,
+            nonblocking_reads: false,
+            partial_replication: false,
+            metadata: PerDc,
+        },
+        SystemRow {
+            name: "Cure",
+            txs: Generic,
+            nonblocking_reads: false,
+            partial_replication: false,
+            metadata: PerDc,
+        },
+        SystemRow {
+            name: "Wren",
+            txs: Generic,
+            nonblocking_reads: true,
+            partial_replication: false,
+            metadata: TwoTimestamps,
+        },
+        SystemRow {
+            name: "AV",
+            txs: Generic,
+            nonblocking_reads: true,
+            partial_replication: false,
+            metadata: PerDc,
+        },
+        SystemRow {
+            name: "Xiang-Vaidya",
+            txs: None,
+            nonblocking_reads: false,
+            partial_replication: true,
+            metadata: OneTimestamp,
+        },
+        SystemRow {
+            name: "Contrarian",
+            txs: ReadOnly,
+            nonblocking_reads: true,
+            partial_replication: false,
+            metadata: PerDc,
+        },
+        SystemRow {
+            name: "C3",
+            txs: None,
+            nonblocking_reads: true,
+            partial_replication: true,
+            metadata: PerDc,
+        },
+        SystemRow {
+            name: "Saturn",
+            txs: None,
+            nonblocking_reads: true,
+            partial_replication: true,
+            metadata: OneTimestamp,
+        },
+        SystemRow {
+            name: "Karma",
+            txs: ReadOnly,
+            nonblocking_reads: true,
+            partial_replication: true,
+            metadata: PerDependency,
+        },
+        SystemRow {
+            name: "CausalSpartan",
+            txs: None,
+            nonblocking_reads: true,
+            partial_replication: false,
+            metadata: PerDc,
+        },
+        SystemRow {
+            name: "Bolt-on CC",
+            txs: None,
+            nonblocking_reads: true,
+            partial_replication: false,
+            metadata: PerDc,
+        },
+        SystemRow {
+            name: "EunomiaKV",
+            txs: None,
+            nonblocking_reads: true,
+            partial_replication: false,
+            metadata: PerDc,
+        },
+        SystemRow {
+            name: "PaRiS",
+            txs: Generic,
+            nonblocking_reads: true,
+            partial_replication: true,
+            metadata: OneTimestamp,
+        },
     ]
 }
 

@@ -46,7 +46,11 @@ impl Server {
                 started_at: now,
             },
         );
-        vec![Envelope::new(self.id, client, Msg::StartTxResp { tx, snapshot })]
+        vec![Envelope::new(
+            self.id,
+            client,
+            Msg::StartTxResp { tx, snapshot },
+        )]
     }
 
     /// `ReadReq` (Alg. 2 lines 6–16): fan the keys out to one replica per
@@ -77,7 +81,10 @@ impl Server {
         // Group keys by partition (Alg. 2 line 9).
         let mut by_partition: BTreeMap<PartitionId, Vec<Key>> = BTreeMap::new();
         for &k in keys {
-            by_partition.entry(self.topo.partition_of(k)).or_default().push(k);
+            by_partition
+                .entry(self.topo.partition_of(k))
+                .or_default()
+                .push(k);
         }
         // Resolve a reachable replica per partition; if any partition has
         // none, the operation cannot complete (§III-C) and the
@@ -137,7 +144,11 @@ impl Server {
         let Some(ctx) = self.tx_ctx.get_mut(&tx) else {
             return Vec::new(); // stale response for a finished transaction
         };
-        let Some(PendingOp::Read { awaiting, results: acc }) = ctx.pending.as_mut() else {
+        let Some(PendingOp::Read {
+            awaiting,
+            results: acc,
+        }) = ctx.pending.as_mut()
+        else {
             return Vec::new();
         };
         if !awaiting.remove(&partition) {

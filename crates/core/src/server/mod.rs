@@ -25,9 +25,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use paris_clock::{Hlc, PhysicalClock};
 use paris_proto::{Envelope, Msg, ReadResult};
 use paris_storage::PartitionStore;
-use paris_types::{
-    ClientId, DcId, Mode, PartitionId, ServerId, Timestamp, TxId, WriteSetEntry,
-};
+use paris_types::{ClientId, DcId, Mode, PartitionId, ServerId, Timestamp, TxId, WriteSetEntry};
 
 use crate::topology::Topology;
 

@@ -38,7 +38,15 @@ impl Server {
         let mut batch: Vec<ReplicatedTx> = Vec::new();
         let ready: Vec<(Timestamp, paris_types::TxId)> = self
             .committed
-            .range(..=(ub, paris_types::TxId::new(paris_types::ServerId::new(DcId(u16::MAX), PartitionId(u32::MAX)), u64::MAX)))
+            .range(
+                ..=(
+                    ub,
+                    paris_types::TxId::new(
+                        paris_types::ServerId::new(DcId(u16::MAX), PartitionId(u32::MAX)),
+                        u64::MAX,
+                    ),
+                ),
+            )
             .map(|(k, _)| *k)
             .collect();
         for key in ready {

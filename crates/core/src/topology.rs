@@ -347,12 +347,10 @@ mod tests {
         }
         // With R=2 both replicas of various partitions must appear.
         let per_partition: HashMap<PartitionId, usize> =
-            chosen
-                .iter()
-                .fold(HashMap::new(), |mut acc, (p, _)| {
-                    *acc.entry(*p).or_default() += 1;
-                    acc
-                });
+            chosen.iter().fold(HashMap::new(), |mut acc, (p, _)| {
+                *acc.entry(*p).or_default() += 1;
+                acc
+            });
         assert!(
             per_partition.values().any(|&n| n == 2),
             "round robin must use both replicas somewhere"
@@ -433,6 +431,8 @@ mod tests {
         );
         assert_eq!(topo.servers_in_dc(DcId(0)).len(), 4);
         assert_eq!(topo.target_dc(PartitionId(3), DcId(0)), DcId(0));
-        assert!(topo.peer_replicas(ServerId::new(DcId(0), PartitionId(1))).is_empty());
+        assert!(topo
+            .peer_replicas(ServerId::new(DcId(0), PartitionId(1)))
+            .is_empty());
     }
 }

@@ -8,13 +8,9 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use paris_clock::SimClock;
-use paris_core::{
-    ClientEvent, ClientSession, Mode, ReadStep, Server, ServerOptions, Topology,
-};
+use paris_core::{ClientEvent, ClientSession, Mode, ReadStep, Server, ServerOptions, Topology};
 use paris_proto::{Endpoint, Envelope};
-use paris_types::{
-    ClientId, ClusterConfig, DcId, Key, PartitionId, ServerId, Timestamp, Value,
-};
+use paris_types::{ClientId, ClusterConfig, DcId, Key, PartitionId, ServerId, Timestamp, Value};
 
 /// A tiny synchronous cluster: all messages delivered in FIFO order with
 /// zero latency; ticks run on demand.
@@ -104,7 +100,11 @@ impl MiniCluster {
         self.advance(1_000);
         let ids: Vec<ServerId> = self.servers.keys().copied().collect();
         for id in &ids {
-            let out = self.servers.get_mut(id).unwrap().on_replicate_tick(self.now);
+            let out = self
+                .servers
+                .get_mut(id)
+                .unwrap()
+                .on_replicate_tick(self.now);
             self.queue.extend(out);
         }
         self.pump();
@@ -385,12 +385,7 @@ fn bpr_read_blocks_until_snapshot_installed() {
     // Client with a fresh snapshot reads a partition that has not applied
     // anything yet: the read must park, then complete after ticks.
     c.begin(alice);
-    let step = c
-        .clients
-        .get_mut(&alice)
-        .unwrap()
-        .read(&[Key(0)])
-        .unwrap();
+    let step = c.clients.get_mut(&alice).unwrap().read(&[Key(0)]).unwrap();
     let env = match step {
         ReadStep::Send(env) => env,
         ReadStep::Done(_) => panic!("key is not local"),
@@ -573,5 +568,9 @@ fn replication_is_idempotent_under_duplicate_delivery() {
 
     let peer = ServerId::new(DcId(1), PartitionId(0));
     let chain = c.servers[&peer].store().chain(Key(0)).unwrap();
-    assert_eq!(chain.len(), 1, "duplicate replication must not fork versions");
+    assert_eq!(
+        chain.len(),
+        1,
+        "duplicate replication must not fork versions"
+    );
 }

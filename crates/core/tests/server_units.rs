@@ -98,7 +98,14 @@ fn read_req_for_unknown_tx_returns_empty_response() {
     let mut s = server_at(&topo, &clock, 0, 0, Mode::Paris);
     let bogus = TxId::new(s.id(), 999);
     let out = s.handle(
-        &Envelope::new(client(), s.id(), Msg::ReadReq { tx: bogus, keys: vec![Key(0)] }),
+        &Envelope::new(
+            client(),
+            s.id(),
+            Msg::ReadReq {
+                tx: bogus,
+                keys: vec![Key(0)],
+            },
+        ),
         0,
     );
     assert_eq!(out.len(), 1);
@@ -116,7 +123,10 @@ fn read_fan_out_targets_one_replica_per_partition() {
     let (tx, _) = start_tx(&mut s, 0);
     // Keys on partitions 0..6: exactly one slice request per partition.
     let keys: Vec<Key> = (0..12).map(Key).collect();
-    let out = s.handle(&Envelope::new(client(), s.id(), Msg::ReadReq { tx, keys }), 0);
+    let out = s.handle(
+        &Envelope::new(client(), s.id(), Msg::ReadReq { tx, keys }),
+        0,
+    );
     assert_eq!(out.len(), 6);
     let mut partitions: Vec<u32> = out
         .iter()
@@ -141,7 +151,14 @@ fn duplicate_read_slice_resp_is_ignored() {
     let mut s = server_at(&topo, &clock, 0, 0, Mode::Paris);
     let (tx, _) = start_tx(&mut s, 0);
     let out = s.handle(
-        &Envelope::new(client(), s.id(), Msg::ReadReq { tx, keys: vec![Key(0), Key(1)] }),
+        &Envelope::new(
+            client(),
+            s.id(),
+            Msg::ReadReq {
+                tx,
+                keys: vec![Key(0), Key(1)],
+            },
+        ),
         0,
     );
     assert_eq!(out.len(), 2);
@@ -181,7 +198,15 @@ fn stale_read_slice_resp_after_tx_finished_is_dropped() {
     let (tx, _) = start_tx(&mut s, 0);
     // Finish the tx (read-only commit drops the context).
     let out = s.handle(
-        &Envelope::new(client(), s.id(), Msg::CommitReq { tx, hwt: Timestamp::ZERO, writes: vec![] }),
+        &Envelope::new(
+            client(),
+            s.id(),
+            Msg::CommitReq {
+                tx,
+                hwt: Timestamp::ZERO,
+                writes: vec![],
+            },
+        ),
         0,
     );
     assert!(matches!(out[0].msg, Msg::CommitResp { .. }));
@@ -190,7 +215,11 @@ fn stale_read_slice_resp_after_tx_finished_is_dropped() {
     let late = Envelope::new(
         ServerId::new(DcId(0), PartitionId(1)),
         s.id(),
-        Msg::ReadSliceResp { tx, partition: PartitionId(1), results: vec![] },
+        Msg::ReadSliceResp {
+            tx,
+            partition: PartitionId(1),
+            results: vec![],
+        },
     );
     assert!(s.handle(&late, 0).is_empty());
 }
@@ -207,7 +236,15 @@ fn commit_collects_max_proposal_and_notifies_cohorts_and_client() {
         WriteSetEntry::new(Key(1), Value::from("b")), // partition 1
     ];
     let out = s.handle(
-        &Envelope::new(client(), s.id(), Msg::CommitReq { tx, hwt: Timestamp::ZERO, writes }),
+        &Envelope::new(
+            client(),
+            s.id(),
+            Msg::CommitReq {
+                tx,
+                hwt: Timestamp::ZERO,
+                writes,
+            },
+        ),
         0,
     );
     assert_eq!(out.len(), 2, "one PrepareReq per partition");
@@ -219,7 +256,11 @@ fn commit_collects_max_proposal_and_notifies_cohorts_and_client() {
             &Envelope::new(
                 ServerId::new(DcId(0), PartitionId(0)),
                 s.id(),
-                Msg::PrepareResp { tx, partition: PartitionId(0), proposed: p1 },
+                Msg::PrepareResp {
+                    tx,
+                    partition: PartitionId(0),
+                    proposed: p1
+                },
             ),
             0,
         )
@@ -228,7 +269,11 @@ fn commit_collects_max_proposal_and_notifies_cohorts_and_client() {
         &Envelope::new(
             ServerId::new(DcId(0), PartitionId(1)),
             s.id(),
-            Msg::PrepareResp { tx, partition: PartitionId(1), proposed: p2 },
+            Msg::PrepareResp {
+                tx,
+                partition: PartitionId(1),
+                proposed: p2,
+            },
         ),
         0,
     );
@@ -314,7 +359,14 @@ fn cohort_commit_applies_on_next_replicate_tick_in_ct_order() {
     }
     // Commit the SECOND one first: nothing applies while tx0 is prepared.
     s.handle(
-        &Envelope::new(coordinator, s.id(), Msg::CommitTx { tx: cts[1].0, ct: cts[1].1 }),
+        &Envelope::new(
+            coordinator,
+            s.id(),
+            Msg::CommitTx {
+                tx: cts[1].0,
+                ct: cts[1].1,
+            },
+        ),
         0,
     );
     let out = s.on_replicate_tick(10);
@@ -325,7 +377,14 @@ fn cohort_commit_applies_on_next_replicate_tick_in_ct_order() {
     assert!(s.store().latest(Key(0)).is_none());
     // Now commit tx0: the next tick applies both, in ct order.
     s.handle(
-        &Envelope::new(coordinator, s.id(), Msg::CommitTx { tx: cts[0].0, ct: cts[0].1 }),
+        &Envelope::new(
+            coordinator,
+            s.id(),
+            Msg::CommitTx {
+                tx: cts[0].0,
+                ct: cts[0].1,
+            },
+        ),
         0,
     );
     let out = s.on_replicate_tick(20);
@@ -497,13 +556,27 @@ fn ust_broadcast_is_monotonic() {
     let fresh = Timestamp::from_physical_micros(5_000);
     let stale = Timestamp::from_physical_micros(1_000);
     s.handle(
-        &Envelope::new(root, s.id(), Msg::UstBroadcast { ust: fresh, s_old: stale }),
+        &Envelope::new(
+            root,
+            s.id(),
+            Msg::UstBroadcast {
+                ust: fresh,
+                s_old: stale,
+            },
+        ),
         0,
     );
     assert_eq!(s.ust(), fresh);
     // A stale broadcast (reordered root messages) must not regress it.
     s.handle(
-        &Envelope::new(root, s.id(), Msg::UstBroadcast { ust: stale, s_old: stale }),
+        &Envelope::new(
+            root,
+            s.id(),
+            Msg::UstBroadcast {
+                ust: stale,
+                s_old: stale,
+            },
+        ),
         0,
     );
     assert_eq!(s.ust(), fresh);
@@ -539,7 +612,9 @@ fn root_does_not_broadcast_until_every_dc_reported() {
     }
     let out = root.on_ust_tick(0);
     assert!(!out.is_empty(), "now the UST can be computed and broadcast");
-    assert!(out.iter().all(|e| matches!(e.msg, Msg::UstBroadcast { .. })));
+    assert!(out
+        .iter()
+        .all(|e| matches!(e.msg, Msg::UstBroadcast { .. })));
     // The UST is the minimum over DCs — bounded by the root's own VV (0,
     // since nothing replicated yet).
     assert_eq!(root.ust(), Timestamp::ZERO);
@@ -563,7 +638,9 @@ fn gst_tick_from_leaf_reports_to_parent() {
     assert_eq!(out.len(), 1);
     assert_eq!(out[0].dst, Endpoint::Server(topo.dc_root(DcId(0))));
     match &out[0].msg {
-        Msg::GstReport { partition, mins, .. } => {
+        Msg::GstReport {
+            partition, mins, ..
+        } => {
             assert_eq!(*partition, PartitionId(2));
             // p2's replicas are dc2 and dc0: both DCs appear in the report.
             let dcs: Vec<u16> = mins.iter().map(|(d, _)| d.0).collect();
@@ -601,7 +678,10 @@ fn event_log_records_commits_applies_and_ust() {
         Msg::PrepareResp { proposed, .. } => *proposed,
         _ => unreachable!(),
     };
-    s.handle(&Envelope::new(coordinator, s.id(), Msg::CommitTx { tx, ct: pt }), 6);
+    s.handle(
+        &Envelope::new(coordinator, s.id(), Msg::CommitTx { tx, ct: pt }),
+        6,
+    );
     s.on_replicate_tick(7);
     let root = ServerId::new(DcId(0), PartitionId(0));
     let _ = root; // s IS the root here; broadcast to self not needed

@@ -8,9 +8,7 @@ use std::collections::HashSet;
 
 fn arb_shape() -> impl Strategy<Value = (u16, u32, u16)> {
     // dcs 1..=10, r 1..=dcs, partitions 1..=60
-    (1u16..=10).prop_flat_map(|dcs| {
-        (Just(dcs), 1u32..=60, 1u16..=dcs)
-    })
+    (1u16..=10).prop_flat_map(|dcs| (Just(dcs), 1u32..=60, 1u16..=dcs))
 }
 
 proptest! {

@@ -162,7 +162,11 @@ impl RandomizedCluster {
             Step::Replicate(k) => {
                 let ids = self.sorted_servers();
                 let id = ids[k % ids.len()];
-                let out = self.servers.get_mut(&id).unwrap().on_replicate_tick(self.now);
+                let out = self
+                    .servers
+                    .get_mut(&id)
+                    .unwrap()
+                    .on_replicate_tick(self.now);
                 self.enqueue(out);
             }
             Step::Gst(k) => {
@@ -441,7 +445,13 @@ fn reads_at_or_below_ust_always_succeed_everywhere() {
             assert!(guard < 1_000, "read did not complete");
             match env.dst {
                 Endpoint::Server(sid) => {
-                    queue.extend(cluster.servers.get_mut(&sid).unwrap().handle(&env, cluster.now));
+                    queue.extend(
+                        cluster
+                            .servers
+                            .get_mut(&sid)
+                            .unwrap()
+                            .handle(&env, cluster.now),
+                    );
                 }
                 Endpoint::Client(_) => {
                     if let Some(paris_core::ClientEvent::ReadDone { .. }) = session.handle(&env) {

@@ -31,16 +31,16 @@ pub const AWS_REGION_NAMES: [&str; 10] = [
 /// diagonal (intra-DC latency is handled separately).
 const AWS_RTT_MS: [[u64; 10]; 10] = [
     // vir  ore  ire  mum  syd  can  seo  fra  sin  ohi
-    [0, 70, 75, 185, 200, 15, 175, 90, 215, 12],    // virginia
-    [70, 0, 125, 215, 140, 60, 125, 160, 165, 50],  // oregon
-    [75, 125, 0, 120, 260, 70, 230, 25, 180, 85],   // ireland
+    [0, 70, 75, 185, 200, 15, 175, 90, 215, 12], // virginia
+    [70, 0, 125, 215, 140, 60, 125, 160, 165, 50], // oregon
+    [75, 125, 0, 120, 260, 70, 230, 25, 180, 85], // ireland
     [185, 215, 120, 0, 145, 195, 130, 110, 65, 195], // mumbai
     [200, 140, 260, 145, 0, 210, 135, 280, 95, 195], // sydney
-    [15, 60, 70, 195, 210, 0, 180, 95, 220, 25],    // canada
+    [15, 60, 70, 195, 210, 0, 180, 95, 220, 25], // canada
     [175, 125, 230, 130, 135, 180, 0, 240, 95, 170], // seoul
-    [90, 160, 25, 110, 280, 95, 240, 0, 160, 100],  // frankfurt
-    [215, 165, 180, 65, 95, 220, 95, 160, 0, 205],  // singapore
-    [12, 50, 85, 195, 195, 25, 170, 100, 205, 0],   // ohio
+    [90, 160, 25, 110, 280, 95, 240, 0, 160, 100], // frankfurt
+    [215, 165, 180, 65, 95, 220, 95, 160, 0, 205], // singapore
+    [12, 50, 85, 195, 195, 25, 170, 100, 205, 0], // ohio
 ];
 
 /// A symmetric matrix of one-way inter-DC latencies in microseconds.
@@ -265,7 +265,10 @@ mod tests {
                 if a == b {
                     assert_eq!(m.one_way(DcId(a), DcId(b)), INTRA_DC_ONE_WAY_MICROS);
                 } else {
-                    assert!(m.one_way(DcId(a), DcId(b)) >= 6_000, "wan is ≥ 6 ms one-way");
+                    assert!(
+                        m.one_way(DcId(a), DcId(b)) >= 6_000,
+                        "wan is ≥ 6 ms one-way"
+                    );
                 }
             }
         }

@@ -13,8 +13,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+
 use paris_proto::{Endpoint, Envelope};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -95,7 +96,7 @@ impl Router {
         let registry = Arc::new(Mutex::new(Registry {
             inboxes: HashMap::new(),
         }));
-        let (wheel_tx, wheel_rx) = unbounded::<WheelCmd>();
+        let (wheel_tx, wheel_rx) = channel::<WheelCmd>();
         let wheel_registry = Arc::clone(&registry);
         let wheel = std::thread::Builder::new()
             .name("paris-net-wheel".into())
@@ -113,15 +114,23 @@ impl Router {
     /// Re-registering an endpoint replaces its inbox (the old receiver
     /// starts reporting disconnection once the sender is dropped).
     pub fn register(&self, endpoint: impl Into<Endpoint>) -> Receiver<Envelope> {
-        let (tx, rx) = unbounded();
-        self.registry.lock().inboxes.insert(endpoint.into(), tx);
+        let (tx, rx) = channel();
+        self.registry
+            .lock()
+            .expect("registry poisoned")
+            .inboxes
+            .insert(endpoint.into(), tx);
         rx
     }
 
     /// Removes an endpoint; in-flight messages to it are dropped on
     /// delivery.
     pub fn deregister(&self, endpoint: impl Into<Endpoint>) {
-        self.registry.lock().inboxes.remove(&endpoint.into());
+        self.registry
+            .lock()
+            .expect("registry poisoned")
+            .inboxes
+            .remove(&endpoint.into());
     }
 
     /// A sender handle for use by server/client threads.
@@ -176,7 +185,12 @@ fn wheel_loop(config: ThreadedNetConfig, rx: Receiver<WheelCmd>, registry: Arc<M
         let now = Instant::now();
         while heap.peek().is_some_and(|Reverse(p)| p.due <= now) {
             let Reverse(p) = heap.pop().expect("peeked");
-            let sender = registry.lock().inboxes.get(&p.env.dst).cloned();
+            let sender = registry
+                .lock()
+                .expect("registry poisoned")
+                .inboxes
+                .get(&p.env.dst)
+                .cloned();
             if let Some(tx) = sender {
                 let _ = tx.send(p.env);
             }

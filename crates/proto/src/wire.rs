@@ -99,11 +99,7 @@ fn get_tx(buf: &mut Bytes) -> Result<TxId, DecodeError> {
     let partition = get_partition(buf)?;
     need(buf, 8)?;
     let seq = buf.get_u64_le();
-    Ok(TxId {
-        dc,
-        partition,
-        seq,
-    })
+    Ok(TxId { dc, partition, seq })
 }
 
 fn put_key(buf: &mut BytesMut, k: Key) {
@@ -579,9 +575,7 @@ pub fn encoded_len(msg: &Msg) -> usize {
         Msg::StartTxReq { .. } => TS,
         Msg::StartTxResp { .. } => TX + TS,
         Msg::ReadReq { keys, .. } => TX + LEN + keys.len() * KEY,
-        Msg::ReadResp { results, .. } => {
-            TX + LEN + results.iter().map(result_len).sum::<usize>()
-        }
+        Msg::ReadResp { results, .. } => TX + LEN + results.iter().map(result_len).sum::<usize>(),
         Msg::CommitReq { writes, .. } => {
             TX + TS + LEN + writes.iter().map(write_len).sum::<usize>()
         }
@@ -600,9 +594,7 @@ pub fn encoded_len(msg: &Msg) -> usize {
                 + LEN
                 + txs
                     .iter()
-                    .map(|t| {
-                        TX + TS + DC + LEN + t.writes.iter().map(write_len).sum::<usize>()
-                    })
+                    .map(|t| TX + TS + DC + LEN + t.writes.iter().map(write_len).sum::<usize>())
                     .sum::<usize>()
         }
         Msg::Heartbeat { .. } => PART + TS,
@@ -626,20 +618,21 @@ pub fn metadata_len(msg: &Msg) -> usize {
             .iter()
             .map(|r| 8 + r.version.as_ref().map_or(0, |v| 8 + payload(&v.value)))
             .sum(),
-        Msg::CommitReq { writes, .. } => {
-            writes.iter().map(|w| 8 + payload(&w.value)).sum()
-        }
+        Msg::CommitReq { writes, .. } => writes.iter().map(|w| 8 + payload(&w.value)).sum(),
         Msg::ReadSliceReq { keys, .. } => keys.len() * 8,
         Msg::ReadSliceResp { results, .. } => results
             .iter()
             .map(|r| 8 + r.version.as_ref().map_or(0, |v| 8 + payload(&v.value)))
             .sum(),
-        Msg::PrepareReq { writes, .. } => {
-            writes.iter().map(|w| 8 + payload(&w.value)).sum()
-        }
+        Msg::PrepareReq { writes, .. } => writes.iter().map(|w| 8 + payload(&w.value)).sum(),
         Msg::Replicate { txs, .. } => txs
             .iter()
-            .map(|t| t.writes.iter().map(|w| 8 + payload(&w.value)).sum::<usize>())
+            .map(|t| {
+                t.writes
+                    .iter()
+                    .map(|w| 8 + payload(&w.value))
+                    .sum::<usize>()
+            })
             .sum(),
         _ => 0,
     };
@@ -886,9 +879,8 @@ mod tests {
     }
 
     fn arb_version() -> impl Strategy<Value = Version> {
-        (any::<u64>(), arb_value(), arb_ts(), arb_tx(), any::<u16>()).prop_map(
-            |(k, v, ts, tx, dc)| Version::new(Key(k), v, ts, tx, DcId(dc)),
-        )
+        (any::<u64>(), arb_value(), arb_ts(), arb_tx(), any::<u16>())
+            .prop_map(|(k, v, ts, tx, dc)| Version::new(Key(k), v, ts, tx, DcId(dc)))
     }
 
     fn arb_writes() -> impl Strategy<Value = Vec<WriteSetEntry>> {
@@ -900,11 +892,10 @@ mod tests {
 
     fn arb_results() -> impl Strategy<Value = Vec<ReadResult>> {
         proptest::collection::vec(
-            (any::<u64>(), proptest::option::of(arb_version()))
-                .prop_map(|(k, v)| ReadResult {
-                    key: Key(k),
-                    version: v,
-                }),
+            (any::<u64>(), proptest::option::of(arb_version())).prop_map(|(k, v)| ReadResult {
+                key: Key(k),
+                version: v,
+            }),
             0..8,
         )
     }
@@ -913,14 +904,18 @@ mod tests {
         prop_oneof![
             arb_ts().prop_map(|client_ust| Msg::StartTxReq { client_ust }),
             (arb_tx(), arb_ts()).prop_map(|(tx, snapshot)| Msg::StartTxResp { tx, snapshot }),
-            (arb_tx(), proptest::collection::vec(any::<u64>(), 0..16))
-                .prop_map(|(tx, ks)| Msg::ReadReq {
+            (arb_tx(), proptest::collection::vec(any::<u64>(), 0..16)).prop_map(|(tx, ks)| {
+                Msg::ReadReq {
                     tx,
-                    keys: ks.into_iter().map(Key).collect()
-                }),
+                    keys: ks.into_iter().map(Key).collect(),
+                }
+            }),
             (arb_tx(), arb_results()).prop_map(|(tx, results)| Msg::ReadResp { tx, results }),
-            (arb_tx(), arb_ts(), arb_writes())
-                .prop_map(|(tx, hwt, writes)| Msg::CommitReq { tx, hwt, writes }),
+            (arb_tx(), arb_ts(), arb_writes()).prop_map(|(tx, hwt, writes)| Msg::CommitReq {
+                tx,
+                hwt,
+                writes
+            }),
             (arb_tx(), arb_ts()).prop_map(|(tx, ct)| Msg::CommitResp { tx, ct }),
             (
                 arb_tx(),
@@ -968,10 +963,7 @@ mod tests {
             (
                 any::<u32>(),
                 arb_ts(),
-                proptest::collection::vec(
-                    (arb_tx(), arb_ts(), any::<u16>(), arb_writes()),
-                    0..4
-                )
+                proptest::collection::vec((arb_tx(), arb_ts(), any::<u16>(), arb_writes()), 0..4)
             )
                 .prop_map(|(p, wm, txs)| Msg::Replicate {
                     partition: PartitionId(p),

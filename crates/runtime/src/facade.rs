@@ -1,0 +1,287 @@
+//! The unified cluster facade: one [`Cluster`] trait over every backend,
+//! with RAII [`Txn`] transaction handles.
+//!
+//! Every runtime — the synchronous in-process [`crate::MiniCluster`], the
+//! discrete-event [`crate::SimCluster`], the multi-threaded
+//! [`crate::ThreadCluster`] — exposes the same surface:
+//!
+//! * [`Cluster::open_client`] to place a client session in a DC,
+//! * [`Cluster::begin`] to open a transaction and get a [`Txn`] handle
+//!   (`read`/`write`/`commit`, abort-on-drop),
+//! * [`Cluster::stabilize`] to let the background protocols (replication,
+//!   GST/UST gossip) advance,
+//! * [`Cluster::run_workload`] to drive a closed-loop YCSB-style load and
+//!   get a [`RunReport`],
+//! * [`Cluster::check_convergence`] for the replica-agreement oracle.
+//!
+//! Backends are built with [`crate::Paris::builder`]; code written against
+//! this trait runs unchanged on all of them.
+//!
+//! ```
+//! use paris_runtime::{Backend, Cluster, Paris};
+//! use paris_types::{Key, Value};
+//!
+//! let mut cluster = Paris::builder()
+//!     .dcs(3)
+//!     .partitions(6)
+//!     .replication(2)
+//!     .backend(Backend::Mini)
+//!     .build()?;
+//! let alice = cluster.open_client(0)?;
+//!
+//! let mut txn = cluster.begin(alice)?;
+//! txn.write(Key(1), Value::from("hello"));
+//! txn.commit()?;
+//!
+//! cluster.stabilize(5);
+//! let bob = cluster.open_client(1)?;
+//! let mut txn = cluster.begin(bob)?;
+//! assert_eq!(txn.read_one(Key(1))?, Some(Value::from("hello")));
+//! txn.commit()?;
+//! # Ok::<(), paris_types::Error>(())
+//! ```
+
+use paris_core::{ClientRead, ReadSource, Violation};
+use paris_types::{ClientId, Error, Key, Mode, Timestamp, Value};
+
+use crate::measure::RunReport;
+
+/// A PaRiS deployment, independent of the substrate executing it.
+///
+/// The `txn_*` methods are the raw, client-id-keyed operations each
+/// backend implements; application code should prefer [`Cluster::begin`]
+/// and the [`Txn`] handle, which layer transactional buffering and
+/// abort-on-drop on top of them.
+pub trait Cluster {
+    /// A short name of the backend ("mini", "sim", "thread").
+    fn backend_name(&self) -> &'static str;
+
+    /// The protocol variant this deployment runs.
+    fn mode(&self) -> Mode;
+
+    /// Opens a client session collocated with a coordinator in DC `dc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if `dc` is out of range.
+    fn open_client(&mut self, dc: u16) -> Result<ClientId, Error>;
+
+    /// Raw operation: starts a transaction for `client`, returning its
+    /// snapshot timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session errors (unknown client, transaction already
+    /// open) and transport failures.
+    fn txn_begin(&mut self, client: ClientId) -> Result<Timestamp, Error>;
+
+    /// Raw operation: reads `keys` within the open transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session errors and transport failures.
+    fn txn_read(&mut self, client: ClientId, keys: &[Key]) -> Result<Vec<ClientRead>, Error>;
+
+    /// Raw operation: buffers `entries` in the open transaction's write
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session errors.
+    fn txn_write(&mut self, client: ClientId, entries: &[(Key, Value)]) -> Result<(), Error>;
+
+    /// Raw operation: commits the open transaction, returning its commit
+    /// timestamp ([`Timestamp::ZERO`] for read-only transactions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates session errors and transport failures.
+    fn txn_commit(&mut self, client: ClientId) -> Result<Timestamp, Error>;
+
+    /// Advances the background protocols (replication, GST/UST gossip)
+    /// for `rounds` full rounds; after 3–5 rounds all previously committed
+    /// writes are in every DC's stable snapshot.
+    fn stabilize(&mut self, rounds: usize);
+
+    /// The minimum Universal Stable Time across all servers.
+    fn min_ust(&self) -> Timestamp;
+
+    /// Runs the configured closed-loop workload: `warmup_micros` of
+    /// untimed warmup, then a measured window of `window_micros`
+    /// (simulated time on deterministic backends, wall-clock time on the
+    /// threaded backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures; the report itself carries consistency
+    /// violations when history recording is enabled.
+    fn run_workload(&mut self, warmup_micros: u64, window_micros: u64) -> Result<RunReport, Error>;
+
+    /// Checks that all replicas of every partition agree on the latest
+    /// version of every key. Meaningful after [`Cluster::stabilize`] (or a
+    /// settled workload); returns the disagreements found.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures on backends that must reach servers.
+    fn check_convergence(&mut self) -> Result<Vec<Violation>, Error>;
+
+    /// Starts a transaction and returns its RAII [`Txn`] handle.
+    ///
+    /// Dropping the handle without [`Txn::commit`] aborts the
+    /// transaction: buffered writes are discarded and the coordinator's
+    /// context is released.
+    ///
+    /// Implementations delegate to [`Txn::begin_on`]; the method lives on
+    /// the trait (rather than as a provided default) so it is callable on
+    /// `dyn Cluster` trait objects too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Cluster::txn_begin`] errors.
+    fn begin(&mut self, client: ClientId) -> Result<Txn<'_>, Error>;
+}
+
+/// An open transaction on a [`Cluster`].
+///
+/// Writes are buffered in the handle and only shipped on [`Txn::commit`];
+/// dropping the handle (or calling [`Txn::abort`]) closes the transaction
+/// without publishing any buffered write — none of them takes effect,
+/// matching the coordinator-side abort semantics of §III-C.
+///
+/// Reads observe the handle's own buffered writes first (the `WS_c` tier
+/// of Algorithm 1 line 11), then fall through to the session's read set,
+/// write cache and the servers.
+pub struct Txn<'a> {
+    cluster: &'a mut (dyn Cluster + 'a),
+    client: ClientId,
+    snapshot: Timestamp,
+    writes: Vec<(Key, Value)>,
+    finished: bool,
+}
+
+impl<'a> Txn<'a> {
+    /// Starts a transaction on `cluster` — the canonical implementation of
+    /// [`Cluster::begin`], public so external backend implementations can
+    /// delegate to it too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Cluster::txn_begin`] errors.
+    pub fn begin_on(cluster: &'a mut (dyn Cluster + 'a), client: ClientId) -> Result<Self, Error> {
+        let snapshot = cluster.txn_begin(client)?;
+        Ok(Txn {
+            cluster,
+            client,
+            snapshot,
+            writes: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// The client this transaction belongs to.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// The stable snapshot this transaction reads from.
+    pub fn snapshot(&self) -> Timestamp {
+        self.snapshot
+    }
+
+    /// Reads a set of keys, serving keys written earlier in this
+    /// transaction from the local write buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session and transport errors.
+    pub fn read(&mut self, keys: &[Key]) -> Result<Vec<ClientRead>, Error> {
+        let mut out: Vec<ClientRead> = Vec::with_capacity(keys.len());
+        let mut remote: Vec<Key> = Vec::new();
+        for &key in keys {
+            // Last write per key wins, as in the session write set.
+            match self.writes.iter().rev().find(|(k, _)| *k == key) {
+                Some((_, value)) => out.push(ClientRead {
+                    key,
+                    value: Some(value.clone()),
+                    version: None,
+                    source: ReadSource::WriteSet,
+                }),
+                None => remote.push(key),
+            }
+        }
+        if !remote.is_empty() {
+            out.extend(self.cluster.txn_read(self.client, &remote)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads one key's value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session and transport errors.
+    pub fn read_one(&mut self, key: Key) -> Result<Option<Value>, Error> {
+        Ok(self
+            .read(&[key])?
+            .into_iter()
+            .find(|r| r.key == key)
+            .and_then(|r| r.value))
+    }
+
+    /// Buffers a write; it is shipped on [`Txn::commit`] and discarded on
+    /// abort.
+    pub fn write(&mut self, key: Key, value: Value) {
+        self.writes.push((key, value));
+    }
+
+    /// Commits: ships the buffered writes and waits for the commit
+    /// timestamp ([`Timestamp::ZERO`] for read-only transactions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates session and transport errors. On error the handle still
+    /// attempts the abort-on-drop closure; a transport-level failure
+    /// mid-commit can leave the session with the operation in flight, in
+    /// which case the closure is deferred until the reply (or the
+    /// substrate) is gone.
+    pub fn commit(mut self) -> Result<Timestamp, Error> {
+        let writes = std::mem::take(&mut self.writes);
+        if !writes.is_empty() {
+            // On failure, Drop still runs and closes the transaction
+            // without the writes.
+            self.cluster.txn_write(self.client, &writes)?;
+        }
+        let ct = self.cluster.txn_commit(self.client)?;
+        self.finished = true;
+        Ok(ct)
+    }
+
+    /// Explicitly aborts: buffered writes are discarded and the
+    /// coordinator context is released. Equivalent to dropping the handle,
+    /// but reports closure failures instead of swallowing them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures encountered while closing the
+    /// server-side context.
+    pub fn abort(mut self) -> Result<(), Error> {
+        self.finished = true;
+        self.writes.clear();
+        // A commit with an empty write set publishes nothing and frees
+        // the coordinator's transaction context (and its hold on the GC
+        // horizon) — the sans-I/O core stays untouched.
+        self.cluster.txn_commit(self.client).map(drop)
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.writes.clear();
+            // Best effort: a failed abort (e.g. transport teardown) only
+            // leaks the server-side context, which GC bounds anyway.
+            let _ = self.cluster.txn_commit(self.client);
+        }
+    }
+}

@@ -1,25 +1,86 @@
-//! Cluster runtimes: drive the PaRiS state machines over a substrate.
+//! Cluster runtimes behind one facade: drive the PaRiS state machines
+//! over any substrate through the [`Cluster`] trait.
 //!
+//! * [`MiniCluster`] — a synchronous in-process pump: zero latency, fully
+//!   deterministic, the cheapest way to *use* PaRiS as a library.
 //! * [`SimCluster`] — the deterministic discrete-event runtime that stands
 //!   in for the paper's AWS deployment: WAN latency matrix, per-server CPU
 //!   service queues, closed-loop clients, fault injection. Every figure of
 //!   the paper is regenerated on it.
-//! * [`ThreadCluster`] — a real multi-threaded in-process deployment over
-//!   crossbeam channels: one thread per server, used by integration tests
-//!   to exercise the protocol under genuine concurrency.
+//! * [`ThreadCluster`] — a real multi-threaded in-process deployment: one
+//!   thread per server, used by integration tests to exercise the protocol
+//!   under genuine concurrency.
 //!
-//! Both runtimes execute the same `paris-core` state machines and produce
+//! All three execute the same `paris-core` state machines. Build any of
+//! them with [`Paris::builder`]; interact through [`Cluster`] and the RAII
+//! [`Txn`] handle; measure with [`Cluster::run_workload`], which produces
 //! a [`RunReport`] with throughput, latency percentiles, blocking
-//! statistics, update-visibility latency and (optionally) the consistency
-//! checker's verdict.
+//! statistics and (when enabled) the consistency checker's verdict.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
+
+use paris_core::checker::HistoryChecker;
+use paris_core::{Topology, Violation};
+use paris_net::sim::RegionMatrix;
+use paris_types::{DcId, Intervals, Key, PartitionId, ServerId, VersionOrd};
+
+mod builder;
+mod facade;
 mod measure;
+mod mini_cluster;
 mod sim_cluster;
 mod thread_cluster;
 
+pub use builder::{Backend, ClusterBuilder, Paris};
+pub use facade::{Cluster, Txn};
 pub use measure::{visibility_histogram, BlockingStats, RunReport};
-pub use sim_cluster::{SimCluster, SimConfig};
-pub use thread_cluster::{ThreadCluster, ThreadClusterConfig};
+pub use mini_cluster::MiniCluster;
+pub use sim_cluster::SimCluster;
+pub use thread_cluster::ThreadCluster;
+
+/// Interactive client sessions get sequence numbers far above the
+/// workload clients' `0..clients_per_dc` range so the two populations
+/// never collide on ids or inboxes.
+pub(crate) const INTERACTIVE_SEQ_BASE: u32 = 1 << 20;
+
+/// One stabilization round, in microseconds: long enough for every
+/// periodic protocol to fire at least once and for its messages to cross
+/// the (optionally scaled) WAN, plus `slack` for processing.
+pub(crate) fn gossip_round_micros(
+    intervals: &Intervals,
+    matrix: &RegionMatrix,
+    dcs: u16,
+    latency_scale: f64,
+    slack: u64,
+) -> u64 {
+    let mut max_one_way = 0;
+    for a in 0..dcs {
+        for b in 0..dcs {
+            max_one_way = max_one_way.max(matrix.one_way(DcId(a), DcId(b)));
+        }
+    }
+    let wan = (max_one_way as f64 * latency_scale) as u64;
+    intervals.replication_micros + 2 * intervals.gst_micros + intervals.ust_micros + 2 * wan + slack
+}
+
+/// Shared replica-agreement oracle: for every partition, compares the
+/// latest version of every key across all replicas.
+pub(crate) fn replica_convergence<F>(topo: &Topology, mut latest_of: F) -> Vec<Violation>
+where
+    F: FnMut(ServerId) -> HashMap<Key, Option<VersionOrd>>,
+{
+    let mut violations = Vec::new();
+    for p in 0..topo.partitions() {
+        let p = PartitionId(p);
+        let maps: Vec<HashMap<Key, Option<VersionOrd>>> = topo
+            .replicas(p)
+            .into_iter()
+            .map(|dc| latest_of(ServerId::new(dc, p)))
+            .collect();
+        violations.extend(HistoryChecker::check_convergence(&maps));
+    }
+    violations
+}

@@ -2,9 +2,9 @@
 //! visibility latency (paper §V-E).
 
 use paris_core::{EventLog, Violation};
-use paris_types::{Mode, TxId};
 #[cfg(test)]
 use paris_types::Timestamp;
+use paris_types::{Mode, TxId};
 use paris_workload::stats::{Histogram, RunStats};
 use std::collections::HashMap;
 
@@ -22,6 +22,13 @@ pub struct BlockingStats {
 }
 
 impl BlockingStats {
+    /// Folds one server's counters into the aggregate.
+    pub(crate) fn accumulate(&mut self, stats: &paris_core::ServerStats) {
+        self.blocked_reads += stats.blocked_reads;
+        self.total_micros += stats.blocked_micros_total;
+        self.max_micros = self.max_micros.max(stats.blocked_micros_max);
+    }
+
     /// Mean blocking time in milliseconds (0 when nothing blocked).
     pub fn mean_ms(&self) -> f64 {
         if self.blocked_reads == 0 {

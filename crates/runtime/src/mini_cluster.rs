@@ -1,0 +1,388 @@
+//! The miniature synchronous in-process backend.
+//!
+//! [`MiniCluster`] wires the real PaRiS server and client state machines
+//! together with a zero-latency FIFO message pump — no simulator, no
+//! threads. It is the cheapest [`Cluster`](crate::Cluster) backend:
+//! examples, unit tests and interactive exploration all fit in a few
+//! lines, and every operation completes synchronously. The background
+//! protocols (replication, UST stabilization) advance when
+//! [`Cluster::stabilize`](crate::Cluster::stabilize) is called.
+//!
+//! Build one with [`crate::Paris::builder`] and
+//! [`Backend::Mini`](crate::Backend::Mini); for performance work use the
+//! [`crate::SimCluster`] backend (WAN latency, CPU model), for
+//! concurrency testing the [`crate::ThreadCluster`] backend.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use paris_clock::SimClock;
+use paris_core::checker::{HistoryChecker, RecordedTx};
+use paris_core::{
+    ClientEvent, ClientRead, ClientSession, ReadStep, Server, ServerOptions, Topology, Violation,
+};
+use paris_proto::{Endpoint, Envelope};
+use paris_types::{ClientId, ClusterConfig, DcId, Error, Key, Mode, ServerId, Timestamp, Value};
+use paris_workload::stats::RunStats;
+use paris_workload::{WorkloadConfig, WorkloadGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::measure::{BlockingStats, RunReport};
+use crate::{replica_convergence, Cluster};
+
+/// A synchronous in-process PaRiS cluster. See the module docs.
+pub struct MiniCluster {
+    topo: Arc<Topology>,
+    clock: SimClock,
+    servers: HashMap<ServerId, Server>,
+    clients: HashMap<ClientId, ClientSession>,
+    queue: VecDeque<Envelope>,
+    events: VecDeque<(ClientId, ClientEvent)>,
+    next_client: HashMap<DcId, u32>,
+    mode: Mode,
+    now: u64,
+    workload: WorkloadConfig,
+    clients_per_dc: u32,
+    seed: u64,
+    record_history: bool,
+}
+
+impl MiniCluster {
+    /// Builds the deployment; called by [`crate::ClusterBuilder`].
+    pub(crate) fn from_parts(
+        cfg: ClusterConfig,
+        workload: WorkloadConfig,
+        clients_per_dc: u32,
+        seed: u64,
+        record_history: bool,
+    ) -> Self {
+        let mode = cfg.mode;
+        let topo = Arc::new(Topology::new(cfg));
+        let clock = SimClock::new();
+        clock.advance_to(1_000);
+        let servers = topo
+            .all_servers()
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    Server::new(ServerOptions {
+                        id,
+                        topology: Arc::clone(&topo),
+                        clock: Box::new(clock.clone()),
+                        mode,
+                        record_events: false,
+                    }),
+                )
+            })
+            .collect();
+        MiniCluster {
+            topo,
+            clock,
+            servers,
+            clients: HashMap::new(),
+            queue: VecDeque::new(),
+            events: VecDeque::new(),
+            next_client: HashMap::new(),
+            mode,
+            now: 1_000,
+            workload,
+            clients_per_dc,
+            seed,
+            record_history,
+        }
+    }
+
+    /// The topology, for inspecting placement.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Direct read-only access to a server (stores, stats).
+    pub fn server(&self, id: ServerId) -> Option<&Server> {
+        self.servers.get(&id)
+    }
+
+    fn pump(&mut self) {
+        while let Some(env) = self.queue.pop_front() {
+            match env.dst {
+                Endpoint::Server(sid) => {
+                    if let Some(server) = self.servers.get_mut(&sid) {
+                        let out = server.handle(&env, self.now);
+                        self.queue.extend(out);
+                    }
+                }
+                Endpoint::Client(cid) => {
+                    if let Some(session) = self.clients.get_mut(&cid) {
+                        if let Some(ev) = session.handle(&env) {
+                            self.events.push_back((cid, ev));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn stabilize_rounds(&mut self, rounds: usize) {
+        let ids: Vec<ServerId> = {
+            let mut v: Vec<ServerId> = self.servers.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        for _ in 0..rounds {
+            self.now += 1_000;
+            self.clock.advance_to(self.now);
+            for id in &ids {
+                let out = self
+                    .servers
+                    .get_mut(id)
+                    .expect("known")
+                    .on_replicate_tick(self.now);
+                self.queue.extend(out);
+            }
+            self.pump();
+            // Two aggregation passes so child reports reach the roots.
+            for _ in 0..2 {
+                for id in &ids {
+                    let out = self
+                        .servers
+                        .get_mut(id)
+                        .expect("known")
+                        .on_gst_tick(self.now);
+                    self.queue.extend(out);
+                }
+                self.pump();
+            }
+            for id in &ids {
+                let out = self
+                    .servers
+                    .get_mut(id)
+                    .expect("known")
+                    .on_ust_tick(self.now);
+                self.queue.extend(out);
+            }
+            self.pump();
+        }
+    }
+
+    fn expect_event(&mut self, cid: ClientId) -> Result<ClientEvent, Error> {
+        // The pump is synchronous: the response is already queued.
+        match self.events.pop_front() {
+            Some((id, ev)) if id == cid => Ok(ev),
+            _ => Err(Error::UnknownTransaction),
+        }
+    }
+
+    fn blocking_stats(&self) -> BlockingStats {
+        let mut out = BlockingStats::default();
+        for server in self.servers.values() {
+            out.accumulate(server.stats());
+        }
+        out
+    }
+}
+
+impl Cluster for MiniCluster {
+    fn backend_name(&self) -> &'static str {
+        "mini"
+    }
+
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn open_client(&mut self, dc: u16) -> Result<ClientId, Error> {
+        if dc >= self.topo.dcs() {
+            return Err(paris_types::ConfigError::new("client DC out of range").into());
+        }
+        let dc = DcId(dc);
+        let seq = self.next_client.entry(dc).or_insert(0);
+        let id = ClientId::new(dc, *seq);
+        *seq += 1;
+        let coordinator = self.topo.coordinator_for(dc, id.seq);
+        self.clients
+            .insert(id, ClientSession::new(id, coordinator, self.mode));
+        Ok(id)
+    }
+
+    fn txn_begin(&mut self, client: ClientId) -> Result<Timestamp, Error> {
+        self.now += 10;
+        self.clock.advance_to(self.now);
+        let env = self
+            .clients
+            .get_mut(&client)
+            .ok_or(Error::UnknownTransaction)?
+            .begin()?;
+        self.queue.push_back(env);
+        self.pump();
+        match self.expect_event(client)? {
+            ClientEvent::Started { snapshot, .. } => Ok(snapshot),
+            _ => Err(Error::UnknownTransaction),
+        }
+    }
+
+    fn txn_read(&mut self, client: ClientId, keys: &[Key]) -> Result<Vec<ClientRead>, Error> {
+        let step = self
+            .clients
+            .get_mut(&client)
+            .ok_or(Error::UnknownTransaction)?
+            .read(keys)?;
+        match step {
+            ReadStep::Done(reads) => Ok(reads),
+            ReadStep::Send(env) => {
+                self.queue.push_back(env);
+                self.pump();
+                // Under BPR a fresh-snapshot read blocks server-side until
+                // the snapshot is installed; advance background rounds
+                // until it completes (PaRiS never takes this path).
+                let mut rounds = 0;
+                while self.events.is_empty() && rounds < 64 {
+                    self.stabilize_rounds(1);
+                    rounds += 1;
+                }
+                match self.expect_event(client)? {
+                    ClientEvent::ReadDone { reads, .. } => Ok(reads),
+                    _ => Err(Error::UnknownTransaction),
+                }
+            }
+        }
+    }
+
+    fn txn_write(&mut self, client: ClientId, entries: &[(Key, Value)]) -> Result<(), Error> {
+        self.clients
+            .get_mut(&client)
+            .ok_or(Error::UnknownTransaction)?
+            .write(entries)
+    }
+
+    fn txn_commit(&mut self, client: ClientId) -> Result<Timestamp, Error> {
+        self.now += 10;
+        self.clock.advance_to(self.now);
+        let env = self
+            .clients
+            .get_mut(&client)
+            .ok_or(Error::UnknownTransaction)?
+            .commit()?;
+        self.queue.push_back(env);
+        self.pump();
+        match self.expect_event(client)? {
+            ClientEvent::Committed { ct, .. } => Ok(ct),
+            _ => Err(Error::UnknownTransaction),
+        }
+    }
+
+    fn stabilize(&mut self, rounds: usize) {
+        self.stabilize_rounds(rounds);
+    }
+
+    fn min_ust(&self) -> Timestamp {
+        self.servers
+            .values()
+            .map(Server::ust)
+            .min()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    fn run_workload(&mut self, warmup_micros: u64, window_micros: u64) -> Result<RunReport, Error> {
+        let window_start = self.now + warmup_micros;
+        let end = window_start + window_micros;
+        let mut stats = RunStats::new(window_micros);
+        let mut checker = self.record_history.then(HistoryChecker::new);
+
+        let mut workers = Vec::new();
+        for dc in 0..self.topo.dcs() {
+            let local = self.topo.partitions_in_dc(DcId(dc));
+            for _ in 0..self.clients_per_dc {
+                let id = self.open_client(dc)?;
+                let generator = WorkloadGenerator::new(
+                    self.workload.clone(),
+                    self.topo.partitions(),
+                    local.clone(),
+                );
+                let rng =
+                    StdRng::seed_from_u64(self.seed ^ (u64::from(dc) << 32) ^ u64::from(id.seq));
+                workers.push((id, generator, rng));
+            }
+        }
+
+        // Closed loop, round-robin over clients, with a stabilization
+        // round between laps so the UST keeps pace with the writers.
+        while self.now < end {
+            for (id, generator, rng) in &mut workers {
+                let begun_at = self.now;
+                let snapshot = self.txn_begin(*id)?;
+                let tx = self
+                    .clients
+                    .get(id)
+                    .and_then(ClientSession::open_tx)
+                    .ok_or(Error::UnknownTransaction)?;
+                let spec = generator.next_tx(rng);
+                let mut reads = Vec::new();
+                if !spec.read_keys.is_empty() {
+                    let got = self.txn_read(*id, &spec.read_keys)?;
+                    if checker.is_some() {
+                        reads.extend(got.iter().map(HistoryChecker::recorded_read));
+                    }
+                }
+                if !spec.writes.is_empty() {
+                    self.txn_write(*id, &spec.writes)?;
+                }
+                let ct = self.txn_commit(*id)?;
+                if self.now >= window_start && self.now <= end {
+                    stats.committed += 1;
+                    stats.latency.record(self.now.saturating_sub(begun_at));
+                }
+                if let Some(checker) = checker.as_mut() {
+                    checker.record_tx(
+                        *id,
+                        RecordedTx {
+                            tx,
+                            snapshot,
+                            reads,
+                            writes: spec.writes.iter().map(|(k, _)| *k).collect(),
+                            ct: Some(ct),
+                        },
+                    );
+                }
+            }
+            self.stabilize_rounds(1);
+        }
+
+        let violations = match checker.as_mut() {
+            Some(checker) => {
+                for server in self.servers.values() {
+                    for (key, chain) in server.store().iter() {
+                        checker.record_versions(*key, chain.iter().map(|v| v.order()));
+                    }
+                }
+                checker.check()
+            }
+            None => Vec::new(),
+        };
+        Ok(RunReport {
+            mode: self.mode,
+            stats,
+            blocking: self.blocking_stats(),
+            visibility: None,
+            violations,
+            net_messages: 0,
+            net_bytes: 0,
+        })
+    }
+
+    fn begin(&mut self, client: ClientId) -> Result<crate::Txn<'_>, Error> {
+        crate::Txn::begin_on(self, client)
+    }
+
+    fn check_convergence(&mut self) -> Result<Vec<Violation>, Error> {
+        let topo = Arc::clone(&self.topo);
+        Ok(replica_convergence(&topo, |id| {
+            self.servers[&id]
+                .store()
+                .iter()
+                .map(|(k, chain)| (*k, chain.latest_order()))
+                .collect()
+        }))
+    }
+}

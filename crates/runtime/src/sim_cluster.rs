@@ -6,100 +6,54 @@
 //! collocated with their coordinator (paper §V-A), and the whole run is
 //! reproducible from a seed.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use paris_clock::{SimClock, SkewedClock};
 use paris_core::checker::{HistoryChecker, RecordedTx};
+use paris_core::ClientRead;
 use paris_core::{
     ClientEvent, ClientSession, ReadStep, Server, ServerOptions, Topology, Violation,
 };
 use paris_net::sim::{EventQueue, RegionMatrix, ServiceModel, SimNetwork};
 use paris_proto::{Endpoint, Envelope};
-use paris_types::{ClientId, ClusterConfig, DcId, Mode, ServerId, Timestamp, TxId};
+use paris_types::{
+    ClientId, ClusterConfig, DcId, Error, Key, Mode, ServerId, Timestamp, TxId, Value,
+};
 use paris_workload::stats::RunStats;
 use paris_workload::{TxSpec, WorkloadConfig, WorkloadGenerator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::measure::{visibility_histogram, BlockingStats, RunReport};
+use crate::{replica_convergence, Cluster, INTERACTIVE_SEQ_BASE};
 
-/// Configuration of a simulated deployment.
+/// Configuration of a simulated deployment (assembled by the builder).
 #[derive(Debug, Clone)]
-pub struct SimConfig {
+pub(crate) struct SimConfig {
     /// Cluster shape (DCs, partitions, replication factor, intervals…).
-    pub cluster: ClusterConfig,
+    pub(crate) cluster: ClusterConfig,
     /// Inter-DC latency matrix.
-    pub matrix: RegionMatrix,
+    pub(crate) matrix: RegionMatrix,
     /// Network jitter fraction.
-    pub jitter: f64,
+    pub(crate) jitter: f64,
     /// Per-message CPU costs.
-    pub service: ServiceModel,
+    pub(crate) service: ServiceModel,
     /// Master RNG seed: same seed ⇒ identical run.
-    pub seed: u64,
+    pub(crate) seed: u64,
     /// Closed-loop client sessions per DC (the paper's "threads ×
     /// processes"; each session runs transactions back to back).
-    pub clients_per_dc: u32,
+    pub(crate) clients_per_dc: u32,
     /// Workload shape.
-    pub workload: WorkloadConfig,
+    pub(crate) workload: WorkloadConfig,
     /// Record server event logs (visibility latency, Fig. 4).
-    pub record_events: bool,
+    pub(crate) record_events: bool,
     /// Record client histories and run the consistency checker.
-    pub record_history: bool,
+    pub(crate) record_history: bool,
     /// Stabilization-tree branching factor (`0` = flat tree rooted at the
     /// lowest partition per DC, the default; the tree-shape ablation sets
     /// small fanouts).
-    pub stab_branching: usize,
-}
-
-impl SimConfig {
-    /// A deployment with the paper's default shape (5 DCs on the AWS
-    /// matrix, 45 partitions, R = 2) but scaled-down client load; benches
-    /// override fields as each figure requires.
-    pub fn paper_default() -> Self {
-        let cluster = ClusterConfig::default();
-        let matrix = RegionMatrix::aws_10(cluster.dcs);
-        SimConfig {
-            cluster,
-            matrix,
-            jitter: 0.05,
-            service: ServiceModel::default(),
-            seed: 42,
-            clients_per_dc: 64,
-            workload: WorkloadConfig::read_heavy(),
-            record_events: false,
-            record_history: false,
-            stab_branching: 0,
-        }
-    }
-
-    /// A small deployment for tests: `dcs`×`partitions`, R = 2, uniform
-    /// 10 ms one-way WAN latency, modest load, checker enabled.
-    pub fn small_test(dcs: u16, partitions: u32, mode: Mode, seed: u64) -> Self {
-        let cluster = ClusterConfig::builder()
-            .dcs(dcs)
-            .partitions(partitions)
-            .replication_factor(2)
-            .keys_per_partition(200)
-            .mode(mode)
-            .build()
-            .expect("valid test config");
-        SimConfig {
-            matrix: RegionMatrix::uniform(dcs, 10_000),
-            cluster,
-            jitter: 0.02,
-            service: ServiceModel::default(),
-            seed,
-            clients_per_dc: 4,
-            workload: WorkloadConfig {
-                keys_per_partition: 200,
-                ..WorkloadConfig::read_heavy()
-            },
-            record_events: true,
-            record_history: true,
-            stab_branching: 0,
-        }
-    }
+    pub(crate) stab_branching: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -162,12 +116,15 @@ pub struct SimCluster {
     stats: RunStats,
     checker: Option<HistoryChecker>,
     failure_detection: bool,
+    interactive: HashMap<ClientId, ClientSession>,
+    interactive_events: VecDeque<(ClientId, ClientEvent)>,
+    next_interactive: HashMap<DcId, u32>,
 }
 
 impl SimCluster {
     /// Builds the deployment: all servers with skewed clocks, all client
     /// sessions, background ticks scheduled with random phase offsets.
-    pub fn new(config: SimConfig) -> Self {
+    pub(crate) fn new(config: SimConfig) -> Self {
         let topo = Arc::new(Topology::with_branching(
             config.cluster.clone(),
             config.stab_branching,
@@ -270,6 +227,9 @@ impl SimCluster {
             stats: RunStats::new(0),
             checker,
             failure_detection: false,
+            interactive: HashMap::new(),
+            interactive_events: VecDeque::new(),
+            next_interactive: HashMap::new(),
         }
     }
 
@@ -372,7 +332,7 @@ impl SimCluster {
     /// Runs the workload: clients start (staggered), the measurement
     /// window is `[warmup, warmup + window]`, then clients stop and
     /// in-flight transactions drain.
-    pub fn run_workload(&mut self, warmup_micros: u64, window_micros: u64) {
+    fn drive_workload(&mut self, warmup_micros: u64, window_micros: u64) {
         self.window_start = self.now + warmup_micros;
         self.window_end = self.window_start + window_micros;
         self.client_stop = self.window_end;
@@ -380,7 +340,7 @@ impl SimCluster {
         let mut ids: Vec<ClientId> = self.clients.keys().copied().collect();
         ids.sort_unstable(); // HashMap order must not leak into the schedule
         for id in ids {
-            let offset = self.rng.gen_range(0..1_000);
+            let offset = self.rng.gen_range(0..1_000u64);
             self.queue.push(self.now + offset, SimEvent::ClientKick(id));
         }
         // Drain budget: a multi-DC transaction needs a few WAN round trips.
@@ -397,21 +357,57 @@ impl SimCluster {
     }
 
     fn run_until(&mut self, horizon: u64) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked");
-            self.now = self.now.max(ev.time);
-            self.clock.advance_to(self.now);
-            match ev.event {
-                SimEvent::Deliver(env) => self.deliver(env),
-                SimEvent::Tick(id, kind) => self.tick(id, kind),
-                SimEvent::ClientKick(id) => self.kick_client(id),
-            }
+        while self.queue.peek_time().is_some_and(|t| t <= horizon) {
+            self.step();
         }
         self.now = self.now.max(horizon);
         self.clock.advance_to(self.now);
+    }
+
+    /// Executes the next scheduled event; returns `false` if none remain.
+    fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(ev.time);
+        self.clock.advance_to(self.now);
+        match ev.event {
+            SimEvent::Deliver(env) => self.deliver(env),
+            SimEvent::Tick(id, kind) => self.tick(id, kind),
+            SimEvent::ClientKick(id) => self.kick_client(id),
+        }
+        true
+    }
+
+    /// Advances the simulation until `client`'s next event arrives.
+    fn await_interactive(&mut self, client: ClientId) -> Result<ClientEvent, Error> {
+        let deadline = self.now + 120_000_000; // 120 simulated seconds
+        loop {
+            if let Some(pos) = self
+                .interactive_events
+                .iter()
+                .position(|(c, _)| *c == client)
+            {
+                return Ok(self.interactive_events.remove(pos).expect("present").1);
+            }
+            if self.now > deadline {
+                return Err(Error::Transport("simulated operation timed out"));
+            }
+            if !self.step() {
+                return Err(Error::Transport("simulation ran out of events"));
+            }
+        }
+    }
+
+    /// One stabilization round in simulated microseconds.
+    fn stabilize_round_micros(&self) -> u64 {
+        crate::gossip_round_micros(
+            &self.config.cluster.intervals,
+            &self.config.matrix,
+            self.config.cluster.dcs,
+            1.0,
+            5_000,
+        )
     }
 
     fn send_all(&mut self, at: u64, envs: Vec<Envelope>) {
@@ -446,6 +442,12 @@ impl SimCluster {
                 self.send_all(finish, out);
             }
             Endpoint::Client(cid) => {
+                if let Some(session) = self.interactive.get_mut(&cid) {
+                    if let Some(ev) = session.handle(&env) {
+                        self.interactive_events.push_back((cid, ev));
+                    }
+                    return;
+                }
                 let Some(event) = self
                     .clients
                     .get_mut(&cid)
@@ -483,7 +485,8 @@ impl SimCluster {
         let drained = blocked_before.saturating_sub(slot.server.blocked_reads_now() as u64);
         slot.busy_until += self.config.service.block_overhead * drained;
         self.send_all(finish, out);
-        self.queue.push(self.now + interval, SimEvent::Tick(id, kind));
+        self.queue
+            .push(self.now + interval, SimEvent::Tick(id, kind));
     }
 
     // ------------------------------------------------------ client driving
@@ -603,10 +606,7 @@ impl SimCluster {
     pub fn blocking_stats(&self) -> BlockingStats {
         let mut out = BlockingStats::default();
         for slot in self.servers.values() {
-            let s = slot.server.stats();
-            out.blocked_reads += s.blocked_reads;
-            out.total_micros += s.blocked_micros_total;
-            out.max_micros = out.max_micros.max(s.blocked_micros_max);
+            out.accumulate(slot.server.stats());
         }
         out
     }
@@ -644,33 +644,122 @@ impl SimCluster {
         }
     }
 
-    /// Checks replica convergence: all replicas of every partition must
-    /// agree on the latest version of every key. Only meaningful after
-    /// [`Self::settle`].
-    pub fn check_convergence(&self) -> Vec<Violation> {
-        let mut violations = Vec::new();
-        for p in 0..self.config.cluster.partitions {
-            let p = paris_types::PartitionId(p);
-            let maps: Vec<HashMap<paris_types::Key, Option<paris_types::VersionOrd>>> = self
-                .topo
-                .replicas(p)
-                .into_iter()
-                .map(|dc| {
-                    let server = &self.servers[&ServerId::new(dc, p)].server;
-                    server
-                        .store()
-                        .iter()
-                        .map(|(k, chain)| (*k, chain.latest_order()))
-                        .collect()
-                })
-                .collect();
-            violations.extend(HistoryChecker::check_convergence(&maps));
-        }
-        violations
-    }
-
     /// Number of transactions the checker has recorded.
     pub fn recorded_transactions(&self) -> usize {
-        self.checker.as_ref().map_or(0, HistoryChecker::transactions)
+        self.checker
+            .as_ref()
+            .map_or(0, HistoryChecker::transactions)
+    }
+}
+
+impl Cluster for SimCluster {
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn mode(&self) -> Mode {
+        self.config.cluster.mode
+    }
+
+    fn open_client(&mut self, dc: u16) -> Result<ClientId, Error> {
+        if dc >= self.config.cluster.dcs {
+            return Err(paris_types::ConfigError::new("client DC out of range").into());
+        }
+        let dc = DcId(dc);
+        let offset = self.next_interactive.entry(dc).or_insert(0);
+        let id = ClientId::new(dc, INTERACTIVE_SEQ_BASE + *offset);
+        *offset += 1;
+        let coordinator = self.topo.coordinator_for(dc, id.seq);
+        self.interactive.insert(
+            id,
+            ClientSession::new(id, coordinator, self.config.cluster.mode),
+        );
+        Ok(id)
+    }
+
+    fn txn_begin(&mut self, client: ClientId) -> Result<Timestamp, Error> {
+        let env = self
+            .interactive
+            .get_mut(&client)
+            .ok_or(Error::UnknownTransaction)?
+            .begin()?;
+        let at = self.now;
+        self.send_all(at, vec![env]);
+        match self.await_interactive(client)? {
+            ClientEvent::Started { snapshot, .. } => Ok(snapshot),
+            ClientEvent::Aborted { .. } => Err(Error::PartitionUnreachable),
+            _ => Err(Error::UnknownTransaction),
+        }
+    }
+
+    fn txn_read(&mut self, client: ClientId, keys: &[Key]) -> Result<Vec<ClientRead>, Error> {
+        let step = self
+            .interactive
+            .get_mut(&client)
+            .ok_or(Error::UnknownTransaction)?
+            .read(keys)?;
+        match step {
+            ReadStep::Done(reads) => Ok(reads),
+            ReadStep::Send(env) => {
+                let at = self.now;
+                self.send_all(at, vec![env]);
+                match self.await_interactive(client)? {
+                    ClientEvent::ReadDone { reads, .. } => Ok(reads),
+                    ClientEvent::Aborted { .. } => Err(Error::PartitionUnreachable),
+                    _ => Err(Error::UnknownTransaction),
+                }
+            }
+        }
+    }
+
+    fn txn_write(&mut self, client: ClientId, entries: &[(Key, Value)]) -> Result<(), Error> {
+        self.interactive
+            .get_mut(&client)
+            .ok_or(Error::UnknownTransaction)?
+            .write(entries)
+    }
+
+    fn txn_commit(&mut self, client: ClientId) -> Result<Timestamp, Error> {
+        let env = self
+            .interactive
+            .get_mut(&client)
+            .ok_or(Error::UnknownTransaction)?
+            .commit()?;
+        let at = self.now;
+        self.send_all(at, vec![env]);
+        match self.await_interactive(client)? {
+            ClientEvent::Committed { ct, .. } => Ok(ct),
+            ClientEvent::Aborted { .. } => Err(Error::PartitionUnreachable),
+            _ => Err(Error::UnknownTransaction),
+        }
+    }
+
+    fn stabilize(&mut self, rounds: usize) {
+        self.settle(self.stabilize_round_micros() * rounds as u64);
+    }
+
+    fn min_ust(&self) -> Timestamp {
+        SimCluster::min_ust(self)
+    }
+
+    fn run_workload(&mut self, warmup_micros: u64, window_micros: u64) -> Result<RunReport, Error> {
+        self.drive_workload(warmup_micros, window_micros);
+        Ok(self.report())
+    }
+
+    fn begin(&mut self, client: ClientId) -> Result<crate::Txn<'_>, Error> {
+        crate::Txn::begin_on(self, client)
+    }
+
+    fn check_convergence(&mut self) -> Result<Vec<Violation>, Error> {
+        let topo = Arc::clone(&self.topo);
+        Ok(replica_convergence(&topo, |id| {
+            self.servers[&id]
+                .server
+                .store()
+                .iter()
+                .map(|(k, chain)| (*k, chain.latest_order()))
+                .collect()
+        }))
     }
 }

@@ -1,204 +1,273 @@
-//! A real multi-threaded in-process cluster.
+//! The real multi-threaded in-process backend.
 //!
-//! One OS thread per server, one per client session, crossbeam channels
-//! with WAN-shaped (scaled) latencies between them. This runtime exists to
-//! subject the exact same protocol state machines to genuine concurrency —
-//! real interleavings, real races in message arrival — and to validate
-//! that the consistency checker still finds nothing.
+//! One OS thread per server, real channels with WAN-shaped (scaled)
+//! latencies between them. This backend exists to subject the exact same
+//! protocol state machines to genuine concurrency — real interleavings,
+//! real races in message arrival — and to validate that the consistency
+//! checker still finds nothing.
+//!
+//! Unlike the original one-shot runner, a [`ThreadCluster`] is a live
+//! deployment: servers keep running between operations, so it serves both
+//! interactive transactions (via [`Cluster::begin`](crate::Cluster::begin))
+//! and closed-loop workloads
+//! ([`Cluster::run_workload`](crate::Cluster::run_workload)). Build one
+//! with [`crate::Paris::builder`] and
+//! [`Backend::Thread`](crate::Backend::Thread).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::RecvTimeoutError;
 use paris_clock::{PhysicalClock, SystemClock};
 use paris_core::checker::{HistoryChecker, RecordedTx};
 use paris_core::{
-    ClientEvent, ClientSession, ReadStep, Server, ServerOptions, Topology, Violation,
+    ClientEvent, ClientRead, ClientSession, ReadStep, Server, ServerOptions, Topology, Violation,
 };
-use paris_net::threaded::{Router, ThreadedNetConfig};
-use paris_types::{ClientId, ClusterConfig, DcId, Mode, ServerId};
-use paris_workload::stats::RunStats;
+use paris_net::threaded::{NetHandle, Router, ThreadedNetConfig};
+use paris_proto::Envelope;
+use paris_types::{ClientId, ClusterConfig, DcId, Error, Key, Mode, ServerId, Timestamp, Value};
+use paris_workload::stats::{Histogram, RunStats};
 use paris_workload::{WorkloadConfig, WorkloadGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::measure::{BlockingStats, RunReport};
+use crate::{replica_convergence, Cluster, INTERACTIVE_SEQ_BASE};
 
-/// Configuration of a threaded run.
+/// How long an interactive operation may wait for its reply before it is
+/// reported as a transport failure. Generous: even BPR blocked reads
+/// resolve within a few background-protocol periods.
+const OP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Configuration of a threaded deployment (assembled by the builder).
 #[derive(Debug, Clone)]
-pub struct ThreadClusterConfig {
-    /// Cluster shape.
-    pub cluster: ClusterConfig,
-    /// Transport configuration (latency matrix + compression scale).
-    pub net: ThreadedNetConfig,
-    /// Closed-loop client sessions per DC.
-    pub clients_per_dc: u32,
-    /// Workload shape.
-    pub workload: WorkloadConfig,
-    /// RNG seed for the workload.
-    pub seed: u64,
+pub(crate) struct ThreadClusterConfig {
+    pub(crate) cluster: ClusterConfig,
+    pub(crate) net: ThreadedNetConfig,
+    pub(crate) clients_per_dc: u32,
+    pub(crate) workload: WorkloadConfig,
+    pub(crate) seed: u64,
+    pub(crate) record_history: bool,
 }
 
-impl ThreadClusterConfig {
-    /// A small fast-test deployment: `dcs`×`partitions`, R = 2, AWS
-    /// latencies compressed 100×.
-    pub fn small(dcs: u16, partitions: u32, mode: Mode) -> Self {
-        ThreadClusterConfig {
-            cluster: ClusterConfig::builder()
-                .dcs(dcs)
-                .partitions(partitions)
-                .replication_factor(2)
-                .keys_per_partition(100)
-                .mode(mode)
-                .intervals(paris_types::Intervals {
-                    replication_micros: 2_000,
-                    gst_micros: 2_000,
-                    ust_micros: 2_000,
-                    gc_micros: 500_000,
-                })
-                .build()
-                .expect("valid test config"),
-            net: ThreadedNetConfig::fast(dcs),
-            clients_per_dc: 2,
-            workload: WorkloadConfig {
-                keys_per_partition: 100,
-                ..WorkloadConfig::read_heavy()
-            },
-            seed: 7,
-        }
-    }
+struct InteractiveClient {
+    session: ClientSession,
+    inbox: Receiver<Envelope>,
 }
 
-/// Outcome of a threaded run.
-pub struct ThreadRunOutcome {
-    /// Throughput/latency/blocking report (no visibility histogram — the
-    /// threaded runtime is for correctness, not curves).
-    pub report: RunReport,
-    /// Consistency checker verdict over all sessions and stores.
-    pub violations: Vec<Violation>,
-    /// Replica-convergence verdict.
-    pub convergence: Vec<Violation>,
-    /// Transactions recorded by the checker.
-    pub transactions: usize,
+/// The threaded cluster backend. See the module docs.
+pub struct ThreadCluster {
+    config: ThreadClusterConfig,
+    topo: Arc<Topology>,
+    router: Router,
+    net: NetHandle,
+    clock: Arc<SystemClock>,
+    stop_servers: Arc<AtomicBool>,
+    server_handles: Vec<JoinHandle<()>>,
+    servers: HashMap<ServerId, Arc<Mutex<Server>>>,
+    interactive: HashMap<ClientId, InteractiveClient>,
+    next_interactive: HashMap<DcId, u32>,
 }
-
-struct ClientOutcome {
-    records: Vec<(ClientId, RecordedTx)>,
-    committed: u64,
-    latency: paris_workload::stats::Histogram,
-}
-
-/// The threaded cluster runner.
-pub struct ThreadCluster;
 
 impl ThreadCluster {
-    /// Runs the workload for `duration`, then drains, settles the
-    /// background protocols, and checks consistency plus convergence.
-    pub fn run(config: ThreadClusterConfig, duration: Duration) -> ThreadRunOutcome {
+    /// Spawns the server threads and returns the live deployment.
+    pub(crate) fn start(config: ThreadClusterConfig) -> Self {
         let topo = Arc::new(Topology::new(config.cluster.clone()));
         let router = Router::start(config.net.clone());
+        let net = router.handle();
         let clock = Arc::new(SystemClock::new());
-        let stop_clients = Arc::new(AtomicBool::new(false));
         let stop_servers = Arc::new(AtomicBool::new(false));
 
-        // ---------------------------------------------------- servers
-        let mut server_handles: Vec<JoinHandle<Server>> = Vec::new();
+        let mut servers = HashMap::new();
+        let mut server_handles = Vec::new();
         for id in topo.all_servers() {
+            let server = Arc::new(Mutex::new(Server::new(ServerOptions {
+                id,
+                topology: Arc::clone(&topo),
+                clock: Box::new(Arc::clone(&clock)),
+                mode: config.cluster.mode,
+                record_events: false,
+            })));
+            servers.insert(id, Arc::clone(&server));
             let inbox = router.register(id);
             let net = router.handle();
             let topo = Arc::clone(&topo);
             let clock = Arc::clone(&clock);
             let stop = Arc::clone(&stop_servers);
             let intervals = config.cluster.intervals;
-            let mode = config.cluster.mode;
             server_handles.push(
                 std::thread::Builder::new()
                     .name(format!("server-{id}"))
                     .spawn(move || {
-                        let mut server = Server::new(ServerOptions {
-                            id,
-                            topology: Arc::clone(&topo),
-                            clock: Box::new(Arc::clone(&clock)),
-                            mode,
-                            record_events: false,
-                        });
-                        let is_root = topo.tree_parent(id).is_none();
-                        let mut next_rep = clock.now_micros() + intervals.replication_micros;
-                        let mut next_gst = clock.now_micros() + intervals.gst_micros;
-                        let mut next_ust = clock.now_micros() + intervals.ust_micros;
-                        let mut next_gc = clock.now_micros() + intervals.gc_micros;
-                        loop {
-                            let now = clock.now_micros();
-                            let mut deadline = next_rep.min(next_gst).min(next_gc);
-                            if is_root {
-                                deadline = deadline.min(next_ust);
-                            }
-                            let timeout =
-                                Duration::from_micros(deadline.saturating_sub(now).min(5_000));
-                            match inbox.recv_timeout(timeout) {
-                                Ok(env) => {
-                                    let out = server.handle(&env, clock.now_micros());
-                                    for e in out {
-                                        net.send(e);
-                                    }
-                                }
-                                Err(RecvTimeoutError::Timeout) => {}
-                                Err(RecvTimeoutError::Disconnected) => break,
-                            }
-                            let now = clock.now_micros();
-                            if now >= next_rep {
-                                for e in server.on_replicate_tick(now) {
-                                    net.send(e);
-                                }
-                                next_rep = now + intervals.replication_micros;
-                            }
-                            if now >= next_gst {
-                                for e in server.on_gst_tick(now) {
-                                    net.send(e);
-                                }
-                                next_gst = now + intervals.gst_micros;
-                            }
-                            if is_root && now >= next_ust {
-                                for e in server.on_ust_tick(now) {
-                                    net.send(e);
-                                }
-                                next_ust = now + intervals.ust_micros;
-                            }
-                            if now >= next_gc {
-                                server.on_gc_tick();
-                                next_gc = now + intervals.gc_micros;
-                            }
-                            if stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                        }
-                        server
+                        server_loop(server, inbox, net, topo, clock, stop, intervals, id)
                     })
                     .expect("spawn server thread"),
             );
         }
 
-        // ---------------------------------------------------- clients
-        let mut client_handles: Vec<JoinHandle<ClientOutcome>> = Vec::new();
-        for dc in 0..config.cluster.dcs {
+        ThreadCluster {
+            config,
+            topo,
+            router,
+            net,
+            clock,
+            stop_servers,
+            server_handles,
+            servers,
+            interactive: HashMap::new(),
+            next_interactive: HashMap::new(),
+        }
+    }
+
+    /// The topology, for inspecting placement.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn session(&mut self, client: ClientId) -> Result<&mut InteractiveClient, Error> {
+        self.interactive
+            .get_mut(&client)
+            .ok_or(Error::UnknownTransaction)
+    }
+
+    /// Sends `env` and waits for the event that completes the operation.
+    fn round_trip(&mut self, client: ClientId, env: Envelope) -> Result<ClientEvent, Error> {
+        self.net.send(env);
+        let ic = self.session(client)?;
+        let deadline = Instant::now() + OP_TIMEOUT;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(Error::Transport("interactive operation timed out"));
+            }
+            match ic.inbox.recv_timeout(left.min(Duration::from_millis(100))) {
+                Ok(env) => {
+                    if let Some(ev) = ic.session.handle(&env) {
+                        return Ok(ev);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(Error::Transport("network router shut down"));
+                }
+            }
+        }
+    }
+
+    fn blocking_stats(&self) -> BlockingStats {
+        let mut out = BlockingStats::default();
+        for server in self.servers.values() {
+            out.accumulate(server.lock().expect("server poisoned").stats());
+        }
+        out
+    }
+
+    /// One stabilization round in wall-clock microseconds.
+    fn round_micros(&self) -> u64 {
+        crate::gossip_round_micros(
+            &self.config.cluster.intervals,
+            &self.config.net.matrix,
+            self.config.cluster.dcs,
+            self.config.net.scale,
+            2_000,
+        )
+    }
+}
+
+impl Cluster for ThreadCluster {
+    fn backend_name(&self) -> &'static str {
+        "thread"
+    }
+
+    fn mode(&self) -> Mode {
+        self.config.cluster.mode
+    }
+
+    fn open_client(&mut self, dc: u16) -> Result<ClientId, Error> {
+        if dc >= self.config.cluster.dcs {
+            return Err(paris_types::ConfigError::new("client DC out of range").into());
+        }
+        let dc = DcId(dc);
+        let offset = self.next_interactive.entry(dc).or_insert(0);
+        let id = ClientId::new(dc, INTERACTIVE_SEQ_BASE + *offset);
+        *offset += 1;
+        let inbox = self.router.register(id);
+        let coordinator = self.topo.coordinator_for(dc, id.seq);
+        let session = ClientSession::new(id, coordinator, self.config.cluster.mode);
+        self.interactive
+            .insert(id, InteractiveClient { session, inbox });
+        Ok(id)
+    }
+
+    fn txn_begin(&mut self, client: ClientId) -> Result<Timestamp, Error> {
+        let env = self.session(client)?.session.begin()?;
+        match self.round_trip(client, env)? {
+            ClientEvent::Started { snapshot, .. } => Ok(snapshot),
+            ClientEvent::Aborted { .. } => Err(Error::PartitionUnreachable),
+            _ => Err(Error::UnknownTransaction),
+        }
+    }
+
+    fn txn_read(&mut self, client: ClientId, keys: &[Key]) -> Result<Vec<ClientRead>, Error> {
+        let step = self.session(client)?.session.read(keys)?;
+        match step {
+            ReadStep::Done(reads) => Ok(reads),
+            ReadStep::Send(env) => match self.round_trip(client, env)? {
+                ClientEvent::ReadDone { reads, .. } => Ok(reads),
+                ClientEvent::Aborted { .. } => Err(Error::PartitionUnreachable),
+                _ => Err(Error::UnknownTransaction),
+            },
+        }
+    }
+
+    fn txn_write(&mut self, client: ClientId, entries: &[(Key, Value)]) -> Result<(), Error> {
+        self.session(client)?.session.write(entries)
+    }
+
+    fn txn_commit(&mut self, client: ClientId) -> Result<Timestamp, Error> {
+        let env = self.session(client)?.session.commit()?;
+        match self.round_trip(client, env)? {
+            ClientEvent::Committed { ct, .. } => Ok(ct),
+            ClientEvent::Aborted { .. } => Err(Error::PartitionUnreachable),
+            _ => Err(Error::UnknownTransaction),
+        }
+    }
+
+    fn stabilize(&mut self, rounds: usize) {
+        std::thread::sleep(Duration::from_micros(self.round_micros() * rounds as u64));
+    }
+
+    fn min_ust(&self) -> Timestamp {
+        self.servers
+            .values()
+            .map(|s| s.lock().expect("server poisoned").ust())
+            .min()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    fn run_workload(&mut self, warmup_micros: u64, window_micros: u64) -> Result<RunReport, Error> {
+        let stop_clients = Arc::new(AtomicBool::new(false));
+        let measure_after = Instant::now() + Duration::from_micros(warmup_micros);
+        let mut handles: Vec<JoinHandle<ClientOutcome>> = Vec::new();
+        for dc in 0..self.config.cluster.dcs {
             let dc = DcId(dc);
-            let local_partitions = topo.partitions_in_dc(dc);
-            for seq in 0..config.clients_per_dc {
+            let local_partitions = self.topo.partitions_in_dc(dc);
+            for seq in 0..self.config.clients_per_dc {
                 let id = ClientId::new(dc, seq);
-                let inbox = router.register(id);
-                let net = router.handle();
-                let coordinator = topo.coordinator_for(dc, seq);
-                let mode = config.cluster.mode;
+                let inbox = self.router.register(id);
+                let net = self.router.handle();
+                let coordinator = self.topo.coordinator_for(dc, seq);
+                let mode = self.config.cluster.mode;
                 let stop = Arc::clone(&stop_clients);
-                let clock = Arc::clone(&clock);
-                let workload = config.workload.clone();
-                let n_partitions = config.cluster.partitions;
+                let clock = Arc::clone(&self.clock);
+                let workload = self.config.workload.clone();
+                let n_partitions = self.config.cluster.partitions;
                 let local = local_partitions.clone();
-                let seed = config.seed ^ (u64::from(dc.0) << 32) ^ u64::from(seq);
-                client_handles.push(
+                let seed = self.config.seed ^ (u64::from(dc.0) << 32) ^ u64::from(seq);
+                handles.push(
                     std::thread::Builder::new()
                         .name(format!("client-{id}"))
                         .spawn(move || {
@@ -214,6 +283,7 @@ impl ThreadCluster {
                                 net,
                                 stop,
                                 clock,
+                                measure_after,
                             )
                         })
                         .expect("spawn client thread"),
@@ -221,82 +291,160 @@ impl ThreadCluster {
             }
         }
 
-        // ------------------------------------------------ orchestration
-        std::thread::sleep(duration);
+        std::thread::sleep(Duration::from_micros(warmup_micros + window_micros));
         stop_clients.store(true, Ordering::Relaxed);
         let mut outcomes = Vec::new();
-        for h in client_handles {
+        for h in handles {
             outcomes.push(h.join().expect("client thread panicked"));
         }
-        // Let replication/stabilization settle before stopping servers.
+        // Let replication/stabilization settle before taking the
+        // consistent store snapshot.
         std::thread::sleep(Duration::from_millis(300));
-        stop_servers.store(true, Ordering::Relaxed);
-        let mut servers: Vec<Server> = Vec::new();
-        for h in server_handles {
-            servers.push(h.join().expect("server thread panicked"));
-        }
-        drop(router);
 
-        // --------------------------------------------------- checking
-        let mut checker = HistoryChecker::new();
-        let mut stats = RunStats::new(duration.as_micros() as u64);
+        let mut stats = RunStats::new(window_micros);
+        let mut checker = self.config.record_history.then(HistoryChecker::new);
         for outcome in outcomes {
             stats.committed += outcome.committed;
+            stats.aborted += outcome.aborted;
             stats.latency.merge(&outcome.latency);
-            for (cid, rec) in outcome.records {
-                checker.record_tx(cid, rec);
+            if let Some(checker) = checker.as_mut() {
+                for (cid, rec) in outcome.records {
+                    checker.record_tx(cid, rec);
+                }
             }
         }
-        for server in &servers {
-            for (key, chain) in server.store().iter() {
-                checker.record_versions(*key, chain.iter().map(|v| v.order()));
-            }
-        }
-        let violations = checker.check();
-
-        // Convergence across replicas.
-        let by_id: HashMap<ServerId, &Server> = servers.iter().map(|s| (s.id(), s)).collect();
-        let mut convergence = Vec::new();
-        for p in 0..config.cluster.partitions {
-            let p = paris_types::PartitionId(p);
-            let maps: Vec<HashMap<paris_types::Key, Option<paris_types::VersionOrd>>> = topo
-                .replicas(p)
-                .into_iter()
-                .map(|dc| {
-                    by_id[&ServerId::new(dc, p)]
-                        .store()
-                        .iter()
-                        .map(|(k, chain)| (*k, chain.latest_order()))
+        // Freeze every server at once (each thread only locks its own
+        // server, so grabbing all guards cannot deadlock) for a consistent
+        // ground-truth snapshot.
+        let violations = match checker.as_mut() {
+            Some(checker) => {
+                let guards: Vec<_> = {
+                    let mut ids: Vec<&ServerId> = self.servers.keys().collect();
+                    ids.sort_unstable();
+                    ids.into_iter()
+                        .map(|id| self.servers[id].lock().expect("server poisoned"))
                         .collect()
-                })
-                .collect();
-            convergence.extend(HistoryChecker::check_convergence(&maps));
-        }
+                };
+                for server in &guards {
+                    for (key, chain) in server.store().iter() {
+                        checker.record_versions(*key, chain.iter().map(|v| v.order()));
+                    }
+                }
+                checker.check()
+            }
+            None => Vec::new(),
+        };
 
-        let mut blocking = BlockingStats::default();
-        for server in &servers {
-            let s = server.stats();
-            blocking.blocked_reads += s.blocked_reads;
-            blocking.total_micros += s.blocked_micros_total;
-            blocking.max_micros = blocking.max_micros.max(s.blocked_micros_max);
-        }
-
-        let transactions = checker.transactions();
-        ThreadRunOutcome {
-            report: RunReport {
-                mode: config.cluster.mode,
-                stats,
-                blocking,
-                visibility: None,
-                violations: Vec::new(),
-                net_messages: 0,
-                net_bytes: 0,
-            },
+        Ok(RunReport {
+            mode: self.config.cluster.mode,
+            stats,
+            blocking: self.blocking_stats(),
+            visibility: None,
             violations,
-            convergence,
-            transactions,
+            net_messages: 0,
+            net_bytes: 0,
+        })
+    }
+
+    fn begin(&mut self, client: ClientId) -> Result<crate::Txn<'_>, Error> {
+        crate::Txn::begin_on(self, client)
+    }
+
+    fn check_convergence(&mut self) -> Result<Vec<Violation>, Error> {
+        let topo = Arc::clone(&self.topo);
+        Ok(replica_convergence(&topo, |id| {
+            let server = self.servers[&id].lock().expect("server poisoned");
+            server
+                .store()
+                .iter()
+                .map(|(k, chain)| (*k, chain.latest_order()))
+                .collect()
+        }))
+    }
+}
+
+impl Drop for ThreadCluster {
+    fn drop(&mut self) {
+        self.stop_servers.store(true, Ordering::Relaxed);
+        for h in self.server_handles.drain(..) {
+            let _ = h.join();
         }
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn server_loop(
+    server: Arc<Mutex<Server>>,
+    inbox: Receiver<Envelope>,
+    net: NetHandle,
+    topo: Arc<Topology>,
+    clock: Arc<SystemClock>,
+    stop: Arc<AtomicBool>,
+    intervals: paris_types::Intervals,
+    id: ServerId,
+) {
+    let is_root = topo.tree_parent(id).is_none();
+    let mut next_rep = clock.now_micros() + intervals.replication_micros;
+    let mut next_gst = clock.now_micros() + intervals.gst_micros;
+    let mut next_ust = clock.now_micros() + intervals.ust_micros;
+    let mut next_gc = clock.now_micros() + intervals.gc_micros;
+    loop {
+        let now = clock.now_micros();
+        let mut deadline = next_rep.min(next_gst).min(next_gc);
+        if is_root {
+            deadline = deadline.min(next_ust);
+        }
+        let timeout = Duration::from_micros(deadline.saturating_sub(now).min(5_000));
+        match inbox.recv_timeout(timeout) {
+            Ok(env) => {
+                let out = {
+                    let mut server = server.lock().expect("server poisoned");
+                    server.handle(&env, clock.now_micros())
+                };
+                for e in out {
+                    net.send(e);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        let now = clock.now_micros();
+        if now >= next_rep || now >= next_gst || (is_root && now >= next_ust) || now >= next_gc {
+            let mut out = Vec::new();
+            {
+                let mut server = server.lock().expect("server poisoned");
+                if now >= next_rep {
+                    out.extend(server.on_replicate_tick(now));
+                    next_rep = now + intervals.replication_micros;
+                }
+                if now >= next_gst {
+                    out.extend(server.on_gst_tick(now));
+                    next_gst = now + intervals.gst_micros;
+                }
+                if is_root && now >= next_ust {
+                    out.extend(server.on_ust_tick(now));
+                    next_ust = now + intervals.ust_micros;
+                }
+                if now >= next_gc {
+                    server.on_gc_tick();
+                    next_gc = now + intervals.gc_micros;
+                }
+            }
+            for e in out {
+                net.send(e);
+            }
+        }
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+}
+
+struct ClientOutcome {
+    records: Vec<(ClientId, RecordedTx)>,
+    committed: u64,
+    aborted: u64,
+    latency: Histogram,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -308,17 +456,19 @@ fn run_client(
     n_partitions: u32,
     local_partitions: Vec<paris_types::PartitionId>,
     seed: u64,
-    inbox: crossbeam::channel::Receiver<paris_proto::Envelope>,
-    net: paris_net::threaded::NetHandle,
+    inbox: Receiver<Envelope>,
+    net: NetHandle,
     stop: Arc<AtomicBool>,
     clock: Arc<SystemClock>,
+    measure_after: Instant,
 ) -> ClientOutcome {
     let mut session = ClientSession::new(id, coordinator, mode);
     let mut generator = WorkloadGenerator::new(workload, n_partitions, local_partitions);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut records = Vec::new();
-    let mut latency = paris_workload::stats::Histogram::new();
+    let mut latency = Histogram::new();
     let mut committed = 0u64;
+    let mut aborted = 0u64;
 
     // Waits for the next client event, bailing out on stop.
     let wait_event = |session: &mut ClientSession| -> Option<ClientEvent> {
@@ -358,7 +508,12 @@ fn run_client(
                         Some(ClientEvent::ReadDone { reads: got, .. }) => {
                             reads.extend(got.iter().map(HistoryChecker::recorded_read));
                         }
-                        Some(ClientEvent::Aborted { .. }) => continue, // retry
+                        Some(ClientEvent::Aborted { .. }) => {
+                            if Instant::now() >= measure_after {
+                                aborted += 1;
+                            }
+                            continue; // retry
+                        }
                         _ => break,
                     }
                 }
@@ -370,11 +525,20 @@ fn run_client(
         net.send(session.commit().expect("open tx"));
         let ct = match wait_event(&mut session) {
             Some(ClientEvent::Committed { ct, .. }) => ct,
-            Some(ClientEvent::Aborted { .. }) => continue, // retry
+            Some(ClientEvent::Aborted { .. }) => {
+                if Instant::now() >= measure_after {
+                    aborted += 1;
+                }
+                continue; // retry
+            }
             _ => break,
         };
-        committed += 1;
-        latency.record(clock.now_micros().saturating_sub(begin));
+        // Stats count only the measurement window (warmup is untimed, as
+        // on the deterministic backends); the checker records everything.
+        if Instant::now() >= measure_after {
+            committed += 1;
+            latency.record(clock.now_micros().saturating_sub(begin));
+        }
         records.push((
             id,
             RecordedTx {
@@ -389,6 +553,7 @@ fn run_client(
     ClientOutcome {
         records,
         committed,
+        aborted,
         latency,
     }
 }

@@ -3,8 +3,28 @@
 //! reachable; only total replica loss makes operations fail — and then
 //! explicitly, with aborts, never by hanging or by violating TCC.
 
-use paris_runtime::{SimCluster, SimConfig};
+use paris_runtime::{Cluster, ClusterBuilder, Paris};
 use paris_types::{DcId, Mode};
+use paris_workload::WorkloadConfig;
+
+fn small(seed: u64, local_tx_ratio: f64) -> ClusterBuilder {
+    Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .keys_per_partition(200)
+        .uniform_latency_micros(10_000)
+        .jitter(0.02)
+        .clients_per_dc(4)
+        .mode(Mode::Paris)
+        .seed(seed)
+        .record_events(true)
+        .record_history(true)
+        .workload(WorkloadConfig {
+            local_tx_ratio,
+            ..WorkloadConfig::read_heavy()
+        })
+}
 
 #[test]
 fn reads_fail_over_to_surviving_replica() {
@@ -12,17 +32,17 @@ fn reads_fail_over_to_surviving_replica() {
     // partitions {1, 4} live at DCs 1 and 2 only. Cutting DC0 ↔ DC1 makes
     // DC1 unreachable; the coordinator must route those partitions' reads
     // to DC2 instead of failing.
-    let mut config = SimConfig::small_test(3, 6, Mode::Paris, 71);
-    config.workload.local_tx_ratio = 0.0; // constant remote traffic
-    let mut sim = SimCluster::new(config);
+    let mut sim = small(71, 0.0).build_sim().unwrap(); // constant remote traffic
     sim.set_failure_detection(true);
-    sim.run_workload(500_000, 1_000_000);
-    let before = sim.report().stats.committed;
+    let before = sim
+        .run_workload(500_000, 1_000_000)
+        .unwrap()
+        .stats
+        .committed;
     assert!(before > 0);
 
     sim.partition_link(DcId(0), DcId(1));
-    sim.run_workload(0, 2_000_000);
-    let report = sim.report();
+    let report = sim.run_workload(0, 2_000_000).unwrap();
     assert!(
         report.stats.committed > before,
         "transactions must keep completing via the surviving replicas"
@@ -36,7 +56,7 @@ fn reads_fail_over_to_surviving_replica() {
     // After healing, everything converges.
     sim.heal_link(DcId(0), DcId(1));
     sim.settle(4_000_000);
-    assert!(sim.check_convergence().is_empty());
+    assert!(sim.check_convergence().unwrap().is_empty());
 }
 
 #[test]
@@ -44,15 +64,12 @@ fn total_replica_loss_aborts_explicitly_instead_of_hanging() {
     // Isolate DC2 entirely with detection on: clients inside DC2 cannot
     // reach partitions with no replica in DC2 → those operations abort
     // (visibly), while purely local transactions keep committing.
-    let mut config = SimConfig::small_test(3, 6, Mode::Paris, 73);
-    config.workload.local_tx_ratio = 0.5; // mix of local and remote
-    let mut sim = SimCluster::new(config);
+    let mut sim = small(73, 0.5).build_sim().unwrap(); // mix of local and remote
     sim.set_failure_detection(true);
-    sim.run_workload(500_000, 1_000_000);
+    sim.run_workload(500_000, 1_000_000).unwrap();
 
     sim.isolate_dc(DcId(2));
-    sim.run_workload(0, 2_000_000);
-    let report = sim.report();
+    let report = sim.run_workload(0, 2_000_000).unwrap();
     assert!(
         report.stats.aborted > 0,
         "multi-DC operations from the isolated DC must abort explicitly"
@@ -66,26 +83,25 @@ fn total_replica_loss_aborts_explicitly_instead_of_hanging() {
     // Heal: aborts stop (each run_workload measures a fresh window),
     // convergence resumes.
     sim.heal_dc(DcId(2));
-    sim.run_workload(0, 1_000_000);
+    let report = sim.run_workload(0, 1_000_000).unwrap();
     sim.settle(4_000_000);
-    let report = sim.report();
     assert_eq!(report.stats.aborted, 0, "no new aborts after healing");
     assert!(report.stats.committed > 0);
-    assert!(sim.check_convergence().is_empty());
+    assert!(sim.check_convergence().unwrap().is_empty());
 }
 
 #[test]
 fn failure_detection_off_preserves_held_traffic_semantics() {
     // Without detection (default), the same cut merely delays operations:
     // nothing aborts, traffic is held and delivered on heal.
-    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 79));
-    sim.run_workload(500_000, 1_000_000);
+    let mut sim = small(79, 0.95).build_sim().unwrap();
+    sim.run_workload(500_000, 1_000_000).unwrap();
     sim.partition_link(DcId(0), DcId(1));
-    sim.run_workload(0, 1_000_000);
-    assert_eq!(sim.report().stats.aborted, 0, "no detector → no aborts");
+    let report = sim.run_workload(0, 1_000_000).unwrap();
+    assert_eq!(report.stats.aborted, 0, "no detector → no aborts");
     sim.heal_link(DcId(0), DcId(1));
     sim.settle(4_000_000);
     let report = sim.report();
     assert!(report.violations.is_empty(), "{:#?}", report.violations);
-    assert!(sim.check_convergence().is_empty());
+    assert!(sim.check_convergence().unwrap().is_empty());
 }

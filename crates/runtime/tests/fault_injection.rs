@@ -1,16 +1,32 @@
 //! Fault-injection tests on the simulated cluster (paper §III-C,
-//! "Fault tolerance" and "Availability").
+//! "Fault tolerance" and "Availability"), built through the facade; the
+//! fault hooks themselves are `SimCluster` powers.
 
-use paris_runtime::{SimCluster, SimConfig};
+use paris_runtime::{Cluster, ClusterBuilder, Paris};
 use paris_types::{DcId, Mode, Timestamp};
+
+fn small(seed: u64) -> ClusterBuilder {
+    Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .keys_per_partition(200)
+        .uniform_latency_micros(10_000)
+        .jitter(0.02)
+        .clients_per_dc(4)
+        .mode(Mode::Paris)
+        .seed(seed)
+        .record_events(true)
+        .record_history(true)
+}
 
 #[test]
 fn single_link_partition_freezes_ust_when_replica_groups_span_it() {
     // Ring placement: partition n lives at DCs (n, n+1) mod M — DC0 and
     // DC1 share replica groups, so cutting that one link stalls their
     // replication and, transitively, the global UST minimum.
-    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 41));
-    sim.run_workload(500_000, 1_000_000);
+    let mut sim = small(41).build_sim().unwrap();
+    sim.run_workload(500_000, 1_000_000).unwrap();
     let before = sim.min_ust();
     assert!(before > Timestamp::ZERO);
 
@@ -28,30 +44,33 @@ fn single_link_partition_freezes_ust_when_replica_groups_span_it() {
     sim.settle(3_000_000);
     let healed = sim.min_ust();
     let lag = sim.now().saturating_sub(healed.physical_micros());
-    assert!(lag < 1_000_000, "UST must recover after heal (lag {lag} µs)");
+    assert!(
+        lag < 1_000_000,
+        "UST must recover after heal (lag {lag} µs)"
+    );
 }
 
 #[test]
 fn no_committed_data_lost_across_partition_and_heal() {
-    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 43));
+    let mut sim = small(43).build_sim().unwrap();
     // Commit traffic, cut a DC mid-run, keep committing, heal, settle:
     // replication must deliver everything (TCP-like held links) and
     // replicas must converge with zero checker violations.
-    sim.run_workload(300_000, 700_000);
+    sim.run_workload(300_000, 700_000).unwrap();
     sim.isolate_dc(DcId(1));
-    sim.run_workload(0, 700_000); // clients keep going during the cut
+    sim.run_workload(0, 700_000).unwrap(); // clients keep going during the cut
     sim.heal_dc(DcId(1));
-    sim.run_workload(0, 700_000);
+    let report = sim.run_workload(0, 700_000).unwrap();
     sim.settle(4_000_000);
 
-    let report = sim.report();
     assert!(report.stats.committed > 0);
+    let report = sim.report();
     assert!(
         report.violations.is_empty(),
         "partition+heal must not violate TCC: {:#?}",
         report.violations
     );
-    let convergence = sim.check_convergence();
+    let convergence = sim.check_convergence().unwrap();
     assert!(
         convergence.is_empty(),
         "all replicas must converge after heal: {convergence:#?}"
@@ -62,15 +81,14 @@ fn no_committed_data_lost_across_partition_and_heal() {
 fn staleness_grows_during_partition_but_reads_stay_available() {
     // §III-C: during a partition "transactions see increasingly stale
     // snapshots" — but local operations never block.
-    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 47));
-    sim.run_workload(500_000, 1_000_000);
+    let mut sim = small(47).build_sim().unwrap();
+    sim.run_workload(500_000, 1_000_000).unwrap();
     let committed_before = sim.report().stats.committed;
     assert!(committed_before > 0);
 
     sim.isolate_dc(DcId(2));
     // Clients in all DCs keep running against frozen snapshots.
-    sim.run_workload(0, 1_500_000);
-    let report = sim.report();
+    let report = sim.run_workload(0, 1_500_000).unwrap();
     assert!(
         report.stats.committed > 0,
         "transactions must keep committing during the partition"

@@ -1,41 +1,66 @@
 //! Integration tests on the simulated cluster: whole-system runs under
-//! load with the consistency checker as the oracle.
+//! load with the consistency checker as the oracle, all built through the
+//! `Paris::builder()` facade.
 
-use paris_runtime::{SimCluster, SimConfig};
+use paris_runtime::{Cluster, ClusterBuilder, Paris, RunReport, SimCluster};
 use paris_types::{DcId, Mode, Timestamp};
 
-fn run_checked(mode: Mode, seed: u64) -> (SimCluster, paris_runtime::RunReport) {
-    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, mode, seed));
-    sim.run_workload(500_000, 3_000_000); // 0.5 s warmup, 3 s window
+/// The small checked deployment every test starts from: 3 DCs × 6
+/// partitions, R = 2, uniform 10 ms one-way WAN latency, checker on.
+fn small(dcs: u16, partitions: u32, mode: Mode, seed: u64) -> ClusterBuilder {
+    Paris::builder()
+        .dcs(dcs)
+        .partitions(partitions)
+        .replication(2)
+        .keys_per_partition(200)
+        .uniform_latency_micros(10_000)
+        .jitter(0.02)
+        .clients_per_dc(4)
+        .mode(mode)
+        .seed(seed)
+        .record_events(true)
+        .record_history(true)
+}
+
+fn run_checked(mode: Mode, seed: u64) -> (SimCluster, RunReport) {
+    let mut sim = small(3, 6, mode, seed).build_sim().unwrap();
+    let report = sim.run_workload(500_000, 3_000_000).unwrap(); // 0.5 s warmup, 3 s window
     sim.settle(2_000_000);
-    let report = sim.report();
+    let report = RunReport {
+        violations: sim.report().violations,
+        ..report
+    };
     (sim, report)
 }
 
 #[test]
 fn paris_run_is_causally_consistent_and_converges() {
-    let (sim, report) = run_checked(Mode::Paris, 1);
-    assert!(report.stats.committed > 100, "made progress: {}", report.stats.committed);
+    let (mut sim, report) = run_checked(Mode::Paris, 1);
+    assert!(
+        report.stats.committed > 100,
+        "made progress: {}",
+        report.stats.committed
+    );
     assert!(
         report.violations.is_empty(),
         "consistency violations: {:#?}",
         report.violations
     );
-    let convergence = sim.check_convergence();
+    let convergence = sim.check_convergence().unwrap();
     assert!(convergence.is_empty(), "divergence: {convergence:#?}");
     assert!(sim.recorded_transactions() > 100);
 }
 
 #[test]
 fn bpr_run_is_causally_consistent_and_converges() {
-    let (sim, report) = run_checked(Mode::Bpr, 2);
+    let (mut sim, report) = run_checked(Mode::Bpr, 2);
     assert!(report.stats.committed > 100);
     assert!(
         report.violations.is_empty(),
         "consistency violations: {:#?}",
         report.violations
     );
-    let convergence = sim.check_convergence();
+    let convergence = sim.check_convergence().unwrap();
     assert!(convergence.is_empty(), "divergence: {convergence:#?}");
 }
 
@@ -92,7 +117,10 @@ fn determinism_same_seed_same_outcome() {
     let (_s2, r2) = run_checked(Mode::Paris, 99);
     assert_eq!(r1.stats.committed, r2.stats.committed);
     assert_eq!(r1.net_messages, r2.net_messages);
-    assert_eq!(r1.stats.latency.percentile(50.0), r2.stats.latency.percentile(50.0));
+    assert_eq!(
+        r1.stats.latency.percentile(50.0),
+        r2.stats.latency.percentile(50.0)
+    );
 }
 
 #[test]
@@ -107,8 +135,8 @@ fn different_seeds_differ() {
 
 #[test]
 fn ust_advances_during_run_and_bounds_snapshots() {
-    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 11));
-    sim.run_workload(500_000, 2_000_000);
+    let mut sim = small(3, 6, Mode::Paris, 11).build_sim().unwrap();
+    sim.run_workload(500_000, 2_000_000).unwrap();
     let ust = sim.min_ust();
     assert!(ust > Timestamp::ZERO, "UST must advance under load");
     // UST never exceeds any server's installed watermark (safety): every
@@ -120,8 +148,8 @@ fn ust_advances_during_run_and_bounds_snapshots() {
 
 #[test]
 fn dc_partition_freezes_ust_and_heals() {
-    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 13));
-    sim.run_workload(500_000, 1_000_000);
+    let mut sim = small(3, 6, Mode::Paris, 13).build_sim().unwrap();
+    sim.run_workload(500_000, 1_000_000).unwrap();
     let ust_before = sim.min_ust();
     assert!(ust_before > Timestamp::ZERO);
 
@@ -152,12 +180,16 @@ fn dc_partition_freezes_ust_and_heals() {
 
 #[test]
 fn garbage_collection_reclaims_versions_under_load() {
-    let mut config = SimConfig::small_test(3, 6, Mode::Paris, 17);
     // Tiny keyspace → heavy overwrites; frequent GC.
-    config.workload.keys_per_partition = 10;
-    config.cluster.intervals.gc_micros = 200_000;
-    let mut sim = SimCluster::new(config);
-    sim.run_workload(500_000, 3_000_000);
+    let mut sim = small(3, 6, Mode::Paris, 17)
+        .keys_per_partition(10)
+        .intervals(paris_types::Intervals {
+            gc_micros: 200_000,
+            ..paris_types::Intervals::default()
+        })
+        .build_sim()
+        .unwrap();
+    let report = sim.run_workload(500_000, 3_000_000).unwrap();
     sim.settle(1_000_000);
     let gc_removed: u64 = sim
         .topology()
@@ -166,7 +198,6 @@ fn garbage_collection_reclaims_versions_under_load() {
         .map(|id| sim.server(*id).stats().gc_removed)
         .sum();
     assert!(gc_removed > 0, "GC must reclaim overwritten versions");
-    let report = sim.report();
     assert!(
         report.violations.is_empty(),
         "GC must not break consistency: {:#?}",
@@ -176,12 +207,16 @@ fn garbage_collection_reclaims_versions_under_load() {
 
 #[test]
 fn remote_dc_reads_work_without_local_replica() {
-    // 3 DCs, R=2: every DC misses a third of the partitions, so the 0.5
+    // 3 DCs, R=2: every DC misses a third of the partitions, so the 0.0
     // locality workload constantly reads remote partitions.
-    let mut config = SimConfig::small_test(3, 6, Mode::Paris, 19);
-    config.workload.local_tx_ratio = 0.0;
-    let mut sim = SimCluster::new(config);
-    sim.run_workload(500_000, 2_000_000);
+    let mut sim = small(3, 6, Mode::Paris, 19)
+        .workload(paris_workload::WorkloadConfig {
+            local_tx_ratio: 0.0,
+            ..paris_workload::WorkloadConfig::read_heavy()
+        })
+        .build_sim()
+        .unwrap();
+    sim.run_workload(500_000, 2_000_000).unwrap();
     sim.settle(2_000_000);
     let report = sim.report();
     assert!(report.stats.committed > 50);
@@ -190,13 +225,14 @@ fn remote_dc_reads_work_without_local_replica() {
 
 #[test]
 fn larger_deployment_five_dcs_smoke() {
-    let mut config = SimConfig::small_test(5, 10, Mode::Paris, 23);
-    config.clients_per_dc = 2;
-    let mut sim = SimCluster::new(config);
-    sim.run_workload(500_000, 2_000_000);
+    let mut sim = small(5, 10, Mode::Paris, 23)
+        .clients_per_dc(2)
+        .build_sim()
+        .unwrap();
+    sim.run_workload(500_000, 2_000_000).unwrap();
     sim.settle(2_000_000);
     let report = sim.report();
     assert!(report.stats.committed > 50);
     assert!(report.violations.is_empty(), "{:#?}", report.violations);
-    assert!(sim.check_convergence().is_empty());
+    assert!(sim.check_convergence().unwrap().is_empty());
 }

@@ -1,76 +1,108 @@
 //! Integration tests on the real multi-threaded cluster: the same
 //! protocol code under genuine concurrency, with the consistency checker
-//! as the oracle.
+//! as the oracle — built through the facade like every other backend.
 
-use std::time::Duration;
+use paris_runtime::{Cluster, ClusterBuilder, Paris, ThreadCluster};
+use paris_types::{Intervals, Mode};
+use paris_workload::WorkloadConfig;
 
-use paris_runtime::{ThreadCluster, ThreadClusterConfig};
-use paris_types::Mode;
+fn small(dcs: u16, partitions: u32, mode: Mode) -> ClusterBuilder {
+    Paris::builder()
+        .dcs(dcs)
+        .partitions(partitions)
+        .replication(2)
+        .keys_per_partition(100)
+        .clients_per_dc(2)
+        .seed(7)
+        .record_history(true)
+        .mode(mode)
+        .intervals(Intervals {
+            replication_micros: 2_000,
+            gst_micros: 2_000,
+            ust_micros: 2_000,
+            gc_micros: 500_000,
+        })
+    // WAN latencies compressed 100× (the builder's default latency_scale).
+}
+
+fn run(mut cluster: ThreadCluster, millis: u64) -> (paris_runtime::RunReport, usize) {
+    let report = cluster.run_workload(0, millis * 1_000).unwrap();
+    let convergence = cluster.check_convergence().unwrap();
+    assert!(
+        convergence.is_empty(),
+        "replicas diverged: {convergence:#?}"
+    );
+    let recorded = report.stats.committed as usize;
+    (report, recorded)
+}
 
 #[test]
 fn threaded_paris_run_is_consistent_and_converges() {
-    let outcome = ThreadCluster::run(
-        ThreadClusterConfig::small(3, 6, Mode::Paris),
-        Duration::from_millis(1_500),
-    );
+    let cluster = small(3, 6, Mode::Paris).build_thread().unwrap();
+    let (report, recorded) = run(cluster, 1_500);
     assert!(
-        outcome.report.stats.committed > 20,
+        report.stats.committed > 20,
         "progress: {} txs",
-        outcome.report.stats.committed
+        report.stats.committed
     );
     assert!(
-        outcome.violations.is_empty(),
+        report.violations.is_empty(),
         "violations under real concurrency: {:#?}",
-        outcome.violations
+        report.violations
     );
-    assert!(
-        outcome.convergence.is_empty(),
-        "replicas diverged: {:#?}",
-        outcome.convergence
-    );
-    assert_eq!(outcome.report.blocking.blocked_reads, 0, "PaRiS never blocks");
-    assert!(outcome.transactions > 20);
+    assert_eq!(report.blocking.blocked_reads, 0, "PaRiS never blocks");
+    assert!(recorded > 20);
 }
 
 #[test]
 fn threaded_bpr_run_is_consistent_and_converges() {
-    let outcome = ThreadCluster::run(
-        ThreadClusterConfig::small(3, 6, Mode::Bpr),
-        Duration::from_millis(1_500),
-    );
-    assert!(outcome.report.stats.committed > 20);
+    let cluster = small(3, 6, Mode::Bpr).build_thread().unwrap();
+    let (report, _) = run(cluster, 1_500);
+    assert!(report.stats.committed > 20);
     assert!(
-        outcome.violations.is_empty(),
+        report.violations.is_empty(),
         "violations under real concurrency: {:#?}",
-        outcome.violations
-    );
-    assert!(
-        outcome.convergence.is_empty(),
-        "replicas diverged: {:#?}",
-        outcome.convergence
+        report.violations
     );
 }
 
 #[test]
 fn threaded_write_heavy_mix_is_consistent() {
-    let mut config = ThreadClusterConfig::small(3, 6, Mode::Paris);
-    config.workload = paris_workload::WorkloadConfig {
-        keys_per_partition: 100,
-        ..paris_workload::WorkloadConfig::write_heavy()
-    };
-    let outcome = ThreadCluster::run(config, Duration::from_millis(1_500));
-    assert!(outcome.report.stats.committed > 20);
-    assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
-    assert!(outcome.convergence.is_empty(), "{:#?}", outcome.convergence);
+    let cluster = small(3, 6, Mode::Paris)
+        .workload(WorkloadConfig::write_heavy())
+        .build_thread()
+        .unwrap();
+    let (report, _) = run(cluster, 1_500);
+    assert!(report.stats.committed > 20);
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
 }
 
 #[test]
 fn threaded_five_dc_deployment_smoke() {
-    let outcome = ThreadCluster::run(
-        ThreadClusterConfig::small(5, 10, Mode::Paris),
-        Duration::from_millis(1_200),
+    let cluster = small(5, 10, Mode::Paris).build_thread().unwrap();
+    let (report, _) = run(cluster, 1_200);
+    assert!(report.stats.committed > 10);
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+}
+
+#[test]
+fn threaded_interactive_and_workload_coexist() {
+    // Interactive transaction handles work on a deployment that also ran
+    // a closed-loop workload — the two client populations are disjoint.
+    let mut cluster = small(3, 6, Mode::Paris).build_thread().unwrap();
+    cluster.run_workload(0, 300_000).unwrap();
+
+    use paris_types::{Key, Value};
+    let a = cluster.open_client(0).unwrap();
+    let mut txn = cluster.begin(a).unwrap();
+    txn.write(Key(3), Value::from("interactive"));
+    txn.commit().unwrap();
+    cluster.stabilize(5);
+    let b = cluster.open_client(1).unwrap();
+    let mut txn = cluster.begin(b).unwrap();
+    assert_eq!(
+        txn.read_one(Key(3)).unwrap(),
+        Some(Value::from("interactive"))
     );
-    assert!(outcome.report.stats.committed > 10);
-    assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
-    assert!(outcome.convergence.is_empty(), "{:#?}", outcome.convergence);
+    txn.commit().unwrap();
 }

@@ -1,0 +1,245 @@
+//! Strategies: composable random-value generators.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds from
+    /// it (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Boxes a strategy for heterogeneous storage (see [`OneOf`]).
+pub fn box_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of same-typed strategies (see `prop_oneof!`).
+pub struct OneOf<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u64,
+}
+
+impl<V> OneOf<V> {
+    /// Builds the union; weights must sum to a positive value.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs positive total weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.next_u64() % self.total;
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Strategy for the full domain of `T` (see [`any`]).
+#[derive(Debug, Clone)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// `any::<T>()`: uniform over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical full-domain generator.
+pub trait Arbitrary {
+    /// Draws one value from the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+);

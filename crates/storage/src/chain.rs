@@ -41,10 +41,7 @@ impl VersionChain {
     pub fn insert(&mut self, version: Version) -> bool {
         let ord = version.order();
         // Newest-first: find the first element whose order is <= ord.
-        match self
-            .versions
-            .binary_search_by(|v| ord.cmp(&v.order()))
-        {
+        match self.versions.binary_search_by(|v| ord.cmp(&v.order())) {
             Ok(_) => false,
             Err(pos) => {
                 self.versions.insert(pos, version);
@@ -209,7 +206,10 @@ mod tests {
         let mut chain = VersionChain::new();
         chain.insert(ver(10, 0, 1));
         chain.insert(ver(20, 0, 2));
-        assert_eq!(chain.latest_order().unwrap(), chain.latest().unwrap().order());
+        assert_eq!(
+            chain.latest_order().unwrap(),
+            chain.latest().unwrap().order()
+        );
     }
 
     proptest! {

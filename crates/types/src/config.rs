@@ -142,7 +142,9 @@ impl Default for ClusterConfig {
     /// The paper's default deployment: 5 DCs, 45 partitions, R = 2
     /// (18 servers per DC), 8-byte items.
     fn default() -> Self {
-        ClusterConfig::builder().build().expect("defaults are valid")
+        ClusterConfig::builder()
+            .build()
+            .expect("defaults are valid")
     }
 }
 
@@ -296,8 +298,14 @@ mod tests {
     fn rejects_zero_dimensions() {
         assert!(ClusterConfig::builder().dcs(0).build().is_err());
         assert!(ClusterConfig::builder().partitions(0).build().is_err());
-        assert!(ClusterConfig::builder().replication_factor(0).build().is_err());
-        assert!(ClusterConfig::builder().keys_per_partition(0).build().is_err());
+        assert!(ClusterConfig::builder()
+            .replication_factor(0)
+            .build()
+            .is_err());
+        assert!(ClusterConfig::builder()
+            .keys_per_partition(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -44,6 +44,11 @@ pub enum Error {
     /// Commit was invoked with an empty write set; the paper only invokes
     /// commit for update transactions (Alg. 1 line 26).
     EmptyWriteSet,
+    /// A transport-level failure: an operation timed out or the substrate
+    /// carrying it shut down before replying.
+    Transport(&'static str),
+    /// The selected backend does not support the requested operation.
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for Error {
@@ -59,6 +64,8 @@ impl fmt::Display for Error {
                 write!(f, "a transaction is already open in this session")
             }
             Error::EmptyWriteSet => write!(f, "commit requires a non-empty write set"),
+            Error::Transport(what) => write!(f, "transport failure: {what}"),
+            Error::Unsupported(what) => write!(f, "unsupported by this backend: {what}"),
         }
     }
 }

@@ -110,7 +110,10 @@ impl WorkloadGenerator {
         local_partitions: Vec<PartitionId>,
     ) -> Self {
         assert!(!local_partitions.is_empty(), "DC hosts no partitions");
-        assert!(config.partitions_per_tx > 0, "transactions need a partition");
+        assert!(
+            config.partitions_per_tx > 0,
+            "transactions need a partition"
+        );
         let zipf = Zipfian::new(config.keys_per_partition, config.zipf_theta);
         WorkloadGenerator {
             config,
@@ -186,7 +189,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn local_parts() -> Vec<PartitionId> {
-        vec![PartitionId(0), PartitionId(2), PartitionId(3), PartitionId(5)]
+        vec![
+            PartitionId(0),
+            PartitionId(2),
+            PartitionId(3),
+            PartitionId(5),
+        ]
     }
 
     fn generator(cfg: WorkloadConfig) -> WorkloadGenerator {
@@ -280,11 +288,8 @@ mod tests {
         });
         let mut rng = StdRng::seed_from_u64(5);
         let tx = g.next_tx(&mut rng);
-        let parts: std::collections::HashSet<u64> = tx
-            .read_keys
-            .iter()
-            .map(|k| k.as_u64() % 6)
-            .collect();
+        let parts: std::collections::HashSet<u64> =
+            tx.read_keys.iter().map(|k| k.as_u64() % 6).collect();
         assert_eq!(parts.len(), 4);
     }
 

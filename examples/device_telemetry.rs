@@ -1,6 +1,6 @@
 //! Write-heavy device telemetry on the simulated WAN cluster.
 //!
-//! Uses the discrete-event runtime (AWS latency matrix, CPU service
+//! Uses the discrete-event backend (AWS latency matrix, CPU service
 //! model) the way the benchmark harness does: run the paper's 50:50
 //! write-heavy workload on a 3-DC deployment, then inspect throughput,
 //! latency percentiles, update-visibility latency and the consistency
@@ -9,27 +9,30 @@
 //!
 //! Run with: `cargo run --release --example device_telemetry`
 
-use paris::runtime::{SimCluster, SimConfig};
-use paris::types::Mode;
 use paris::workload::WorkloadConfig;
+use paris::{Cluster, Mode, Paris};
 
-fn main() {
+fn main() -> Result<(), paris::Error> {
     // A telemetry fleet: many small writes, reads of recent readings.
-    let mut config = SimConfig::small_test(3, 12, Mode::Paris, 2024);
-    config.clients_per_dc = 8;
-    config.workload = WorkloadConfig {
-        keys_per_partition: 500,
-        ..WorkloadConfig::write_heavy() // 10 reads + 10 writes per tx
-    };
-    config.record_events = true;
-    config.record_history = true;
+    let mut sim = Paris::builder()
+        .dcs(3)
+        .partitions(12)
+        .replication(2)
+        .keys_per_partition(500)
+        .mode(Mode::Paris)
+        .uniform_latency_micros(10_000)
+        .jitter(0.02)
+        .clients_per_dc(8)
+        .workload(WorkloadConfig::write_heavy()) // 10 reads + 10 writes per tx
+        .seed(2024)
+        .record_events(true)
+        .record_history(true)
+        .build_sim()?; // concrete backend: visibility + convergence below
 
     println!("running 3 DCs × 12 partitions, 50:50 r:w, 24 closed-loop devices…");
-    let mut sim = SimCluster::new(config);
-    sim.run_workload(500_000, 3_000_000); // 0.5 s warmup, 3 s measured
+    let report = sim.run_workload(500_000, 3_000_000)?; // 0.5 s warmup, 3 s measured
     sim.settle(2_000_000); // let replication/stabilization drain
 
-    let report = sim.report();
     println!("\n{}", report.summary());
     println!(
         "  p50 {:.2} ms   p95 {:.2} ms   p99 {:.2} ms",
@@ -59,10 +62,14 @@ fn main() {
         "consistency violations: {:#?}",
         report.violations
     );
-    let convergence = sim.check_convergence();
-    assert!(convergence.is_empty(), "replicas diverged: {convergence:#?}");
+    let convergence = sim.check_convergence()?;
+    assert!(
+        convergence.is_empty(),
+        "replicas diverged: {convergence:#?}"
+    );
     println!(
         "\nTCC verified over {} recorded transactions ✓  replicas converged ✓",
         sim.recorded_transactions()
     );
+    Ok(())
 }

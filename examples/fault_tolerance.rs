@@ -9,31 +9,40 @@
 //!
 //! Run with: `cargo run --release --example fault_tolerance`
 
-use paris::runtime::{SimCluster, SimConfig};
-use paris::types::{DcId, Mode};
+use paris::types::DcId;
+use paris::{Cluster, Mode, Paris, SimCluster};
 
 fn ust_lag_ms(sim: &SimCluster) -> f64 {
     (sim.now().saturating_sub(sim.min_ust().physical_micros())) as f64 / 1_000.0
 }
 
-fn main() {
-    let mut config = SimConfig::small_test(3, 6, Mode::Paris, 2026);
-    config.clients_per_dc = 4;
-    let mut sim = SimCluster::new(config);
+fn main() -> Result<(), paris::Error> {
+    let mut sim = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .keys_per_partition(200)
+        .uniform_latency_micros(10_000)
+        .jitter(0.02)
+        .clients_per_dc(4)
+        .mode(Mode::Paris)
+        .seed(2026)
+        .record_events(true)
+        .record_history(true)
+        .build_sim()?; // concrete backend: fault injection is a sim power
     sim.set_failure_detection(true);
 
     println!("running 3 DCs × 6 partitions (R=2), failure detection on…");
-    sim.run_workload(500_000, 1_500_000);
+    let healthy = sim.run_workload(500_000, 1_500_000)?;
     println!(
         "healthy:     {:.1} KTx/s, UST lag {:.0} ms",
-        sim.report().ktps(),
+        healthy.ktps(),
         ust_lag_ms(&sim)
     );
 
     // DC2 partitions away from the rest of the system.
     sim.isolate_dc(DcId(2));
-    sim.run_workload(0, 2_000_000);
-    let during = sim.report();
+    let during = sim.run_workload(0, 2_000_000)?;
     println!(
         "partitioned: {:.1} KTx/s, UST lag {:.0} ms  ({} committed, {} aborted)",
         during.ktps(),
@@ -57,9 +66,8 @@ fn main() {
 
     // Heal: held traffic (TCP semantics) is delivered, the UST catches up.
     sim.heal_dc(DcId(2));
-    sim.run_workload(0, 1_500_000);
+    let after = sim.run_workload(0, 1_500_000)?;
     sim.settle(3_000_000);
-    let after = sim.report();
     println!(
         "healed:      {:.1} KTx/s, UST lag {:.0} ms",
         after.ktps(),
@@ -67,8 +75,12 @@ fn main() {
     );
     assert!(ust_lag_ms(&sim) < 1_000.0, "UST must catch up after heal");
     assert!(after.violations.is_empty());
-    let convergence = sim.check_convergence();
-    assert!(convergence.is_empty(), "replicas diverged: {convergence:#?}");
+    let convergence = sim.check_convergence()?;
+    assert!(
+        convergence.is_empty(),
+        "replicas diverged: {convergence:#?}"
+    );
 
     println!("\nUST froze and recovered ✓  no data lost ✓  replicas converged ✓");
+    Ok(())
 }

@@ -10,12 +10,18 @@
 //!
 //! Run with: `cargo run --example geo_storefront`
 
-use paris::mini::MiniCluster;
-use paris::types::{DcId, Error, Key, Mode, PartitionId, Value};
+use paris::types::{DcId, Key, PartitionId, Value};
+use paris::{Backend, Cluster, Error, Mode, Paris};
 
 fn main() -> Result<(), Error> {
     let (dcs, partitions, r) = (5u16, 20u32, 2u16);
-    let mut shop = MiniCluster::new(dcs, partitions, r, Mode::Paris)?;
+    let mut shop = Paris::builder()
+        .dcs(dcs)
+        .partitions(partitions)
+        .replication(r)
+        .mode(Mode::Paris)
+        .backend(Backend::Mini)
+        .build_mini()?; // concrete backend: placement is inspected below
 
     // Capacity accounting (paper §I): each DC hosts N·R/M partitions.
     let per_dc = shop.topology().partitions_in_dc(DcId(0)).len();
@@ -31,18 +37,21 @@ fn main() -> Result<(), Error> {
     );
 
     // The merchant (Frankfurt-ish DC 2) stocks the catalog.
-    let merchant = shop.client(2);
-    shop.begin(merchant)?;
+    let merchant = shop.open_client(2)?;
+    let mut txn = shop.begin(merchant)?;
     for item in 0..10u64 {
-        shop.write(merchant, Key(item), Value::from(format!("stock=100 item={item}").as_str()))?;
+        txn.write(
+            Key(item),
+            Value::from(format!("stock=100 item={item}").as_str()),
+        );
     }
-    shop.commit(merchant)?;
+    txn.commit()?;
     shop.stabilize(5);
     println!("\nmerchant stocked 10 items across the shards");
 
     // A shopper in DC 4 browses items on partitions DC 4 does not host:
     // the coordinator transparently reads the preferred remote replica.
-    let shopper = shop.client(4);
+    let shopper = shop.open_client(4)?;
     let not_local: Vec<Key> = (0..10u64)
         .map(Key)
         .filter(|k| {
@@ -54,40 +63,45 @@ fn main() -> Result<(), Error> {
         "shopper in dc4 browses {} items with no local replica",
         not_local.len()
     );
-    shop.begin(shopper)?;
-    let reads = shop.read(shopper, &not_local)?;
+    let mut txn = shop.begin(shopper)?;
+    let reads = txn.read(&not_local)?;
+    txn.commit()?;
     for rd in reads.iter().take(3) {
         let p = shop.topology().partition_of(rd.key);
         let target = shop.topology().target_dc(p, DcId(4));
         println!(
             "  {} (partition {p}) served by {target}: {:?}",
             rd.key,
-            rd.value.as_ref().map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned())
+            rd.value
+                .as_ref()
+                .map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned())
         );
         assert!(rd.value.is_some());
     }
-    shop.commit(shopper)?;
 
     // Order placement: decrement stock of two items on different
     // partitions and write the order — all atomic under TCC.
     let order_key = Key(1_000);
-    shop.begin(shopper)?;
-    shop.write(shopper, Key(3), Value::from("stock=99 item=3"))?;
-    shop.write(shopper, Key(7), Value::from("stock=99 item=7"))?;
-    shop.write(shopper, order_key, Value::from("order: items [3,7] for dc4-shopper"))?;
-    let ct = shop.commit(shopper)?;
-    println!("\norder committed atomically at {ct} across {} partitions", 3);
+    let mut txn = shop.begin(shopper)?;
+    txn.write(Key(3), Value::from("stock=99 item=3"));
+    txn.write(Key(7), Value::from("stock=99 item=7"));
+    txn.write(order_key, Value::from("order: items [3,7] for dc4-shopper"));
+    let ct = txn.commit()?;
+    println!(
+        "\norder committed atomically at {ct} across {} partitions",
+        3
+    );
 
     // Any observer sees the order with its stock updates, or neither.
     shop.stabilize(5);
-    let auditor = shop.client(0);
-    shop.begin(auditor)?;
-    let order = shop.read_one(auditor, order_key)?;
-    let stock3 = shop.read_one(auditor, Key(3))?;
+    let auditor = shop.open_client(0)?;
+    let mut txn = shop.begin(auditor)?;
+    let order = txn.read_one(order_key)?;
+    let stock3 = txn.read_one(Key(3))?;
+    txn.commit()?;
     if order.is_some() {
         assert_eq!(stock3, Some(Value::from("stock=99 item=3")), "atomicity");
     }
-    shop.commit(auditor)?;
     println!("auditor in dc0 sees a consistent order + stock state ✓");
 
     // Show the placement map for the curious.

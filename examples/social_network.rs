@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --example social_network`
 
-use paris::mini::MiniCluster;
-use paris::types::{Error, Key, Mode, Value};
+use paris::types::{Key, Value};
+use paris::{Backend, Error, Mode, Paris};
 
 /// Key layout: user walls and posts spread over partitions by key.
 fn wall(user: u64) -> Key {
@@ -26,18 +26,24 @@ fn text(v: &Option<Value>) -> String {
 }
 
 fn main() -> Result<(), Error> {
-    let mut net = MiniCluster::new(3, 9, 2, Mode::Paris)?;
+    let mut net = Paris::builder()
+        .dcs(3)
+        .partitions(9)
+        .replication(2)
+        .mode(Mode::Paris)
+        .backend(Backend::Mini)
+        .build()?;
 
     // Three users in three different data centers.
-    let ana = net.client(0); // Virginia
-    let bo = net.client(1); // Oregon
-    let cai = net.client(2); // Ireland
+    let ana = net.open_client(0)?; // Virginia
+    let bo = net.open_client(1)?; // Oregon
+    let cai = net.open_client(2)?; // Ireland
 
     // 1. Ana posts on her wall.
-    net.begin(ana)?;
-    net.write(ana, post(1), Value::from("ana: heading to ICDCS!"))?;
-    net.write(ana, wall(1), Value::from("latest=post1"))?;
-    net.commit(ana)?;
+    let mut txn = net.begin(ana)?;
+    txn.write(post(1), Value::from("ana: heading to ICDCS!"));
+    txn.write(wall(1), Value::from("latest=post1"));
+    txn.commit()?;
     println!("ana posted (post 1 + wall pointer, atomically)");
 
     // Propagate: the UST advances past Ana's commit.
@@ -45,22 +51,22 @@ fn main() -> Result<(), Error> {
 
     // 2. Bo reads Ana's post, then replies — his reply causally depends
     //    on her post (read-from relationship).
-    net.begin(bo)?;
-    let seen = net.read_one(bo, post(1))?;
+    let mut txn = net.begin(bo)?;
+    let seen = txn.read_one(post(1))?;
     println!("bo sees: {}", text(&seen));
     assert!(seen.is_some(), "bo must see the stabilized post");
-    net.write(bo, post(2), Value::from("bo: see you there @ana!"))?;
-    net.write(bo, wall(2), Value::from("latest=post2"))?;
-    net.commit(bo)?;
+    txn.write(post(2), Value::from("bo: see you there @ana!"));
+    txn.write(wall(2), Value::from("latest=post2"));
+    txn.commit()?;
     println!("bo replied (causally after ana's post)");
 
     net.stabilize(5);
 
     // 3. Cai reads both posts from a third DC. Causal consistency
     //    guarantees: if the reply is visible, the original post is too.
-    net.begin(cai)?;
-    let reply = net.read_one(cai, post(2))?;
-    let original = net.read_one(cai, post(1))?;
+    let mut txn = net.begin(cai)?;
+    let reply = txn.read_one(post(2))?;
+    let original = txn.read_one(post(1))?;
     println!("cai sees reply:    {}", text(&reply));
     println!("cai sees original: {}", text(&original));
     if reply.is_some() {
@@ -69,14 +75,14 @@ fn main() -> Result<(), Error> {
             "causality violated: reply visible without its cause"
         );
     }
-    net.commit(cai)?;
+    txn.commit()?;
 
     // 4. Session guarantees: Bo immediately sees his own reply (cache)
     //    even before another stabilization round.
-    net.begin(bo)?;
-    let own = net.read_one(bo, post(2))?;
+    let mut txn = net.begin(bo)?;
+    let own = txn.read_one(post(2))?;
     assert!(own.is_some(), "read-your-own-writes");
-    net.commit(bo)?;
+    txn.commit()?;
 
     println!("\ncausal timeline preserved across 3 DCs ✓");
     Ok(())

@@ -14,43 +14,76 @@
 //! cache preserves read-your-own-writes on top of the slightly stale
 //! stable snapshot.
 //!
+//! ## The facade
+//!
+//! Everything is reached through one API: [`Paris::builder`] configures a
+//! deployment, [`Backend`] picks the substrate, and the resulting
+//! [`Cluster`] serves transactions through RAII [`Txn`] handles:
+//!
+//! | backend | substrate | use it for |
+//! |---|---|---|
+//! | [`Backend::Mini`] | synchronous in-process pump | examples, tests, learning the protocol |
+//! | [`Backend::Sim`] | discrete-event WAN simulation | performance figures, fault injection |
+//! | [`Backend::Thread`] | one OS thread per server | races, genuine concurrency |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use paris::{Backend, Cluster, Mode, Paris};
+//! use paris::types::{Key, Value};
+//!
+//! // 3 DCs × 6 partitions, replication factor 2: each DC stores only
+//! // part of the keyspace — partial replication.
+//! let mut cluster = Paris::builder()
+//!     .dcs(3)
+//!     .partitions(6)
+//!     .replication(2)
+//!     .mode(Mode::Paris)
+//!     .backend(Backend::Mini)
+//!     .build()?;
+//!
+//! // A transaction handle: reads, buffered writes, commit. Dropping the
+//! // handle without committing aborts — no write takes effect.
+//! let alice = cluster.open_client(0)?;
+//! let mut txn = cluster.begin(alice)?;
+//! txn.write(Key(1), Value::from("hello"));
+//! let commit_ts = txn.commit()?;
+//! assert!(commit_ts > paris::types::Timestamp::ZERO);
+//!
+//! // Background gossip stabilizes the snapshot; then any DC reads the
+//! // write without blocking.
+//! cluster.stabilize(5);
+//! let bob = cluster.open_client(1)?;
+//! let mut txn = cluster.begin(bob)?;
+//! assert_eq!(txn.read_one(Key(1))?, Some(Value::from("hello")));
+//! txn.commit()?;
+//! # Ok::<(), paris::Error>(())
+//! ```
+//!
+//! Swapping `.backend(Backend::Mini)` for [`Backend::Sim`] or
+//! [`Backend::Thread`] runs the same code on the simulated WAN or on real
+//! threads. For workload-style measurement, [`Cluster::run_workload`]
+//! drives the configured closed-loop load and returns a [`RunReport`].
+//!
 //! ## Crate map
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`types`] | ids, timestamps, versions, cluster configuration |
+//! | [`types`] | ids, timestamps, versions, cluster configuration, errors |
 //! | [`clock`] | physical clocks and the Hybrid Logical Clock |
 //! | [`storage`] | multi-version per-partition store with GC |
 //! | [`proto`] | protocol messages + binary wire codec |
 //! | [`net`] | discrete-event simulator and threaded transport |
 //! | [`core`] | server/client state machines, topology, checker |
-//! | [`runtime`] | simulated and threaded cluster drivers |
+//! | [`runtime`] | the three backends and the [`Cluster`] facade |
 //! | [`workload`] | YCSB-style generator and statistics |
-//!
-//! ## Quickstart
-//!
-//! The fastest way to a running system is the simulated cluster:
-//!
-//! ```
-//! use paris::runtime::{SimCluster, SimConfig};
-//! use paris::types::Mode;
-//!
-//! // 3 DCs × 6 partitions (replication factor 2), PaRiS mode.
-//! let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 7));
-//! sim.run_workload(200_000, 800_000); // 0.2 s warmup, 0.8 s window
-//! let report = sim.report();
-//! assert!(report.stats.committed > 0);
-//! assert!(report.violations.is_empty(), "TCC must hold");
-//! ```
 //!
 //! For driving the protocol by hand (your own substrate), see
 //! [`core::Server`] and [`core::ClientSession`]; the `examples/`
-//! directory walks through both styles.
+//! directory walks through both the facade and the raw state machines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-
-pub mod mini;
 
 pub use paris_clock as clock;
 pub use paris_core as core;
@@ -62,5 +95,8 @@ pub use paris_types as types;
 pub use paris_workload as workload;
 
 pub use paris_core::{ClientSession, HistoryChecker, Server, ServerOptions, Topology};
-pub use paris_runtime::{RunReport, SimCluster, SimConfig, ThreadCluster, ThreadClusterConfig};
-pub use paris_types::{ClusterConfig, Mode};
+pub use paris_runtime::{
+    Backend, BlockingStats, Cluster, ClusterBuilder, MiniCluster, Paris, RunReport, SimCluster,
+    ThreadCluster, Txn,
+};
+pub use paris_types::{ClusterConfig, Error, Mode};

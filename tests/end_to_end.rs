@@ -1,83 +1,95 @@
 //! Workspace-level integration tests exercising the public facade the way
-//! a downstream user would: the `paris::mini` embedded cluster, the
-//! simulated runtime, and the threaded runtime, across both protocol
+//! a downstream user would: one `Paris::builder()` entry point, one
+//! `Cluster` trait, RAII `Txn` handles — across backends and protocol
 //! modes.
 
-use paris::mini::MiniCluster;
-use paris::types::{DcId, Key, Mode, Timestamp, Value};
+use paris::types::{DcId, Key, PartitionId, ServerId, Timestamp, Value};
+use paris::{Backend, Cluster, MiniCluster, Mode, Paris};
+
+fn mini(dcs: u16, partitions: u32, mode: Mode) -> MiniCluster {
+    Paris::builder()
+        .dcs(dcs)
+        .partitions(partitions)
+        .replication(2)
+        .mode(mode)
+        .build_mini()
+        .expect("valid deployment")
+}
 
 #[test]
 fn readme_flow_write_stabilize_read_everywhere() {
-    let mut cluster = MiniCluster::new(3, 6, 2, Mode::Paris).unwrap();
-    let writer = cluster.client(0);
-    cluster.begin(writer).unwrap();
-    cluster.write(writer, Key(4), Value::from("v")).unwrap();
-    let ct = cluster.commit(writer).unwrap();
+    let mut cluster = mini(3, 6, Mode::Paris);
+    let writer = cluster.open_client(0).unwrap();
+    let mut txn = cluster.begin(writer).unwrap();
+    txn.write(Key(4), Value::from("v"));
+    let ct = txn.commit().unwrap();
     cluster.stabilize(5);
     assert!(cluster.min_ust() >= ct);
 
     for dc in 0..3u16 {
-        let reader = cluster.client(dc);
-        cluster.begin(reader).unwrap();
+        let reader = cluster.open_client(dc).unwrap();
+        let mut txn = cluster.begin(reader).unwrap();
         assert_eq!(
-            cluster.read_one(reader, Key(4)).unwrap(),
+            txn.read_one(Key(4)).unwrap(),
             Some(Value::from("v")),
             "dc{dc} must read the stabilized write"
         );
-        cluster.commit(reader).unwrap();
+        txn.commit().unwrap();
     }
 }
 
 #[test]
 fn causal_chain_across_three_dcs() {
-    let mut cluster = MiniCluster::new(3, 9, 2, Mode::Paris).unwrap();
-    let a = cluster.client(0);
-    let b = cluster.client(1);
-    let c = cluster.client(2);
+    let mut cluster = mini(3, 9, Mode::Paris);
+    let a = cluster.open_client(0).unwrap();
+    let b = cluster.open_client(1).unwrap();
+    let c = cluster.open_client(2).unwrap();
 
     // a writes x; b reads x and writes y; c must not see y without x.
-    cluster.begin(a).unwrap();
-    cluster.write(a, Key(0), Value::from("x")).unwrap();
-    let ct_x = cluster.commit(a).unwrap();
+    let mut txn = cluster.begin(a).unwrap();
+    txn.write(Key(0), Value::from("x"));
+    let ct_x = txn.commit().unwrap();
     cluster.stabilize(5);
 
-    cluster.begin(b).unwrap();
-    assert!(cluster.read_one(b, Key(0)).unwrap().is_some());
-    cluster.write(b, Key(1), Value::from("y")).unwrap();
-    let ct_y = cluster.commit(b).unwrap();
+    let mut txn = cluster.begin(b).unwrap();
+    assert!(txn.read_one(Key(0)).unwrap().is_some());
+    txn.write(Key(1), Value::from("y"));
+    let ct_y = txn.commit().unwrap();
     assert!(ct_y > ct_x, "dependent write must be timestamped later");
     cluster.stabilize(5);
 
-    cluster.begin(c).unwrap();
-    let y = cluster.read_one(c, Key(1)).unwrap();
-    let x = cluster.read_one(c, Key(0)).unwrap();
+    let mut txn = cluster.begin(c).unwrap();
+    let y = txn.read_one(Key(1)).unwrap();
+    let x = txn.read_one(Key(0)).unwrap();
     assert!(y.is_some());
     assert!(x.is_some(), "cause must be visible with its effect");
-    cluster.commit(c).unwrap();
+    txn.commit().unwrap();
 }
 
 #[test]
 fn write_write_conflict_converges_identically_everywhere() {
-    let mut cluster = MiniCluster::new(3, 6, 2, Mode::Paris).unwrap();
-    let a = cluster.client(0);
-    let b = cluster.client(1);
+    let mut cluster = mini(3, 6, Mode::Paris);
+    let a = cluster.open_client(0).unwrap();
+    let b = cluster.open_client(1).unwrap();
 
-    cluster.begin(a).unwrap();
-    cluster.begin(b).unwrap();
-    cluster.write(a, Key(0), Value::from("A")).unwrap();
-    cluster.write(b, Key(0), Value::from("B")).unwrap();
-    cluster.commit(a).unwrap();
-    cluster.commit(b).unwrap();
+    // Two *concurrently open* transactions writing the same key: the raw
+    // session ops express the interleaving the RAII handle's borrow
+    // would forbid.
+    cluster.txn_begin(a).unwrap();
+    cluster.txn_begin(b).unwrap();
+    cluster.txn_write(a, &[(Key(0), Value::from("A"))]).unwrap();
+    cluster.txn_write(b, &[(Key(0), Value::from("B"))]).unwrap();
+    cluster.txn_commit(a).unwrap();
+    cluster.txn_commit(b).unwrap();
     cluster.stabilize(8);
 
     // Both replicas of partition 0 must agree (LWW).
-    let topo = cluster.topology().clone();
-    let replicas = topo.replicas(paris::types::PartitionId(0));
+    let replicas = cluster.topology().replicas(PartitionId(0));
     let values: Vec<Vec<u8>> = replicas
         .iter()
         .map(|dc| {
             cluster
-                .server(paris::types::ServerId::new(*dc, paris::types::PartitionId(0)))
+                .server(ServerId::new(*dc, PartitionId(0)))
                 .unwrap()
                 .store()
                 .latest(Key(0))
@@ -88,50 +100,49 @@ fn write_write_conflict_converges_identically_everywhere() {
         })
         .collect();
     assert_eq!(values[0], values[1], "replicas must converge");
+    assert!(cluster.check_convergence().unwrap().is_empty());
 
     // Readers in every DC see the same winner.
     let mut seen = Vec::new();
     for dc in 0..3u16 {
-        let r = cluster.client(dc);
-        cluster.begin(r).unwrap();
-        seen.push(cluster.read_one(r, Key(0)).unwrap().unwrap());
-        cluster.commit(r).unwrap();
+        let r = cluster.open_client(dc).unwrap();
+        let mut txn = cluster.begin(r).unwrap();
+        seen.push(txn.read_one(Key(0)).unwrap().unwrap());
+        txn.commit().unwrap();
     }
     assert!(seen.windows(2).all(|w| w[0] == w[1]));
 }
 
 #[test]
 fn bpr_mode_full_flow() {
-    let mut cluster = MiniCluster::new(3, 6, 2, Mode::Bpr).unwrap();
-    let a = cluster.client(0);
-    cluster.begin(a).unwrap();
-    cluster.write(a, Key(2), Value::from("fresh")).unwrap();
-    let ct = cluster.commit(a).unwrap();
+    let mut cluster = mini(3, 6, Mode::Bpr);
+    let a = cluster.open_client(0).unwrap();
+    let mut txn = cluster.begin(a).unwrap();
+    txn.write(Key(2), Value::from("fresh"));
+    let ct = txn.commit().unwrap();
     assert!(ct > Timestamp::ZERO);
 
-    // BPR reads block until installed; MiniCluster advances background
-    // rounds transparently, so this returns the fresh value without any
-    // UST requirement.
-    let b = cluster.client(1);
-    cluster.begin(b).unwrap();
-    assert_eq!(
-        cluster.read_one(b, Key(2)).unwrap(),
-        Some(Value::from("fresh"))
-    );
-    cluster.commit(b).unwrap();
+    // BPR reads block until installed; the mini backend advances
+    // background rounds transparently, so this returns the fresh value
+    // without any UST requirement.
+    let b = cluster.open_client(1).unwrap();
+    let mut txn = cluster.begin(b).unwrap();
+    assert_eq!(txn.read_one(Key(2)).unwrap(), Some(Value::from("fresh")));
+    txn.commit().unwrap();
 }
 
 #[test]
-fn snapshots_monotonic_and_staleness_bounded_in_mini_cluster() {
-    let mut cluster = MiniCluster::new(3, 6, 2, Mode::Paris).unwrap();
-    let a = cluster.client(0);
+fn snapshots_monotonic_in_mini_cluster() {
+    let mut cluster = mini(3, 6, Mode::Paris);
+    let a = cluster.open_client(0).unwrap();
     let mut prev = Timestamp::ZERO;
     for i in 0..10u64 {
-        let snap = cluster.begin(a).unwrap();
+        let mut txn = cluster.begin(a).unwrap();
+        let snap = txn.snapshot();
         assert!(snap >= prev, "snapshot regressed at tx {i}");
         prev = snap;
-        cluster.write(a, Key(i % 6), Value::filled(8, i)).unwrap();
-        cluster.commit(a).unwrap();
+        txn.write(Key(i % 6), Value::filled(8, i));
+        txn.commit().unwrap();
         cluster.stabilize(2);
     }
     assert!(prev > Timestamp::ZERO);
@@ -153,22 +164,47 @@ fn facade_reexports_are_usable() {
 
 #[test]
 fn sim_runtime_through_facade() {
-    use paris::runtime::{SimCluster, SimConfig};
-    let mut sim = SimCluster::new(SimConfig::small_test(3, 6, Mode::Paris, 31));
-    sim.run_workload(200_000, 800_000);
-    let report = sim.report();
+    let mut sim = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .keys_per_partition(200)
+        .uniform_latency_micros(10_000)
+        .jitter(0.02)
+        .clients_per_dc(4)
+        .seed(31)
+        .record_events(true)
+        .record_history(true)
+        .backend(Backend::Sim)
+        .build()
+        .unwrap();
+    let report = sim.run_workload(200_000, 800_000).unwrap();
     assert!(report.stats.committed > 0);
     assert!(report.violations.is_empty(), "{:#?}", report.violations);
 }
 
 #[test]
 fn threaded_runtime_through_facade() {
-    use paris::runtime::{ThreadCluster, ThreadClusterConfig};
-    let outcome = ThreadCluster::run(
-        ThreadClusterConfig::small(3, 6, Mode::Paris),
-        std::time::Duration::from_millis(600),
-    );
-    assert!(outcome.report.stats.committed > 0);
-    assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
-    assert!(outcome.convergence.is_empty(), "{:#?}", outcome.convergence);
+    let mut cluster = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .keys_per_partition(100)
+        .clients_per_dc(2)
+        .seed(7)
+        .record_history(true)
+        .intervals(paris::types::Intervals {
+            replication_micros: 2_000,
+            gst_micros: 2_000,
+            ust_micros: 2_000,
+            gc_micros: 500_000,
+        })
+        .backend(Backend::Thread)
+        .build()
+        .unwrap();
+    let report = cluster.run_workload(0, 600_000).unwrap();
+    assert!(report.stats.committed > 0);
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    let convergence = cluster.check_convergence().unwrap();
+    assert!(convergence.is_empty(), "{:#?}", convergence);
 }

@@ -1,0 +1,295 @@
+//! Facade-specific behaviour: RAII transaction handles (abort-on-drop),
+//! session sequencing, builder validation, and cross-backend agreement on
+//! the same causal scenario.
+
+use paris::types::{Key, Value};
+use paris::{Backend, Cluster, Error, Mode, Paris};
+
+fn mini() -> paris::MiniCluster {
+    Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .build_mini()
+        .expect("valid deployment")
+}
+
+#[test]
+fn txn_abort_on_drop_discards_buffered_writes() {
+    let mut cluster = mini();
+    let a = cluster.open_client(0).unwrap();
+
+    {
+        let mut txn = cluster.begin(a).unwrap();
+        txn.write(Key(1), Value::from("doomed"));
+        // Dropped without commit: aborted.
+    }
+    cluster.stabilize(5);
+
+    // The same session can immediately run the next transaction, and the
+    // write never became visible anywhere.
+    for dc in 0..3u16 {
+        let r = cluster.open_client(dc).unwrap();
+        let mut txn = cluster.begin(r).unwrap();
+        assert_eq!(txn.read_one(Key(1)).unwrap(), None, "aborted write leaked");
+        txn.commit().unwrap();
+    }
+}
+
+#[test]
+fn txn_explicit_abort_behaves_like_drop() {
+    let mut cluster = mini();
+    let a = cluster.open_client(0).unwrap();
+    let mut txn = cluster.begin(a).unwrap();
+    txn.write(Key(2), Value::from("doomed"));
+    txn.abort().unwrap();
+
+    let mut txn = cluster.begin(a).unwrap();
+    assert_eq!(txn.read_one(Key(2)).unwrap(), None);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn txn_reads_its_own_buffered_writes() {
+    let mut cluster = mini();
+    let a = cluster.open_client(0).unwrap();
+    let mut txn = cluster.begin(a).unwrap();
+    txn.write(Key(3), Value::from("first"));
+    txn.write(Key(3), Value::from("second"));
+    // Last write wins, served from the handle's buffer.
+    assert_eq!(txn.read_one(Key(3)).unwrap(), Some(Value::from("second")));
+    txn.commit().unwrap();
+}
+
+#[test]
+fn double_begin_is_rejected_per_session() {
+    let mut cluster = mini();
+    let a = cluster.open_client(0).unwrap();
+    // Raw-level: a session with an open transaction rejects a second
+    // begin (sessions are sequential, §II-C).
+    cluster.txn_begin(a).unwrap();
+    assert_eq!(
+        cluster.txn_begin(a).unwrap_err(),
+        Error::TransactionAlreadyOpen
+    );
+    // Closing the transaction frees the session again.
+    cluster.txn_commit(a).unwrap();
+    cluster.txn_begin(a).unwrap();
+    cluster.txn_commit(a).unwrap();
+}
+
+#[test]
+fn operations_on_unknown_clients_fail() {
+    let mut cluster = mini();
+    let a = cluster.open_client(0).unwrap();
+    drop(cluster);
+    let mut other = mini();
+    // A client id from another deployment is unknown here.
+    let bogus = paris::types::ClientId::new(paris::types::DcId(0), a.seq + 999);
+    assert!(other.txn_begin(bogus).is_err());
+}
+
+#[test]
+fn builder_validation_errors() {
+    // Replication factor above DC count.
+    let err = Paris::builder().dcs(2).partitions(4).replication(3).build();
+    assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
+
+    // Zero partitions.
+    let err = Paris::builder().dcs(3).partitions(0).replication(2).build();
+    assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
+
+    // Out-of-range jitter.
+    let err = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .jitter(1.5)
+        .build();
+    assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
+
+    // A shape that leaves DCs without servers.
+    let err = Paris::builder()
+        .dcs(10)
+        .partitions(2)
+        .replication(2)
+        .build();
+    assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
+
+    // Sim-only knobs are rejected, not silently ignored, on other
+    // backends.
+    let err = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .record_events(true)
+        .backend(Backend::Thread)
+        .build();
+    assert!(matches!(
+        err.err().expect("must fail"),
+        Error::Unsupported(_)
+    ));
+    let err = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .stab_branching(2)
+        .backend(Backend::Mini)
+        .build();
+    assert!(matches!(
+        err.err().expect("must fail"),
+        Error::Unsupported(_)
+    ));
+
+    // Out-of-range client DC on a valid deployment.
+    let mut cluster = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        cluster.open_client(7).unwrap_err(),
+        Error::Config(_)
+    ));
+}
+
+#[test]
+fn boxed_cluster_supports_txn_handles() {
+    // `build()` returns Box<dyn Cluster>; begin() works on the trait
+    // object too.
+    let mut cluster = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .backend(Backend::Mini)
+        .build()
+        .unwrap();
+    let a = cluster.open_client(0).unwrap();
+    let mut txn = cluster.begin(a).unwrap();
+    txn.write(Key(9), Value::from("boxed"));
+    txn.commit().unwrap();
+    cluster.stabilize(5);
+    let b = cluster.open_client(1).unwrap();
+    let mut txn = cluster.begin(b).unwrap();
+    assert_eq!(txn.read_one(Key(9)).unwrap(), Some(Value::from("boxed")));
+    txn.commit().unwrap();
+}
+
+/// Runs the same causal-chain scenario on any backend and returns what
+/// the third observer saw: (y, x).
+fn causal_chain(cluster: &mut dyn Cluster) -> (Option<Value>, Option<Value>) {
+    let a = cluster.open_client(0).unwrap();
+    let b = cluster.open_client(1).unwrap();
+    let c = cluster.open_client(2).unwrap();
+
+    let mut txn = cluster.begin(a).unwrap();
+    txn.write(Key(0), Value::from("x"));
+    let ct_x = txn.commit().unwrap();
+    cluster.stabilize(5);
+
+    let mut txn = cluster.begin(b).unwrap();
+    let x = txn.read_one(Key(0)).unwrap();
+    assert!(x.is_some(), "writer's commit must be stable after gossip");
+    txn.write(Key(1), Value::from("y"));
+    let ct_y = txn.commit().unwrap();
+    assert!(ct_y > ct_x, "dependent write must be timestamped later");
+    cluster.stabilize(5);
+
+    let mut txn = cluster.begin(c).unwrap();
+    let y = txn.read_one(Key(1)).unwrap();
+    let x = txn.read_one(Key(0)).unwrap();
+    txn.commit().unwrap();
+    if y.is_some() {
+        assert!(x.is_some(), "effect visible without its cause");
+    }
+    (y, x)
+}
+
+#[test]
+fn sim_and_thread_backends_agree_on_causal_chain() {
+    let scenario_builder = |backend| {
+        Paris::builder()
+            .dcs(3)
+            .partitions(6)
+            .replication(2)
+            .keys_per_partition(100)
+            .clients_per_dc(0) // interactive only
+            .uniform_latency_micros(5_000)
+            .jitter(0.0)
+            .seed(17)
+            .backend(backend)
+    };
+
+    let mut sim = scenario_builder(Backend::Sim).build().unwrap();
+    let mut thread = scenario_builder(Backend::Thread).build().unwrap();
+
+    let from_sim = causal_chain(sim.as_mut());
+    let from_thread = causal_chain(thread.as_mut());
+
+    assert_eq!(
+        from_sim, from_thread,
+        "sim and thread backends must observe the same causal chain"
+    );
+    assert_eq!(from_sim.0, Some(Value::from("y")));
+    assert_eq!(from_sim.1, Some(Value::from("x")));
+
+    // Both backends converge to identical replica contents.
+    assert!(sim.check_convergence().unwrap().is_empty());
+    assert!(thread.check_convergence().unwrap().is_empty());
+}
+
+#[test]
+fn workload_runs_on_every_backend() {
+    for backend in [Backend::Mini, Backend::Sim, Backend::Thread] {
+        let mut cluster = Paris::builder()
+            .dcs(3)
+            .partitions(6)
+            .replication(2)
+            .keys_per_partition(100)
+            .clients_per_dc(2)
+            .uniform_latency_micros(5_000)
+            .record_history(true)
+            .seed(5)
+            .backend(backend)
+            .build()
+            .unwrap();
+        let report = cluster.run_workload(100_000, 400_000).unwrap();
+        assert!(report.stats.committed > 0, "{backend:?} made no progress");
+        assert!(
+            report.violations.is_empty(),
+            "{backend:?} violated TCC: {:#?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn bpr_mode_works_through_the_facade_on_all_backends() {
+    for backend in [Backend::Mini, Backend::Sim, Backend::Thread] {
+        let mut cluster = Paris::builder()
+            .dcs(3)
+            .partitions(6)
+            .replication(2)
+            .keys_per_partition(100)
+            .clients_per_dc(0)
+            .uniform_latency_micros(5_000)
+            .mode(Mode::Bpr)
+            .backend(backend)
+            .build()
+            .unwrap();
+        let a = cluster.open_client(0).unwrap();
+        let mut txn = cluster.begin(a).unwrap();
+        txn.write(Key(0), Value::from("b"));
+        txn.commit().unwrap();
+        cluster.stabilize(3);
+        let b = cluster.open_client(1).unwrap();
+        let mut txn = cluster.begin(b).unwrap();
+        assert_eq!(
+            txn.read_one(Key(0)).unwrap(),
+            Some(Value::from("b")),
+            "{backend:?}: BPR read must block until installed, then return"
+        );
+        txn.commit().unwrap();
+    }
+}
