@@ -1,0 +1,106 @@
+//! CI perf-regression gate.
+//!
+//! Compares the `metrics` maps of freshly emitted `BENCH_*.json` files
+//! against the committed `bench/baseline.json` and fails (non-zero exit)
+//! when performance regressed:
+//!
+//! * any `*ktps*` metric may not drop more than 10% below baseline;
+//! * any `*net_messages*` metric may not rise more than 10% above
+//!   baseline;
+//! * every baseline metric must be present in the current results
+//!   (a silently vanished benchmark is a regression too).
+//!
+//! The simulator is deterministic (simulated time, seeded RNG), so these
+//! thresholds are slack for drift in the *code*, not the machine.
+//!
+//! Paths: baseline from `PARIS_BASELINE` (default `bench/baseline.json`),
+//! results from `PARIS_RESULTS_DIR` (default `results`). To refresh the
+//! baseline after an intentional performance change, rerun
+//! `PARIS_BENCH_QUICK=1 cargo run --release -p paris-bench --bin fig1`
+//! and `... --bin ablation_batch`, then copy the union of the emitted
+//! `metrics` maps into `bench/baseline.json`.
+
+use paris_bench::json::Json;
+
+const KTPS_DROP_TOLERANCE: f64 = 0.10;
+const MSGS_RISE_TOLERANCE: f64 = 0.10;
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("bench_gate: {path} is not valid JSON: {e}"))
+}
+
+/// Collects the flat `metrics` map of one emitted results file.
+fn metrics_of(doc: &Json, path: &str) -> Vec<(String, f64)> {
+    doc.get("metrics")
+        .and_then(Json::as_obj)
+        .unwrap_or_else(|| panic!("bench_gate: {path} has no metrics object"))
+        .iter()
+        .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+        .collect()
+}
+
+fn main() {
+    let baseline_path =
+        std::env::var("PARIS_BASELINE").unwrap_or_else(|_| "bench/baseline.json".to_string());
+    let results_dir = std::env::var("PARIS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+
+    let baseline = load(&baseline_path);
+    let baseline_metrics = baseline
+        .get("metrics")
+        .and_then(Json::as_obj)
+        .unwrap_or_else(|| panic!("bench_gate: {baseline_path} has no metrics object"));
+
+    let mut current: Vec<(String, f64)> = Vec::new();
+    for file in ["BENCH_fig1.json", "BENCH_batch.json"] {
+        let path = format!("{results_dir}/{file}");
+        current.extend(metrics_of(&load(&path), &path));
+    }
+
+    let mut failures = 0usize;
+    println!(
+        "{:<38} {:>12} {:>12} {:>9}  verdict",
+        "metric", "baseline", "current", "delta"
+    );
+    for (key, base) in baseline_metrics
+        .iter()
+        .filter_map(|(k, v)| v.as_f64().map(|n| (k, n)))
+    {
+        let Some((_, cur)) = current.iter().find(|(k, _)| k == key) else {
+            println!(
+                "{key:<38} {base:>12.2} {:>12} {:>9}  FAIL (metric missing)",
+                "-", "-"
+            );
+            failures += 1;
+            continue;
+        };
+        let delta_pct = if base != 0.0 {
+            (cur - base) / base * 100.0
+        } else {
+            0.0
+        };
+        let ok = if key.contains("ktps") {
+            *cur >= base * (1.0 - KTPS_DROP_TOLERANCE)
+        } else if key.contains("net_messages") {
+            *cur <= base * (1.0 + MSGS_RISE_TOLERANCE)
+        } else {
+            // Informational metrics (e.g. reduction_pct) are reported but
+            // not gated; the emitting bench enforces its own floor.
+            true
+        };
+        println!(
+            "{key:<38} {base:>12.2} {cur:>12.2} {delta_pct:>+8.1}%  {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\nbench_gate: {failures} metric(s) regressed beyond tolerance");
+        std::process::exit(1);
+    }
+    println!("\nbench_gate: all metrics within tolerance");
+}

@@ -8,20 +8,31 @@
 //! Deployment: 5 DCs, 45 partitions, R = 2, 4 partitions per transaction,
 //! zipfian 0.99, 95:5 local:multi (paper §V-A defaults). Each dot is one
 //! offered-load level (client sessions per DC).
+//!
+//! Besides the CSVs, emits `results/BENCH_fig1.json` whose flat `metrics`
+//! map (peak KTx/s and peak-point message counts per mode and workload)
+//! feeds the CI perf-regression gate (`bench_gate`).
 
-use paris_bench::{client_ladder, load_sweep, paper_deployment, peak, section, write_csv};
+use paris_bench::{
+    bench_doc, client_ladder, json::Json, load_sweep, paper_deployment, peak, section,
+    write_bench_json, write_csv,
+};
 use paris_types::Mode;
 use paris_workload::WorkloadConfig;
 
 fn main() {
-    for (label, workload, csv) in [
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut points: Vec<Json> = Vec::new();
+    for (label, slug, workload, csv) in [
         (
             "Fig 1a: 95:5 r:w",
+            "fig1a",
             WorkloadConfig::read_heavy(),
             "fig1a.csv",
         ),
         (
             "Fig 1b: 50:50 r:w",
+            "fig1b",
             WorkloadConfig::write_heavy(),
             "fig1b.csv",
         ),
@@ -31,14 +42,14 @@ fn main() {
         let mut peaks = Vec::new();
         for mode in [Mode::Bpr, Mode::Paris] {
             eprintln!("{mode} sweep:");
-            let points = load_sweep(mode, &workload, &client_ladder(mode), |mode, wl, c| {
+            let sweep = load_sweep(mode, &workload, &client_ladder(mode), |mode, wl, c| {
                 paper_deployment(mode, wl, c, 42 + u64::from(c))
             });
             println!(
                 "\n  {mode:<6} {:>12} {:>14} {:>12} {:>12}",
                 "clients/DC", "tput (KTx/s)", "mean (ms)", "p99 (ms)"
             );
-            for p in &points {
+            for p in &sweep {
                 println!(
                     "  {mode:<6} {:>12} {:>14.1} {:>12.2} {:>12.2}",
                     p.clients_per_dc,
@@ -53,8 +64,28 @@ fn main() {
                     p.report.stats.mean_latency_ms(),
                     p.report.stats.percentile_ms(99.0),
                 ));
+                points.push(Json::obj(vec![
+                    ("figure", slug.into()),
+                    ("mode", mode.to_string().into()),
+                    ("clients_per_dc", p.clients_per_dc.into()),
+                    ("ktps", p.report.ktps().into()),
+                    ("mean_ms", p.report.stats.mean_latency_ms().into()),
+                    ("p99_ms", p.report.stats.percentile_ms(99.0).into()),
+                    ("net_messages", p.report.net_messages.into()),
+                    ("net_bytes", p.report.net_bytes.into()),
+                ]));
             }
-            peaks.push((mode, peak(&points).report.clone()));
+            let best = peak(&sweep).report.clone();
+            let mode_slug = match mode {
+                Mode::Paris => "paris",
+                Mode::Bpr => "bpr",
+            };
+            metrics.push((format!("{slug}_{mode_slug}_peak_ktps"), best.ktps()));
+            metrics.push((
+                format!("{slug}_{mode_slug}_peak_net_messages"),
+                best.net_messages as f64,
+            ));
+            peaks.push((mode, best));
         }
         write_csv(csv, "mode,clients_per_dc,ktps,mean_ms,p99_ms", &rows);
 
@@ -81,4 +112,5 @@ fn main() {
             },
         );
     }
+    write_bench_json("BENCH_fig1.json", &bench_doc("fig1", metrics, points));
 }

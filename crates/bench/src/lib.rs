@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::io::Write;
 use std::path::Path;
 
@@ -214,6 +216,55 @@ pub fn write_csv(path: impl AsRef<Path>, header: &str, rows: &[String]) {
 /// Prints a boxed section header so figure output is easy to scan.
 pub fn section(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// Writes a machine-readable `BENCH_*.json` document under `results/` in
+/// the working directory. The schema every emitter follows:
+///
+/// ```json
+/// {
+///   "schema": "paris-bench/v1",
+///   "bench": "<name>",
+///   "quick": true,
+///   "metrics": { "<flat_metric_key>": <number>, ... },
+///   "points": [ { ...per-measurement detail... }, ... ]
+/// }
+/// ```
+///
+/// `metrics` is the flat key → number map the CI regression gate
+/// (`bench_gate`) compares against `bench/baseline.json`; `points` carries
+/// the full sweep for humans and plots. The simulator is deterministic, so
+/// the same seed produces bit-identical metrics on any machine.
+///
+/// # Panics
+///
+/// Panics on I/O errors — benches should fail loudly.
+pub fn write_bench_json(file: impl AsRef<Path>, doc: &json::Json) {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(file.as_ref());
+    std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("  wrote {}", path.display());
+}
+
+/// Wraps a flat metrics map and per-point detail into the
+/// `paris-bench/v1` envelope used by every `BENCH_*.json` file.
+pub fn bench_doc(bench: &str, metrics: Vec<(String, f64)>, points: Vec<json::Json>) -> json::Json {
+    json::Json::obj(vec![
+        ("schema", "paris-bench/v1".into()),
+        ("bench", bench.into()),
+        ("quick", quick().into()),
+        (
+            "metrics",
+            json::Json::Obj(
+                metrics
+                    .into_iter()
+                    .map(|(k, v)| (k, json::Json::Num(v)))
+                    .collect(),
+            ),
+        ),
+        ("points", json::Json::Arr(points)),
+    ])
 }
 
 #[cfg(test)]

@@ -141,6 +141,13 @@ pub struct ClientSession {
     open: Option<OpenTx>,
     /// Waiting for a `StartTxResp`.
     starting: bool,
+    /// `StartTxResp`s still owed to begins abandoned by
+    /// [`ClientSession::reset`]. `StartTxResp` carries no transaction-id
+    /// correlation (the coordinator assigns the id), but the channel is
+    /// FIFO, so responses arrive in request order: the next
+    /// `discard_starts` of them belong to abandoned begins and must be
+    /// dropped, not adopted by a newer begin.
+    discard_starts: u32,
     /// Transactions run (stats).
     started_count: u64,
     committed_count: u64,
@@ -159,6 +166,7 @@ impl ClientSession {
             cache: HashMap::new(),
             open: None,
             starting: false,
+            discard_starts: 0,
             started_count: 0,
             committed_count: 0,
         }
@@ -203,6 +211,40 @@ impl ClientSession {
     /// Transactions started / committed so far.
     pub fn counts(&self) -> (u64, u64) {
         (self.started_count, self.committed_count)
+    }
+
+    /// Whether an operation (start, read or commit) is currently waiting
+    /// for a coordinator reply. A transport failure mid-operation leaves
+    /// the session in this state; see [`ClientSession::reset`].
+    pub fn has_operation_in_flight(&self) -> bool {
+        self.starting || self.open.as_ref().is_some_and(|o| o.in_flight)
+    }
+
+    /// Abandons the open transaction (and any in-flight operation) and
+    /// returns the session to idle, so the next [`ClientSession::begin`]
+    /// succeeds. The recovery path for a transport-timed-out operation
+    /// that would otherwise wedge the session.
+    ///
+    /// Durable session state survives: `ust_c`, `hwt_c` and the write
+    /// cache are untouched, so causal ordering of *completed* transactions
+    /// is preserved. The abandoned transaction's buffered writes are
+    /// discarded; if its commit actually landed server-side and only the
+    /// reply was lost, those writes are *not* entered into the write cache
+    /// — read-your-own-writes is forfeited for exactly that transaction
+    /// until the UST covers it. Late replies for the abandoned
+    /// transaction are ignored by [`ClientSession::handle`]: reads and
+    /// commits by their transaction-id checks, and a start abandoned
+    /// mid-flight by counting it — the channel is FIFO, so the next
+    /// `StartTxResp` to arrive is the abandoned one and is dropped
+    /// rather than adopted by a newer begin. The coordinator-side
+    /// context, if any, is reclaimed by the server's stale-context
+    /// cleanup.
+    pub fn reset(&mut self) {
+        if self.starting {
+            self.discard_starts += 1;
+        }
+        self.starting = false;
+        self.open = None;
     }
 
     // ------------------------------------------------------------ START
@@ -345,6 +387,12 @@ impl ClientSession {
         debug_assert_eq!(env.dst, Endpoint::Client(self.id));
         match &env.msg {
             Msg::StartTxResp { tx, snapshot } => {
+                if self.discard_starts > 0 {
+                    // Owed to a begin abandoned by `reset`; FIFO order
+                    // makes this response the abandoned one.
+                    self.discard_starts -= 1;
+                    return None;
+                }
                 if !self.starting {
                     return None;
                 }
@@ -725,6 +773,99 @@ mod tests {
             ))
             .is_none());
         assert_eq!(s.open_tx(), Some(t));
+    }
+
+    #[test]
+    fn reset_recovers_a_wedged_start_and_discards_the_stale_response() {
+        let mut s = session(Mode::Paris);
+        s.begin().unwrap();
+        // The reply has not arrived; the session is stuck starting.
+        assert!(s.has_operation_in_flight());
+        assert_eq!(s.begin().unwrap_err(), Error::TransactionAlreadyOpen);
+        s.reset();
+        assert!(!s.has_operation_in_flight());
+
+        // New begin; then the channel (FIFO) delivers the abandoned
+        // begin's response first — it must be discarded, not adopted.
+        s.begin().unwrap();
+        let stale = s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::StartTxResp {
+                tx: tx(1),
+                snapshot: Timestamp::from_physical_micros(40),
+            },
+        ));
+        assert!(stale.is_none(), "stale StartTxResp was adopted");
+        assert!(s.open_tx().is_none());
+
+        // The genuine response for the new begin is accepted.
+        let fresh = tx(2);
+        let ev = s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::StartTxResp {
+                tx: fresh,
+                snapshot: Timestamp::from_physical_micros(100),
+            },
+        ));
+        assert!(matches!(ev, Some(ClientEvent::Started { tx, .. }) if tx == fresh));
+        assert_eq!(s.open_tx(), Some(fresh));
+    }
+
+    #[test]
+    fn reset_of_an_idle_or_open_session_discards_nothing() {
+        let mut s = session(Mode::Paris);
+        // Idle reset: the next begin/response pair works untouched.
+        s.reset();
+        started(&mut s, 1, 100);
+        // Open-transaction reset (no operation in flight): same.
+        s.reset();
+        started(&mut s, 2, 200);
+    }
+
+    #[test]
+    fn reset_recovers_a_wedged_commit_and_ignores_the_late_reply() {
+        let mut s = session(Mode::Paris);
+        let old = started(&mut s, 1, 100);
+        s.write(&[(Key(7), Value::from("w"))]).unwrap();
+        s.commit().unwrap();
+        assert!(s.has_operation_in_flight());
+        s.reset();
+        let fresh = started(&mut s, 2, 200);
+        // The old commit's reply straggles in: it must not complete the
+        // new transaction or pollute the cache.
+        let ev = s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::CommitResp {
+                tx: old,
+                ct: Timestamp::from_physical_micros(500),
+            },
+        ));
+        assert!(ev.is_none(), "late reply for an abandoned tx leaked");
+        assert_eq!(s.open_tx(), Some(fresh));
+        assert_eq!(s.cache_len(), 0, "abandoned writes must not be cached");
+    }
+
+    #[test]
+    fn reset_preserves_durable_session_state() {
+        let mut s = session(Mode::Paris);
+        let t1 = started(&mut s, 1, 100);
+        s.write(&[(Key(3), Value::from("v"))]).unwrap();
+        s.commit().unwrap();
+        s.handle(&Envelope::new(
+            s.coordinator(),
+            s.id(),
+            Msg::CommitResp {
+                tx: t1,
+                ct: Timestamp::from_physical_micros(500),
+            },
+        ));
+        let (ust, hwt, cached) = (s.ust(), s.hwt(), s.cache_len());
+        s.begin().unwrap();
+        s.reset();
+        assert_eq!((s.ust(), s.hwt(), s.cache_len()), (ust, hwt, cached));
     }
 
     #[test]

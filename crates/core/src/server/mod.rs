@@ -118,6 +118,10 @@ pub struct ServerStats {
     pub replicate_batches: u64,
     /// Heartbeats sent.
     pub heartbeats: u64,
+    /// Logical frames received folded inside coalesced
+    /// `ReplicateBatch`/`GossipDigest` messages (each such message counts
+    /// its `frames`, so `coalesced_frames - messages` is the wire saving).
+    pub coalesced_frames: u64,
     /// Reads that had to block (BPR only).
     pub blocked_reads: u64,
     /// Total microseconds reads spent blocked (BPR only).
@@ -359,6 +363,12 @@ impl Server {
                 partition,
                 watermark,
             } => self.on_heartbeat(env, *partition, *watermark, now),
+            Msg::ReplicateBatch {
+                partition,
+                txs,
+                watermark,
+                frames,
+            } => self.on_replicate_batch(env, *partition, txs, *watermark, *frames, now),
 
             // Stabilization.
             Msg::GstReport {
@@ -372,6 +382,12 @@ impl Server {
                 oldest_active,
             } => self.on_root_gst(*dc, *gst, *oldest_active),
             Msg::UstBroadcast { ust, s_old } => self.on_ust_broadcast(*ust, *s_old, now),
+            Msg::GossipDigest {
+                reports,
+                roots,
+                ust,
+                frames,
+            } => self.on_gossip_digest(reports, roots, *ust, *frames, now),
 
             // Client-bound messages never arrive at a server.
             Msg::StartTxResp { .. }

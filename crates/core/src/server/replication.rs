@@ -136,6 +136,24 @@ impl Server {
         }
     }
 
+    /// `ReplicateBatch` from the coalescing layer: several replication
+    /// frames from the same peer folded into one message. The fold
+    /// preserves ascending `ct` order and keeps the newest watermark, so a
+    /// single [`Server::on_replicate`] pass applies the whole window.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn on_replicate_batch(
+        &mut self,
+        env: &Envelope,
+        partition: PartitionId,
+        txs: &[ReplicatedTx],
+        watermark: Timestamp,
+        frames: u32,
+        now: u64,
+    ) -> Vec<Envelope> {
+        self.stats.coalesced_frames += u64::from(frames);
+        self.on_replicate(env, partition, txs, watermark, now)
+    }
+
     /// `Heartbeat` from a peer replica (Alg. 4 lines 31–33).
     pub(super) fn on_heartbeat(
         &mut self,

@@ -168,6 +168,32 @@ impl Server {
         Vec::new()
     }
 
+    /// A coalesced gossip digest: folds each component into the exact
+    /// handler an individual frame would have hit. Because every component
+    /// is monotonic and the handlers keep only the freshest value, a
+    /// digest is indistinguishable from delivering its frames in order.
+    pub(super) fn on_gossip_digest(
+        &mut self,
+        reports: &[paris_proto::DigestReport],
+        roots: &[(DcId, Timestamp, Timestamp)],
+        ust: Option<(Timestamp, Timestamp)>,
+        frames: u32,
+        now: u64,
+    ) -> Vec<Envelope> {
+        self.stats.coalesced_frames += u64::from(frames);
+        let mut out = Vec::new();
+        for r in reports {
+            out.extend(self.on_gst_report(r.partition, &r.mins, r.oldest_active));
+        }
+        for (dc, gst, oldest_active) in roots {
+            out.extend(self.on_root_gst(*dc, *gst, *oldest_active));
+        }
+        if let Some((ust, s_old)) = ust {
+            out.extend(self.on_ust_broadcast(ust, s_old, now));
+        }
+        out
+    }
+
     /// The root's UST/S_old broadcast.
     pub(super) fn on_ust_broadcast(
         &mut self,

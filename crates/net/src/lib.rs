@@ -14,10 +14,15 @@
 //!   integration tests to exercise the protocol under true concurrency.
 //!
 //! Both substrates carry the same [`paris_proto::Envelope`]s and drive the
-//! same protocol state machines.
+//! same protocol state machines, and both can interpose the [`batch`]
+//! coalescing layer that folds background traffic into
+//! `ReplicateBatch`/`GossipDigest` wire frames.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod sim;
 pub mod threaded;
+
+pub use batch::{Coalescer, CoalescerStats, Offer};

@@ -98,12 +98,18 @@ impl ServiceModel {
             }
             Msg::PrepareResp { .. } => 1,
             Msg::CommitTx { .. } => self.commit,
-            Msg::Replicate { txs, .. } => {
+            // A coalesced batch pays the fixed per-message overhead once —
+            // that is the entire point of batching; the per-key apply work
+            // is unavoidable either way.
+            Msg::Replicate { txs, .. } | Msg::ReplicateBatch { txs, .. } => {
                 let keys: u64 = txs.iter().map(|t| t.writes.len() as u64).sum();
                 self.replicate_base + self.apply_per_key * keys
             }
             Msg::Heartbeat { .. } => 1,
-            Msg::GstReport { .. } | Msg::RootGst { .. } | Msg::UstBroadcast { .. } => self.gossip,
+            Msg::GstReport { .. }
+            | Msg::RootGst { .. }
+            | Msg::UstBroadcast { .. }
+            | Msg::GossipDigest { .. } => self.gossip,
         }
     }
 }

@@ -17,9 +17,11 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Mutex;
 
 use paris_proto::{Endpoint, Envelope};
+use paris_types::BatchConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::batch::{Coalescer, Offer};
 use crate::sim::RegionMatrix;
 
 /// Configuration of the threaded transport.
@@ -35,17 +37,22 @@ pub struct ThreadedNetConfig {
     pub jitter: f64,
     /// RNG seed for jitter.
     pub seed: u64,
+    /// Background-traffic coalescing, applied by the delay wheel before
+    /// latency injection. Flush deadlines are wall-clock and *not* scaled
+    /// by [`ThreadedNetConfig::scale`].
+    pub batch: BatchConfig,
 }
 
 impl ThreadedNetConfig {
     /// A fast-test configuration: `dcs` DCs on the AWS matrix compressed
-    /// by 100×, no jitter.
+    /// by 100×, no jitter, no batching.
     pub fn fast(dcs: u16) -> Self {
         ThreadedNetConfig {
             matrix: RegionMatrix::aws_10(dcs),
             scale: 0.01,
             jitter: 0.0,
             seed: 0,
+            batch: BatchConfig::DISABLED,
         }
     }
 }
@@ -173,18 +180,61 @@ impl Ord for Pending {
     }
 }
 
+/// The latency-injection state of the wheel: everything needed to turn an
+/// accepted envelope into a delayed, per-link-FIFO delivery.
+struct WheelState {
+    heap: BinaryHeap<Reverse<Pending>>,
+    fifo: HashMap<(Endpoint, Endpoint), Instant>,
+    rng: StdRng,
+    seq: u64,
+}
+
+impl WheelState {
+    fn schedule(&mut self, config: &ThreadedNetConfig, env: Envelope, sent_at: Instant) {
+        let base = config.matrix.one_way(env.src.dc(), env.dst.dc()) as f64;
+        let jittered = if config.jitter > 0.0 {
+            base * (1.0 + config.jitter * (self.rng.gen::<f64>() * 2.0 - 1.0))
+        } else {
+            base
+        };
+        let delay = Duration::from_micros((jittered * config.scale).max(0.0) as u64);
+        let link = (env.src, env.dst);
+        let natural = sent_at + delay;
+        let due = match self.fifo.get(&link) {
+            Some(prev) => natural.max(*prev + Duration::from_nanos(1)),
+            None => natural,
+        };
+        self.fifo.insert(link, due);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Pending { due, seq, env }));
+    }
+}
+
 fn wheel_loop(config: ThreadedNetConfig, rx: Receiver<WheelCmd>, registry: Arc<Mutex<Registry>>) {
-    let mut heap: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
-    let mut fifo: HashMap<(Endpoint, Endpoint), Instant> = HashMap::new();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut seq = 0u64;
+    let mut wheel = WheelState {
+        heap: BinaryHeap::new(),
+        fifo: HashMap::new(),
+        rng: StdRng::seed_from_u64(config.seed),
+        seq: 0,
+    };
+    // The coalescer runs on a wall-clock microsecond timebase anchored at
+    // wheel start; envelopes it holds back get their link latency applied
+    // from flush time (the batch leaves the "NIC" when it flushes).
+    let epoch = Instant::now();
+    let mut coalescer = Coalescer::new(config.batch);
     let mut shutting_down = false;
 
     loop {
+        // Flush coalescing deadlines that have passed.
+        let now_micros = epoch.elapsed().as_micros() as u64;
+        for env in coalescer.poll(now_micros) {
+            wheel.schedule(&config, env, Instant::now());
+        }
         // Deliver everything due.
         let now = Instant::now();
-        while heap.peek().is_some_and(|Reverse(p)| p.due <= now) {
-            let Reverse(p) = heap.pop().expect("peeked");
+        while wheel.heap.peek().is_some_and(|Reverse(p)| p.due <= now) {
+            let Reverse(p) = wheel.heap.pop().expect("peeked");
             let sender = registry
                 .lock()
                 .expect("registry poisoned")
@@ -195,36 +245,56 @@ fn wheel_loop(config: ThreadedNetConfig, rx: Receiver<WheelCmd>, registry: Arc<M
                 let _ = tx.send(p.env);
             }
         }
-        if shutting_down && heap.is_empty() {
+        if shutting_down && wheel.heap.is_empty() && coalescer.pending_links() == 0 {
             return;
         }
-        // Wait for the next due time or a new command.
-        let timeout = heap
+        // Wait for the next delivery, the next flush deadline, or a new
+        // command — whichever comes first.
+        let heap_wait = wheel
+            .heap
             .peek()
-            .map(|Reverse(p)| p.due.saturating_duration_since(Instant::now()))
+            .map(|Reverse(p)| p.due.saturating_duration_since(Instant::now()));
+        let flush_wait = coalescer.next_due().map(|due| {
+            Duration::from_micros(due.saturating_sub(epoch.elapsed().as_micros() as u64))
+        });
+        let timeout = [heap_wait, flush_wait]
+            .into_iter()
+            .flatten()
+            .min()
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
-            Ok(WheelCmd::Send { env, sent_at }) => {
-                let base = config.matrix.one_way(env.src.dc(), env.dst.dc()) as f64;
-                let jittered = if config.jitter > 0.0 {
-                    base * (1.0 + config.jitter * (rng.gen::<f64>() * 2.0 - 1.0))
-                } else {
-                    base
-                };
-                let delay = Duration::from_micros((jittered * config.scale).max(0.0) as u64);
-                let link = (env.src, env.dst);
-                let natural = sent_at + delay;
-                let due = match fifo.get(&link) {
-                    Some(prev) => natural.max(*prev + Duration::from_nanos(1)),
-                    None => natural,
-                };
-                fifo.insert(link, due);
-                heap.push(Reverse(Pending { due, seq, env }));
-                seq += 1;
+            Ok(WheelCmd::Send { env, sent_at }) if shutting_down => {
+                // Past shutdown, nothing may be parked again — a queued
+                // frame would hold the wheel (and `Router::drop`) hostage
+                // for up to a flush interval.
+                wheel.schedule(&config, env, sent_at);
             }
-            Ok(WheelCmd::Shutdown) => shutting_down = true,
+            Ok(WheelCmd::Send { env, sent_at }) => {
+                let now_micros = epoch.elapsed().as_micros() as u64;
+                match coalescer.offer(env, now_micros) {
+                    Offer::Pass(env) => wheel.schedule(&config, env, sent_at),
+                    Offer::Flush(envs) => {
+                        for env in envs {
+                            wheel.schedule(&config, env, sent_at);
+                        }
+                    }
+                    Offer::Queued { .. } => {}
+                }
+            }
+            Ok(WheelCmd::Shutdown) => {
+                shutting_down = true;
+                // Nothing may stay parked past teardown.
+                for env in coalescer.flush_all() {
+                    wheel.schedule(&config, env, Instant::now());
+                }
+            }
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => shutting_down = true,
+            Err(RecvTimeoutError::Disconnected) => {
+                shutting_down = true;
+                for env in coalescer.flush_all() {
+                    wheel.schedule(&config, env, Instant::now());
+                }
+            }
         }
     }
 }
@@ -289,6 +359,7 @@ mod tests {
             scale: 0.01,                              // → 300 µs
             jitter: 0.0,
             seed: 0,
+            batch: BatchConfig::DISABLED,
         });
         let a = ClientId::new(DcId(0), 0);
         let b = ServerId::new(DcId(1), PartitionId(0));
@@ -316,6 +387,81 @@ mod tests {
         router.deregister(b);
         router.handle().send(Envelope::new(a, b, hb(1)));
         assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn batching_coalesces_heartbeats_into_one_frame() {
+        let router = Router::start(ThreadedNetConfig {
+            batch: BatchConfig {
+                max_batch: 4,
+                flush_interval_micros: 2_000_000, // force the size trigger
+            },
+            ..ThreadedNetConfig::fast(2)
+        });
+        let a = ServerId::new(DcId(0), PartitionId(0));
+        let b = ServerId::new(DcId(1), PartitionId(0));
+        let rx = router.register(b);
+        let h = router.handle();
+        for i in 1..=4u64 {
+            h.send(Envelope::new(
+                a,
+                b,
+                Msg::Heartbeat {
+                    partition: PartitionId(0),
+                    watermark: Timestamp::from_physical_micros(i * 10),
+                },
+            ));
+        }
+        let got = rx.recv_timeout(Duration::from_secs(2)).expect("delivered");
+        match got.msg {
+            Msg::ReplicateBatch {
+                frames, watermark, ..
+            } => {
+                assert_eq!(frames, 4);
+                assert_eq!(watermark, Timestamp::from_physical_micros(40));
+            }
+            other => panic!("expected a coalesced batch, got {}", other.kind()),
+        }
+        // Exactly one wire message came out.
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn batching_flushes_on_deadline() {
+        let router = Router::start(ThreadedNetConfig {
+            batch: BatchConfig {
+                max_batch: 1_000, // never hit the size trigger
+                flush_interval_micros: 20_000,
+            },
+            ..ThreadedNetConfig::fast(2)
+        });
+        let a = ServerId::new(DcId(0), PartitionId(0));
+        let b = ServerId::new(DcId(1), PartitionId(0));
+        let rx = router.register(b);
+        router.handle().send(Envelope::new(a, b, hb(0)));
+        let got = rx.recv_timeout(Duration::from_secs(2)).expect("delivered");
+        assert!(matches!(got.msg, Msg::ReplicateBatch { frames: 1, .. }));
+    }
+
+    #[test]
+    fn shutdown_flushes_parked_frames() {
+        let rx;
+        {
+            let router = Router::start(ThreadedNetConfig {
+                batch: BatchConfig {
+                    max_batch: 1_000,
+                    flush_interval_micros: 60_000_000, // would park for a minute
+                },
+                ..ThreadedNetConfig::fast(2)
+            });
+            let a = ServerId::new(DcId(0), PartitionId(0));
+            let b = ServerId::new(DcId(1), PartitionId(1));
+            rx = router.register(b);
+            router.handle().send(Envelope::new(a, b, hb(1)));
+            // Router dropped: the parked frame must still arrive.
+        }
+        let got = rx.recv_timeout(Duration::from_secs(2)).expect("flushed");
+        assert!(matches!(got.msg, Msg::ReplicateBatch { .. }));
     }
 
     #[test]

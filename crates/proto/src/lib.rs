@@ -28,4 +28,4 @@
 mod messages;
 pub mod wire;
 
-pub use messages::{Endpoint, Envelope, Msg, ReadResult, ReplicatedTx};
+pub use messages::{DigestReport, Endpoint, Envelope, Msg, ReadResult, ReplicatedTx};

@@ -99,6 +99,18 @@ pub struct ReplicatedTx {
     pub writes: Vec<WriteSetEntry>,
 }
 
+/// One subtree report inside a [`Msg::GossipDigest`]: the freshest
+/// `GstReport` a coalescing window saw from one reporting partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestReport {
+    /// Reporting partition.
+    pub partition: PartitionId,
+    /// `(source DC, min VV entry)` per DC the subtree replicates with.
+    pub mins: Vec<(DcId, Timestamp)>,
+    /// Oldest active snapshot in the subtree.
+    pub oldest_active: Timestamp,
+}
+
 /// Every PaRiS protocol message.
 ///
 /// Naming follows the paper's algorithms; the `reply_to` fields make the
@@ -240,6 +252,25 @@ pub enum Msg {
         /// Sender's version clock.
         watermark: Timestamp,
     },
+    /// Several replication-class frames ([`Msg::Replicate`] /
+    /// [`Msg::Heartbeat`]) on one link, coalesced into a single wire
+    /// message by the batching layer. FIFO channels make the fold exact:
+    /// transactions stay in ascending `ct` order across the merged frames
+    /// and the surviving watermark is the newest one, so the receiver
+    /// applies the batch in one pass and advances the sender's
+    /// version-vector entry once.
+    ReplicateBatch {
+        /// Partition the batch belongs to.
+        partition: PartitionId,
+        /// Applied transactions, ascending by `ct`, concatenated across
+        /// the coalesced frames.
+        txs: Vec<ReplicatedTx>,
+        /// The newest sender version clock among the coalesced frames.
+        watermark: Timestamp,
+        /// Number of logical frames folded into this message (accounting:
+        /// `frames − 1` wire messages were saved).
+        frames: u32,
+    },
 
     // ------------------------------------------------- stabilization tree
     /// Tree child → parent (within a DC): the child's aggregated minimum of
@@ -275,6 +306,22 @@ pub enum Msg {
         /// transaction, system-wide.
         s_old: Timestamp,
     },
+    /// Stabilization-class frames ([`Msg::GstReport`] / [`Msg::RootGst`] /
+    /// [`Msg::UstBroadcast`]) on one link, coalesced into a digest.
+    /// Every component is monotonic and its handler keeps only the
+    /// freshest value, so the fold keeps the latest report per partition,
+    /// the latest GST per DC and the maximum UST — semantically identical
+    /// to delivering the frames individually, in order.
+    GossipDigest {
+        /// Freshest subtree report per reporting partition (tree edges).
+        reports: Vec<DigestReport>,
+        /// Freshest `(dc, gst, oldest_active)` per DC (root exchange).
+        roots: Vec<(DcId, Timestamp, Timestamp)>,
+        /// Freshest `(ust, s_old)` broadcast, if any was coalesced.
+        ust: Option<(Timestamp, Timestamp)>,
+        /// Number of logical frames folded into this message.
+        frames: u32,
+    },
 }
 
 impl Msg {
@@ -295,9 +342,11 @@ impl Msg {
             Msg::CommitTx { .. } => "CommitTx",
             Msg::Replicate { .. } => "Replicate",
             Msg::Heartbeat { .. } => "Heartbeat",
+            Msg::ReplicateBatch { .. } => "ReplicateBatch",
             Msg::GstReport { .. } => "GstReport",
             Msg::RootGst { .. } => "RootGst",
             Msg::UstBroadcast { .. } => "UstBroadcast",
+            Msg::GossipDigest { .. } => "GossipDigest",
         }
     }
 
@@ -308,9 +357,11 @@ impl Msg {
             self,
             Msg::Replicate { .. }
                 | Msg::Heartbeat { .. }
+                | Msg::ReplicateBatch { .. }
                 | Msg::GstReport { .. }
                 | Msg::RootGst { .. }
                 | Msg::UstBroadcast { .. }
+                | Msg::GossipDigest { .. }
         )
     }
 }

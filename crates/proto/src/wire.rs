@@ -17,7 +17,7 @@ use paris_types::{
     DcId, Key, PartitionId, ServerId, Timestamp, TxId, Value, Version, WriteSetEntry,
 };
 
-use crate::messages::{Msg, ReadResult, ReplicatedTx};
+use crate::messages::{DigestReport, Msg, ReadResult, ReplicatedTx};
 
 /// Error returned when decoding malformed bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,6 +186,60 @@ fn get_read_result(buf: &mut Bytes) -> Result<ReadResult, DecodeError> {
     Ok(ReadResult { key, version })
 }
 
+fn put_replicated_tx(buf: &mut BytesMut, t: &ReplicatedTx) {
+    put_tx(buf, t.tx);
+    put_ts(buf, t.ct);
+    put_dc(buf, t.src);
+    put_len(buf, t.writes.len());
+    for w in &t.writes {
+        put_write(buf, w);
+    }
+}
+
+fn get_replicated_tx(buf: &mut Bytes) -> Result<ReplicatedTx, DecodeError> {
+    let tx = get_tx(buf)?;
+    let ct = get_ts(buf)?;
+    let src = get_dc(buf)?;
+    let m = get_len(buf)?;
+    let mut writes = Vec::with_capacity(m.min(1024));
+    for _ in 0..m {
+        writes.push(get_write(buf)?);
+    }
+    Ok(ReplicatedTx {
+        tx,
+        ct,
+        src,
+        writes,
+    })
+}
+
+fn put_digest_report(buf: &mut BytesMut, r: &DigestReport) {
+    put_partition(buf, r.partition);
+    put_ts(buf, r.oldest_active);
+    put_len(buf, r.mins.len());
+    for (dc, ts) in &r.mins {
+        put_dc(buf, *dc);
+        put_ts(buf, *ts);
+    }
+}
+
+fn get_digest_report(buf: &mut Bytes) -> Result<DigestReport, DecodeError> {
+    let partition = get_partition(buf)?;
+    let oldest_active = get_ts(buf)?;
+    let n = get_len(buf)?;
+    let mut mins = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let dc = get_dc(buf)?;
+        let ts = get_ts(buf)?;
+        mins.push((dc, ts));
+    }
+    Ok(DigestReport {
+        partition,
+        mins,
+        oldest_active,
+    })
+}
+
 // Message tags.
 const T_START_REQ: u8 = 1;
 const T_START_RESP: u8 = 2;
@@ -204,6 +258,8 @@ const T_GST_REPORT: u8 = 14;
 const T_ROOT_GST: u8 = 15;
 const T_UST_BROADCAST: u8 = 16;
 const T_OP_FAILED: u8 = 17;
+const T_REPLICATE_BATCH: u8 = 18;
+const T_GOSSIP_DIGEST: u8 = 19;
 
 /// Encodes a message to its wire representation.
 pub fn encode(msg: &Msg) -> Bytes {
@@ -320,13 +376,22 @@ pub fn encode(msg: &Msg) -> Bytes {
             put_ts(&mut buf, *watermark);
             put_len(&mut buf, txs.len());
             for t in txs {
-                put_tx(&mut buf, t.tx);
-                put_ts(&mut buf, t.ct);
-                put_dc(&mut buf, t.src);
-                put_len(&mut buf, t.writes.len());
-                for w in &t.writes {
-                    put_write(&mut buf, w);
-                }
+                put_replicated_tx(&mut buf, t);
+            }
+        }
+        Msg::ReplicateBatch {
+            partition,
+            txs,
+            watermark,
+            frames,
+        } => {
+            buf.put_u8(T_REPLICATE_BATCH);
+            put_partition(&mut buf, *partition);
+            put_ts(&mut buf, *watermark);
+            buf.put_u32_le(*frames);
+            put_len(&mut buf, txs.len());
+            for t in txs {
+                put_replicated_tx(&mut buf, t);
             }
         }
         Msg::Heartbeat {
@@ -365,6 +430,33 @@ pub fn encode(msg: &Msg) -> Bytes {
             buf.put_u8(T_UST_BROADCAST);
             put_ts(&mut buf, *ust);
             put_ts(&mut buf, *s_old);
+        }
+        Msg::GossipDigest {
+            reports,
+            roots,
+            ust,
+            frames,
+        } => {
+            buf.put_u8(T_GOSSIP_DIGEST);
+            buf.put_u32_le(*frames);
+            put_len(&mut buf, reports.len());
+            for r in reports {
+                put_digest_report(&mut buf, r);
+            }
+            put_len(&mut buf, roots.len());
+            for (dc, gst, oldest) in roots {
+                put_dc(&mut buf, *dc);
+                put_ts(&mut buf, *gst);
+                put_ts(&mut buf, *oldest);
+            }
+            match ust {
+                None => buf.put_u8(0),
+                Some((ust, s_old)) => {
+                    buf.put_u8(1);
+                    put_ts(&mut buf, *ust);
+                    put_ts(&mut buf, *s_old);
+                }
+            }
         }
         Msg::OpFailed { tx } => {
             buf.put_u8(T_OP_FAILED);
@@ -489,25 +581,29 @@ pub fn decode(bytes: &[u8]) -> Result<Msg, DecodeError> {
             let n = get_len(&mut buf)?;
             let mut txs = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
-                let tx = get_tx(&mut buf)?;
-                let ct = get_ts(&mut buf)?;
-                let src = get_dc(&mut buf)?;
-                let m = get_len(&mut buf)?;
-                let mut writes = Vec::with_capacity(m.min(1024));
-                for _ in 0..m {
-                    writes.push(get_write(&mut buf)?);
-                }
-                txs.push(ReplicatedTx {
-                    tx,
-                    ct,
-                    src,
-                    writes,
-                });
+                txs.push(get_replicated_tx(&mut buf)?);
             }
             Msg::Replicate {
                 partition,
                 txs,
                 watermark,
+            }
+        }
+        T_REPLICATE_BATCH => {
+            let partition = get_partition(&mut buf)?;
+            let watermark = get_ts(&mut buf)?;
+            need(&buf, 4)?;
+            let frames = buf.get_u32_le();
+            let n = get_len(&mut buf)?;
+            let mut txs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                txs.push(get_replicated_tx(&mut buf)?);
+            }
+            Msg::ReplicateBatch {
+                partition,
+                txs,
+                watermark,
+                frames,
             }
         }
         T_HEARTBEAT => Msg::Heartbeat {
@@ -539,6 +635,34 @@ pub fn decode(bytes: &[u8]) -> Result<Msg, DecodeError> {
             ust: get_ts(&mut buf)?,
             s_old: get_ts(&mut buf)?,
         },
+        T_GOSSIP_DIGEST => {
+            need(&buf, 4)?;
+            let frames = buf.get_u32_le();
+            let n = get_len(&mut buf)?;
+            let mut reports = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                reports.push(get_digest_report(&mut buf)?);
+            }
+            let n = get_len(&mut buf)?;
+            let mut roots = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let dc = get_dc(&mut buf)?;
+                let gst = get_ts(&mut buf)?;
+                let oldest = get_ts(&mut buf)?;
+                roots.push((dc, gst, oldest));
+            }
+            need(&buf, 1)?;
+            let ust = match buf.get_u8() {
+                0 => None,
+                _ => Some((get_ts(&mut buf)?, get_ts(&mut buf)?)),
+            };
+            Msg::GossipDigest {
+                reports,
+                roots,
+                ust,
+                frames,
+            }
+        }
         T_OP_FAILED => Msg::OpFailed {
             tx: get_tx(&mut buf)?,
         },
@@ -571,6 +695,12 @@ pub fn encoded_len(msg: &Msg) -> usize {
     fn result_len(r: &ReadResult) -> usize {
         KEY + 1 + r.version.as_ref().map_or(0, version_len)
     }
+    fn replicated_tx_len(t: &ReplicatedTx) -> usize {
+        TX + TS + DC + LEN + t.writes.iter().map(write_len).sum::<usize>()
+    }
+    fn report_len(r: &DigestReport) -> usize {
+        PART + TS + LEN + r.mins.len() * (DC + TS)
+    }
     1 + match msg {
         Msg::StartTxReq { .. } => TS,
         Msg::StartTxResp { .. } => TX + TS,
@@ -590,14 +720,25 @@ pub fn encoded_len(msg: &Msg) -> usize {
         Msg::PrepareResp { .. } => TX + PART + TS,
         Msg::CommitTx { .. } => TX + TS,
         Msg::Replicate { txs, .. } => {
-            PART + TS
-                + LEN
-                + txs
-                    .iter()
-                    .map(|t| TX + TS + DC + LEN + t.writes.iter().map(write_len).sum::<usize>())
-                    .sum::<usize>()
+            PART + TS + LEN + txs.iter().map(replicated_tx_len).sum::<usize>()
+        }
+        Msg::ReplicateBatch { txs, .. } => {
+            PART + TS + 4 + LEN + txs.iter().map(replicated_tx_len).sum::<usize>()
         }
         Msg::Heartbeat { .. } => PART + TS,
+        Msg::GossipDigest {
+            reports,
+            roots,
+            ust,
+            ..
+        } => {
+            4 + LEN
+                + reports.iter().map(report_len).sum::<usize>()
+                + LEN
+                + roots.len() * (DC + TS + TS)
+                + 1
+                + if ust.is_some() { TS + TS } else { 0 }
+        }
         Msg::GstReport { mins, .. } => PART + TS + LEN + mins.len() * (DC + TS),
         Msg::RootGst { .. } => DC + TS + TS,
         Msg::UstBroadcast { .. } => TS + TS,
@@ -625,7 +766,7 @@ pub fn metadata_len(msg: &Msg) -> usize {
             .map(|r| 8 + r.version.as_ref().map_or(0, |v| 8 + payload(&v.value)))
             .sum(),
         Msg::PrepareReq { writes, .. } => writes.iter().map(|w| 8 + payload(&w.value)).sum(),
-        Msg::Replicate { txs, .. } => txs
+        Msg::Replicate { txs, .. } | Msg::ReplicateBatch { txs, .. } => txs
             .iter()
             .map(|t| {
                 t.writes
@@ -757,6 +898,37 @@ mod tests {
             Msg::UstBroadcast {
                 ust: Timestamp::from_parts(36, 0),
                 s_old: Timestamp::from_parts(30, 0),
+            },
+            Msg::ReplicateBatch {
+                partition: PartitionId(7),
+                txs: vec![ReplicatedTx {
+                    tx: t,
+                    ct: Timestamp::from_parts(71, 0),
+                    src: DcId(1),
+                    writes: vec![WriteSetEntry::new(Key(3), Value::from("v"))],
+                }],
+                watermark: Timestamp::from_parts(90, 0),
+                frames: 3,
+            },
+            Msg::GossipDigest {
+                reports: vec![DigestReport {
+                    partition: PartitionId(7),
+                    mins: vec![(DcId(0), Timestamp::from_parts(40, 0))],
+                    oldest_active: Timestamp::from_parts(39, 0),
+                }],
+                roots: vec![(
+                    DcId(2),
+                    Timestamp::from_parts(38, 0),
+                    Timestamp::from_parts(37, 0),
+                )],
+                ust: Some((Timestamp::from_parts(36, 0), Timestamp::from_parts(30, 0))),
+                frames: 4,
+            },
+            Msg::GossipDigest {
+                reports: vec![],
+                roots: vec![],
+                ust: None,
+                frames: 1,
             },
             Msg::OpFailed { tx: t },
         ]
@@ -999,7 +1171,52 @@ mod tests {
             }),
             (arb_ts(), arb_ts()).prop_map(|(ust, s_old)| Msg::UstBroadcast { ust, s_old }),
             arb_tx().prop_map(|tx| Msg::OpFailed { tx }),
+            (
+                any::<u32>(),
+                arb_ts(),
+                any::<u32>(),
+                proptest::collection::vec((arb_tx(), arb_ts(), any::<u16>(), arb_writes()), 0..4)
+            )
+                .prop_map(|(p, wm, frames, txs)| Msg::ReplicateBatch {
+                    partition: PartitionId(p),
+                    watermark: wm,
+                    frames,
+                    txs: txs
+                        .into_iter()
+                        .map(|(tx, ct, src, writes)| ReplicatedTx {
+                            tx,
+                            ct,
+                            src: DcId(src),
+                            writes,
+                        })
+                        .collect(),
+                }),
+            (
+                proptest::collection::vec(arb_digest_report(), 0..4),
+                proptest::collection::vec((any::<u16>(), arb_ts(), arb_ts()), 0..4),
+                proptest::option::of((arb_ts(), arb_ts())),
+                any::<u32>()
+            )
+                .prop_map(|(reports, roots, ust, frames)| Msg::GossipDigest {
+                    reports,
+                    roots: roots.into_iter().map(|(d, g, o)| (DcId(d), g, o)).collect(),
+                    ust,
+                    frames,
+                }),
         ]
+    }
+
+    fn arb_digest_report() -> impl Strategy<Value = DigestReport> {
+        (
+            any::<u32>(),
+            proptest::collection::vec((any::<u16>(), arb_ts()), 0..6),
+            arb_ts(),
+        )
+            .prop_map(|(p, mins, oldest_active)| DigestReport {
+                partition: PartitionId(p),
+                mins: mins.into_iter().map(|(d, t)| (DcId(d), t)).collect(),
+                oldest_active,
+            })
     }
 
     proptest! {

@@ -19,7 +19,7 @@
 
 use paris_net::sim::{RegionMatrix, ServiceModel};
 use paris_net::threaded::ThreadedNetConfig;
-use paris_types::{ClusterConfig, ConfigError, Error, Intervals, Mode};
+use paris_types::{BatchConfig, ClusterConfig, ConfigError, Error, Intervals, Mode};
 use paris_workload::WorkloadConfig;
 
 use crate::mini_cluster::MiniCluster;
@@ -90,6 +90,7 @@ pub struct ClusterBuilder {
     mode: Mode,
     intervals: Intervals,
     max_clock_skew_micros: u64,
+    batch: BatchConfig,
     // Load.
     clients_per_dc: u32,
     workload: WorkloadConfig,
@@ -124,6 +125,7 @@ impl ClusterBuilder {
             mode: Mode::Paris,
             intervals: Intervals::default(),
             max_clock_skew_micros: 500,
+            batch: BatchConfig::DISABLED,
             clients_per_dc: 4,
             workload: WorkloadConfig::read_heavy(),
             seed: 42,
@@ -188,6 +190,27 @@ impl ClusterBuilder {
     /// Maximum injected physical-clock skew, in microseconds.
     pub fn max_clock_skew_micros(mut self, micros: u64) -> Self {
         self.max_clock_skew_micros = micros;
+        self
+    }
+
+    /// Enables background-traffic batching: replication and gossip frames
+    /// to the same destination are coalesced into one wire message,
+    /// flushed once `frames` logical frames are queued on a link (or the
+    /// flush interval elapses). `0` or `1` disables batching (the
+    /// default). Honored by all three backends.
+    pub fn batch_size(mut self, frames: usize) -> Self {
+        self.batch.max_batch = frames;
+        self
+    }
+
+    /// Maximum time a coalesced frame may wait before its link is
+    /// flushed, in microseconds — bounds the extra staleness batching
+    /// introduces. Only meaningful with [`batch_size`](Self::batch_size)
+    /// above 1. `0` (the default) resolves at build time to two
+    /// replication ticks' worth of accumulation, whatever order the
+    /// builder methods were called in; validated against the GC period.
+    pub fn flush_interval_micros(mut self, micros: u64) -> Self {
+        self.batch.flush_interval_micros = micros;
         self
     }
 
@@ -272,6 +295,13 @@ impl ClusterBuilder {
         if !self.latency_scale.is_finite() || self.latency_scale <= 0.0 {
             return Err(ConfigError::new("latency scale must be positive").into());
         }
+        let mut batch = self.batch;
+        if batch.is_enabled() && batch.flush_interval_micros == 0 {
+            // `.batch_size(n)` without an explicit interval: two
+            // replication ticks of accumulation, resolved here so the
+            // fluent call order cannot change the outcome.
+            batch.flush_interval_micros = 2 * self.intervals.replication_micros;
+        }
         let cfg = ClusterConfig::builder()
             .dcs(self.dcs)
             .partitions(self.partitions)
@@ -281,6 +311,7 @@ impl ClusterBuilder {
             .intervals(self.intervals)
             .mode(self.mode)
             .max_clock_skew_micros(self.max_clock_skew_micros)
+            .batch(batch)
             .build()?;
         if cfg.servers_per_dc() == 0 {
             return Err(ConfigError::new(
@@ -393,6 +424,7 @@ impl ClusterBuilder {
             scale: self.latency_scale,
             jitter: self.jitter,
             seed: self.seed,
+            batch: cluster.batch,
         };
         Ok(ThreadCluster::start(ThreadClusterConfig {
             cluster,

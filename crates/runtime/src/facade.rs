@@ -98,6 +98,27 @@ pub trait Cluster {
     /// Propagates session errors and transport failures.
     fn txn_commit(&mut self, client: ClientId) -> Result<Timestamp, Error>;
 
+    /// Abandons `client`'s open transaction and any in-flight operation,
+    /// returning the session to idle so the next [`Cluster::begin`]
+    /// succeeds — the recovery path after a transport-timed-out operation
+    /// (e.g. [`Txn::commit`] returning [`Error::Transport`]) wedged the
+    /// session.
+    ///
+    /// Durable session state (`ust_c`, `hwt_c`, the write cache) is
+    /// preserved, so causal ordering of completed transactions holds. If
+    /// the abandoned commit actually landed server-side and only its
+    /// reply was lost, read-your-own-writes is forfeited for exactly that
+    /// transaction until the UST covers it. Late replies for the
+    /// abandoned transaction are discarded; the orphaned coordinator
+    /// context is reclaimed by the server's background stale-context
+    /// cleanup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTransaction`] if `client` is not an
+    /// interactive session of this cluster.
+    fn reset_client(&mut self, client: ClientId) -> Result<(), Error>;
+
     /// Advances the background protocols (replication, GST/UST gossip)
     /// for `rounds` full rounds; after 3–5 rounds all previously committed
     /// writes are in every DC's stable snapshot.
@@ -242,9 +263,9 @@ impl<'a> Txn<'a> {
     ///
     /// Propagates session and transport errors. On error the handle still
     /// attempts the abort-on-drop closure; a transport-level failure
-    /// mid-commit can leave the session with the operation in flight, in
-    /// which case the closure is deferred until the reply (or the
-    /// substrate) is gone.
+    /// mid-commit can leave the session with the operation in flight —
+    /// call [`Cluster::reset_client`] to recover the session instead of
+    /// abandoning it.
     pub fn commit(mut self) -> Result<Timestamp, Error> {
         let writes = std::mem::take(&mut self.writes);
         if !writes.is_empty() {

@@ -48,12 +48,16 @@ pub(crate) const INTERACTIVE_SEQ_BASE: u32 = 1 << 20;
 
 /// One stabilization round, in microseconds: long enough for every
 /// periodic protocol to fire at least once and for its messages to cross
-/// the (optionally scaled) WAN, plus `slack` for processing.
+/// the (optionally scaled) WAN, plus `slack` for processing. With
+/// batching enabled, every hop of the round (replicate, tree report, root
+/// exchange, UST broadcast) may additionally sit one flush interval in a
+/// coalescing queue.
 pub(crate) fn gossip_round_micros(
     intervals: &Intervals,
     matrix: &RegionMatrix,
     dcs: u16,
     latency_scale: f64,
+    batch: &paris_types::BatchConfig,
     slack: u64,
 ) -> u64 {
     let mut max_one_way = 0;
@@ -63,7 +67,17 @@ pub(crate) fn gossip_round_micros(
         }
     }
     let wan = (max_one_way as f64 * latency_scale) as u64;
-    intervals.replication_micros + 2 * intervals.gst_micros + intervals.ust_micros + 2 * wan + slack
+    let flush = if batch.is_enabled() {
+        4 * batch.flush_interval_micros
+    } else {
+        0
+    };
+    intervals.replication_micros
+        + 2 * intervals.gst_micros
+        + intervals.ust_micros
+        + 2 * wan
+        + flush
+        + slack
 }
 
 /// Shared replica-agreement oracle: for every partition, compares the

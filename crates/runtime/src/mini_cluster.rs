@@ -21,6 +21,7 @@ use paris_core::checker::{HistoryChecker, RecordedTx};
 use paris_core::{
     ClientEvent, ClientRead, ClientSession, ReadStep, Server, ServerOptions, Topology, Violation,
 };
+use paris_net::batch::{Coalescer, Offer};
 use paris_proto::{Endpoint, Envelope};
 use paris_types::{ClientId, ClusterConfig, DcId, Error, Key, Mode, ServerId, Timestamp, Value};
 use paris_workload::stats::RunStats;
@@ -38,6 +39,10 @@ pub struct MiniCluster {
     servers: HashMap<ServerId, Server>,
     clients: HashMap<ClientId, ClientSession>,
     queue: VecDeque<Envelope>,
+    /// Coalesces background traffic from the periodic ticks; flushed
+    /// before every pump (the mini backend's synchronous quantum), so
+    /// batching never delays a stabilization round.
+    coalescer: Coalescer,
     events: VecDeque<(ClientId, ClientEvent)>,
     next_client: HashMap<DcId, u32>,
     mode: Mode,
@@ -58,6 +63,7 @@ impl MiniCluster {
         record_history: bool,
     ) -> Self {
         let mode = cfg.mode;
+        let batch = cfg.batch;
         let topo = Arc::new(Topology::new(cfg));
         let clock = SimClock::new();
         clock.advance_to(1_000);
@@ -83,6 +89,7 @@ impl MiniCluster {
             servers,
             clients: HashMap::new(),
             queue: VecDeque::new(),
+            coalescer: Coalescer::new(batch),
             events: VecDeque::new(),
             next_client: HashMap::new(),
             mode,
@@ -124,6 +131,26 @@ impl MiniCluster {
         }
     }
 
+    /// Routes tick output through the coalescer: background frames merge
+    /// per link, anything else (or with batching off) goes straight to the
+    /// queue.
+    fn enqueue_background(&mut self, envs: Vec<Envelope>) {
+        for env in envs {
+            match self.coalescer.offer(env, self.now) {
+                Offer::Pass(env) => self.queue.push_back(env),
+                Offer::Flush(flushed) => self.queue.extend(flushed),
+                Offer::Queued { .. } => {}
+            }
+        }
+    }
+
+    /// Flushes every coalesced frame onto the queue; the mini backend is
+    /// synchronous, so each pump is a flush boundary.
+    fn flush_coalesced(&mut self) {
+        let flushed = self.coalescer.flush_all();
+        self.queue.extend(flushed);
+    }
+
     fn stabilize_rounds(&mut self, rounds: usize) {
         let ids: Vec<ServerId> = {
             let mut v: Vec<ServerId> = self.servers.keys().copied().collect();
@@ -139,8 +166,9 @@ impl MiniCluster {
                     .get_mut(id)
                     .expect("known")
                     .on_replicate_tick(self.now);
-                self.queue.extend(out);
+                self.enqueue_background(out);
             }
+            self.flush_coalesced();
             self.pump();
             // Two aggregation passes so child reports reach the roots.
             for _ in 0..2 {
@@ -150,8 +178,9 @@ impl MiniCluster {
                         .get_mut(id)
                         .expect("known")
                         .on_gst_tick(self.now);
-                    self.queue.extend(out);
+                    self.enqueue_background(out);
                 }
+                self.flush_coalesced();
                 self.pump();
             }
             for id in &ids {
@@ -160,8 +189,9 @@ impl MiniCluster {
                     .get_mut(id)
                     .expect("known")
                     .on_ust_tick(self.now);
-                self.queue.extend(out);
+                self.enqueue_background(out);
             }
+            self.flush_coalesced();
             self.pump();
         }
     }
@@ -270,6 +300,15 @@ impl Cluster for MiniCluster {
             ClientEvent::Committed { ct, .. } => Ok(ct),
             _ => Err(Error::UnknownTransaction),
         }
+    }
+
+    fn reset_client(&mut self, client: ClientId) -> Result<(), Error> {
+        self.clients
+            .get_mut(&client)
+            .ok_or(Error::UnknownTransaction)?
+            .reset();
+        self.events.retain(|(cid, _)| *cid != client);
+        Ok(())
     }
 
     fn stabilize(&mut self, rounds: usize) {

@@ -15,6 +15,7 @@ use paris_core::ClientRead;
 use paris_core::{
     ClientEvent, ClientSession, ReadStep, Server, ServerOptions, Topology, Violation,
 };
+use paris_net::batch::{Coalescer, Offer};
 use paris_net::sim::{EventQueue, RegionMatrix, ServiceModel, SimNetwork};
 use paris_proto::{Endpoint, Envelope};
 use paris_types::{
@@ -69,6 +70,8 @@ enum SimEvent {
     Deliver(Envelope),
     Tick(ServerId, TickKind),
     ClientKick(ClientId),
+    /// Deadline-triggered flush of the batching coalescer.
+    NetFlush,
 }
 
 struct ServerSlot {
@@ -103,6 +106,12 @@ pub struct SimCluster {
     topo: Arc<Topology>,
     clock: SimClock,
     net: SimNetwork,
+    /// Per-link batching of background traffic (pass-through when
+    /// batching is disabled).
+    coalescer: Coalescer,
+    /// Time of the earliest scheduled [`SimEvent::NetFlush`], so queueing
+    /// more frames does not pile up redundant flush events.
+    flush_scheduled: Option<u64>,
     rng: StdRng,
     queue: EventQueue<SimEvent>,
     servers: HashMap<ServerId, ServerSlot>,
@@ -211,11 +220,14 @@ impl SimCluster {
         }
 
         let checker = config.record_history.then(HistoryChecker::new);
+        let coalescer = Coalescer::new(config.cluster.batch);
         SimCluster {
             config,
             topo,
             clock,
             net,
+            coalescer,
+            flush_scheduled: None,
             rng,
             queue,
             servers,
@@ -375,6 +387,7 @@ impl SimCluster {
             SimEvent::Deliver(env) => self.deliver(env),
             SimEvent::Tick(id, kind) => self.tick(id, kind),
             SimEvent::ClientKick(id) => self.kick_client(id),
+            SimEvent::NetFlush => self.net_flush(),
         }
         true
     }
@@ -406,15 +419,54 @@ impl SimCluster {
             &self.config.matrix,
             self.config.cluster.dcs,
             1.0,
+            &self.config.cluster.batch,
             5_000,
         )
     }
 
+    /// Hands an envelope to the network (past the coalescer), scheduling
+    /// its delivery.
+    fn transmit(&mut self, at: u64, env: Envelope) {
+        if let Some(deliver_at) = self.net.send(at, env.clone(), &mut self.rng) {
+            self.queue.push(deliver_at, SimEvent::Deliver(env));
+        }
+    }
+
     fn send_all(&mut self, at: u64, envs: Vec<Envelope>) {
         for env in envs {
-            if let Some(deliver_at) = self.net.send(at, env.clone(), &mut self.rng) {
-                self.queue.push(deliver_at, SimEvent::Deliver(env));
+            match self.coalescer.offer(env, at) {
+                Offer::Pass(env) => self.transmit(at, env),
+                Offer::Flush(flushed) => {
+                    for env in flushed {
+                        self.transmit(at, env);
+                    }
+                }
+                Offer::Queued { next_due } => self.schedule_flush(next_due),
             }
+        }
+    }
+
+    /// Ensures a [`SimEvent::NetFlush`] is scheduled no later than `due`.
+    /// Superseded flush events are left in the queue; they fire as cheap
+    /// no-ops (nothing due) rather than being cancelled.
+    fn schedule_flush(&mut self, due: u64) {
+        if self.flush_scheduled.is_none_or(|at| at > due) {
+            self.queue.push(due, SimEvent::NetFlush);
+            self.flush_scheduled = Some(due);
+        }
+    }
+
+    /// Flushes every link whose deadline has passed and re-arms the timer
+    /// for whatever is still queued.
+    fn net_flush(&mut self) {
+        self.flush_scheduled = None;
+        let flushed = self.coalescer.poll(self.now);
+        for env in flushed {
+            self.transmit(self.now, env);
+        }
+        if let Some(due) = self.coalescer.next_due() {
+            let at = due.max(self.now + 1);
+            self.schedule_flush(at);
         }
     }
 
@@ -732,6 +784,15 @@ impl Cluster for SimCluster {
             ClientEvent::Aborted { .. } => Err(Error::PartitionUnreachable),
             _ => Err(Error::UnknownTransaction),
         }
+    }
+
+    fn reset_client(&mut self, client: ClientId) -> Result<(), Error> {
+        self.interactive
+            .get_mut(&client)
+            .ok_or(Error::UnknownTransaction)?
+            .reset();
+        self.interactive_events.retain(|(cid, _)| *cid != client);
+        Ok(())
     }
 
     fn stabilize(&mut self, rounds: usize) {

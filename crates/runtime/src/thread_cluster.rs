@@ -172,6 +172,7 @@ impl ThreadCluster {
             &self.config.net.matrix,
             self.config.cluster.dcs,
             self.config.net.scale,
+            &self.config.cluster.batch,
             2_000,
         )
     }
@@ -234,6 +235,15 @@ impl Cluster for ThreadCluster {
             ClientEvent::Aborted { .. } => Err(Error::PartitionUnreachable),
             _ => Err(Error::UnknownTransaction),
         }
+    }
+
+    fn reset_client(&mut self, client: ClientId) -> Result<(), Error> {
+        // Deliberately no inbox drain: the session itself discards every
+        // reply owed to the abandoned operation (tx-id checks for
+        // reads/commits, a FIFO discard count for starts). Draining here
+        // would race with in-flight replies and desynchronize that count.
+        self.session(client)?.session.reset();
+        Ok(())
     }
 
     fn stabilize(&mut self, rounds: usize) {

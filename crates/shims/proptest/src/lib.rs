@@ -6,8 +6,8 @@
 //! shrinking test runner.
 //!
 //! Differences from upstream, by design: cases never shrink (the failing
-//! input is printed instead), and case counts default to
-//! [`ProptestConfig::default`]'s 64.
+//! input is printed instead), and case counts default to upstream
+//! `ProptestConfig::default`'s 64.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,7 +20,8 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Inclusive-exclusive or inclusive length specification for [`vec`].
+    /// Inclusive-exclusive or inclusive length specification for
+    /// [`vec()`](fn@vec).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

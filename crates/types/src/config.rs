@@ -54,6 +54,45 @@ impl Default for Intervals {
     }
 }
 
+/// Coalescing policy for background (replication + stabilization) traffic.
+///
+/// When enabled, the network substrate queues background frames per link
+/// and folds them into one `ReplicateBatch` / `GossipDigest` wire message,
+/// flushing a link when [`BatchConfig::max_batch`] frames have accumulated
+/// or the oldest queued frame has waited
+/// [`BatchConfig::flush_interval_micros`]. Foreground transaction traffic
+/// is never batched (it is latency-critical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush a link once this many logical frames are queued on it.
+    /// `0` or `1` disables batching (every frame ships immediately).
+    pub max_batch: usize,
+    /// Flush a link once its oldest queued frame is this old, in
+    /// microseconds. Bounds the extra staleness batching introduces.
+    pub flush_interval_micros: u64,
+}
+
+impl BatchConfig {
+    /// Batching off: every envelope ships as its own wire message.
+    pub const DISABLED: BatchConfig = BatchConfig {
+        max_batch: 1,
+        flush_interval_micros: 0,
+    };
+
+    /// Whether this configuration actually coalesces anything.
+    pub fn is_enabled(&self) -> bool {
+        self.max_batch > 1
+    }
+}
+
+impl Default for BatchConfig {
+    /// Batching is opt-in; the default keeps the paper's one-frame-per-tick
+    /// wire behaviour.
+    fn default() -> Self {
+        BatchConfig::DISABLED
+    }
+}
+
 /// Static description of a PaRiS deployment.
 ///
 /// `M` DCs, `N` partitions, replication factor `R`: each partition is
@@ -81,6 +120,8 @@ pub struct ClusterConfig {
     /// Maximum absolute physical-clock skew injected per server, in
     /// microseconds (NTP-like; 0 disables skew).
     pub max_clock_skew_micros: u64,
+    /// Background-traffic coalescing policy (off by default).
+    pub batch: BatchConfig,
 }
 
 impl ClusterConfig {
@@ -134,6 +175,16 @@ impl ClusterConfig {
         {
             return Err(ConfigError::new("protocol intervals must be non-zero"));
         }
+        if self.batch.is_enabled() && self.batch.flush_interval_micros == 0 {
+            return Err(ConfigError::new(
+                "batching needs a non-zero flush interval (unbounded queues otherwise)",
+            ));
+        }
+        if self.batch.is_enabled() && self.batch.flush_interval_micros >= self.intervals.gc_micros {
+            return Err(ConfigError::new(
+                "batch flush interval must stay below the GC period",
+            ));
+        }
         Ok(())
     }
 }
@@ -180,6 +231,7 @@ impl ClusterConfigBuilder {
                 intervals: Intervals::default(),
                 mode: Mode::Paris,
                 max_clock_skew_micros: 500,
+                batch: BatchConfig::DISABLED,
             },
         }
     }
@@ -229,6 +281,12 @@ impl ClusterConfigBuilder {
     /// Sets the maximum injected physical clock skew (microseconds).
     pub fn max_clock_skew_micros(mut self, micros: u64) -> Self {
         self.cfg.max_clock_skew_micros = micros;
+        self
+    }
+
+    /// Sets the background-traffic coalescing policy.
+    pub fn batch(mut self, batch: BatchConfig) -> Self {
+        self.cfg.batch = batch;
         self
     }
 
@@ -323,6 +381,42 @@ mod tests {
         assert_eq!(iv.replication_micros, 5_000);
         assert_eq!(iv.gst_micros, 5_000);
         assert_eq!(iv.ust_micros, 5_000);
+    }
+
+    #[test]
+    fn batch_config_default_is_disabled() {
+        let b = BatchConfig::default();
+        assert!(!b.is_enabled());
+        assert!(!BatchConfig::DISABLED.is_enabled());
+        assert!(BatchConfig {
+            max_batch: 2,
+            flush_interval_micros: 1_000,
+        }
+        .is_enabled());
+    }
+
+    #[test]
+    fn rejects_enabled_batching_without_flush_interval() {
+        let bad = BatchConfig {
+            max_batch: 8,
+            flush_interval_micros: 0,
+        };
+        assert!(ClusterConfig::builder().batch(bad).build().is_err());
+        let good = BatchConfig {
+            max_batch: 8,
+            flush_interval_micros: 10_000,
+        };
+        let cfg = ClusterConfig::builder().batch(good).build().unwrap();
+        assert_eq!(cfg.batch, good);
+    }
+
+    #[test]
+    fn rejects_flush_interval_at_or_above_gc_period() {
+        let bad = BatchConfig {
+            max_batch: 8,
+            flush_interval_micros: Intervals::default().gc_micros,
+        };
+        assert!(ClusterConfig::builder().batch(bad).build().is_err());
     }
 
     #[test]

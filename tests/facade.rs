@@ -141,6 +141,43 @@ fn builder_validation_errors() {
         Error::Unsupported(_)
     ));
 
+    // Batching with flush interval 0 means "default: two replication
+    // ticks", resolved at build time regardless of call order — so a
+    // huge replication interval set *after* batch_size still produces a
+    // valid (sub-GC) flush interval or a clear error, never a silent
+    // 10 ms default.
+    assert!(Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .batch_size(8)
+        .flush_interval_micros(0)
+        .build()
+        .is_ok());
+    let err = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .batch_size(8) // default interval = 2 × 600ms > gc period
+        .intervals(paris::types::Intervals {
+            replication_micros: 600_000,
+            gst_micros: 5_000,
+            ust_micros: 5_000,
+            gc_micros: 1_000_000,
+        })
+        .build();
+    assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
+
+    // Flush interval at/above the GC period.
+    let err = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .batch_size(8)
+        .flush_interval_micros(1_000_000)
+        .build();
+    assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
+
     // Out-of-range client DC on a valid deployment.
     let mut cluster = Paris::builder()
         .dcs(3)
@@ -237,6 +274,149 @@ fn sim_and_thread_backends_agree_on_causal_chain() {
     // Both backends converge to identical replica contents.
     assert!(sim.check_convergence().unwrap().is_empty());
     assert!(thread.check_convergence().unwrap().is_empty());
+}
+
+#[test]
+fn backends_agree_on_causal_chain_with_batching_on_and_off() {
+    // The coalescing layer may delay and merge background frames but must
+    // never change what any observer can read: the same causal chain has
+    // to come out of every (backend, batching) combination.
+    let scenario_builder = |backend, batched: bool| {
+        let b = Paris::builder()
+            .dcs(3)
+            .partitions(6)
+            .replication(2)
+            .keys_per_partition(100)
+            .clients_per_dc(0)
+            .uniform_latency_micros(5_000)
+            .jitter(0.0)
+            .seed(23)
+            .backend(backend);
+        if batched {
+            b.batch_size(32).flush_interval_micros(3_000)
+        } else {
+            b
+        }
+    };
+
+    let mut outcomes = Vec::new();
+    for backend in [Backend::Sim, Backend::Thread] {
+        for batched in [false, true] {
+            let mut cluster = scenario_builder(backend, batched).build().unwrap();
+            let outcome = causal_chain(cluster.as_mut());
+            assert!(
+                cluster.check_convergence().unwrap().is_empty(),
+                "{backend:?} batched={batched}: replicas diverged"
+            );
+            outcomes.push(((backend, batched), outcome));
+        }
+    }
+    for ((backend, batched), outcome) in &outcomes {
+        assert_eq!(
+            *outcome,
+            (Some(Value::from("y")), Some(Value::from("x"))),
+            "{backend:?} batched={batched}: wrong causal observation"
+        );
+    }
+}
+
+#[test]
+fn batching_reduces_network_messages_at_equal_load() {
+    let run = |batched: bool| {
+        let b = Paris::builder()
+            .dcs(3)
+            .partitions(9)
+            .replication(2)
+            .keys_per_partition(100)
+            .clients_per_dc(2)
+            .uniform_latency_micros(5_000)
+            .seed(7)
+            .backend(Backend::Sim);
+        let b = if batched {
+            b.batch_size(64).flush_interval_micros(15_000)
+        } else {
+            b
+        };
+        let mut cluster = b.build().unwrap();
+        cluster.run_workload(100_000, 400_000).unwrap()
+    };
+    let off = run(false);
+    let on = run(true);
+    assert!(off.stats.committed > 0 && on.stats.committed > 0);
+    assert!(
+        (on.net_messages as f64) < off.net_messages as f64 * 0.75,
+        "batching saved too little: {} -> {} messages",
+        off.net_messages,
+        on.net_messages
+    );
+}
+
+#[test]
+fn reset_client_recovers_a_wedged_session() {
+    let mut cluster = mini();
+    let a = cluster.open_client(0).unwrap();
+
+    // Wedge: the session has an open transaction (as after a transport
+    // failure stranded a Txn mid-operation) and rejects every new begin.
+    cluster.txn_begin(a).unwrap();
+    assert_eq!(
+        cluster.txn_begin(a).unwrap_err(),
+        Error::TransactionAlreadyOpen
+    );
+
+    // Recovery: reset returns the session to idle; the next transaction
+    // runs normally and the abandoned one's writes never surface.
+    cluster
+        .txn_write(a, &[(Key(11), Value::from("stranded"))])
+        .unwrap();
+    cluster.reset_client(a).unwrap();
+    let mut txn = cluster.begin(a).unwrap();
+    assert_eq!(
+        txn.read_one(Key(11)).unwrap(),
+        None,
+        "abandoned write leaked"
+    );
+    txn.write(Key(12), Value::from("recovered"));
+    txn.commit().unwrap();
+    cluster.stabilize(5);
+    let b = cluster.open_client(1).unwrap();
+    let mut txn = cluster.begin(b).unwrap();
+    assert_eq!(
+        txn.read_one(Key(12)).unwrap(),
+        Some(Value::from("recovered"))
+    );
+    txn.commit().unwrap();
+
+    // Unknown clients are rejected.
+    let bogus = paris::types::ClientId::new(paris::types::DcId(0), 9_999_999);
+    assert!(matches!(
+        cluster.reset_client(bogus).unwrap_err(),
+        Error::UnknownTransaction
+    ));
+}
+
+#[test]
+fn reset_client_works_on_every_backend() {
+    for backend in [Backend::Mini, Backend::Sim, Backend::Thread] {
+        let mut cluster = Paris::builder()
+            .dcs(3)
+            .partitions(6)
+            .replication(2)
+            .keys_per_partition(100)
+            .clients_per_dc(0)
+            .uniform_latency_micros(5_000)
+            .backend(backend)
+            .build()
+            .unwrap();
+        let a = cluster.open_client(0).unwrap();
+        cluster.txn_begin(a).unwrap();
+        assert!(cluster.txn_begin(a).is_err(), "{backend:?}: not wedged");
+        cluster.reset_client(a).unwrap();
+        let mut txn = cluster.begin(a).unwrap();
+        txn.write(Key(5), Value::from("after-reset"));
+        txn.commit()
+            .unwrap_or_else(|e| panic!("{backend:?}: post-reset commit failed: {e}"));
+    }
 }
 
 #[test]
