@@ -27,7 +27,7 @@ fn bench_storage(c: &mut Criterion) {
     let tx = TxId::new(ServerId::new(DcId(0), PartitionId(0)), 1);
 
     g.bench_function("apply", |b| {
-        let mut store = PartitionStore::new();
+        let store = PartitionStore::new();
         let mut t = 0u64;
         b.iter(|| {
             t += 1;
@@ -42,7 +42,7 @@ fn bench_storage(c: &mut Criterion) {
     });
 
     for chain_len in [1usize, 16, 256] {
-        let mut store = PartitionStore::new();
+        let store = PartitionStore::new();
         for i in 0..chain_len as u64 {
             store.apply(
                 Key(7),

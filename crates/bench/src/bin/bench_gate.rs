@@ -7,6 +7,11 @@
 //! * any `*ktps*` metric may not drop more than 10% below baseline;
 //! * any `*net_messages*` metric may not rise more than 10% above
 //!   baseline;
+//! * any `*speedup*` metric (the read-pool scaling factor of `fig_reads`)
+//!   may not drop more than 50% below baseline — the ratio is
+//!   machine-robust (service-occupancy overlap), unlike the wall-clock
+//!   absolute throughputs it is derived from, which stay informational;
+//! * any `*violations*` metric must be exactly zero;
 //! * every baseline metric must be present in the current results
 //!   (a silently vanished benchmark is a regression too).
 //!
@@ -16,14 +21,15 @@
 //! Paths: baseline from `PARIS_BASELINE` (default `bench/baseline.json`),
 //! results from `PARIS_RESULTS_DIR` (default `results`). To refresh the
 //! baseline after an intentional performance change, rerun
-//! `PARIS_BENCH_QUICK=1 cargo run --release -p paris-bench --bin fig1`
-//! and `... --bin ablation_batch`, then copy the union of the emitted
-//! `metrics` maps into `bench/baseline.json`.
+//! `PARIS_BENCH_QUICK=1 cargo run --release -p paris-bench --bin fig1`,
+//! `... --bin ablation_batch` and `... --bin fig_reads`, then copy the
+//! union of the emitted `metrics` maps into `bench/baseline.json`.
 
 use paris_bench::json::Json;
 
 const KTPS_DROP_TOLERANCE: f64 = 0.10;
 const MSGS_RISE_TOLERANCE: f64 = 0.10;
+const SPEEDUP_DROP_TOLERANCE: f64 = 0.50;
 
 fn load(path: &str) -> Json {
     let text = std::fs::read_to_string(path)
@@ -53,7 +59,7 @@ fn main() {
         .unwrap_or_else(|| panic!("bench_gate: {baseline_path} has no metrics object"));
 
     let mut current: Vec<(String, f64)> = Vec::new();
-    for file in ["BENCH_fig1.json", "BENCH_batch.json"] {
+    for file in ["BENCH_fig1.json", "BENCH_batch.json", "BENCH_reads.json"] {
         let path = format!("{results_dir}/{file}");
         current.extend(metrics_of(&load(&path), &path));
     }
@@ -84,6 +90,10 @@ fn main() {
             *cur >= base * (1.0 - KTPS_DROP_TOLERANCE)
         } else if key.contains("net_messages") {
             *cur <= base * (1.0 + MSGS_RISE_TOLERANCE)
+        } else if key.contains("speedup") {
+            *cur >= base * (1.0 - SPEEDUP_DROP_TOLERANCE)
+        } else if key.contains("violations") {
+            *cur == 0.0
         } else {
             // Informational metrics (e.g. reduction_pct) are reported but
             // not gated; the emitting bench enforces its own floor.

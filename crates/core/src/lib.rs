@@ -18,6 +18,9 @@
 //! * [`Server`] — the partition server state machine: coordinator
 //!   (Alg. 2), cohort (Alg. 3), replication + UST stabilization (Alg. 4);
 //!   runs in [`Mode::Paris`] or as the blocking [`Mode::Bpr`] baseline;
+//! * [`ReadView`] — the published snapshot-read handle: Algorithm 3 slice
+//!   reads served concurrently off the server loop (the paper's parallel
+//!   non-blocking reads), GC-safe via the shared stable frontier;
 //! * [`ClientSession`] — the client state machine (Alg. 1) with the
 //!   private write cache;
 //! * [`HistoryChecker`] — validates executions against the paper's
@@ -59,12 +62,15 @@
 pub mod checker;
 mod client;
 pub mod metadata;
+mod read_view;
 mod server;
 mod topology;
 
 pub use checker::{HistoryChecker, RecordedRead, RecordedTx, Violation};
 pub use client::{ClientEvent, ClientRead, ClientSession, ReadSource, ReadStep};
+pub use read_view::{ReadView, ReadViewStats};
 pub use server::{EventLog, Server, ServerOptions, ServerStats};
 pub use topology::Topology;
 
+pub use paris_storage::StaleSnapshot;
 pub use paris_types::Mode;

@@ -1,0 +1,183 @@
+//! The published snapshot-read view: Algorithm 3 slice reads served off
+//! the server loop.
+//!
+//! A [`ReadView`] is a cheap cloneable handle onto a server's shared
+//! state — the sharded [`PartitionStore`] and the atomic
+//! [`StableFrontier`] — that executes the read half of Algorithm 3
+//! (`ust ← max(ust, snapshot)`, then the freshest version `≤ snapshot`
+//! per key) **without entering the single-writer state machine**. Any
+//! number of threads may serve reads through views of the same server
+//! concurrently; this is the paper's *parallel non-blocking read*
+//! property made concrete:
+//!
+//! * reads never take the server lock, so they cannot queue behind
+//!   commits, replication batches or gossip ticks;
+//! * the snapshot is universally stable (`snapshot ≤ UST` at the
+//!   coordinator that assigned it), so every version the read needs is
+//!   already installed — no waiting, by construction;
+//! * safety against the one mutation reads can race — garbage
+//!   collection — comes from the frontier: each view read registers its
+//!   snapshot (GC honors the oldest in-flight read), and a read below
+//!   the published `S_old` is rejected with [`StaleSnapshot`] so the
+//!   authoritative single-writer loop serves it instead.
+//!
+//! The deterministic backends (mini, sim) call the same `serve_slice`
+//! synchronously from the cohort handler, so one code path is exercised
+//! by every substrate and the cross-backend agreement tests keep their
+//! teeth.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use paris_proto::{Envelope, Msg, ReadResult};
+use paris_storage::{PartitionStore, StableFrontier, StaleSnapshot};
+use paris_types::{Key, Mode, ServerId, Timestamp, TxId, Version};
+
+/// Read-path counters, shared between a server and all its views.
+#[derive(Debug, Default)]
+pub struct ReadViewStats {
+    /// Slice reads served through views (off- or on-loop).
+    pub(crate) slice_reads: AtomicU64,
+    /// Keys returned by view-served slice reads.
+    pub(crate) keys_read: AtomicU64,
+    /// Reads rejected because their snapshot fell below `S_old`.
+    pub(crate) stale_rejections: AtomicU64,
+}
+
+impl ReadViewStats {
+    /// Slice reads served through views so far.
+    pub fn slice_reads(&self) -> u64 {
+        self.slice_reads.load(Ordering::Relaxed)
+    }
+
+    /// Keys served through views so far.
+    pub fn keys_read(&self) -> u64 {
+        self.keys_read.load(Ordering::Relaxed)
+    }
+
+    /// Stale-snapshot rejections so far.
+    pub fn stale_rejections(&self) -> u64 {
+        self.stale_rejections.load(Ordering::Relaxed)
+    }
+}
+
+/// A concurrently-usable handle serving Algorithm 3 snapshot reads from a
+/// server's published state. Obtain one with
+/// [`Server::read_view`](crate::Server::read_view); clone it freely — all
+/// clones share the same store, frontier and counters.
+#[derive(Debug, Clone)]
+pub struct ReadView {
+    id: ServerId,
+    mode: Mode,
+    store: Arc<PartitionStore>,
+    frontier: Arc<StableFrontier>,
+    stats: Arc<ReadViewStats>,
+}
+
+impl ReadView {
+    pub(crate) fn new(
+        id: ServerId,
+        mode: Mode,
+        store: Arc<PartitionStore>,
+        frontier: Arc<StableFrontier>,
+        stats: Arc<ReadViewStats>,
+    ) -> Self {
+        ReadView {
+            id,
+            mode,
+            store,
+            frontier,
+            stats,
+        }
+    }
+
+    /// The server this view reads from.
+    pub fn server(&self) -> ServerId {
+        self.id
+    }
+
+    /// The server's published universal stable time.
+    pub fn ust(&self) -> Timestamp {
+        self.frontier.ust()
+    }
+
+    /// The server's published GC horizon.
+    pub fn s_old(&self) -> Timestamp {
+        self.frontier.s_old()
+    }
+
+    /// The shared read-path counters.
+    pub fn stats(&self) -> &ReadViewStats {
+        &self.stats
+    }
+
+    /// Serves one `ReadSliceReq` (Alg. 3 lines 1–8): bumps the published
+    /// UST to the snapshot (PaRiS only — BPR snapshots are fresh, not
+    /// stable, and must never drag the UST forward), reads the freshest
+    /// version `≤ snapshot` of every key, and returns the
+    /// `ReadSliceResp` envelope ready to send.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaleSnapshot`] when the snapshot is below the published
+    /// `S_old`: the caller must punt the request to the server loop,
+    /// which serializes with GC and stays authoritative.
+    pub fn serve_slice(
+        &self,
+        tx: TxId,
+        snapshot: Timestamp,
+        keys: &[Key],
+        reply_to: ServerId,
+    ) -> Result<Envelope, StaleSnapshot> {
+        let _guard = self.frontier.begin_read(snapshot).inspect_err(|_| {
+            self.stats.stale_rejections.fetch_add(1, Ordering::Relaxed);
+        })?;
+        if self.mode == Mode::Paris {
+            // Alg. 3 line 2: ust ← max(ust, snapshot).
+            self.frontier.max_ust(snapshot);
+        }
+        self.stats.slice_reads.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .keys_read
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let results: Vec<ReadResult> = keys
+            .iter()
+            .map(|&key| ReadResult {
+                key,
+                version: self.store.read_at(key, snapshot),
+            })
+            .collect();
+        Ok(Envelope::new(
+            self.id,
+            reply_to,
+            Msg::ReadSliceResp {
+                tx,
+                partition: self.id.partition,
+                results,
+            },
+        ))
+    }
+
+    /// Reads one key at `snapshot` through the view (stress tests and
+    /// direct embedding; the protocol path is [`ReadView::serve_slice`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaleSnapshot`] when the snapshot is below `S_old`.
+    pub fn read_at(&self, key: Key, snapshot: Timestamp) -> Result<Option<Version>, StaleSnapshot> {
+        let _guard = self.frontier.begin_read(snapshot)?;
+        Ok(self.store.read_at(key, snapshot))
+    }
+
+    /// Registers an in-flight read at `snapshot` without serving yet: the
+    /// returned guard pins the server's GC horizon at or below `snapshot`
+    /// until dropped. [`ReadView::serve_slice`] registers internally; this
+    /// is for callers that span multiple reads over one snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaleSnapshot`] when the snapshot is already below `S_old`.
+    pub fn pin(&self, snapshot: Timestamp) -> Result<paris_storage::ReadGuard, StaleSnapshot> {
+        self.frontier.begin_read(snapshot)
+    }
+}

@@ -10,9 +10,13 @@ impl Server {
     ///
     /// PaRiS serves immediately: the snapshot is universally stable, so the
     /// freshest version `≤ snapshot` is guaranteed present — the
-    /// non-blocking read property. BPR must first check that the partition
-    /// has *installed* the (fresh) snapshot — `min(VV) ≥ snapshot` — and
-    /// parks the read otherwise (§V).
+    /// non-blocking read property. The serve goes through the same
+    /// [`crate::ReadView`] path the threaded runtime's read pool uses, so
+    /// every backend exercises one code path; in the rare case the view
+    /// rejects (snapshot below `S_old`), this loop — which serializes with
+    /// its own GC — serves authoritatively. BPR must first check that the
+    /// partition has *installed* the (fresh) snapshot — `min(VV) ≥
+    /// snapshot` — and parks the read otherwise (§V).
     pub(super) fn on_read_slice_req(
         &mut self,
         tx: TxId,
@@ -23,9 +27,19 @@ impl Server {
     ) -> Vec<Envelope> {
         match self.mode {
             Mode::Paris => {
-                // Alg. 3 line 2: ust ← max(ust, snapshot).
-                self.ust = self.ust.max(snapshot);
-                vec![self.serve_slice(tx, snapshot, keys, reply_to)]
+                // This loop serializes with its own GC, so one S_old check
+                // suffices: a below-horizon snapshot (a read the pool
+                // punted back, or one that raced a horizon advance) is
+                // served directly, without a doomed view registration.
+                if snapshot < self.frontier.s_old() {
+                    return vec![self.serve_slice(tx, snapshot, keys, reply_to)];
+                }
+                // Alg. 3 line 2 (ust ← max(ust, snapshot)) happens inside
+                // the view, against the shared frontier.
+                match self.view.serve_slice(tx, snapshot, keys, reply_to) {
+                    Ok(env) => vec![env],
+                    Err(_) => vec![self.serve_slice(tx, snapshot, keys, reply_to)],
+                }
             }
             Mode::Bpr => {
                 if self.installed_watermark() >= snapshot {
@@ -45,8 +59,11 @@ impl Server {
         }
     }
 
-    /// Serves a slice read from the store (Alg. 3 lines 3–8): freshest
-    /// version within the snapshot per key.
+    /// Serves a slice read from the store on the server loop (Alg. 3
+    /// lines 3–8): freshest version within the snapshot per key. Used by
+    /// BPR (whose reads may park first) and as the authoritative fallback
+    /// when a view read is rejected below `S_old` — the loop serializes
+    /// with its own GC, so no guard is needed here.
     pub(super) fn serve_slice(
         &mut self,
         tx: TxId,
@@ -60,7 +77,7 @@ impl Server {
             .iter()
             .map(|&key| ReadResult {
                 key,
-                version: self.store.read_at(key, snapshot).cloned(),
+                version: self.store.read_at(key, snapshot),
             })
             .collect();
         Envelope::new(
@@ -111,11 +128,11 @@ impl Server {
     ) -> Vec<Envelope> {
         self.stats.prepares += 1;
         // Alg. 3 line 11: ust ← max(ust, snapshot).
-        self.ust = self.ust.max(snapshot);
+        let ust = self.frontier.max_ust(snapshot);
         // Alg. 3 lines 10 & 12 combined: the proposal is strictly above
         // ht, the snapshot, the current UST and the previous HLC value,
         // and at least the physical clock.
-        let floor = ht.max(self.ust);
+        let floor = ht.max(ust);
         let pt = self.hlc.now_after(&self.clock, floor);
         self.prepared.insert(
             tx,

@@ -22,10 +22,7 @@ impl Server {
         now: u64,
     ) -> Vec<Envelope> {
         let snapshot = match self.mode {
-            Mode::Paris => {
-                self.ust = self.ust.max(client_ust);
-                self.ust
-            }
+            Mode::Paris => self.frontier.max_ust(client_ust),
             Mode::Bpr => client_ust.max(self.hlc.peek(&self.clock)),
         };
         let tx = TxId::new(self.id, self.next_seq);
@@ -325,6 +322,6 @@ impl Server {
             .values()
             .map(|c| c.snapshot)
             .min()
-            .unwrap_or(self.ust)
+            .unwrap_or_else(|| self.frontier.ust())
     }
 }

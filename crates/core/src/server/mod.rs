@@ -24,9 +24,10 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use paris_clock::{Hlc, PhysicalClock};
 use paris_proto::{Envelope, Msg, ReadResult};
-use paris_storage::PartitionStore;
+use paris_storage::{PartitionStore, StableFrontier};
 use paris_types::{ClientId, DcId, Mode, PartitionId, ServerId, Timestamp, TxId, WriteSetEntry};
 
+use crate::read_view::{ReadView, ReadViewStats};
 use crate::topology::Topology;
 
 /// Coordinator-side state of one running transaction (the paper's
@@ -168,14 +169,19 @@ pub struct Server {
     pub(crate) mode: Mode,
     pub(crate) clock: Box<dyn PhysicalClock + Send>,
     pub(crate) hlc: Hlc,
-    pub(crate) store: PartitionStore,
+    /// The sharded multi-version store, shared with every [`ReadView`].
+    pub(crate) store: std::sync::Arc<PartitionStore>,
+    /// Published stable timestamps (`ust_n^m`, `S_old`) and the in-flight
+    /// read registry, shared with every [`ReadView`].
+    pub(crate) frontier: std::sync::Arc<StableFrontier>,
+    /// Read-path counters shared with every [`ReadView`].
+    pub(crate) view_stats: std::sync::Arc<ReadViewStats>,
+    /// The server's own cached view (the loop-served read path uses it on
+    /// every slice read; cloning three `Arc`s per read would be waste).
+    pub(crate) view: ReadView,
     /// Version vector `VV_n^m`: one entry per replica DC of this partition
     /// (keyed by DC for clarity; own DC included).
     pub(crate) vv: BTreeMap<DcId, Timestamp>,
-    /// Universal stable time `ust_n^m`.
-    pub(crate) ust: Timestamp,
-    /// GC horizon `S_old`.
-    pub(crate) s_old: Timestamp,
     /// Next transaction sequence number (coordinator).
     pub(crate) next_seq: u64,
     /// Coordinator contexts.
@@ -205,7 +211,7 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("id", &self.id)
             .field("mode", &self.mode)
-            .field("ust", &self.ust)
+            .field("ust", &self.frontier.ust())
             .field("vv", &self.vv)
             .field("prepared", &self.prepared.len())
             .field("committed", &self.committed.len())
@@ -238,16 +244,27 @@ impl Server {
             .into_iter()
             .map(|dc| (dc, Timestamp::ZERO))
             .collect();
+        let store = std::sync::Arc::new(PartitionStore::new());
+        let frontier = std::sync::Arc::new(StableFrontier::new());
+        let view_stats = std::sync::Arc::new(ReadViewStats::default());
+        let view = ReadView::new(
+            id,
+            mode,
+            std::sync::Arc::clone(&store),
+            std::sync::Arc::clone(&frontier),
+            std::sync::Arc::clone(&view_stats),
+        );
         let mut server = Server {
             id,
             topo: topology,
             mode,
             clock,
             hlc: Hlc::new(),
-            store: PartitionStore::new(),
+            store,
+            frontier,
+            view_stats,
+            view,
             vv,
-            ust: Timestamp::ZERO,
-            s_old: Timestamp::ZERO,
             next_seq: 0,
             tx_ctx: HashMap::new(),
             prepared: HashMap::new(),
@@ -278,12 +295,12 @@ impl Server {
 
     /// Current universal stable time.
     pub fn ust(&self) -> Timestamp {
-        self.ust
+        self.frontier.ust()
     }
 
     /// Current GC horizon.
     pub fn s_old(&self) -> Timestamp {
-        self.s_old
+        self.frontier.s_old()
     }
 
     /// The version vector (per replica DC).
@@ -291,9 +308,22 @@ impl Server {
         &self.vv
     }
 
-    /// Statistics counters.
-    pub fn stats(&self) -> &ServerStats {
-        &self.stats
+    /// Statistics counters: the state machine's own plus the shared
+    /// read-view counters (slice reads may be served off-loop).
+    pub fn stats(&self) -> ServerStats {
+        let mut stats = self.stats;
+        stats.slice_reads += self.view_stats.slice_reads();
+        stats.keys_read += self.view_stats.keys_read();
+        stats
+    }
+
+    /// A cloneable handle serving Algorithm 3 snapshot reads from this
+    /// server's published state, off the server loop. All views of one
+    /// server share its store, stable frontier and read counters; the
+    /// threaded runtime hands them to its read-thread pool, while the
+    /// deterministic backends exercise the same path synchronously.
+    pub fn read_view(&self) -> ReadView {
+        self.view.clone()
     }
 
     /// The recorded event log, if enabled.
@@ -431,9 +461,11 @@ impl Server {
 
     /// Runs periodic garbage collection (the paper's background GC,
     /// §IV-B): trims every version chain to the horizon `S_old` computed by
-    /// the stabilization protocol. Returns versions removed.
+    /// the stabilization protocol, further bounded by the oldest snapshot
+    /// of any in-flight off-loop read (so the read pool never loses a
+    /// version it is entitled to). Returns versions removed.
     pub fn on_gc_tick(&mut self) -> usize {
-        let removed = self.store.gc(self.s_old);
+        let removed = self.store.gc(self.frontier.gc_horizon());
         self.stats.gc_removed += removed as u64;
         removed
     }

@@ -124,13 +124,13 @@ impl Server {
             .map(|(_, oldest)| *oldest)
             .min()
             .expect("non-empty");
-        // Alg. 4 line 38: enforce monotonicity.
-        if min_gst > self.ust {
-            self.ust = min_gst;
+        // Alg. 4 line 38: enforce monotonicity (the frontier's fetch_max).
+        if self.frontier.advance_ust(min_gst) {
             self.log_ust(min_gst, now);
         }
-        self.s_old = self.s_old.max(min_oldest.min(self.ust));
-        let (ust, s_old) = (self.ust, self.s_old);
+        let ust = self.frontier.ust();
+        self.frontier.advance_s_old(min_oldest.min(ust));
+        let s_old = self.frontier.s_old();
         self.topo
             .servers_in_dc(self.id.dc)
             .into_iter()
@@ -201,11 +201,10 @@ impl Server {
         s_old: Timestamp,
         now: u64,
     ) -> Vec<Envelope> {
-        if ust > self.ust {
-            self.ust = ust;
+        if self.frontier.advance_ust(ust) {
             self.log_ust(ust, now);
         }
-        self.s_old = self.s_old.max(s_old);
+        self.frontier.advance_s_old(s_old);
         Vec::new()
     }
 }

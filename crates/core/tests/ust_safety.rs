@@ -230,16 +230,14 @@ impl RandomizedCluster {
         for p in 0..self.topo.partitions() {
             let p = paris_types::PartitionId(p);
             let replicas = self.topo.replicas(p);
-            let all: Vec<(paris_types::VersionOrd, Key)> = replicas
-                .iter()
-                .flat_map(|dc| {
-                    self.servers[&ServerId::new(*dc, p)]
-                        .store()
-                        .iter()
-                        .flat_map(|(k, chain)| chain.iter().map(|v| (v.order(), *k)))
-                        .collect::<Vec<_>>()
-                })
-                .collect();
+            let mut all: Vec<(paris_types::VersionOrd, Key)> = Vec::new();
+            for dc in &replicas {
+                self.servers[&ServerId::new(*dc, p)]
+                    .store()
+                    .for_each_chain(|k, chain| {
+                        all.extend(chain.iter().map(|v| (v.order(), k)));
+                    });
+            }
             for dc in &replicas {
                 let server = &self.servers[&ServerId::new(*dc, p)];
                 let watermark = server
@@ -277,18 +275,20 @@ impl RandomizedCluster {
             let mut stable: Vec<paris_types::VersionOrd> = Vec::new();
             for dc in &replicas {
                 let server = &self.servers[&ServerId::new(*dc, p)];
-                for (_, chain) in server.store().iter() {
+                server.store().for_each_chain(|_, chain| {
                     stable.extend(chain.iter().filter(|v| v.ut <= ust).map(|v| v.order()));
-                }
+                });
             }
             // …must be present at every replica.
             for dc in &replicas {
                 let server = &self.servers[&ServerId::new(*dc, p)];
                 for v in &stable {
-                    let found = server
-                        .store()
-                        .iter()
-                        .any(|(_, chain)| chain.iter().any(|w| w.order() == *v));
+                    let mut found = false;
+                    server.store().for_each_chain(|_, chain| {
+                        if !found {
+                            found = chain.iter().any(|w| w.order() == *v);
+                        }
+                    });
                     assert!(
                         found,
                         "version {v:?} (≤ ust {ust:?}) missing at replica {dc} of {p}"

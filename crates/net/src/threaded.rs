@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Mutex;
 
-use paris_proto::{Endpoint, Envelope};
+use paris_proto::{Endpoint, Envelope, Msg};
 use paris_types::BatchConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -64,6 +64,14 @@ enum WheelCmd {
 
 struct Registry {
     inboxes: HashMap<Endpoint, Sender<Envelope>>,
+    read_tap: Option<ReadTap>,
+}
+
+/// Round-robin fan-out of server-bound `ReadSliceReq` deliveries into
+/// read-pool lanes (see [`Router::set_read_tap`]).
+struct ReadTap {
+    lanes: Vec<Sender<Envelope>>,
+    next: usize,
 }
 
 /// The in-process network router.
@@ -102,6 +110,7 @@ impl Router {
     pub fn start(config: ThreadedNetConfig) -> Self {
         let registry = Arc::new(Mutex::new(Registry {
             inboxes: HashMap::new(),
+            read_tap: None,
         }));
         let (wheel_tx, wheel_rx) = channel::<WheelCmd>();
         let wheel_registry = Arc::clone(&registry);
@@ -145,6 +154,21 @@ impl Router {
         NetHandle {
             wheel_tx: self.wheel_tx.clone(),
         }
+    }
+
+    /// Installs the read tap: from now on, `ReadSliceReq` envelopes bound
+    /// for *server* endpoints are delivered round-robin into `lanes`
+    /// (after their normal link latency) instead of the destination
+    /// inbox — the runtime's read-thread pool drains the lanes and serves
+    /// the reads off the server loop. All other traffic is unaffected; if
+    /// a lane has shut down, delivery falls back to the server inbox so
+    /// no read is ever lost. Passing an empty vector uninstalls the tap.
+    pub fn set_read_tap(&self, lanes: Vec<Sender<Envelope>>) {
+        self.registry.lock().expect("registry poisoned").read_tap = if lanes.is_empty() {
+            None
+        } else {
+            Some(ReadTap { lanes, next: 0 })
+        };
     }
 }
 
@@ -211,6 +235,37 @@ impl WheelState {
     }
 }
 
+/// Delivers one due envelope: read-tapped traffic goes to a pool lane
+/// (round-robin, falling back to the inbox if the lane closed), the rest
+/// to the destination inbox.
+fn deliver(registry: &Arc<Mutex<Registry>>, env: Envelope) {
+    let is_tapped_read =
+        matches!(env.msg, Msg::ReadSliceReq { .. }) && matches!(env.dst, Endpoint::Server(_));
+    let (lane, inbox) = {
+        let mut reg = registry.lock().expect("registry poisoned");
+        let lane = if is_tapped_read {
+            reg.read_tap.as_mut().map(|tap| {
+                let lane = tap.lanes[tap.next % tap.lanes.len()].clone();
+                tap.next = tap.next.wrapping_add(1);
+                lane
+            })
+        } else {
+            None
+        };
+        (lane, reg.inboxes.get(&env.dst).cloned())
+    };
+    let env = match lane {
+        Some(lane) => match lane.send(env) {
+            Ok(()) => return,
+            Err(std::sync::mpsc::SendError(env)) => env, // lane gone: fall back
+        },
+        None => env,
+    };
+    if let Some(tx) = inbox {
+        let _ = tx.send(env);
+    }
+}
+
 fn wheel_loop(config: ThreadedNetConfig, rx: Receiver<WheelCmd>, registry: Arc<Mutex<Registry>>) {
     let mut wheel = WheelState {
         heap: BinaryHeap::new(),
@@ -235,15 +290,7 @@ fn wheel_loop(config: ThreadedNetConfig, rx: Receiver<WheelCmd>, registry: Arc<M
         let now = Instant::now();
         while wheel.heap.peek().is_some_and(|Reverse(p)| p.due <= now) {
             let Reverse(p) = wheel.heap.pop().expect("peeked");
-            let sender = registry
-                .lock()
-                .expect("registry poisoned")
-                .inboxes
-                .get(&p.env.dst)
-                .cloned();
-            if let Some(tx) = sender {
-                let _ = tx.send(p.env);
-            }
+            deliver(&registry, p.env);
         }
         if shutting_down && wheel.heap.is_empty() && coalescer.pending_links() == 0 {
             return;
@@ -462,6 +509,71 @@ mod tests {
         }
         let got = rx.recv_timeout(Duration::from_secs(2)).expect("flushed");
         assert!(matches!(got.msg, Msg::ReplicateBatch { .. }));
+    }
+
+    fn read_req(tx_seq: u64) -> Msg {
+        Msg::ReadSliceReq {
+            tx: paris_types::TxId::new(ServerId::new(DcId(0), PartitionId(0)), tx_seq),
+            snapshot: Timestamp::ZERO,
+            keys: vec![paris_types::Key(1)],
+            reply_to: ServerId::new(DcId(0), PartitionId(0)),
+        }
+    }
+
+    #[test]
+    fn read_tap_diverts_slice_reads_round_robin() {
+        let router = Router::start(ThreadedNetConfig::fast(2));
+        let a = ServerId::new(DcId(0), PartitionId(0));
+        let b = ServerId::new(DcId(1), PartitionId(0));
+        let inbox = router.register(b);
+        let (l1_tx, l1) = std::sync::mpsc::channel();
+        let (l2_tx, l2) = std::sync::mpsc::channel();
+        router.set_read_tap(vec![l1_tx, l2_tx]);
+        let h = router.handle();
+        for i in 0..4 {
+            h.send(Envelope::new(a, b, read_req(i)));
+        }
+        // Non-read traffic still reaches the inbox.
+        h.send(Envelope::new(a, b, hb(9)));
+        for lane in [&l1, &l2] {
+            for _ in 0..2 {
+                let got = lane.recv_timeout(Duration::from_secs(2)).expect("tapped");
+                assert!(matches!(got.msg, Msg::ReadSliceReq { .. }));
+            }
+        }
+        let got = inbox.recv_timeout(Duration::from_secs(2)).expect("inbox");
+        assert_eq!(got.msg, hb(9));
+        assert!(inbox.recv_timeout(Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn read_tap_falls_back_to_inbox_when_lane_closes() {
+        let router = Router::start(ThreadedNetConfig::fast(2));
+        let a = ServerId::new(DcId(0), PartitionId(0));
+        let b = ServerId::new(DcId(1), PartitionId(0));
+        let inbox = router.register(b);
+        let (lane_tx, lane_rx) = std::sync::mpsc::channel();
+        router.set_read_tap(vec![lane_tx]);
+        drop(lane_rx); // pool died
+        router.handle().send(Envelope::new(a, b, read_req(1)));
+        let got = inbox
+            .recv_timeout(Duration::from_secs(2))
+            .expect("fallback");
+        assert!(matches!(got.msg, Msg::ReadSliceReq { .. }));
+    }
+
+    #[test]
+    fn client_bound_reads_are_never_tapped() {
+        // Defensive: the tap keys on Server destinations only.
+        let router = Router::start(ThreadedNetConfig::fast(2));
+        let a = ServerId::new(DcId(0), PartitionId(0));
+        let c = ClientId::new(DcId(1), 7);
+        let inbox = router.register(c);
+        let (lane_tx, _lane_rx) = std::sync::mpsc::channel();
+        router.set_read_tap(vec![lane_tx]);
+        router.handle().send(Envelope::new(a, c, read_req(1)));
+        let got = inbox.recv_timeout(Duration::from_secs(2)).expect("inbox");
+        assert!(matches!(got.msg, Msg::ReadSliceReq { .. }));
     }
 
     #[test]

@@ -103,6 +103,8 @@ pub struct ClusterBuilder {
     record_events: bool,
     record_history: bool,
     stab_branching: usize,
+    read_threads: usize,
+    read_service_micros: u64,
 }
 
 impl Default for ClusterBuilder {
@@ -136,6 +138,8 @@ impl ClusterBuilder {
             record_events: false,
             record_history: false,
             stab_branching: 0,
+            read_threads: 0,
+            read_service_micros: 0,
         }
     }
 
@@ -288,12 +292,50 @@ impl ClusterBuilder {
         self
     }
 
+    /// Size of the threaded backend's read-thread pool: with `n > 0`
+    /// (PaRiS only — BPR reads must block on the server loop), incoming
+    /// `ReadSliceReq`s are served by `n` pool threads through the
+    /// server's published `ReadView` instead of the server mailbox, so
+    /// reads never queue behind commits, replication batches or gossip
+    /// ticks — the paper's parallel non-blocking reads (§I, Alg. 3).
+    ///
+    /// `0` (the default) serves reads on the server loop. The mini and
+    /// sim backends accept the knob but always serve synchronously — they
+    /// execute the same `ReadView` code path inside the cohort handler,
+    /// so cross-backend agreement tests can share one configuration.
+    pub fn read_threads(mut self, threads: usize) -> Self {
+        self.read_threads = threads;
+        self
+    }
+
+    /// Models per-slice-read service occupancy on the threaded backend,
+    /// in wall-clock microseconds: each served read holds its serving
+    /// thread (pool thread, or server loop when
+    /// [`read_threads`](Self::read_threads) is 0) for this long, the
+    /// threaded counterpart of the sim's [`ServiceModel`] read costs.
+    /// This is what makes read-throughput scaling with
+    /// [`read_threads`](Self::read_threads) measurable on small machines:
+    /// occupancy overlaps across pool threads exactly like storage/CPU
+    /// time does on the paper's multi-core servers. `0` (the default)
+    /// serves at memory speed.
+    pub fn read_service_micros(mut self, micros: u64) -> Self {
+        self.read_service_micros = micros;
+        self
+    }
+
     fn cluster_config(&self) -> Result<ClusterConfig, Error> {
         if !(0.0..1.0).contains(&self.jitter) {
             return Err(ConfigError::new("jitter must be in [0, 1)").into());
         }
         if !self.latency_scale.is_finite() || self.latency_scale <= 0.0 {
             return Err(ConfigError::new("latency scale must be positive").into());
+        }
+        if self.read_threads > 0 && self.mode == Mode::Bpr {
+            return Err(ConfigError::new(
+                "read_threads requires PaRiS: BPR reads block until the snapshot installs, \
+                 which only the server loop can arbitrate",
+            )
+            .into());
         }
         let mut batch = self.batch;
         if batch.is_enabled() && batch.flush_interval_micros == 0 {
@@ -433,6 +475,8 @@ impl ClusterBuilder {
             workload,
             seed: self.seed,
             record_history: self.record_history,
+            read_threads: self.read_threads,
+            read_service_micros: self.read_service_micros,
         }))
     }
 }

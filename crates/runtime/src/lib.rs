@@ -80,6 +80,29 @@ pub(crate) fn gossip_round_micros(
         + slack
 }
 
+/// Snapshot of each key's freshest version order in one store — the
+/// per-server input every backend feeds to [`replica_convergence`].
+pub(crate) fn latest_orders(
+    store: &paris_storage::PartitionStore,
+) -> HashMap<Key, Option<VersionOrd>> {
+    let mut latest = HashMap::new();
+    store.for_each_chain(|k, chain| {
+        latest.insert(k, chain.latest_order());
+    });
+    latest
+}
+
+/// Feeds every retained version of one store into the checker's ground
+/// truth — shared by every backend's report path.
+pub(crate) fn record_store_versions(
+    checker: &mut HistoryChecker,
+    store: &paris_storage::PartitionStore,
+) {
+    store.for_each_chain(|key, chain| {
+        checker.record_versions(key, chain.iter().map(|v| v.order()));
+    });
+}
+
 /// Shared replica-agreement oracle: for every partition, compares the
 /// latest version of every key across all replicas.
 pub(crate) fn replica_convergence<F>(topo: &Topology, mut latest_of: F) -> Vec<Violation>

@@ -207,7 +207,7 @@ impl MiniCluster {
     fn blocking_stats(&self) -> BlockingStats {
         let mut out = BlockingStats::default();
         for server in self.servers.values() {
-            out.accumulate(server.stats());
+            out.accumulate(&server.stats());
         }
         out
     }
@@ -391,9 +391,7 @@ impl Cluster for MiniCluster {
         let violations = match checker.as_mut() {
             Some(checker) => {
                 for server in self.servers.values() {
-                    for (key, chain) in server.store().iter() {
-                        checker.record_versions(*key, chain.iter().map(|v| v.order()));
-                    }
+                    crate::record_store_versions(checker, server.store());
                 }
                 checker.check()
             }
@@ -417,11 +415,7 @@ impl Cluster for MiniCluster {
     fn check_convergence(&mut self) -> Result<Vec<Violation>, Error> {
         let topo = Arc::clone(&self.topo);
         Ok(replica_convergence(&topo, |id| {
-            self.servers[&id]
-                .store()
-                .iter()
-                .map(|(k, chain)| (*k, chain.latest_order()))
-                .collect()
+            crate::latest_orders(self.servers[&id].store())
         }))
     }
 }

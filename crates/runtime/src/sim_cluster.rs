@@ -658,7 +658,7 @@ impl SimCluster {
     pub fn blocking_stats(&self) -> BlockingStats {
         let mut out = BlockingStats::default();
         for slot in self.servers.values() {
-            out.accumulate(slot.server.stats());
+            out.accumulate(&slot.server.stats());
         }
         out
     }
@@ -677,9 +677,7 @@ impl SimCluster {
             Some(checker) => {
                 // Feed ground truth from every store.
                 for slot in self.servers.values() {
-                    for (key, chain) in slot.server.store().iter() {
-                        checker.record_versions(*key, chain.iter().map(|v| v.order()));
-                    }
+                    crate::record_store_versions(checker, slot.server.store());
                 }
                 checker.check()
             }
@@ -815,12 +813,7 @@ impl Cluster for SimCluster {
     fn check_convergence(&mut self) -> Result<Vec<Violation>, Error> {
         let topo = Arc::clone(&self.topo);
         Ok(replica_convergence(&topo, |id| {
-            self.servers[&id]
-                .server
-                .store()
-                .iter()
-                .map(|(k, chain)| (*k, chain.latest_order()))
-                .collect()
+            crate::latest_orders(self.servers[&id].server.store())
         }))
     }
 }

@@ -24,7 +24,8 @@ use std::time::{Duration, Instant};
 use paris_clock::{PhysicalClock, SystemClock};
 use paris_core::checker::{HistoryChecker, RecordedTx};
 use paris_core::{
-    ClientEvent, ClientRead, ClientSession, ReadStep, Server, ServerOptions, Topology, Violation,
+    ClientEvent, ClientRead, ClientSession, ReadStep, ReadView, Server, ServerOptions, Topology,
+    Violation,
 };
 use paris_net::threaded::{NetHandle, Router, ThreadedNetConfig};
 use paris_proto::Envelope;
@@ -51,6 +52,11 @@ pub(crate) struct ThreadClusterConfig {
     pub(crate) workload: WorkloadConfig,
     pub(crate) seed: u64,
     pub(crate) record_history: bool,
+    /// Read-pool size: `> 0` (PaRiS only) diverts `ReadSliceReq`s to a
+    /// pool serving through [`ReadView`]s, off the server loop.
+    pub(crate) read_threads: usize,
+    /// Modeled per-slice-read service occupancy (µs wall clock).
+    pub(crate) read_service_micros: u64,
 }
 
 struct InteractiveClient {
@@ -67,7 +73,9 @@ pub struct ThreadCluster {
     clock: Arc<SystemClock>,
     stop_servers: Arc<AtomicBool>,
     server_handles: Vec<JoinHandle<()>>,
+    read_pool: Vec<JoinHandle<()>>,
     servers: HashMap<ServerId, Arc<Mutex<Server>>>,
+    views: HashMap<ServerId, ReadView>,
     interactive: HashMap<ClientId, InteractiveClient>,
     next_interactive: HashMap<DcId, u32>,
 }
@@ -81,7 +89,15 @@ impl ThreadCluster {
         let clock = Arc::new(SystemClock::new());
         let stop_servers = Arc::new(AtomicBool::new(false));
 
+        // With a read pool, the server loop never sees ReadSliceReqs, so
+        // it must not also charge the modeled read service time.
+        let loop_read_service = if config.read_threads > 0 {
+            0
+        } else {
+            config.read_service_micros
+        };
         let mut servers = HashMap::new();
+        let mut views = HashMap::new();
         let mut server_handles = Vec::new();
         for id in topo.all_servers() {
             let server = Arc::new(Mutex::new(Server::new(ServerOptions {
@@ -91,6 +107,7 @@ impl ThreadCluster {
                 mode: config.cluster.mode,
                 record_events: false,
             })));
+            views.insert(id, server.lock().expect("fresh server").read_view());
             servers.insert(id, Arc::clone(&server));
             let inbox = router.register(id);
             let net = router.handle();
@@ -102,10 +119,49 @@ impl ThreadCluster {
                 std::thread::Builder::new()
                     .name(format!("server-{id}"))
                     .spawn(move || {
-                        server_loop(server, inbox, net, topo, clock, stop, intervals, id)
+                        server_loop(
+                            server,
+                            inbox,
+                            net,
+                            topo,
+                            clock,
+                            stop,
+                            intervals,
+                            id,
+                            loop_read_service,
+                        )
                     })
                     .expect("spawn server thread"),
             );
+        }
+
+        // The read-thread pool: lanes fed round-robin by the router's
+        // read tap, each lane drained by one pool thread serving
+        // Alg. 3 slice reads through the shared views — never touching
+        // the server mutexes. Only meaningful under PaRiS (the builder
+        // rejects BPR + read_threads).
+        let mut read_pool = Vec::new();
+        if config.read_threads > 0 && config.cluster.mode == Mode::Paris {
+            let mut lanes = Vec::with_capacity(config.read_threads);
+            for i in 0..config.read_threads {
+                let (lane_tx, lane_rx) = std::sync::mpsc::channel::<Envelope>();
+                lanes.push(lane_tx);
+                let views = views.clone();
+                let servers = servers.clone();
+                let net = router.handle();
+                let clock = Arc::clone(&clock);
+                let stop = Arc::clone(&stop_servers);
+                let service = config.read_service_micros;
+                read_pool.push(
+                    std::thread::Builder::new()
+                        .name(format!("read-pool-{i}"))
+                        .spawn(move || {
+                            read_pool_loop(lane_rx, views, servers, net, clock, stop, service)
+                        })
+                        .expect("spawn read pool thread"),
+                );
+            }
+            router.set_read_tap(lanes);
         }
 
         ThreadCluster {
@@ -116,10 +172,19 @@ impl ThreadCluster {
             clock,
             stop_servers,
             server_handles,
+            read_pool,
             servers,
+            views,
             interactive: HashMap::new(),
             next_interactive: HashMap::new(),
         }
+    }
+
+    /// The published [`ReadView`] of one server (tests and direct
+    /// embedding): serves Alg. 3 snapshot reads without entering the
+    /// server loop.
+    pub fn read_view(&self, id: ServerId) -> Option<ReadView> {
+        self.views.get(&id).cloned()
     }
 
     /// The topology, for inspecting placement.
@@ -160,7 +225,7 @@ impl ThreadCluster {
     fn blocking_stats(&self) -> BlockingStats {
         let mut out = BlockingStats::default();
         for server in self.servers.values() {
-            out.accumulate(server.lock().expect("server poisoned").stats());
+            out.accumulate(&server.lock().expect("server poisoned").stats());
         }
         out
     }
@@ -336,9 +401,7 @@ impl Cluster for ThreadCluster {
                         .collect()
                 };
                 for server in &guards {
-                    for (key, chain) in server.store().iter() {
-                        checker.record_versions(*key, chain.iter().map(|v| v.order()));
-                    }
+                    crate::record_store_versions(checker, server.store());
                 }
                 checker.check()
             }
@@ -363,12 +426,7 @@ impl Cluster for ThreadCluster {
     fn check_convergence(&mut self) -> Result<Vec<Violation>, Error> {
         let topo = Arc::clone(&self.topo);
         Ok(replica_convergence(&topo, |id| {
-            let server = self.servers[&id].lock().expect("server poisoned");
-            server
-                .store()
-                .iter()
-                .map(|(k, chain)| (*k, chain.latest_order()))
-                .collect()
+            crate::latest_orders(self.servers[&id].lock().expect("server poisoned").store())
         }))
     }
 }
@@ -378,6 +436,71 @@ impl Drop for ThreadCluster {
         self.stop_servers.store(true, Ordering::Relaxed);
         for h in self.server_handles.drain(..) {
             let _ = h.join();
+        }
+        for h in self.read_pool.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One read-pool thread: drains its lane of tapped `ReadSliceReq`s and
+/// serves each through the destination server's [`ReadView`] — Alg. 3
+/// executed entirely off the server loop. A read whose snapshot fell
+/// below `S_old` (possible only for reads that raced a GC advance) is
+/// punted to the authoritative server state machine. `service_micros`
+/// models per-read storage/CPU occupancy (see
+/// [`crate::ClusterBuilder::read_service_micros`]).
+fn read_pool_loop(
+    lane: Receiver<Envelope>,
+    views: HashMap<ServerId, ReadView>,
+    servers: HashMap<ServerId, Arc<Mutex<Server>>>,
+    net: NetHandle,
+    clock: Arc<SystemClock>,
+    stop: Arc<AtomicBool>,
+    service_micros: u64,
+) {
+    let punt = |env: &Envelope, sid: ServerId| {
+        let out = {
+            let mut server = servers[&sid].lock().expect("server poisoned");
+            server.handle(env, clock.now_micros())
+        };
+        for e in out {
+            net.send(e);
+        }
+    };
+    loop {
+        match lane.recv_timeout(Duration::from_millis(100)) {
+            Ok(env) => {
+                let paris_proto::Endpoint::Server(sid) = env.dst else {
+                    debug_assert!(false, "read tap delivered a client-bound envelope");
+                    continue;
+                };
+                let paris_proto::Msg::ReadSliceReq {
+                    tx,
+                    snapshot,
+                    ref keys,
+                    reply_to,
+                } = env.msg
+                else {
+                    // The tap only diverts ReadSliceReq; anything else is
+                    // handed to the owning server untouched.
+                    punt(&env, sid);
+                    continue;
+                };
+                if service_micros > 0 {
+                    std::thread::sleep(Duration::from_micros(service_micros));
+                }
+                match views[&sid].serve_slice(tx, snapshot, keys, reply_to) {
+                    Ok(resp) => net.send(resp),
+                    Err(_) => punt(&env, sid),
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
@@ -392,6 +515,7 @@ fn server_loop(
     stop: Arc<AtomicBool>,
     intervals: paris_types::Intervals,
     id: ServerId,
+    read_service_micros: u64,
 ) {
     let is_root = topo.tree_parent(id).is_none();
     let mut next_rep = clock.now_micros() + intervals.replication_micros;
@@ -407,6 +531,14 @@ fn server_loop(
         let timeout = Duration::from_micros(deadline.saturating_sub(now).min(5_000));
         match inbox.recv_timeout(timeout) {
             Ok(env) => {
+                // Loop-served reads pay the same modeled service occupancy
+                // as pool-served ones, so read_threads comparisons stay
+                // apples-to-apples.
+                if read_service_micros > 0
+                    && matches!(env.msg, paris_proto::Msg::ReadSliceReq { .. })
+                {
+                    std::thread::sleep(Duration::from_micros(read_service_micros));
+                }
                 let out = {
                     let mut server = server.lock().expect("server poisoned");
                     server.handle(&env, clock.now_micros())

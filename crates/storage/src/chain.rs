@@ -52,8 +52,14 @@ impl VersionChain {
 
     /// The freshest version visible in the snapshot `ts`: the version with
     /// the largest total order whose `ut ≤ ts` (Alg. 3 lines 5–6).
+    ///
+    /// The chain is sorted descending by [`VersionOrd`], whose leading
+    /// component is `ut`, so `ut` is non-increasing along the vector and
+    /// the answer is found by binary search — this is the hottest path in
+    /// the system (every key of every slice read lands here).
     pub fn read_at(&self, ts: Timestamp) -> Option<&Version> {
-        self.versions.iter().find(|v| v.ut <= ts)
+        let idx = self.versions.partition_point(|v| v.ut > ts);
+        self.versions.get(idx)
     }
 
     /// The freshest version regardless of snapshot (diagnostics, checker).

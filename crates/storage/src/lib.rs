@@ -12,13 +12,19 @@
 //! keeps every version newer than `S_old` plus the freshest version at or
 //! below it, which is exactly the set a future read may return.
 //!
+//! The store is sharded: keys hash over N chain shards, each behind its
+//! own `RwLock`, and the published stable timestamps (UST, `S_old`) live
+//! in the atomic [`StableFrontier`] — so snapshot reads run concurrently
+//! on any number of threads while the single-writer server applies updates
+//! (the paper's *parallel non-blocking reads*, §I).
+//!
 //! # Example
 //!
 //! ```
 //! use paris_storage::PartitionStore;
 //! use paris_types::{DcId, Key, PartitionId, ServerId, Timestamp, TxId, Value};
 //!
-//! let mut store = PartitionStore::new();
+//! let store = PartitionStore::new();
 //! let tx = TxId::new(ServerId::new(DcId(0), PartitionId(0)), 1);
 //! store.apply(Key(7), Value::from("a"), Timestamp::from_physical_micros(10), tx, DcId(0));
 //! store.apply(Key(7), Value::from("b"), Timestamp::from_physical_micros(20), tx, DcId(0));
@@ -32,9 +38,11 @@
 #![warn(missing_docs)]
 
 mod chain;
+mod stable;
 mod store;
 
 pub use chain::VersionChain;
+pub use stable::{ReadGuard, StableFrontier, StaleSnapshot};
 pub use store::{PartitionStore, StoreStats};
 
 pub use paris_types::Version;

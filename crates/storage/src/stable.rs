@@ -1,0 +1,251 @@
+//! The shared stable-time frontier: published UST / `S_old` plus the
+//! in-flight snapshot-read registry.
+//!
+//! The paper's non-blocking read property rests on two published
+//! timestamps: the **UST** (every version `≤ UST` is installed at every
+//! replica, so a snapshot read at or below it never blocks) and **`S_old`**
+//! (the garbage-collection horizon — the oldest snapshot any transaction
+//! may still read, §IV-B). With reads served by arbitrary threads *off*
+//! the single-writer server loop, both must be shared safely:
+//!
+//! * the frontier carries them in atomics (`Timestamp` packs into a `u64`,
+//!   so `fetch_max` gives the monotonic advance of Alg. 3 line 2 and
+//!   Alg. 4 line 38 without locks);
+//! * every off-loop read registers its snapshot for its duration, and the
+//!   GC horizon is `min(S_old, oldest in-flight read)` — GC can never
+//!   reclaim a version an in-flight read may still return;
+//! * a read whose snapshot is already **below** `S_old` is rejected
+//!   ([`StaleSnapshot`]) before touching any chain: its versions may have
+//!   been reclaimed, so only the authoritative single-writer loop (which
+//!   serializes with its own GC) may serve it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use paris_types::Timestamp;
+
+/// Shared, concurrently-readable stable-time state of one partition
+/// server. See the module docs.
+#[derive(Debug, Default)]
+pub struct StableFrontier {
+    /// Packed [`Timestamp`]: the server's universal stable time.
+    ust: AtomicU64,
+    /// Packed [`Timestamp`]: the GC horizon `S_old`.
+    s_old: AtomicU64,
+    /// Snapshot → number of in-flight off-loop reads at that snapshot.
+    inflight: Mutex<BTreeMap<u64, usize>>,
+}
+
+/// Error returned when a snapshot read is requested below the published
+/// GC horizon: versions it should observe may already be reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleSnapshot {
+    /// The rejected snapshot.
+    pub snapshot: Timestamp,
+    /// The `S_old` horizon it fell below.
+    pub s_old: Timestamp,
+}
+
+impl std::fmt::Display for StaleSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "snapshot {} is below the GC horizon {}",
+            self.snapshot, self.s_old
+        )
+    }
+}
+
+impl std::error::Error for StaleSnapshot {}
+
+impl StableFrontier {
+    /// A frontier at time zero.
+    pub fn new() -> Self {
+        StableFrontier::default()
+    }
+
+    /// The published universal stable time.
+    pub fn ust(&self) -> Timestamp {
+        Timestamp::from_u64(self.ust.load(Ordering::SeqCst))
+    }
+
+    /// The published GC horizon `S_old`.
+    pub fn s_old(&self) -> Timestamp {
+        Timestamp::from_u64(self.s_old.load(Ordering::SeqCst))
+    }
+
+    /// Monotonically advances the UST to at least `ts` and returns the
+    /// post-advance value (`ust ← max(ust, ts)`, Alg. 2 line 2 /
+    /// Alg. 3 lines 2 & 11).
+    pub fn max_ust(&self, ts: Timestamp) -> Timestamp {
+        let prev = self.ust.fetch_max(ts.as_u64(), Ordering::SeqCst);
+        Timestamp::from_u64(prev.max(ts.as_u64()))
+    }
+
+    /// Advances the UST to `ts` if that moves it forward; returns whether
+    /// it did (Alg. 4 line 38 monotonicity — callers log the advance).
+    pub fn advance_ust(&self, ts: Timestamp) -> bool {
+        self.ust.fetch_max(ts.as_u64(), Ordering::SeqCst) < ts.as_u64()
+    }
+
+    /// Monotonically advances `S_old` to at least `ts`.
+    pub fn advance_s_old(&self, ts: Timestamp) {
+        self.s_old.fetch_max(ts.as_u64(), Ordering::SeqCst);
+    }
+
+    /// Registers an off-loop snapshot read, pinning the GC horizon at or
+    /// below `snapshot` until the returned guard drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaleSnapshot`] if `snapshot` is already below `S_old` —
+    /// versions the read should observe may be reclaimed, so it must be
+    /// punted to the single-writer loop. The registration happens *before*
+    /// the horizon check, so a concurrent GC either sees the registration
+    /// (and spares the versions) or advanced first (and the check fails):
+    /// there is no window in which the read proceeds over reclaimed data.
+    pub fn begin_read(self: &Arc<Self>, snapshot: Timestamp) -> Result<ReadGuard, StaleSnapshot> {
+        {
+            let mut inflight = self.inflight.lock().expect("inflight poisoned");
+            *inflight.entry(snapshot.as_u64()).or_insert(0) += 1;
+        }
+        let s_old = self.s_old();
+        if snapshot < s_old {
+            self.end_read(snapshot);
+            return Err(StaleSnapshot { snapshot, s_old });
+        }
+        Ok(ReadGuard {
+            frontier: Arc::clone(self),
+            snapshot,
+        })
+    }
+
+    fn end_read(&self, snapshot: Timestamp) {
+        let mut inflight = self.inflight.lock().expect("inflight poisoned");
+        match inflight.get_mut(&snapshot.as_u64()) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                inflight.remove(&snapshot.as_u64());
+            }
+            None => debug_assert!(false, "unbalanced end_read"),
+        }
+    }
+
+    /// The oldest snapshot of any in-flight off-loop read, if any.
+    pub fn oldest_inflight(&self) -> Option<Timestamp> {
+        self.inflight
+            .lock()
+            .expect("inflight poisoned")
+            .keys()
+            .next()
+            .map(|&raw| Timestamp::from_u64(raw))
+    }
+
+    /// The horizon garbage collection may trim to right now:
+    /// `min(S_old, oldest in-flight read)`.
+    pub fn gc_horizon(&self) -> Timestamp {
+        let s_old = self.s_old();
+        match self.oldest_inflight() {
+            Some(oldest) => s_old.min(oldest),
+            None => s_old,
+        }
+    }
+}
+
+/// RAII registration of one in-flight snapshot read (see
+/// [`StableFrontier::begin_read`]).
+#[derive(Debug)]
+pub struct ReadGuard {
+    frontier: Arc<StableFrontier>,
+    snapshot: Timestamp,
+}
+
+impl ReadGuard {
+    /// The snapshot this guard pins.
+    pub fn snapshot(&self) -> Timestamp {
+        self.snapshot
+    }
+}
+
+impl Drop for ReadGuard {
+    fn drop(&mut self) {
+        self.frontier.end_read(self.snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_physical_micros(t)
+    }
+
+    #[test]
+    fn starts_at_zero() {
+        let f = StableFrontier::new();
+        assert_eq!(f.ust(), Timestamp::ZERO);
+        assert_eq!(f.s_old(), Timestamp::ZERO);
+        assert_eq!(f.gc_horizon(), Timestamp::ZERO);
+        assert!(f.oldest_inflight().is_none());
+    }
+
+    #[test]
+    fn max_ust_is_monotonic() {
+        let f = StableFrontier::new();
+        assert_eq!(f.max_ust(ts(10)), ts(10));
+        assert_eq!(f.max_ust(ts(5)), ts(10), "never regresses");
+        assert_eq!(f.ust(), ts(10));
+    }
+
+    #[test]
+    fn advance_ust_reports_movement() {
+        let f = StableFrontier::new();
+        assert!(f.advance_ust(ts(10)));
+        assert!(!f.advance_ust(ts(10)), "equal value is not an advance");
+        assert!(!f.advance_ust(ts(3)));
+        assert!(f.advance_ust(ts(11)));
+    }
+
+    #[test]
+    fn inflight_reads_pin_the_gc_horizon() {
+        let f = Arc::new(StableFrontier::new());
+        f.advance_s_old(ts(100));
+        let g1 = f.begin_read(ts(120)).unwrap();
+        let g2 = f.begin_read(ts(150)).unwrap();
+        assert_eq!(f.gc_horizon(), ts(100), "S_old is already the minimum");
+        f.advance_s_old(ts(140));
+        assert_eq!(f.gc_horizon(), ts(120), "pinned by the oldest read");
+        drop(g1);
+        assert_eq!(f.gc_horizon(), ts(140));
+        drop(g2);
+        assert_eq!(f.gc_horizon(), ts(140));
+        assert!(f.oldest_inflight().is_none());
+    }
+
+    #[test]
+    fn duplicate_snapshots_are_refcounted() {
+        let f = Arc::new(StableFrontier::new());
+        let a = f.begin_read(ts(7)).unwrap();
+        let b = f.begin_read(ts(7)).unwrap();
+        assert_eq!(a.snapshot(), ts(7));
+        drop(a);
+        assert_eq!(f.oldest_inflight(), Some(ts(7)), "second read still pins");
+        drop(b);
+        assert!(f.oldest_inflight().is_none());
+    }
+
+    #[test]
+    fn reads_below_s_old_are_rejected() {
+        let f = Arc::new(StableFrontier::new());
+        f.advance_s_old(ts(50));
+        let err = f.begin_read(ts(49)).unwrap_err();
+        assert_eq!(err.snapshot, ts(49));
+        assert_eq!(err.s_old, ts(50));
+        assert!(err.to_string().contains("GC horizon"));
+        assert!(f.oldest_inflight().is_none(), "rejection deregisters");
+        // At the horizon is safe: GC keeps the freshest version ≤ S_old.
+        assert!(f.begin_read(ts(50)).is_ok());
+    }
+}

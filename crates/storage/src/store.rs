@@ -1,10 +1,15 @@
-//! The per-partition multi-version store.
+//! The per-partition multi-version store, sharded for parallel reads.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use paris_types::{DcId, Key, Timestamp, TxId, Value, Version};
 
 use crate::chain::VersionChain;
+
+/// Default number of chain shards per store.
+const DEFAULT_SHARDS: usize = 16;
 
 /// Counters describing a [`PartitionStore`]'s contents and activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,20 +28,63 @@ pub struct StoreStats {
 ///
 /// This is the `update(k, v, ut, id_T)` target of Alg. 4 lines 1–4: each
 /// apply "insert[s the] new item d in the version chain of key k".
-/// The store is deliberately synchronous and single-writer — the owning
-/// server state machine serializes access — so no interior locking is
-/// needed on either substrate.
-#[derive(Debug, Clone, Default)]
+///
+/// The key space is hashed over N *chain shards*, each behind its own
+/// `RwLock`, so any number of reader threads can execute Alg. 3 snapshot
+/// reads (`read_at`) while the single-writer server state machine applies
+/// updates and runs GC — the storage half of the paper's *parallel
+/// non-blocking read* property. Writers (`apply`, `gc`) take one shard
+/// write lock at a time; readers take shard read locks, so a read only
+/// ever waits for the microseconds a writer spends inside one chain.
+/// Aggregate counters are carried in atomics, so [`PartitionStore::stats`]
+/// is O(1) and lock-free (it used to walk every chain).
+#[derive(Debug)]
 pub struct PartitionStore {
-    chains: HashMap<Key, VersionChain>,
-    applied: u64,
-    gc_removed: u64,
+    shards: Box<[RwLock<HashMap<Key, VersionChain>>]>,
+    keys: AtomicU64,
+    versions: AtomicU64,
+    applied: AtomicU64,
+    gc_removed: AtomicU64,
+}
+
+impl Default for PartitionStore {
+    fn default() -> Self {
+        PartitionStore::new()
+    }
 }
 
 impl PartitionStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the default shard count.
     pub fn new() -> Self {
-        PartitionStore::default()
+        PartitionStore::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty store with `shards` chain shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "store needs at least one shard");
+        PartitionStore {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            keys: AtomicU64::new(0),
+            versions: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            gc_removed: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of chain shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `key`'s chain (Fibonacci multiplicative hash so
+    /// the dense key layouts used by the workloads spread evenly).
+    fn shard_of(&self, key: Key) -> &RwLock<HashMap<Key, VersionChain>> {
+        let h = key.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h as usize) % self.shards.len()]
     }
 
     /// Applies one update: creates version `⟨k, v, ut, tx, src⟩` and inserts
@@ -44,58 +92,85 @@ impl PartitionStore {
     ///
     /// Idempotent under replication re-delivery; returns `true` if the
     /// version was new.
-    pub fn apply(&mut self, key: Key, value: Value, ut: Timestamp, tx: TxId, src: DcId) -> bool {
-        let inserted = self
-            .chains
-            .entry(key)
-            .or_default()
-            .insert(Version::new(key, value, ut, tx, src));
+    pub fn apply(&self, key: Key, value: Value, ut: Timestamp, tx: TxId, src: DcId) -> bool {
+        let mut shard = self.shard_of(key).write().expect("shard poisoned");
+        let chain = match shard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.keys.fetch_add(1, Ordering::Relaxed);
+                e.insert(VersionChain::new())
+            }
+        };
+        let inserted = chain.insert(Version::new(key, value, ut, tx, src));
         if inserted {
-            self.applied += 1;
+            self.applied.fetch_add(1, Ordering::Relaxed);
+            self.versions.fetch_add(1, Ordering::Relaxed);
         }
         inserted
     }
 
     /// Snapshot read: the freshest version of `key` with `ut ≤ ts`
     /// (Alg. 3 lines 5–6). `None` if the key has no visible version.
-    pub fn read_at(&self, key: Key, ts: Timestamp) -> Option<&Version> {
-        self.chains.get(&key).and_then(|c| c.read_at(ts))
+    ///
+    /// Takes only the key's shard read lock, so reads from any number of
+    /// threads proceed in parallel with each other and with writes to
+    /// other shards.
+    pub fn read_at(&self, key: Key, ts: Timestamp) -> Option<Version> {
+        let shard = self.shard_of(key).read().expect("shard poisoned");
+        shard.get(&key).and_then(|c| c.read_at(ts)).cloned()
     }
 
     /// The freshest version of `key` regardless of snapshot.
-    pub fn latest(&self, key: Key) -> Option<&Version> {
-        self.chains.get(&key).and_then(VersionChain::latest)
+    pub fn latest(&self, key: Key) -> Option<Version> {
+        let shard = self.shard_of(key).read().expect("shard poisoned");
+        shard.get(&key).and_then(VersionChain::latest).cloned()
     }
 
-    /// The chain of `key`, if any version was ever applied.
-    pub fn chain(&self, key: Key) -> Option<&VersionChain> {
-        self.chains.get(&key)
+    /// A clone of `key`'s chain, if any version was ever applied
+    /// (diagnostics and tests; the hot paths never clone chains).
+    pub fn chain(&self, key: Key) -> Option<VersionChain> {
+        let shard = self.shard_of(key).read().expect("shard poisoned");
+        shard.get(&key).cloned()
     }
 
     /// Runs garbage collection on every chain with the oldest-active
     /// snapshot horizon `s_old` (§IV-B). Returns versions removed.
-    pub fn gc(&mut self, s_old: Timestamp) -> usize {
+    ///
+    /// Locks one shard at a time, so concurrent snapshot reads at or above
+    /// the horizon are never blocked for more than one shard sweep.
+    pub fn gc(&self, s_old: Timestamp) -> usize {
         let mut removed = 0;
-        for chain in self.chains.values_mut() {
-            removed += chain.gc(s_old);
+        for shard in self.shards.iter() {
+            let mut shard = shard.write().expect("shard poisoned");
+            for chain in shard.values_mut() {
+                removed += chain.gc(s_old);
+            }
         }
-        self.gc_removed += removed as u64;
+        self.gc_removed.fetch_add(removed as u64, Ordering::Relaxed);
+        self.versions.fetch_sub(removed as u64, Ordering::Relaxed);
         removed
     }
 
-    /// Iterates over all (key, chain) pairs — used by the consistency
-    /// checker and convergence tests.
-    pub fn iter(&self) -> impl Iterator<Item = (&Key, &VersionChain)> {
-        self.chains.iter()
+    /// Visits every (key, chain) pair — used by the consistency checker
+    /// and convergence tests. Holds one shard read lock at a time; the
+    /// visit order is unspecified.
+    pub fn for_each_chain(&self, mut f: impl FnMut(Key, &VersionChain)) {
+        for shard in self.shards.iter() {
+            let shard = shard.read().expect("shard poisoned");
+            for (key, chain) in shard.iter() {
+                f(*key, chain);
+            }
+        }
     }
 
-    /// Current statistics snapshot.
+    /// Current statistics snapshot (lock-free; counters are maintained on
+    /// apply/GC instead of recomputed per call).
     pub fn stats(&self) -> StoreStats {
         StoreStats {
-            keys: self.chains.len(),
-            versions: self.chains.values().map(VersionChain::len).sum(),
-            applied: self.applied,
-            gc_removed: self.gc_removed,
+            keys: self.keys.load(Ordering::Relaxed) as usize,
+            versions: self.versions.load(Ordering::Relaxed) as usize,
+            applied: self.applied.load(Ordering::Relaxed),
+            gc_removed: self.gc_removed.load(Ordering::Relaxed),
         }
     }
 }
@@ -115,7 +190,7 @@ mod tests {
 
     #[test]
     fn apply_then_read_roundtrip() {
-        let mut s = PartitionStore::new();
+        let s = PartitionStore::new();
         assert!(s.apply(Key(1), Value::from("x"), ts(10), tx(1), DcId(0)));
         let v = s.read_at(Key(1), ts(10)).unwrap();
         assert_eq!(v.value.as_bytes(), b"x");
@@ -125,16 +200,17 @@ mod tests {
 
     #[test]
     fn apply_is_idempotent_and_counts_once() {
-        let mut s = PartitionStore::new();
+        let s = PartitionStore::new();
         assert!(s.apply(Key(1), Value::from("x"), ts(10), tx(1), DcId(0)));
         assert!(!s.apply(Key(1), Value::from("x"), ts(10), tx(1), DcId(0)));
         assert_eq!(s.stats().applied, 1);
         assert_eq!(s.stats().versions, 1);
+        assert_eq!(s.stats().keys, 1);
     }
 
     #[test]
     fn distinct_keys_have_independent_chains() {
-        let mut s = PartitionStore::new();
+        let s = PartitionStore::new();
         s.apply(Key(1), Value::from("a"), ts(10), tx(1), DcId(0));
         s.apply(Key(2), Value::from("b"), ts(20), tx(2), DcId(0));
         assert_eq!(s.stats().keys, 2);
@@ -144,7 +220,7 @@ mod tests {
 
     #[test]
     fn gc_across_keys_counts_removed() {
-        let mut s = PartitionStore::new();
+        let s = PartitionStore::new();
         for t in [10u64, 20, 30] {
             s.apply(Key(1), Value::filled(4, t), ts(t), tx(t), DcId(0));
             s.apply(Key(2), Value::filled(4, t), ts(t), tx(t), DcId(0));
@@ -158,12 +234,13 @@ mod tests {
     }
 
     #[test]
-    fn iter_visits_all_chains() {
-        let mut s = PartitionStore::new();
+    fn for_each_chain_visits_all_chains() {
+        let s = PartitionStore::new();
         s.apply(Key(1), Value::from("a"), ts(1), tx(1), DcId(0));
         s.apply(Key(9), Value::from("b"), ts(2), tx(2), DcId(0));
         let keys: Vec<u64> = {
-            let mut v: Vec<u64> = s.iter().map(|(k, _)| k.as_u64()).collect();
+            let mut v: Vec<u64> = Vec::new();
+            s.for_each_chain(|k, _| v.push(k.as_u64()));
             v.sort_unstable();
             v
         };
@@ -172,10 +249,45 @@ mod tests {
 
     #[test]
     fn chain_accessor_exposes_versions() {
-        let mut s = PartitionStore::new();
+        let s = PartitionStore::new();
         s.apply(Key(1), Value::from("a"), ts(1), tx(1), DcId(0));
         s.apply(Key(1), Value::from("b"), ts(2), tx(2), DcId(0));
         assert_eq!(s.chain(Key(1)).unwrap().len(), 2);
         assert!(s.chain(Key(2)).is_none());
+    }
+
+    #[test]
+    fn single_shard_store_still_works() {
+        let s = PartitionStore::with_shards(1);
+        for k in 0..64u64 {
+            s.apply(Key(k), Value::from("v"), ts(k + 1), tx(k), DcId(0));
+        }
+        assert_eq!(s.stats().keys, 64);
+        assert_eq!(s.shard_count(), 1);
+        assert!(s.read_at(Key(63), ts(64)).is_some());
+    }
+
+    #[test]
+    fn dense_keys_spread_over_shards() {
+        let s = PartitionStore::new();
+        for k in 0..256u64 {
+            s.apply(Key(k), Value::from("v"), ts(k + 1), tx(k), DcId(0));
+        }
+        // Every shard should hold a fair share of a dense key range (the
+        // workload key layout is `partition + rank · N`, i.e. dense-ish).
+        let mut per_shard = vec![0usize; s.shard_count()];
+        for (i, shard) in s.shards.iter().enumerate() {
+            per_shard[i] = shard.read().unwrap().len();
+        }
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "empty shard: {per_shard:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = PartitionStore::with_shards(0);
     }
 }

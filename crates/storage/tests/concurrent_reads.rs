@@ -1,0 +1,201 @@
+//! Multi-threaded stress tests for the sharded snapshot-read path: N
+//! reader threads race the single writer (and GC) through the shared
+//! store + frontier, asserting every observed version respects the
+//! snapshot rule and that reads make progress while writes are applied.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use paris_storage::{PartitionStore, StableFrontier};
+use paris_types::{DcId, Key, PartitionId, ServerId, Timestamp, TxId, Value};
+
+const KEYS: u64 = 32;
+const WRITES: u64 = 20_000;
+const READERS: usize = 4;
+
+fn tx(seq: u64) -> TxId {
+    TxId::new(ServerId::new(DcId(0), PartitionId(0)), seq)
+}
+
+fn ts(t: u64) -> Timestamp {
+    Timestamp::from_physical_micros(t)
+}
+
+/// The protocol invariant the writer maintains: a version with `ut = t`
+/// is applied *before* the UST advances to `t`, so every read at
+/// `snapshot = ust` is guaranteed to find the freshest version `≤ snapshot`
+/// already present.
+#[test]
+fn readers_race_writer_and_respect_the_snapshot_rule() {
+    let store = Arc::new(PartitionStore::new());
+    let frontier = Arc::new(StableFrontier::new());
+    let done = Arc::new(AtomicBool::new(false));
+    let reads_served = Arc::new(AtomicU64::new(0));
+
+    let writer = {
+        let store = Arc::clone(&store);
+        let frontier = Arc::clone(&frontier);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            for t in 1..=WRITES {
+                let key = Key(t % KEYS);
+                store.apply(key, Value::filled(8, t), ts(t), tx(t), DcId(0));
+                // Install first, publish second — the stabilization
+                // protocol's ordering.
+                frontier.max_ust(ts(t));
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let store = Arc::clone(&store);
+            let frontier = Arc::clone(&frontier);
+            let done = Arc::clone(&done);
+            let reads_served = Arc::clone(&reads_served);
+            std::thread::spawn(move || {
+                // Per-key freshest order seen so far: snapshots are
+                // monotonic (UST never regresses), so observed versions
+                // must be monotonic per key too.
+                let mut last_seen = vec![None; KEYS as usize];
+                let mut served = 0u64;
+                let mut k = r as u64; // stagger readers over keys
+                while !done.load(Ordering::SeqCst) {
+                    let snapshot = frontier.ust();
+                    let _guard = frontier
+                        .begin_read(snapshot)
+                        .expect("no GC in this test: never stale");
+                    let key = Key(k % KEYS);
+                    k += 1;
+                    if let Some(v) = store.read_at(key, snapshot) {
+                        assert!(
+                            v.ut <= snapshot,
+                            "version {:?} above snapshot {snapshot:?}",
+                            v.ut
+                        );
+                        let slot = &mut last_seen[key.as_u64() as usize];
+                        if let Some(prev) = *slot {
+                            assert!(
+                                v.order() >= prev,
+                                "non-monotonic read at {key}: {prev:?} then {:?}",
+                                v.order()
+                            );
+                        }
+                        *slot = Some(v.order());
+                        served += 1;
+                    }
+                    // The freshest write ≤ snapshot of the key written at
+                    // `snapshot` itself must be visible (installed-before-
+                    // published).
+                    let hot = Key(snapshot.physical_micros() % KEYS);
+                    if snapshot.physical_micros() >= 1 {
+                        assert!(
+                            store.read_at(hot, snapshot).is_some(),
+                            "published version missing at its own snapshot"
+                        );
+                    }
+                }
+                reads_served.fetch_add(served, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer panicked");
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+    assert!(
+        reads_served.load(Ordering::Relaxed) > 0,
+        "readers made progress while the writer ran"
+    );
+    // Everything is visible at the final frontier.
+    let final_ust = frontier.ust();
+    for k in 0..KEYS {
+        let v = store.read_at(Key(k), final_ust).expect("key written");
+        assert_eq!(v.ut.physical_micros() % KEYS, k, "freshest write of {k}");
+    }
+    assert_eq!(store.stats().applied, WRITES);
+    assert_eq!(store.stats().versions as u64, WRITES, "no GC ran");
+}
+
+/// GC races the readers: the horizon honors in-flight read guards, so a
+/// guarded read at snapshot `S ≥ gc_horizon` always finds the version it
+/// is entitled to — even while GC trims the same chains.
+#[test]
+fn gc_racing_readers_never_loses_a_guarded_read() {
+    let store = Arc::new(PartitionStore::new());
+    let frontier = Arc::new(StableFrontier::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let store = Arc::clone(&store);
+        let frontier = Arc::clone(&frontier);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            for t in 1..=WRITES {
+                store.apply(Key(t % KEYS), Value::filled(8, t), ts(t), tx(t), DcId(0));
+                frontier.max_ust(ts(t));
+                // S_old trails the UST, as the stabilization protocol
+                // guarantees (S_old ≤ UST always).
+                if t > 64 {
+                    frontier.advance_s_old(ts(t - 64));
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let gc = {
+        let store = Arc::clone(&store);
+        let frontier = Arc::clone(&frontier);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut removed = 0usize;
+            while !done.load(Ordering::SeqCst) {
+                removed += store.gc(frontier.gc_horizon());
+                std::thread::yield_now();
+            }
+            removed
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let frontier = Arc::clone(&frontier);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut k = 0u64;
+                while !done.load(Ordering::SeqCst) {
+                    let snapshot = frontier.ust();
+                    // Register first; a rejection means GC already passed
+                    // this snapshot — retry with a fresher one.
+                    let Ok(_guard) = frontier.begin_read(snapshot) else {
+                        continue;
+                    };
+                    let key = Key(k % KEYS);
+                    k += 1;
+                    // Every key is (re)written every KEYS ticks; once the
+                    // snapshot is past the first full lap, a guarded read
+                    // must find a version despite concurrent GC.
+                    if snapshot.physical_micros() > KEYS {
+                        let v = store
+                            .read_at(key, snapshot)
+                            .expect("guarded read lost to GC");
+                        assert!(v.ut <= snapshot);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer panicked");
+    let removed = gc.join().expect("gc panicked");
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+    assert!(removed > 0, "GC actually trimmed chains during the race");
+    let stats = store.stats();
+    assert_eq!(stats.versions as u64, WRITES - stats.gc_removed);
+}

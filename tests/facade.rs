@@ -277,6 +277,55 @@ fn sim_and_thread_backends_agree_on_causal_chain() {
 }
 
 #[test]
+fn sim_and_thread_backends_agree_on_causal_chain_with_read_pool() {
+    // Same scenario, but with `read_threads > 1`: the thread backend
+    // serves slice reads on its read pool (off the server loop), the sim
+    // executes the identical ReadView path synchronously — observers on
+    // both must still see the same causal chain.
+    let scenario_builder = |backend| {
+        Paris::builder()
+            .dcs(3)
+            .partitions(6)
+            .replication(2)
+            .keys_per_partition(100)
+            .clients_per_dc(0)
+            .uniform_latency_micros(5_000)
+            .jitter(0.0)
+            .seed(29)
+            .read_threads(2)
+            .backend(backend)
+    };
+
+    let mut sim = scenario_builder(Backend::Sim).build().unwrap();
+    let mut thread = scenario_builder(Backend::Thread).build().unwrap();
+
+    let from_sim = causal_chain(sim.as_mut());
+    let from_thread = causal_chain(thread.as_mut());
+
+    assert_eq!(
+        from_sim, from_thread,
+        "sim and thread must observe the same causal chain with read_threads > 1"
+    );
+    assert_eq!(from_sim, (Some(Value::from("y")), Some(Value::from("x"))));
+    assert!(sim.check_convergence().unwrap().is_empty());
+    assert!(thread.check_convergence().unwrap().is_empty());
+}
+
+#[test]
+fn builder_rejects_read_pool_with_bpr() {
+    let err = match Paris::builder()
+        .mode(Mode::Bpr)
+        .read_threads(4)
+        .backend(Backend::Thread)
+        .build()
+    {
+        Ok(_) => panic!("BPR + read_threads must be rejected"),
+        Err(err) => err,
+    };
+    assert!(err.to_string().contains("read_threads"), "{err}");
+}
+
+#[test]
 fn backends_agree_on_causal_chain_with_batching_on_and_off() {
     // The coalescing layer may delay and merge background frames but must
     // never change what any observer can read: the same causal chain has
