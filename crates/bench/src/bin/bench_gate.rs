@@ -7,10 +7,16 @@
 //! * any `*ktps*` metric may not drop more than 10% below baseline;
 //! * any `*net_messages*` metric may not rise more than 10% above
 //!   baseline;
-//! * any `*speedup*` metric (the read-pool scaling factor of `fig_reads`)
-//!   may not drop more than 50% below baseline — the ratio is
-//!   machine-robust (service-occupancy overlap), unlike the wall-clock
-//!   absolute throughputs it is derived from, which stay informational;
+//! * any `*speedup*` metric (the read-pool / read-lane scaling factors,
+//!   the slot-vs-mutex registry contention ratio and the pooled start-tx
+//!   scaling of `fig_reads`) may not drop more than 50% below baseline —
+//!   ratios are machine-robust (service-occupancy overlap), unlike the
+//!   wall-clock absolute throughputs they are derived from, which stay
+//!   informational;
+//! * any `*pooled_mean_us*` metric (pooled start-tx admission latency)
+//!   may not rise more than 150% above baseline — wall-clock latency is
+//!   machine-sensitive, so only a catastrophic regression (starts wedged
+//!   behind loop work again) trips it;
 //! * any `*violations*` metric must be exactly zero;
 //! * every baseline metric must be present in the current results
 //!   (a silently vanished benchmark is a regression too).
@@ -30,6 +36,7 @@ use paris_bench::json::Json;
 const KTPS_DROP_TOLERANCE: f64 = 0.10;
 const MSGS_RISE_TOLERANCE: f64 = 0.10;
 const SPEEDUP_DROP_TOLERANCE: f64 = 0.50;
+const LATENCY_RISE_TOLERANCE: f64 = 1.50;
 
 fn load(path: &str) -> Json {
     let text = std::fs::read_to_string(path)
@@ -92,6 +99,8 @@ fn main() {
             *cur <= base * (1.0 + MSGS_RISE_TOLERANCE)
         } else if key.contains("speedup") {
             *cur >= base * (1.0 - SPEEDUP_DROP_TOLERANCE)
+        } else if key.contains("pooled_mean_us") {
+            *cur <= base * (1.0 + LATENCY_RISE_TOLERANCE)
         } else if key.contains("violations") {
             *cur == 0.0
         } else {

@@ -69,7 +69,7 @@ mod topology;
 pub use checker::{HistoryChecker, RecordedRead, RecordedTx, Violation};
 pub use client::{ClientEvent, ClientRead, ClientSession, ReadSource, ReadStep};
 pub use read_view::{ReadView, ReadViewStats};
-pub use server::{EventLog, Server, ServerOptions, ServerStats};
+pub use server::{EventLog, Server, ServerOptions, ServerStats, ServerTuning};
 pub use topology::Topology;
 
 pub use paris_storage::StaleSnapshot;

@@ -1,32 +1,36 @@
 //! Transaction-coordinator role (paper Algorithm 2).
+//!
+//! Coordinator state lives in the shared [`TxTable`](super::TxTable):
+//! snapshot assignment (`StartTxReq`) may execute on read-pool threads
+//! through [`ReadView::serve_start_tx`](crate::ReadView::serve_start_tx),
+//! while the fan-out bookkeeping below still runs exclusively on the
+//! server loop. Each handler takes the table lock once, for a few map
+//! operations.
 
 use std::collections::{BTreeMap, HashSet};
 
 use paris_proto::{Envelope, Msg, ReadResult};
 use paris_types::{Key, Mode, PartitionId, Timestamp, TxId, WriteSetEntry};
 
-use super::{PendingOp, Server, TxContext};
+use super::{PendingOp, Server};
 
 impl Server {
     /// `StartTxReq` (Alg. 2 lines 1–5): assign a snapshot and a fresh
     /// transaction id.
     ///
     /// * PaRiS: `ust ← max(ust, ust_c)`, snapshot = `ust` — a stable
-    ///   snapshot installed everywhere, hence non-blocking reads.
+    ///   snapshot installed everywhere, hence non-blocking reads. The
+    ///   assignment goes through the shared table, atomically with the
+    ///   context registration, exactly as the pooled path does.
     /// * BPR: snapshot = `max(ust_c, HLC)` — fresh, but reads must block
-    ///   until the serving partition installs it (§V).
+    ///   until the serving partition installs it (§V). The HLC belongs to
+    ///   the loop, so BPR starts are never pooled.
     pub(super) fn on_start_tx(
         &mut self,
         env: &Envelope,
         client_ust: Timestamp,
         now: u64,
     ) -> Vec<Envelope> {
-        let snapshot = match self.mode {
-            Mode::Paris => self.frontier.max_ust(client_ust),
-            Mode::Bpr => client_ust.max(self.hlc.peek(&self.clock)),
-        };
-        let tx = TxId::new(self.id, self.next_seq);
-        self.next_seq += 1;
         let client = match env.src {
             paris_proto::Endpoint::Client(c) => c,
             paris_proto::Endpoint::Server(_) => {
@@ -34,15 +38,19 @@ impl Server {
                 return Vec::new();
             }
         };
-        self.tx_ctx.insert(
-            tx,
-            TxContext {
-                snapshot,
-                client,
-                pending: None,
-                started_at: now,
-            },
-        );
+        let (tx, snapshot) = match self.mode {
+            Mode::Paris => {
+                self.tx_table
+                    .begin_paris(self.id, client, &self.frontier, client_ust, now)
+            }
+            Mode::Bpr => {
+                let snapshot = client_ust.max(self.hlc.peek(&self.clock));
+                let tx = self
+                    .tx_table
+                    .begin_with_snapshot(self.id, client, snapshot, now);
+                (tx, snapshot)
+            }
+        };
         vec![Envelope::new(
             self.id,
             client,
@@ -59,7 +67,8 @@ impl Server {
         keys: &[Key],
         _now: u64,
     ) -> Vec<Envelope> {
-        let Some(ctx) = self.tx_ctx.get(&tx) else {
+        let mut ctxs = self.tx_table.lock();
+        let Some(ctx) = ctxs.get(&tx) else {
             // Unknown transaction (e.g. coordinator restarted): return an
             // empty result so the client does not hang.
             return vec![Envelope::new(
@@ -94,17 +103,14 @@ impl Server {
             {
                 Some(dc) => targets.push(paris_types::ServerId::new(dc, *partition)),
                 None => {
-                    self.tx_ctx.remove(&tx);
+                    ctxs.remove(&tx);
                     return vec![Envelope::new(self.id, client, Msg::OpFailed { tx })];
                 }
             }
         }
 
         let awaiting: HashSet<PartitionId> = by_partition.keys().copied().collect();
-        self.tx_ctx
-            .get_mut(&tx)
-            .expect("context checked above")
-            .pending = Some(PendingOp::Read {
+        ctxs.get_mut(&tx).expect("context checked above").pending = Some(PendingOp::Read {
             awaiting,
             results: Vec::new(),
         });
@@ -138,7 +144,8 @@ impl Server {
         results: &[ReadResult],
         _now: u64,
     ) -> Vec<Envelope> {
-        let Some(ctx) = self.tx_ctx.get_mut(&tx) else {
+        let mut ctxs = self.tx_table.lock();
+        let Some(ctx) = ctxs.get_mut(&tx) else {
             return Vec::new(); // stale response for a finished transaction
         };
         let Some(PendingOp::Read {
@@ -179,7 +186,8 @@ impl Server {
         writes: &[WriteSetEntry],
         _now: u64,
     ) -> Vec<Envelope> {
-        let Some(ctx) = self.tx_ctx.get_mut(&tx) else {
+        let mut ctxs = self.tx_table.lock();
+        let Some(ctx) = ctxs.get(&tx) else {
             return vec![Envelope::new(
                 self.id,
                 env.src,
@@ -191,9 +199,11 @@ impl Server {
         };
         debug_assert!(ctx.pending.is_none(), "client issued overlapping ops");
 
+        // ht: the max timestamp seen by the client (Alg. 2 line 19).
+        let snapshot = ctx.snapshot;
+        let client = ctx.client;
         if writes.is_empty() {
-            let client = ctx.client;
-            self.tx_ctx.remove(&tx);
+            ctxs.remove(&tx);
             return vec![Envelope::new(
                 self.id,
                 client,
@@ -203,10 +213,6 @@ impl Server {
                 },
             )];
         }
-
-        // ht: the max timestamp seen by the client (Alg. 2 line 19).
-        let snapshot = ctx.snapshot;
-        let client = ctx.client;
         let ht = snapshot.max(hwt);
 
         // Group writes by partition (Alg. 2 line 20).
@@ -227,16 +233,13 @@ impl Server {
             {
                 Some(dc) => participants.push(paris_types::ServerId::new(dc, *partition)),
                 None => {
-                    self.tx_ctx.remove(&tx);
+                    ctxs.remove(&tx);
                     return vec![Envelope::new(self.id, client, Msg::OpFailed { tx })];
                 }
             }
         }
         let awaiting: HashSet<PartitionId> = by_partition.keys().copied().collect();
-        self.tx_ctx
-            .get_mut(&tx)
-            .expect("context checked above")
-            .pending = Some(PendingOp::Commit {
+        ctxs.get_mut(&tx).expect("context checked above").pending = Some(PendingOp::Commit {
             awaiting,
             participants: participants.clone(),
             max_proposed: Timestamp::ZERO,
@@ -272,35 +275,39 @@ impl Server {
         proposed: Timestamp,
         now: u64,
     ) -> Vec<Envelope> {
-        let Some(ctx) = self.tx_ctx.get_mut(&tx) else {
-            return Vec::new();
-        };
-        let Some(PendingOp::Commit {
-            awaiting,
-            max_proposed,
-            ..
-        }) = ctx.pending.as_mut()
-        else {
-            return Vec::new();
-        };
-        if !awaiting.remove(&partition) {
-            return Vec::new(); // duplicate
-        }
-        *max_proposed = (*max_proposed).max(proposed);
-        if !awaiting.is_empty() {
-            return Vec::new();
-        }
-
-        let (participants, ct) = match ctx.pending.take() {
-            Some(PendingOp::Commit {
-                participants,
+        let (participants, ct, client) = {
+            let mut ctxs = self.tx_table.lock();
+            let Some(ctx) = ctxs.get_mut(&tx) else {
+                return Vec::new();
+            };
+            let Some(PendingOp::Commit {
+                awaiting,
                 max_proposed,
                 ..
-            }) => (participants, max_proposed),
-            _ => unreachable!("checked above"),
+            }) = ctx.pending.as_mut()
+            else {
+                return Vec::new();
+            };
+            if !awaiting.remove(&partition) {
+                return Vec::new(); // duplicate
+            }
+            *max_proposed = (*max_proposed).max(proposed);
+            if !awaiting.is_empty() {
+                return Vec::new();
+            }
+
+            let (participants, ct) = match ctx.pending.take() {
+                Some(PendingOp::Commit {
+                    participants,
+                    max_proposed,
+                    ..
+                }) => (participants, max_proposed),
+                _ => unreachable!("checked above"),
+            };
+            let client = ctx.client;
+            ctxs.remove(&tx); // Alg. 2 line 28
+            (participants, ct, client)
         };
-        let client = ctx.client;
-        self.tx_ctx.remove(&tx); // Alg. 2 line 28
         self.stats.txs_coordinated += 1;
         if let Some(log) = self.events.as_mut() {
             log.commits.push((tx, ct, now));
@@ -318,10 +325,6 @@ impl Server {
     /// current UST when idle — this server's contribution to the `S_old`
     /// aggregate (§IV-B, garbage collection).
     pub(crate) fn oldest_active_snapshot(&self) -> Timestamp {
-        self.tx_ctx
-            .values()
-            .map(|c| c.snapshot)
-            .min()
-            .unwrap_or_else(|| self.frontier.ust())
+        self.tx_table.oldest_active_snapshot(&self.frontier)
     }
 }

@@ -19,6 +19,7 @@ mod cohort;
 mod coordinator;
 mod replication;
 mod stabilization;
+mod tx_table;
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
@@ -29,6 +30,8 @@ use paris_types::{ClientId, DcId, Mode, PartitionId, ServerId, Timestamp, TxId, 
 
 use crate::read_view::{ReadView, ReadViewStats};
 use crate::topology::Topology;
+
+pub(crate) use tx_table::TxTable;
 
 /// Coordinator-side state of one running transaction (the paper's
 /// `TX[id_T]`, Alg. 2 line 4).
@@ -162,6 +165,21 @@ pub struct ServerOptions {
     pub record_events: bool,
 }
 
+/// Concurrency-sizing knobs of a [`Server`]'s shared storage structures.
+/// [`Server::new`] uses the defaults; runtimes that know the host's
+/// parallelism pass explicit values through [`Server::with_tuning`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerTuning {
+    /// Chain-shard count of the [`PartitionStore`] (`None` → the store's
+    /// default of 16). More shards reduce reader/writer lock overlap.
+    pub store_shards: Option<usize>,
+    /// Atomic read-slot count of the [`StableFrontier`]'s in-flight
+    /// registry (`None` → the frontier's default of 64; `Some(0)`
+    /// disables the slots so every read admission takes the mutexed
+    /// fallback — the pre-slot behavior, kept measurable for benches).
+    pub read_slots: Option<usize>,
+}
+
 /// The PaRiS partition server state machine. See the module docs.
 pub struct Server {
     pub(crate) id: ServerId,
@@ -182,10 +200,10 @@ pub struct Server {
     /// Version vector `VV_n^m`: one entry per replica DC of this partition
     /// (keyed by DC for clarity; own DC included).
     pub(crate) vv: BTreeMap<DcId, Timestamp>,
-    /// Next transaction sequence number (coordinator).
-    pub(crate) next_seq: u64,
-    /// Coordinator contexts.
-    pub(crate) tx_ctx: HashMap<TxId, TxContext>,
+    /// Coordinator contexts + transaction-id sequence, shared with every
+    /// [`ReadView`] so snapshot assignment (Alg. 2 lines 1–5) can run on
+    /// pool threads (see [`tx_table`]).
+    pub(crate) tx_table: std::sync::Arc<TxTable>,
     /// Prepared queue (`Prepared_n^m`), with a sorted index for `min pt`.
     pub(crate) prepared: HashMap<TxId, PreparedTx>,
     pub(crate) prepared_index: BTreeSet<(Timestamp, TxId)>,
@@ -221,13 +239,25 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Creates a server.
+    /// Creates a server with default [`ServerTuning`].
     ///
     /// # Panics
     ///
     /// Panics if the topology does not place this server's partition in
     /// its DC (the server would not exist in the deployment).
     pub fn new(options: ServerOptions) -> Self {
+        Server::with_tuning(options, ServerTuning::default())
+    }
+
+    /// Creates a server with explicit storage-concurrency sizing (the
+    /// runtimes derive it from the host's parallelism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology does not place this server's partition in
+    /// its DC (the server would not exist in the deployment), or if
+    /// `tuning.store_shards` is `Some(0)`.
+    pub fn with_tuning(options: ServerOptions, tuning: ServerTuning) -> Self {
         let ServerOptions {
             id,
             topology,
@@ -244,15 +274,23 @@ impl Server {
             .into_iter()
             .map(|dc| (dc, Timestamp::ZERO))
             .collect();
-        let store = std::sync::Arc::new(PartitionStore::new());
-        let frontier = std::sync::Arc::new(StableFrontier::new());
+        let store = std::sync::Arc::new(match tuning.store_shards {
+            Some(shards) => PartitionStore::with_shards(shards),
+            None => PartitionStore::new(),
+        });
+        let frontier = std::sync::Arc::new(match tuning.read_slots {
+            Some(slots) => StableFrontier::with_slots(slots),
+            None => StableFrontier::new(),
+        });
         let view_stats = std::sync::Arc::new(ReadViewStats::default());
+        let tx_table = std::sync::Arc::new(TxTable::default());
         let view = ReadView::new(
             id,
             mode,
             std::sync::Arc::clone(&store),
             std::sync::Arc::clone(&frontier),
             std::sync::Arc::clone(&view_stats),
+            std::sync::Arc::clone(&tx_table),
         );
         let mut server = Server {
             id,
@@ -265,8 +303,7 @@ impl Server {
             view_stats,
             view,
             vv,
-            next_seq: 0,
-            tx_ctx: HashMap::new(),
+            tx_table,
             prepared: HashMap::new(),
             prepared_index: BTreeSet::new(),
             committed: BTreeMap::new(),
@@ -338,7 +375,7 @@ impl Server {
 
     /// Number of currently open coordinator contexts.
     pub fn open_transactions(&self) -> usize {
-        self.tx_ctx.len()
+        self.tx_table.len()
     }
 
     /// Number of currently blocked reads (BPR).
@@ -453,10 +490,7 @@ impl Server {
     /// contexts dropped. Call with a timeout far above any legitimate
     /// transaction duration.
     pub fn cleanup_stale_contexts(&mut self, now: u64, timeout_micros: u64) -> usize {
-        let before = self.tx_ctx.len();
-        self.tx_ctx
-            .retain(|_, ctx| now.saturating_sub(ctx.started_at) < timeout_micros);
-        before - self.tx_ctx.len()
+        self.tx_table.expire(now, timeout_micros)
     }
 
     /// Runs periodic garbage collection (the paper's background GC,

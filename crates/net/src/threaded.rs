@@ -65,13 +65,19 @@ enum WheelCmd {
 struct Registry {
     inboxes: HashMap<Endpoint, Sender<Envelope>>,
     read_tap: Option<ReadTap>,
+    /// Bumped on every [`Router::set_read_tap`], so a pruning delivery
+    /// that raced a tap replacement never removes a healthy lane of the
+    /// new tap.
+    tap_epoch: u64,
 }
 
-/// Round-robin fan-out of server-bound `ReadSliceReq` deliveries into
-/// read-pool lanes (see [`Router::set_read_tap`]).
+/// Round-robin fan-out of server-bound read-path deliveries
+/// (`ReadSliceReq` and `StartTxReq`) into read-pool lanes (see
+/// [`Router::set_read_tap`]).
 struct ReadTap {
     lanes: Vec<Sender<Envelope>>,
     next: usize,
+    epoch: u64,
 }
 
 /// The in-process network router.
@@ -111,6 +117,7 @@ impl Router {
         let registry = Arc::new(Mutex::new(Registry {
             inboxes: HashMap::new(),
             read_tap: None,
+            tap_epoch: 0,
         }));
         let (wheel_tx, wheel_rx) = channel::<WheelCmd>();
         let wheel_registry = Arc::clone(&registry);
@@ -156,18 +163,30 @@ impl Router {
         }
     }
 
-    /// Installs the read tap: from now on, `ReadSliceReq` envelopes bound
-    /// for *server* endpoints are delivered round-robin into `lanes`
-    /// (after their normal link latency) instead of the destination
-    /// inbox — the runtime's read-thread pool drains the lanes and serves
-    /// the reads off the server loop. All other traffic is unaffected; if
-    /// a lane has shut down, delivery falls back to the server inbox so
-    /// no read is ever lost. Passing an empty vector uninstalls the tap.
+    /// Installs the read tap: from now on, read-path envelopes bound for
+    /// *server* endpoints — `ReadSliceReq` slice reads and `StartTxReq`
+    /// snapshot assignments, both read-only against published state — are
+    /// delivered round-robin into `lanes` (after their normal link
+    /// latency) instead of the destination inbox; the runtime's
+    /// read-thread pool drains the lanes and serves them off the server
+    /// loop. All other traffic is unaffected. A lane that has shut down is
+    /// pruned from the tap on first failed delivery (the tap uninstalls
+    /// itself when the last lane goes), and the envelope is retried on the
+    /// surviving lanes, falling back to the server inbox — so no request
+    /// is ever lost and dead lanes are not paid for again. Passing an
+    /// empty vector uninstalls the tap.
     pub fn set_read_tap(&self, lanes: Vec<Sender<Envelope>>) {
-        self.registry.lock().expect("registry poisoned").read_tap = if lanes.is_empty() {
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        reg.tap_epoch += 1;
+        let epoch = reg.tap_epoch;
+        reg.read_tap = if lanes.is_empty() {
             None
         } else {
-            Some(ReadTap { lanes, next: 0 })
+            Some(ReadTap {
+                lanes,
+                next: 0,
+                epoch,
+            })
         };
     }
 }
@@ -235,31 +254,52 @@ impl WheelState {
     }
 }
 
-/// Delivers one due envelope: read-tapped traffic goes to a pool lane
-/// (round-robin, falling back to the inbox if the lane closed), the rest
-/// to the destination inbox.
-fn deliver(registry: &Arc<Mutex<Registry>>, env: Envelope) {
-    let is_tapped_read =
-        matches!(env.msg, Msg::ReadSliceReq { .. }) && matches!(env.dst, Endpoint::Server(_));
-    let (lane, inbox) = {
-        let mut reg = registry.lock().expect("registry poisoned");
-        let lane = if is_tapped_read {
-            reg.read_tap.as_mut().map(|tap| {
-                let lane = tap.lanes[tap.next % tap.lanes.len()].clone();
-                tap.next = tap.next.wrapping_add(1);
-                lane
-            })
-        } else {
-            None
-        };
-        (lane, reg.inboxes.get(&env.dst).cloned())
-    };
-    let env = match lane {
-        Some(lane) => match lane.send(env) {
-            Ok(()) => return,
-            Err(std::sync::mpsc::SendError(env)) => env, // lane gone: fall back
-        },
-        None => env,
+/// Delivers one due envelope: read-tapped traffic (server-bound
+/// `ReadSliceReq`/`StartTxReq`) goes to a pool lane (round-robin), the
+/// rest to the destination inbox. On the tapped happy path only the lane
+/// sender is cloned under the registry lock — the inbox is looked up only
+/// when delivery actually falls back. A lane whose receiver is gone is
+/// pruned from the tap (uninstalling the tap when the last lane dies) so
+/// later deliveries never pay for it again.
+fn deliver(registry: &Arc<Mutex<Registry>>, mut env: Envelope) {
+    let is_tapped_read = matches!(env.msg, Msg::ReadSliceReq { .. } | Msg::StartTxReq { .. })
+        && matches!(env.dst, Endpoint::Server(_));
+    if is_tapped_read {
+        loop {
+            let picked = {
+                let mut reg = registry.lock().expect("registry poisoned");
+                reg.read_tap.as_mut().map(|tap| {
+                    let idx = tap.next % tap.lanes.len();
+                    tap.next = tap.next.wrapping_add(1);
+                    (tap.epoch, idx, tap.lanes[idx].clone())
+                })
+            };
+            let Some((epoch, idx, lane)) = picked else {
+                break; // no tap (or it just uninstalled): inbox fallback
+            };
+            match lane.send(env) {
+                Ok(()) => return,
+                Err(std::sync::mpsc::SendError(returned)) => {
+                    env = returned;
+                    let mut reg = registry.lock().expect("registry poisoned");
+                    if let Some(tap) = reg.read_tap.as_mut() {
+                        // Only prune from the tap the dead lane came from;
+                        // a replacement installed meanwhile keeps all its
+                        // (healthy) lanes.
+                        if tap.epoch == epoch {
+                            tap.lanes.remove(idx);
+                            if tap.lanes.is_empty() {
+                                reg.read_tap = None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let inbox = {
+        let reg = registry.lock().expect("registry poisoned");
+        reg.inboxes.get(&env.dst).cloned()
     };
     if let Some(tx) = inbox {
         let _ = tx.send(env);
@@ -560,6 +600,63 @@ mod tests {
             .recv_timeout(Duration::from_secs(2))
             .expect("fallback");
         assert!(matches!(got.msg, Msg::ReadSliceReq { .. }));
+        // The dead lane took the tap with it (it was the only lane), so
+        // later reads go straight to the inbox too.
+        router.handle().send(Envelope::new(a, b, read_req(2)));
+        let got = inbox
+            .recv_timeout(Duration::from_secs(2))
+            .expect("tap uninstalled");
+        assert!(matches!(got.msg, Msg::ReadSliceReq { .. }));
+    }
+
+    #[test]
+    fn read_tap_prunes_a_dead_lane_and_keeps_the_survivor() {
+        let router = Router::start(ThreadedNetConfig::fast(2));
+        let a = ServerId::new(DcId(0), PartitionId(0));
+        let b = ServerId::new(DcId(1), PartitionId(0));
+        let inbox = router.register(b);
+        let (l1_tx, l1_rx) = std::sync::mpsc::channel();
+        let (l2_tx, l2) = std::sync::mpsc::channel();
+        router.set_read_tap(vec![l1_tx, l2_tx]);
+        drop(l1_rx); // one pool thread died
+        let h = router.handle();
+        for i in 0..6 {
+            h.send(Envelope::new(a, b, read_req(i)));
+        }
+        // Every read lands on the surviving lane: the first delivery that
+        // hits the dead lane prunes it and retries, and once pruned the
+        // dead lane is never offered traffic again (nothing reaches the
+        // inbox, which is where a failed lane send would fall back to).
+        for i in 0..6 {
+            let got = l2
+                .recv_timeout(Duration::from_secs(2))
+                .unwrap_or_else(|e| panic!("read {i} missing from survivor: {e}"));
+            assert!(matches!(got.msg, Msg::ReadSliceReq { .. }));
+        }
+        assert!(
+            inbox.recv_timeout(Duration::from_millis(100)).is_err(),
+            "a read fell back to the inbox after the dead lane was pruned"
+        );
+    }
+
+    #[test]
+    fn read_tap_diverts_start_tx_requests() {
+        let router = Router::start(ThreadedNetConfig::fast(2));
+        let a = ClientId::new(DcId(0), 3);
+        let b = ServerId::new(DcId(1), PartitionId(0));
+        let inbox = router.register(b);
+        let (lane_tx, lane) = std::sync::mpsc::channel();
+        router.set_read_tap(vec![lane_tx]);
+        router.handle().send(Envelope::new(
+            a,
+            b,
+            Msg::StartTxReq {
+                client_ust: Timestamp::ZERO,
+            },
+        ));
+        let got = lane.recv_timeout(Duration::from_secs(2)).expect("tapped");
+        assert!(matches!(got.msg, Msg::StartTxReq { .. }));
+        assert!(inbox.recv_timeout(Duration::from_millis(100)).is_err());
     }
 
     #[test]

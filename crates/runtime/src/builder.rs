@@ -17,6 +17,7 @@
 //! # Ok::<(), paris_types::Error>(())
 //! ```
 
+use paris_core::ServerTuning;
 use paris_net::sim::{RegionMatrix, ServiceModel};
 use paris_net::threaded::ThreadedNetConfig;
 use paris_types::{BatchConfig, ClusterConfig, ConfigError, Error, Intervals, Mode};
@@ -103,8 +104,31 @@ pub struct ClusterBuilder {
     record_events: bool,
     record_history: bool,
     stab_branching: usize,
-    read_threads: usize,
+    read_threads: Option<usize>,
     read_service_micros: u64,
+    store_shards: Option<usize>,
+    read_slots: Option<usize>,
+}
+
+/// The host's available parallelism, defaulting to 1 when unknown.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Default read-pool size for the threaded backend under PaRiS: half the
+/// host's cores (the other half runs server loops and clients), at least
+/// one pool thread, capped so small CI hosts are not oversubscribed.
+fn derived_read_threads() -> usize {
+    (host_parallelism() / 2).clamp(1, 4)
+}
+
+/// Default store-shard count: enough shards that concurrent readers and
+/// the single writer rarely meet on one lock, floored at the historical
+/// default of 16 and kept a power of two for cheap modulo.
+fn derived_store_shards() -> usize {
+    (2 * host_parallelism()).next_power_of_two().clamp(16, 128)
 }
 
 impl Default for ClusterBuilder {
@@ -138,8 +162,10 @@ impl ClusterBuilder {
             record_events: false,
             record_history: false,
             stab_branching: 0,
-            read_threads: 0,
+            read_threads: None,
             read_service_micros: 0,
+            store_shards: None,
+            read_slots: None,
         }
     }
 
@@ -292,19 +318,47 @@ impl ClusterBuilder {
         self
     }
 
-    /// Size of the threaded backend's read-thread pool: with `n > 0`
-    /// (PaRiS only — BPR reads must block on the server loop), incoming
-    /// `ReadSliceReq`s are served by `n` pool threads through the
-    /// server's published `ReadView` instead of the server mailbox, so
-    /// reads never queue behind commits, replication batches or gossip
-    /// ticks — the paper's parallel non-blocking reads (§I, Alg. 3).
+    /// Size of the read-thread pool: with `n > 0` (PaRiS only — BPR reads
+    /// must block on the server loop), incoming `ReadSliceReq` slice
+    /// reads *and* `StartTxReq` snapshot assignments — both read-only
+    /// against published state — are served by `n` pool threads through
+    /// the server's published `ReadView` instead of the server mailbox,
+    /// so they never queue behind commits, replication batches or gossip
+    /// ticks — the paper's parallel non-blocking reads (§I, Alg. 2–3).
     ///
-    /// `0` (the default) serves reads on the server loop. The mini and
-    /// sim backends accept the knob but always serve synchronously — they
-    /// execute the same `ReadView` code path inside the cohort handler,
-    /// so cross-backend agreement tests can share one configuration.
+    /// `0` serves everything on the server loop. Left unset, the threaded
+    /// backend derives a pool from the host's
+    /// [`available_parallelism`](std::thread::available_parallelism)
+    /// under PaRiS (an explicit value always wins); the mini and sim
+    /// backends default to `0`. The sim backend honors an explicit `n` as
+    /// `n` per-server read service queues (its deterministic counterpart
+    /// of the pool — see [`read_service_micros`](Self::read_service_micros)),
+    /// while mini always serves synchronously through the same `ReadView`
+    /// path, so cross-backend agreement tests can share one configuration.
     pub fn read_threads(mut self, threads: usize) -> Self {
-        self.read_threads = threads;
+        self.read_threads = Some(threads);
+        self
+    }
+
+    /// Number of chain shards in every server's `PartitionStore`. Left
+    /// unset, derived from the host's
+    /// [`available_parallelism`](std::thread::available_parallelism)
+    /// (at least the historical default of 16); an explicit value always
+    /// wins. More shards let more reader threads proceed without meeting
+    /// the single writer on a lock.
+    pub fn store_shards(mut self, shards: usize) -> Self {
+        self.store_shards = Some(shards);
+        self
+    }
+
+    /// Number of atomic read-admission slots in every server's
+    /// `StableFrontier` in-flight registry (default 64). Each off-loop
+    /// read claims a slot with one CAS; `0` disables the slots so every
+    /// admission takes the mutexed fallback registry — the pre-slot
+    /// behavior, kept configurable so `fig_reads` can measure exactly
+    /// what the lock-free path buys.
+    pub fn read_slots(mut self, slots: usize) -> Self {
+        self.read_slots = Some(slots);
         self
     }
 
@@ -330,12 +384,15 @@ impl ClusterBuilder {
         if !self.latency_scale.is_finite() || self.latency_scale <= 0.0 {
             return Err(ConfigError::new("latency scale must be positive").into());
         }
-        if self.read_threads > 0 && self.mode == Mode::Bpr {
+        if self.read_threads.is_some_and(|n| n > 0) && self.mode == Mode::Bpr {
             return Err(ConfigError::new(
                 "read_threads requires PaRiS: BPR reads block until the snapshot installs, \
                  which only the server loop can arbitrate",
             )
             .into());
+        }
+        if self.store_shards == Some(0) {
+            return Err(ConfigError::new("store_shards must be at least 1").into());
         }
         let mut batch = self.batch;
         if batch.is_enabled() && batch.flush_interval_micros == 0 {
@@ -379,6 +436,15 @@ impl ClusterBuilder {
         }
     }
 
+    /// Storage-concurrency sizing for every server: explicit knobs win,
+    /// otherwise the shard count comes from the host's parallelism.
+    fn tuning(&self) -> ServerTuning {
+        ServerTuning {
+            store_shards: Some(self.store_shards.unwrap_or_else(derived_store_shards)),
+            read_slots: self.read_slots,
+        }
+    }
+
     /// Builds the selected backend behind the [`Cluster`] trait.
     ///
     /// # Errors
@@ -411,12 +477,14 @@ impl ClusterBuilder {
         }
         let cfg = self.cluster_config()?;
         let workload = self.workload_config();
+        let tuning = self.tuning();
         Ok(MiniCluster::from_parts(
             cfg,
             workload,
             self.clients_per_dc,
             self.seed,
             self.record_history,
+            tuning,
         ))
     }
 
@@ -429,6 +497,7 @@ impl ClusterBuilder {
     pub fn build_sim(self) -> Result<SimCluster, Error> {
         let cluster = self.cluster_config()?;
         let workload = self.workload_config();
+        let tuning = self.tuning();
         Ok(SimCluster::new(SimConfig {
             matrix: self.matrix(),
             cluster,
@@ -440,6 +509,11 @@ impl ClusterBuilder {
             record_events: self.record_events,
             record_history: self.record_history,
             stab_branching: self.stab_branching,
+            // Deterministic backend: the pool is modeled, never derived —
+            // an unset knob must not make sim results depend on the host.
+            read_threads: self.read_threads.unwrap_or(0),
+            read_service_micros: self.read_service_micros,
+            tuning,
         }))
     }
 
@@ -461,12 +535,21 @@ impl ClusterBuilder {
         }
         let cluster = self.cluster_config()?;
         let workload = self.workload_config();
+        let tuning = self.tuning();
         let net = ThreadedNetConfig {
             matrix: self.matrix(),
             scale: self.latency_scale,
             jitter: self.jitter,
             seed: self.seed,
             batch: cluster.batch,
+        };
+        // Real threads: an unset pool size defaults to the host's
+        // parallelism under PaRiS (explicit knobs always win; BPR pools
+        // are rejected above, so the auto default stays loop-served).
+        let read_threads = match self.read_threads {
+            Some(n) => n,
+            None if cluster.mode == Mode::Paris => derived_read_threads(),
+            None => 0,
         };
         Ok(ThreadCluster::start(ThreadClusterConfig {
             cluster,
@@ -475,8 +558,9 @@ impl ClusterBuilder {
             workload,
             seed: self.seed,
             record_history: self.record_history,
-            read_threads: self.read_threads,
+            read_threads,
             read_service_micros: self.read_service_micros,
+            tuning,
         }))
     }
 }

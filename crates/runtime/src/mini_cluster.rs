@@ -19,7 +19,8 @@ use std::sync::Arc;
 use paris_clock::SimClock;
 use paris_core::checker::{HistoryChecker, RecordedTx};
 use paris_core::{
-    ClientEvent, ClientRead, ClientSession, ReadStep, Server, ServerOptions, Topology, Violation,
+    ClientEvent, ClientRead, ClientSession, ReadStep, Server, ServerOptions, ServerTuning,
+    Topology, Violation,
 };
 use paris_net::batch::{Coalescer, Offer};
 use paris_proto::{Endpoint, Envelope};
@@ -61,6 +62,7 @@ impl MiniCluster {
         clients_per_dc: u32,
         seed: u64,
         record_history: bool,
+        tuning: ServerTuning,
     ) -> Self {
         let mode = cfg.mode;
         let batch = cfg.batch;
@@ -73,13 +75,16 @@ impl MiniCluster {
             .map(|id| {
                 (
                     id,
-                    Server::new(ServerOptions {
-                        id,
-                        topology: Arc::clone(&topo),
-                        clock: Box::new(clock.clone()),
-                        mode,
-                        record_events: false,
-                    }),
+                    Server::with_tuning(
+                        ServerOptions {
+                            id,
+                            topology: Arc::clone(&topo),
+                            clock: Box::new(clock.clone()),
+                            mode,
+                            record_events: false,
+                        },
+                        tuning,
+                    ),
                 )
             })
             .collect();
@@ -351,6 +356,11 @@ impl Cluster for MiniCluster {
             for (id, generator, rng) in &mut workers {
                 let begun_at = self.now;
                 let snapshot = self.txn_begin(*id)?;
+                if self.now >= window_start && self.now <= end {
+                    stats
+                        .start_latency
+                        .record(self.now.saturating_sub(begun_at));
+                }
                 let tx = self
                     .clients
                     .get(id)

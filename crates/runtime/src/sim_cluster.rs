@@ -13,7 +13,7 @@ use paris_clock::{SimClock, SkewedClock};
 use paris_core::checker::{HistoryChecker, RecordedTx};
 use paris_core::ClientRead;
 use paris_core::{
-    ClientEvent, ClientSession, ReadStep, Server, ServerOptions, Topology, Violation,
+    ClientEvent, ClientSession, ReadStep, Server, ServerOptions, ServerTuning, Topology, Violation,
 };
 use paris_net::batch::{Coalescer, Offer};
 use paris_net::sim::{EventQueue, RegionMatrix, ServiceModel, SimNetwork};
@@ -55,6 +55,22 @@ pub(crate) struct SimConfig {
     /// lowest partition per DC, the default; the tree-shape ablation sets
     /// small fanouts).
     pub(crate) stab_branching: usize,
+    /// Per-server read service queues: with `n > 0` (PaRiS only),
+    /// `ReadSliceReq`/`StartTxReq` occupy one of `n` independent read
+    /// lanes instead of the server's single CPU queue — the deterministic
+    /// mirror of the threaded backend's read-thread pool, so pool scaling
+    /// is observable (and gated) on this backend too. `0` (default)
+    /// keeps the single-queue model.
+    pub(crate) read_threads: usize,
+    /// Additional modeled occupancy per slice read (µs of simulated
+    /// time), matching the threaded backend's `read_service_micros`
+    /// semantics: charged to the serving read lane, or to the single
+    /// server queue when `read_threads` is 0.
+    pub(crate) read_service_micros: u64,
+    /// Storage-concurrency sizing for every server (does not affect
+    /// simulated time; kept consistent with the other backends so
+    /// explicit knobs behave identically everywhere).
+    pub(crate) tuning: ServerTuning,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -77,6 +93,13 @@ enum SimEvent {
 struct ServerSlot {
     server: Server,
     busy_until: u64,
+    /// Busy-until times of the server's read lanes (empty when the
+    /// multi-queue read service model is off). Read-path messages occupy
+    /// a lane, everything else the single CPU queue above.
+    read_lanes: Vec<u64>,
+    /// Round-robin cursor over `read_lanes` — mirrors the threaded
+    /// router's read-tap lane assignment.
+    next_lane: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,18 +174,23 @@ impl SimCluster {
             } else {
                 0
             };
-            let server = Server::new(ServerOptions {
-                id,
-                topology: Arc::clone(&topo),
-                clock: Box::new(SkewedClock::new(clock.clone(), offset)),
-                mode: config.cluster.mode,
-                record_events: config.record_events,
-            });
+            let server = Server::with_tuning(
+                ServerOptions {
+                    id,
+                    topology: Arc::clone(&topo),
+                    clock: Box::new(SkewedClock::new(clock.clone(), offset)),
+                    mode: config.cluster.mode,
+                    record_events: config.record_events,
+                },
+                config.tuning,
+            );
             servers.insert(
                 id,
                 ServerSlot {
                     server,
                     busy_until: 0,
+                    read_lanes: vec![0; config.read_threads],
+                    next_lane: 0,
                 },
             );
             // Stagger the periodic protocols per server.
@@ -477,8 +505,33 @@ impl SimCluster {
                     debug_assert!(false, "message to unknown server {sid}");
                     return;
                 };
+                let is_read_path = matches!(
+                    env.msg,
+                    paris_proto::Msg::ReadSliceReq { .. } | paris_proto::Msg::StartTxReq { .. }
+                );
+                let extra_read_cost = if matches!(env.msg, paris_proto::Msg::ReadSliceReq { .. }) {
+                    self.config.read_service_micros
+                } else {
+                    0
+                };
+                if is_read_path && !slot.read_lanes.is_empty() {
+                    // Multi-queue read service model (PaRiS only): the
+                    // read-path message occupies one of the server's read
+                    // lanes — the deterministic counterpart of a pool
+                    // thread — so its occupancy overlaps with the single
+                    // CPU queue and with the other lanes, exactly like
+                    // the threaded pool's occupancy does.
+                    let lane = slot.next_lane % slot.read_lanes.len();
+                    slot.next_lane = slot.next_lane.wrapping_add(1);
+                    let start = self.now.max(slot.read_lanes[lane]);
+                    let finish = start + self.config.service.cost(&env.msg) + extra_read_cost;
+                    slot.read_lanes[lane] = finish;
+                    let out = slot.server.handle(&env, finish);
+                    self.send_all(finish, out);
+                    return;
+                }
                 let start = self.now.max(slot.busy_until);
-                let cost = self.config.service.cost(&env.msg);
+                let cost = self.config.service.cost(&env.msg) + extra_read_cost;
                 let blocked_before = slot.server.blocked_reads_now() as u64;
                 let blocks_before = slot.server.stats().blocked_reads;
                 let finish = start + cost;
@@ -564,6 +617,11 @@ impl SimCluster {
             ClientEvent::Started { tx, snapshot } => {
                 let slot = self.clients.get_mut(&cid).expect("unknown client");
                 debug_assert_eq!(slot.phase, Phase::Starting);
+                if self.now >= self.window_start && self.now <= self.window_end {
+                    self.stats
+                        .start_latency
+                        .record(self.now.saturating_sub(slot.tx_begin));
+                }
                 slot.cur_tx = Some(tx);
                 slot.cur_snapshot = snapshot;
                 slot.cur_reads.clear();

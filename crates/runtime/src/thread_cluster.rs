@@ -24,8 +24,8 @@ use std::time::{Duration, Instant};
 use paris_clock::{PhysicalClock, SystemClock};
 use paris_core::checker::{HistoryChecker, RecordedTx};
 use paris_core::{
-    ClientEvent, ClientRead, ClientSession, ReadStep, ReadView, Server, ServerOptions, Topology,
-    Violation,
+    ClientEvent, ClientRead, ClientSession, ReadStep, ReadView, Server, ServerOptions,
+    ServerTuning, Topology, Violation,
 };
 use paris_net::threaded::{NetHandle, Router, ThreadedNetConfig};
 use paris_proto::Envelope;
@@ -52,11 +52,15 @@ pub(crate) struct ThreadClusterConfig {
     pub(crate) workload: WorkloadConfig,
     pub(crate) seed: u64,
     pub(crate) record_history: bool,
-    /// Read-pool size: `> 0` (PaRiS only) diverts `ReadSliceReq`s to a
-    /// pool serving through [`ReadView`]s, off the server loop.
+    /// Read-pool size: `> 0` (PaRiS only) diverts `ReadSliceReq`s and
+    /// `StartTxReq`s to a pool serving through [`ReadView`]s, off the
+    /// server loop.
     pub(crate) read_threads: usize,
     /// Modeled per-slice-read service occupancy (µs wall clock).
     pub(crate) read_service_micros: u64,
+    /// Storage-concurrency sizing for every server (shard count, read
+    /// slots), resolved by the builder.
+    pub(crate) tuning: ServerTuning,
 }
 
 struct InteractiveClient {
@@ -100,13 +104,16 @@ impl ThreadCluster {
         let mut views = HashMap::new();
         let mut server_handles = Vec::new();
         for id in topo.all_servers() {
-            let server = Arc::new(Mutex::new(Server::new(ServerOptions {
-                id,
-                topology: Arc::clone(&topo),
-                clock: Box::new(Arc::clone(&clock)),
-                mode: config.cluster.mode,
-                record_events: false,
-            })));
+            let server = Arc::new(Mutex::new(Server::with_tuning(
+                ServerOptions {
+                    id,
+                    topology: Arc::clone(&topo),
+                    clock: Box::new(Arc::clone(&clock)),
+                    mode: config.cluster.mode,
+                    record_events: false,
+                },
+                config.tuning,
+            )));
             views.insert(id, server.lock().expect("fresh server").read_view());
             servers.insert(id, Arc::clone(&server));
             let inbox = router.register(id);
@@ -136,10 +143,10 @@ impl ThreadCluster {
         }
 
         // The read-thread pool: lanes fed round-robin by the router's
-        // read tap, each lane drained by one pool thread serving
-        // Alg. 3 slice reads through the shared views — never touching
-        // the server mutexes. Only meaningful under PaRiS (the builder
-        // rejects BPR + read_threads).
+        // read tap, each lane drained by one pool thread serving Alg. 3
+        // slice reads and Alg. 2 snapshot assignments through the shared
+        // views — never touching the server mutexes. Only meaningful
+        // under PaRiS (the builder rejects BPR + read_threads).
         let mut read_pool = Vec::new();
         if config.read_threads > 0 && config.cluster.mode == Mode::Paris {
             let mut lanes = Vec::with_capacity(config.read_threads);
@@ -382,6 +389,7 @@ impl Cluster for ThreadCluster {
             stats.committed += outcome.committed;
             stats.aborted += outcome.aborted;
             stats.latency.merge(&outcome.latency);
+            stats.start_latency.merge(&outcome.start_latency);
             if let Some(checker) = checker.as_mut() {
                 for (cid, rec) in outcome.records {
                     checker.record_tx(cid, rec);
@@ -444,12 +452,15 @@ impl Drop for ThreadCluster {
 }
 
 /// One read-pool thread: drains its lane of tapped `ReadSliceReq`s and
-/// serves each through the destination server's [`ReadView`] — Alg. 3
-/// executed entirely off the server loop. A read whose snapshot fell
-/// below `S_old` (possible only for reads that raced a GC advance) is
-/// punted to the authoritative server state machine. `service_micros`
+/// `StartTxReq`s and serves each through the destination server's
+/// [`ReadView`] — Alg. 3 slice reads and Alg. 2 snapshot assignment,
+/// both executed entirely off the server loop. A read whose snapshot
+/// fell below `S_old` (possible only for reads that raced a GC advance)
+/// is punted to the authoritative server state machine. `service_micros`
 /// models per-read storage/CPU occupancy (see
-/// [`crate::ClusterBuilder::read_service_micros`]).
+/// [`crate::ClusterBuilder::read_service_micros`]); starts are pure
+/// admission work and are not charged it — the sim models their (small)
+/// fixed cost separately.
 fn read_pool_loop(
     lane: Receiver<Envelope>,
     views: HashMap<ServerId, ReadView>,
@@ -475,24 +486,36 @@ fn read_pool_loop(
                     debug_assert!(false, "read tap delivered a client-bound envelope");
                     continue;
                 };
-                let paris_proto::Msg::ReadSliceReq {
-                    tx,
-                    snapshot,
-                    ref keys,
-                    reply_to,
-                } = env.msg
-                else {
-                    // The tap only diverts ReadSliceReq; anything else is
-                    // handed to the owning server untouched.
-                    punt(&env, sid);
-                    continue;
-                };
-                if service_micros > 0 {
-                    std::thread::sleep(Duration::from_micros(service_micros));
-                }
-                match views[&sid].serve_slice(tx, snapshot, keys, reply_to) {
-                    Ok(resp) => net.send(resp),
-                    Err(_) => punt(&env, sid),
+                match env.msg {
+                    paris_proto::Msg::ReadSliceReq {
+                        tx,
+                        snapshot,
+                        ref keys,
+                        reply_to,
+                    } => {
+                        if service_micros > 0 {
+                            std::thread::sleep(Duration::from_micros(service_micros));
+                        }
+                        match views[&sid].serve_slice(tx, snapshot, keys, reply_to) {
+                            Ok(resp) => net.send(resp),
+                            Err(_) => punt(&env, sid),
+                        }
+                    }
+                    paris_proto::Msg::StartTxReq { client_ust } => {
+                        let paris_proto::Endpoint::Client(client) = env.src else {
+                            debug_assert!(false, "StartTxReq from a server");
+                            continue;
+                        };
+                        match views[&sid].serve_start_tx(client, client_ust, clock.now_micros()) {
+                            Some(resp) => net.send(resp),
+                            // BPR view (cannot happen: pools are PaRiS-
+                            // only): the loop owns the HLC.
+                            None => punt(&env, sid),
+                        }
+                    }
+                    // The tap only diverts read-path messages; anything
+                    // else is handed to the owning server untouched.
+                    _ => punt(&env, sid),
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
@@ -587,6 +610,7 @@ struct ClientOutcome {
     committed: u64,
     aborted: u64,
     latency: Histogram,
+    start_latency: Histogram,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -609,6 +633,7 @@ fn run_client(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut records = Vec::new();
     let mut latency = Histogram::new();
+    let mut start_latency = Histogram::new();
     let mut committed = 0u64;
     let mut aborted = 0u64;
 
@@ -637,6 +662,11 @@ fn run_client(
         let Some(ClientEvent::Started { tx, snapshot }) = wait_event(&mut session) else {
             break;
         };
+        // Admission latency of the start phase alone — the pooled
+        // StartTxReq path is measured by this.
+        if Instant::now() >= measure_after {
+            start_latency.record(clock.now_micros().saturating_sub(begin));
+        }
         let spec = generator.next_tx(&mut rng);
         let mut reads = Vec::new();
         if !spec.read_keys.is_empty() {
@@ -697,5 +727,6 @@ fn run_client(
         committed,
         aborted,
         latency,
+        start_latency,
     }
 }

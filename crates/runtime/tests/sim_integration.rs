@@ -236,3 +236,60 @@ fn larger_deployment_five_dcs_smoke() {
     assert!(report.violations.is_empty(), "{:#?}", report.violations);
     assert!(sim.check_convergence().unwrap().is_empty());
 }
+
+#[test]
+fn sim_read_lanes_scale_read_throughput_deterministically() {
+    // The sim's multi-queue read service model (the deterministic mirror
+    // of the threaded read pool): same seed, same offered load, heavy
+    // modeled per-read occupancy — more read lanes must commit strictly
+    // more transactions, and both arms stay checker-clean. Being
+    // simulated time, the result is exact and machine-independent.
+    let arm = |lanes: usize| {
+        // Short WAN + heavy modeled read occupancy: the read lanes, not
+        // the network round trips, bound the closed loop.
+        let mut sim = small(2, 4, Mode::Paris, 31)
+            .record_events(false)
+            .uniform_latency_micros(1_000)
+            .jitter(0.0)
+            .clients_per_dc(8)
+            .workload(paris_workload::WorkloadConfig::read_mostly())
+            .read_threads(lanes)
+            .read_service_micros(2_000)
+            .build_sim()
+            .unwrap();
+        let report = sim.run_workload(300_000, 2_000_000).unwrap();
+        assert!(
+            report.violations.is_empty(),
+            "{lanes} lanes: {:#?}",
+            report.violations
+        );
+        report.stats.committed
+    };
+    let one = arm(1);
+    let four = arm(4);
+    assert!(one > 0, "single-lane arm made progress");
+    assert!(
+        four as f64 >= one as f64 * 1.25,
+        "4 read lanes must out-commit 1 lane by a real margin: {one} vs {four}"
+    );
+}
+
+#[test]
+fn sim_start_latency_is_recorded() {
+    // The start-phase histogram feeds the pooled-start bench metric; the
+    // deterministic backend must populate it.
+    let mut sim = small(2, 4, Mode::Paris, 37)
+        .record_events(false)
+        .build_sim()
+        .unwrap();
+    let report = sim.run_workload(300_000, 1_500_000).unwrap();
+    assert!(report.stats.committed > 0);
+    assert!(
+        report.stats.start_latency.count() > 0,
+        "start latencies were not recorded"
+    );
+    assert!(
+        report.stats.start_latency.mean() <= report.stats.latency.mean(),
+        "the start phase cannot exceed whole-transaction latency on average"
+    );
+}

@@ -138,6 +138,52 @@ fn threaded_read_pool_serves_interactive_reads() {
 }
 
 #[test]
+fn threaded_read_pool_serves_start_tx() {
+    // Interactive `begin` issues a StartTxReq, which the router tap
+    // diverts into the pool: snapshot assignment must run through the
+    // views (counted by their start counter), and the transaction must
+    // still work end to end — its context lives in the shared table the
+    // loop reads.
+    use paris_types::{Key, Value};
+    let mut cluster = small(3, 6, Mode::Paris)
+        .clients_per_dc(0)
+        .read_threads(2)
+        .build_thread()
+        .unwrap();
+    let a = cluster.open_client(0).unwrap();
+    let mut txn = cluster.begin(a).unwrap();
+    txn.write(Key(8), Value::from("pooled-start"));
+    txn.commit().unwrap();
+    cluster.stabilize(5);
+    let b = cluster.open_client(1).unwrap();
+    let mut txn = cluster.begin(b).unwrap();
+    assert_eq!(
+        txn.read_one(Key(8)).unwrap(),
+        Some(Value::from("pooled-start"))
+    );
+    txn.commit().unwrap();
+    let pooled_starts: u64 = cluster
+        .topology()
+        .all_servers()
+        .into_iter()
+        .filter_map(|id| cluster.read_view(id))
+        .map(|v| v.stats().start_txs())
+        .sum();
+    assert!(pooled_starts >= 2, "starts did not go through the views");
+}
+
+#[test]
+fn unset_read_threads_derives_a_pool_under_paris_but_not_bpr() {
+    // No explicit read_threads: the threaded backend derives a PaRiS pool
+    // from the host's parallelism, and — crucially — BPR still builds
+    // (the auto default must not trip the explicit-knob rejection).
+    let paris = small(3, 6, Mode::Paris).build_thread().unwrap();
+    drop(paris);
+    let bpr = small(3, 6, Mode::Bpr).build_thread();
+    assert!(bpr.is_ok(), "auto pool sizing must leave BPR loop-served");
+}
+
+#[test]
 fn builder_rejects_read_threads_under_bpr() {
     let err = match small(3, 6, Mode::Bpr).read_threads(2).build_thread() {
         Ok(_) => panic!("BPR + read_threads must be rejected"),

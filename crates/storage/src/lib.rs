@@ -42,7 +42,7 @@ mod stable;
 mod store;
 
 pub use chain::VersionChain;
-pub use stable::{ReadGuard, StableFrontier, StaleSnapshot};
+pub use stable::{ReadGuard, StableFrontier, StaleSnapshot, DEFAULT_READ_SLOTS};
 pub use store::{PartitionStore, StoreStats};
 
 pub use paris_types::Version;

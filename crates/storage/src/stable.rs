@@ -18,23 +18,78 @@
 //!   ([`StaleSnapshot`]) before touching any chain: its versions may have
 //!   been reclaimed, so only the authoritative single-writer loop (which
 //!   serializes with its own GC) may serve it.
+//!
+//! # The slot registry
+//!
+//! Read admission is **lock-free on the hot path**: the registry is a
+//! fixed array of atomic *snapshot slots*. [`StableFrontier::begin_read`]
+//! claims a free slot with one compare-and-swap of the packed timestamp
+//! (starting from a rotating cursor so concurrent readers rarely collide
+//! on the same slot), and the guard's drop releases it with one store.
+//! `gc_horizon()` only ever needs the **minimum** in-flight snapshot, so a
+//! plain scan over the slot array replaces the old ordered map, and no
+//! read ever takes a mutex to be admitted.
+//!
+//! When every slot is busy (more concurrent off-loop reads than slots) —
+//! or for the one packed value that collides with the free sentinel —
+//! registration falls back to the original mutexed `BTreeMap`, so
+//! correctness never depends on the pool size; the fallback is counted in
+//! [`StableFrontier::overflow_registrations`] for observability.
+//!
+//! # Why register-then-check still has no TOCTOU window
+//!
+//! `begin_read` publishes the registration (slot CAS or map insert)
+//! *before* loading `S_old`, and `gc_horizon()` loads `S_old` *before*
+//! scanning the slots; every one of those operations is `SeqCst`. In the
+//! single total order this forces, either the GC scan observes the
+//! registration (and the horizon stays at or below the read's snapshot),
+//! or the registration came later — in which case the reader's subsequent
+//! `S_old` load observes the advanced horizon and the check fails. There
+//! is no interleaving in which a read proceeds over reclaimed data, which
+//! is exactly the argument the mutexed registry made via critical
+//! sections.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use paris_types::Timestamp;
 
+/// Default number of atomic snapshot slots: comfortably above any
+/// realistic read-pool size, so the mutex fallback is cold.
+pub const DEFAULT_READ_SLOTS: usize = 64;
+
+/// Sentinel marking a free slot. `u64::MAX` is `Timestamp::MAX`, which no
+/// realistic snapshot ever packs to; a read at exactly that value still
+/// registers correctly through the overflow map.
+const SLOT_FREE: u64 = u64::MAX;
+
 /// Shared, concurrently-readable stable-time state of one partition
 /// server. See the module docs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StableFrontier {
     /// Packed [`Timestamp`]: the server's universal stable time.
     ust: AtomicU64,
     /// Packed [`Timestamp`]: the GC horizon `S_old`.
     s_old: AtomicU64,
-    /// Snapshot → number of in-flight off-loop reads at that snapshot.
-    inflight: Mutex<BTreeMap<u64, usize>>,
+    /// The lock-free registry: packed snapshots of in-flight off-loop
+    /// reads, [`SLOT_FREE`] when vacant.
+    slots: Box<[AtomicU64]>,
+    /// Rotating claim cursor, so concurrent readers start their slot scan
+    /// at different indices instead of all CASing slot 0.
+    cursor: AtomicUsize,
+    /// Bounded-overflow fallback: snapshot → number of in-flight reads,
+    /// used only when every slot is busy (or the snapshot packs to the
+    /// free sentinel).
+    overflow: Mutex<BTreeMap<u64, usize>>,
+    /// How many registrations took the overflow path (observability).
+    overflow_registrations: AtomicU64,
+}
+
+impl Default for StableFrontier {
+    fn default() -> Self {
+        StableFrontier::with_slots(DEFAULT_READ_SLOTS)
+    }
 }
 
 /// Error returned when a snapshot read is requested below the published
@@ -60,9 +115,35 @@ impl std::fmt::Display for StaleSnapshot {
 impl std::error::Error for StaleSnapshot {}
 
 impl StableFrontier {
-    /// A frontier at time zero.
+    /// A frontier at time zero with the default slot count.
     pub fn new() -> Self {
         StableFrontier::default()
+    }
+
+    /// A frontier at time zero with `slots` atomic read slots. `0`
+    /// disables the slot registry entirely — every read registers through
+    /// the mutexed overflow map (the pre-slot behavior; benches use this
+    /// to measure what the slots buy).
+    pub fn with_slots(slots: usize) -> Self {
+        StableFrontier {
+            ust: AtomicU64::new(0),
+            s_old: AtomicU64::new(0),
+            slots: (0..slots).map(|_| AtomicU64::new(SLOT_FREE)).collect(),
+            cursor: AtomicUsize::new(0),
+            overflow: Mutex::new(BTreeMap::new()),
+            overflow_registrations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of atomic read slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// How many registrations missed the slot array and took the mutexed
+    /// overflow path so far.
+    pub fn overflow_registrations(&self) -> u64 {
+        self.overflow_registrations.load(Ordering::Relaxed)
     }
 
     /// The published universal stable time.
@@ -95,55 +176,101 @@ impl StableFrontier {
     }
 
     /// Registers an off-loop snapshot read, pinning the GC horizon at or
-    /// below `snapshot` until the returned guard drops.
+    /// below `snapshot` until the returned guard drops. Admission is one
+    /// CAS on a free slot; only slot exhaustion falls back to a mutex.
     ///
     /// # Errors
     ///
     /// Returns [`StaleSnapshot`] if `snapshot` is already below `S_old` —
     /// versions the read should observe may be reclaimed, so it must be
     /// punted to the single-writer loop. The registration happens *before*
-    /// the horizon check, so a concurrent GC either sees the registration
-    /// (and spares the versions) or advanced first (and the check fails):
-    /// there is no window in which the read proceeds over reclaimed data.
+    /// the horizon check (see the module docs), so a concurrent GC either
+    /// sees the registration (and spares the versions) or advanced first
+    /// (and the check fails): there is no window in which the read
+    /// proceeds over reclaimed data.
     pub fn begin_read(self: &Arc<Self>, snapshot: Timestamp) -> Result<ReadGuard, StaleSnapshot> {
-        {
-            let mut inflight = self.inflight.lock().expect("inflight poisoned");
-            *inflight.entry(snapshot.as_u64()).or_insert(0) += 1;
-        }
+        let slot = self.register(snapshot);
         let s_old = self.s_old();
         if snapshot < s_old {
-            self.end_read(snapshot);
+            self.release(snapshot, slot);
             return Err(StaleSnapshot { snapshot, s_old });
         }
         Ok(ReadGuard {
             frontier: Arc::clone(self),
             snapshot,
+            slot,
         })
     }
 
-    fn end_read(&self, snapshot: Timestamp) {
-        let mut inflight = self.inflight.lock().expect("inflight poisoned");
-        match inflight.get_mut(&snapshot.as_u64()) {
-            Some(n) if *n > 1 => *n -= 1,
-            Some(_) => {
-                inflight.remove(&snapshot.as_u64());
+    /// Publishes one in-flight read; returns the claimed slot index, or
+    /// `None` when the registration went through the overflow map.
+    fn register(&self, snapshot: Timestamp) -> Option<usize> {
+        let packed = snapshot.as_u64();
+        if packed != SLOT_FREE && !self.slots.is_empty() {
+            let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+            for i in 0..self.slots.len() {
+                let idx = (start + i) % self.slots.len();
+                if self.slots[idx]
+                    .compare_exchange(SLOT_FREE, packed, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return Some(idx);
+                }
             }
-            None => debug_assert!(false, "unbalanced end_read"),
+        }
+        self.overflow_registrations.fetch_add(1, Ordering::Relaxed);
+        let mut overflow = self.overflow.lock().expect("overflow poisoned");
+        *overflow.entry(packed).or_insert(0) += 1;
+        None
+    }
+
+    /// Releases one registration made by [`StableFrontier::register`].
+    fn release(&self, snapshot: Timestamp, slot: Option<usize>) {
+        match slot {
+            Some(idx) => {
+                let prev = self.slots[idx].swap(SLOT_FREE, Ordering::SeqCst);
+                debug_assert_eq!(prev, snapshot.as_u64(), "slot clobbered while held");
+            }
+            None => {
+                let mut overflow = self.overflow.lock().expect("overflow poisoned");
+                match overflow.get_mut(&snapshot.as_u64()) {
+                    Some(n) if *n > 1 => *n -= 1,
+                    Some(_) => {
+                        overflow.remove(&snapshot.as_u64());
+                    }
+                    None => debug_assert!(false, "unbalanced release"),
+                }
+            }
         }
     }
 
     /// The oldest snapshot of any in-flight off-loop read, if any.
     pub fn oldest_inflight(&self) -> Option<Timestamp> {
-        self.inflight
+        let slot_min = self
+            .slots
+            .iter()
+            .map(|s| s.load(Ordering::SeqCst))
+            .filter(|&raw| raw != SLOT_FREE)
+            .min();
+        let overflow_min = self
+            .overflow
             .lock()
-            .expect("inflight poisoned")
+            .expect("overflow poisoned")
             .keys()
             .next()
-            .map(|&raw| Timestamp::from_u64(raw))
+            .copied();
+        match (slot_min, overflow_min) {
+            (Some(a), Some(b)) => Some(Timestamp::from_u64(a.min(b))),
+            (Some(a), None) => Some(Timestamp::from_u64(a)),
+            (None, Some(b)) => Some(Timestamp::from_u64(b)),
+            (None, None) => None,
+        }
     }
 
     /// The horizon garbage collection may trim to right now:
-    /// `min(S_old, oldest in-flight read)`.
+    /// `min(S_old, oldest in-flight read)`. The `S_old` load precedes the
+    /// slot scan — the ordering the no-TOCTOU argument relies on (module
+    /// docs).
     pub fn gc_horizon(&self) -> Timestamp {
         let s_old = self.s_old();
         match self.oldest_inflight() {
@@ -159,6 +286,8 @@ impl StableFrontier {
 pub struct ReadGuard {
     frontier: Arc<StableFrontier>,
     snapshot: Timestamp,
+    /// Claimed slot index; `None` when registered via the overflow map.
+    slot: Option<usize>,
 }
 
 impl ReadGuard {
@@ -170,7 +299,7 @@ impl ReadGuard {
 
 impl Drop for ReadGuard {
     fn drop(&mut self) {
-        self.frontier.end_read(self.snapshot);
+        self.frontier.release(self.snapshot, self.slot);
     }
 }
 
@@ -189,6 +318,8 @@ mod tests {
         assert_eq!(f.s_old(), Timestamp::ZERO);
         assert_eq!(f.gc_horizon(), Timestamp::ZERO);
         assert!(f.oldest_inflight().is_none());
+        assert_eq!(f.slot_count(), DEFAULT_READ_SLOTS);
+        assert_eq!(f.overflow_registrations(), 0);
     }
 
     #[test]
@@ -222,10 +353,11 @@ mod tests {
         drop(g2);
         assert_eq!(f.gc_horizon(), ts(140));
         assert!(f.oldest_inflight().is_none());
+        assert_eq!(f.overflow_registrations(), 0, "slots sufficed");
     }
 
     #[test]
-    fn duplicate_snapshots_are_refcounted() {
+    fn duplicate_snapshots_each_hold_a_slot() {
         let f = Arc::new(StableFrontier::new());
         let a = f.begin_read(ts(7)).unwrap();
         let b = f.begin_read(ts(7)).unwrap();
@@ -247,5 +379,68 @@ mod tests {
         assert!(f.oldest_inflight().is_none(), "rejection deregisters");
         // At the horizon is safe: GC keeps the freshest version ≤ S_old.
         assert!(f.begin_read(ts(50)).is_ok());
+    }
+
+    #[test]
+    fn slot_exhaustion_falls_back_to_the_overflow_map() {
+        let f = Arc::new(StableFrontier::with_slots(2));
+        let _a = f.begin_read(ts(10)).unwrap();
+        let _b = f.begin_read(ts(20)).unwrap();
+        assert_eq!(f.overflow_registrations(), 0);
+        let c = f.begin_read(ts(5)).unwrap(); // third read: slots full
+        assert_eq!(f.overflow_registrations(), 1);
+        assert_eq!(f.oldest_inflight(), Some(ts(5)), "overflow still pins");
+        assert_eq!(f.gc_horizon(), Timestamp::ZERO);
+        f.advance_s_old(ts(8));
+        assert_eq!(f.gc_horizon(), ts(5), "overflow entry bounds the horizon");
+        drop(c);
+        assert_eq!(f.oldest_inflight(), Some(ts(10)));
+    }
+
+    #[test]
+    fn overflow_rejection_deregisters() {
+        let f = Arc::new(StableFrontier::with_slots(1));
+        f.advance_s_old(ts(50));
+        let _pin = f.begin_read(ts(60)).unwrap(); // occupies the only slot
+        let err = f.begin_read(ts(40)).unwrap_err(); // overflow + stale
+        assert_eq!(err.s_old, ts(50));
+        assert_eq!(f.overflow_registrations(), 1);
+        assert_eq!(f.oldest_inflight(), Some(ts(60)), "overflow entry gone");
+    }
+
+    #[test]
+    fn zero_slots_is_the_pure_mutex_registry() {
+        let f = Arc::new(StableFrontier::with_slots(0));
+        assert_eq!(f.slot_count(), 0);
+        let g = f.begin_read(ts(30)).unwrap();
+        assert_eq!(f.overflow_registrations(), 1, "every read overflows");
+        assert_eq!(f.oldest_inflight(), Some(ts(30)));
+        drop(g);
+        assert!(f.oldest_inflight().is_none());
+    }
+
+    #[test]
+    fn max_timestamp_snapshot_uses_the_overflow_path() {
+        // Timestamp::MAX packs to the free sentinel; it must never be
+        // written into a slot (it would look vacant) yet must still pin.
+        let f = Arc::new(StableFrontier::new());
+        let g = f.begin_read(Timestamp::MAX).unwrap();
+        assert_eq!(f.overflow_registrations(), 1);
+        assert_eq!(f.oldest_inflight(), Some(Timestamp::MAX));
+        drop(g);
+        assert!(f.oldest_inflight().is_none());
+    }
+
+    #[test]
+    fn released_slots_are_reclaimed() {
+        let f = Arc::new(StableFrontier::with_slots(2));
+        for round in 0..100u64 {
+            let g1 = f.begin_read(ts(round + 1)).unwrap();
+            let g2 = f.begin_read(ts(round + 2)).unwrap();
+            drop(g1);
+            drop(g2);
+        }
+        assert_eq!(f.overflow_registrations(), 0, "two slots always suffice");
+        assert!(f.oldest_inflight().is_none());
     }
 }

@@ -199,3 +199,103 @@ fn gc_racing_readers_never_loses_a_guarded_read() {
     let stats = store.stats();
     assert_eq!(stats.versions as u64, WRITES - stats.gc_removed);
 }
+
+/// The slot registry under deliberate slot exhaustion: more concurrent
+/// readers than atomic slots, racing the writer and GC through claim /
+/// release. Every reader, slot-admitted or overflow-admitted, holds a
+/// guard and asserts the GC horizon never exceeds its registered
+/// snapshot — the invariant `gc_horizon ≤ oldest registered read`
+/// regardless of which registry path admitted the read.
+#[test]
+fn slot_overflow_readers_still_pin_the_horizon() {
+    const SLOTS: usize = 2; // far fewer than the reader count below
+    const OVERFLOW_READERS: usize = 6;
+    let store = Arc::new(PartitionStore::new());
+    let frontier = Arc::new(StableFrontier::with_slots(SLOTS));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let store = Arc::clone(&store);
+        let frontier = Arc::clone(&frontier);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            // Occupy every slot for the first half of the run (far-future
+            // snapshots never pin the horizon below `S_old`), so every
+            // racing reader is *guaranteed* through the overflow fallback;
+            // the second half releases the slots and races the CAS path.
+            let far = ts(WRITES * 10);
+            let mut slot_pins: Vec<_> = (0..SLOTS)
+                .map(|_| frontier.begin_read(far).expect("far above S_old"))
+                .collect();
+            for t in 1..=WRITES {
+                store.apply(Key(t % KEYS), Value::filled(8, t), ts(t), tx(t), DcId(0));
+                frontier.max_ust(ts(t));
+                if t > 64 {
+                    frontier.advance_s_old(ts(t - 64));
+                }
+                if t == WRITES / 2 {
+                    slot_pins.clear();
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let gc = {
+        let store = Arc::clone(&store);
+        let frontier = Arc::clone(&frontier);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::SeqCst) {
+                store.gc(frontier.gc_horizon());
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..OVERFLOW_READERS)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let frontier = Arc::clone(&frontier);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut k = 0u64;
+                while !done.load(Ordering::SeqCst) {
+                    let snapshot = frontier.ust();
+                    let Ok(guard) = frontier.begin_read(snapshot) else {
+                        continue; // raced a horizon advance: retry fresher
+                    };
+                    // The registered read bounds the horizon, whether it
+                    // claimed a slot or fell back to the overflow map.
+                    let horizon = frontier.gc_horizon();
+                    assert!(
+                        horizon <= guard.snapshot(),
+                        "gc_horizon {horizon:?} above a registered read at {snapshot:?}"
+                    );
+                    let key = Key(k % KEYS);
+                    k += 1;
+                    if snapshot.physical_micros() > KEYS {
+                        let v = store
+                            .read_at(key, snapshot)
+                            .expect("guarded read lost to GC");
+                        assert!(v.ut <= snapshot);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer panicked");
+    gc.join().expect("gc panicked");
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+    assert!(
+        frontier.overflow_registrations() > 0,
+        "{OVERFLOW_READERS} readers over {SLOTS} slots never exercised the fallback"
+    );
+    assert!(
+        frontier.oldest_inflight().is_none(),
+        "all guards released both registries"
+    );
+}

@@ -1,0 +1,137 @@
+//! Property test: the slot-based in-flight registry is observably
+//! equivalent to the reference `BTreeMap` registry it replaced.
+//!
+//! A model registry (ordered map of snapshot → refcount, plus a scalar
+//! `S_old`) and a real [`StableFrontier`] — built with deliberately few
+//! slots so sequences routinely overflow into the mutex fallback — are
+//! driven through the same arbitrary sequence of begin/end/advance
+//! operations. After every step the two must agree on admission verdicts
+//! (stale rejection), the oldest in-flight snapshot, and the GC horizon.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use paris_storage::{ReadGuard, StableFrontier};
+use paris_types::Timestamp;
+use proptest::prelude::*;
+
+fn ts(t: u64) -> Timestamp {
+    Timestamp::from_physical_micros(t)
+}
+
+/// The reference semantics: exactly the pre-slot mutexed registry.
+#[derive(Default)]
+struct ModelRegistry {
+    inflight: BTreeMap<u64, usize>,
+    s_old: u64,
+}
+
+impl ModelRegistry {
+    /// Register-then-check: returns whether the read was admitted.
+    fn begin(&mut self, snapshot: Timestamp) -> bool {
+        if snapshot.as_u64() < self.s_old {
+            return false;
+        }
+        *self.inflight.entry(snapshot.as_u64()).or_insert(0) += 1;
+        true
+    }
+
+    fn end(&mut self, snapshot: Timestamp) {
+        match self.inflight.get_mut(&snapshot.as_u64()) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                self.inflight.remove(&snapshot.as_u64());
+            }
+            None => panic!("model: unbalanced end"),
+        }
+    }
+
+    fn oldest(&self) -> Option<Timestamp> {
+        self.inflight.keys().next().map(|&r| Timestamp::from_u64(r))
+    }
+
+    fn gc_horizon(&self) -> Timestamp {
+        let s_old = Timestamp::from_u64(self.s_old);
+        match self.oldest() {
+            Some(o) => s_old.min(o),
+            None => s_old,
+        }
+    }
+}
+
+/// One scripted operation over both registries.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Attempt a read at this (physical-micros) snapshot.
+    Begin(u64),
+    /// Drop an open guard, selected by this index modulo the open count.
+    End(usize),
+    /// Advance `S_old` to this value (monotonic via max, as in the
+    /// stabilization protocol).
+    AdvanceSOld(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u64..200).prop_map(Op::Begin),
+        3 => (0usize..16).prop_map(Op::End),
+        1 => (1u64..150).prop_map(Op::AdvanceSOld),
+    ]
+}
+
+proptest! {
+    /// Both registries, driven in lockstep over arbitrary begin/end
+    /// sequences (with few enough slots that overflow happens), agree on
+    /// every admission verdict, the oldest in-flight snapshot, and the
+    /// GC horizon after every step.
+    #[test]
+    fn slot_and_btreemap_registries_agree(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        // 3 slots: deep sequences spill into the overflow map, so both
+        // the CAS and the fallback path are compared against the model.
+        let frontier = Arc::new(StableFrontier::with_slots(3));
+        let mut model = ModelRegistry::default();
+        let mut open: Vec<(Timestamp, ReadGuard)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Begin(raw) => {
+                    let snapshot = ts(raw);
+                    let admitted = frontier.begin_read(snapshot);
+                    let model_admitted = model.begin(snapshot);
+                    prop_assert_eq!(
+                        admitted.is_ok(),
+                        model_admitted,
+                        "admission verdicts diverged at snapshot {}",
+                        snapshot
+                    );
+                    if let Ok(guard) = admitted {
+                        open.push((snapshot, guard));
+                    }
+                }
+                Op::End(idx) => {
+                    if open.is_empty() {
+                        continue;
+                    }
+                    let (snapshot, guard) = open.remove(idx % open.len());
+                    drop(guard);
+                    model.end(snapshot);
+                }
+                Op::AdvanceSOld(raw) => {
+                    frontier.advance_s_old(ts(raw));
+                    model.s_old = model.s_old.max(ts(raw).as_u64());
+                }
+            }
+            prop_assert_eq!(frontier.oldest_inflight(), model.oldest());
+            prop_assert_eq!(frontier.gc_horizon(), model.gc_horizon());
+        }
+
+        // Drain every guard: the registries must end empty and agree.
+        for (snapshot, guard) in open.drain(..) {
+            drop(guard);
+            model.end(snapshot);
+        }
+        prop_assert!(frontier.oldest_inflight().is_none());
+        prop_assert!(model.oldest().is_none());
+        prop_assert_eq!(frontier.gc_horizon(), frontier.s_old());
+    }
+}

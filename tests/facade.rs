@@ -116,6 +116,25 @@ fn builder_validation_errors() {
         .build();
     assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
 
+    // A store with zero chain shards cannot exist.
+    let err = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .store_shards(0)
+        .build();
+    assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
+
+    // Zero read-admission *slots* is legal: it selects the mutex-only
+    // fallback registry (what fig_reads measures the slots against).
+    assert!(Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .read_slots(0)
+        .build()
+        .is_ok());
+
     // Sim-only knobs are rejected, not silently ignored, on other
     // backends.
     let err = Paris::builder()
