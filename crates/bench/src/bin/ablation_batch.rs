@@ -60,11 +60,16 @@ fn run_arm(mode: Mode, batched: bool) -> Arm {
         gc_micros: 1_000_000,
     })
     .record_history(true);
-    if batched {
-        builder = builder
+    // Batching is on by default now: the off arm must opt out explicitly,
+    // and the on arm pins the PR-2 fixed policy so the ablation keeps
+    // measuring the same thing across releases (fig4 sweeps adaptive).
+    builder = if batched {
+        builder
             .batch_size(BATCH_FRAMES)
-            .flush_interval_micros(FLUSH_MICROS);
-    }
+            .flush_interval_micros(FLUSH_MICROS)
+    } else {
+        builder.no_batching()
+    };
     let mut sim = builder.build_sim().expect("valid ablation deployment");
     let report = sim
         .run_workload(warmup_micros(), window_micros())

@@ -33,7 +33,7 @@ use paris_proto::{Envelope, Msg, ReadResult};
 use paris_storage::{PartitionStore, StableFrontier, StaleSnapshot};
 use paris_types::{ClientId, Key, Mode, ServerId, Timestamp, TxId, Version};
 
-use crate::server::TxTable;
+use crate::server::{ReportTable, TxTable};
 
 /// Read-path counters, shared between a server and all its views.
 #[derive(Debug, Default)]
@@ -46,6 +46,9 @@ pub struct ReadViewStats {
     pub(crate) stale_rejections: AtomicU64,
     /// Transactions started through views (pooled snapshot assignment).
     pub(crate) start_txs: AtomicU64,
+    /// Stabilization child reports folded through views (off-loop
+    /// `GstReport` handling).
+    pub(crate) gst_reports: AtomicU64,
 }
 
 impl ReadViewStats {
@@ -69,6 +72,11 @@ impl ReadViewStats {
     pub fn start_txs(&self) -> u64 {
         self.start_txs.load(Ordering::Relaxed)
     }
+
+    /// Stabilization child reports folded through views so far.
+    pub fn gst_reports(&self) -> u64 {
+        self.gst_reports.load(Ordering::Relaxed)
+    }
 }
 
 /// A concurrently-usable handle serving Algorithm 3 snapshot reads from a
@@ -83,6 +91,7 @@ pub struct ReadView {
     frontier: Arc<StableFrontier>,
     stats: Arc<ReadViewStats>,
     tx_table: Arc<TxTable>,
+    child_reports: Arc<ReportTable>,
 }
 
 impl ReadView {
@@ -93,6 +102,7 @@ impl ReadView {
         frontier: Arc<StableFrontier>,
         stats: Arc<ReadViewStats>,
         tx_table: Arc<TxTable>,
+        child_reports: Arc<ReportTable>,
     ) -> Self {
         ReadView {
             id,
@@ -101,6 +111,7 @@ impl ReadView {
             frontier,
             stats,
             tx_table,
+            child_reports,
         }
     }
 
@@ -201,6 +212,29 @@ impl ReadView {
             client,
             Msg::StartTxResp { tx, snapshot },
         ))
+    }
+
+    /// Folds one `GstReport` (a tree child's stabilization aggregate)
+    /// into the shared report table, off the server loop. Folding is
+    /// read-only with respect to storage and touches only the dedicated
+    /// table, so the threaded runtime's read pool can absorb report
+    /// frames that would otherwise queue behind commits and replication
+    /// batches on the server mailbox. Out-of-order deliveries (racing
+    /// pool lanes, or a pool frame racing a loop frame) are handled by
+    /// the table's monotone fold — see `server::report_table`.
+    ///
+    /// Only *unbatched* reports travel through here: with coalescing
+    /// enabled, gossip arrives folded inside `GossipDigest` frames, which
+    /// carry loop-owned components (root GSTs, UST broadcasts) and stay
+    /// on the server loop.
+    pub fn serve_gst_report(
+        &self,
+        partition: paris_types::PartitionId,
+        mins: &[(paris_types::DcId, Timestamp)],
+        oldest_active: Timestamp,
+    ) {
+        self.child_reports.fold(partition, mins, oldest_active);
+        self.stats.gst_reports.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Reads one key at `snapshot` through the view (stress tests and

@@ -18,6 +18,7 @@
 mod cohort;
 mod coordinator;
 mod replication;
+mod report_table;
 mod stabilization;
 mod tx_table;
 
@@ -31,6 +32,7 @@ use paris_types::{ClientId, DcId, Mode, PartitionId, ServerId, Timestamp, TxId, 
 use crate::read_view::{ReadView, ReadViewStats};
 use crate::topology::Topology;
 
+pub(crate) use report_table::ReportTable;
 pub(crate) use tx_table::TxTable;
 
 /// Coordinator-side state of one running transaction (the paper's
@@ -211,8 +213,10 @@ pub struct Server {
     pub(crate) committed: BTreeMap<(Timestamp, TxId), CommittedTx>,
     /// BPR: reads blocked until `min(VV) ≥ snapshot`.
     pub(crate) blocked: Vec<BlockedRead>,
-    /// Stabilization: freshest report per tree child partition.
-    pub(crate) child_reports: HashMap<PartitionId, (Vec<(DcId, Timestamp)>, Timestamp)>,
+    /// Stabilization: freshest report per tree child partition, shared
+    /// with every [`ReadView`] so unbatched `GstReport`s can be folded
+    /// off the server loop (see [`report_table`]).
+    pub(crate) child_reports: std::sync::Arc<ReportTable>,
     /// Root only: latest (gst, oldest_active) per DC.
     pub(crate) dc_gsts: HashMap<DcId, (Timestamp, Timestamp)>,
     /// DCs this server currently considers unreachable (fed by the
@@ -284,6 +288,7 @@ impl Server {
         });
         let view_stats = std::sync::Arc::new(ReadViewStats::default());
         let tx_table = std::sync::Arc::new(TxTable::default());
+        let child_reports = std::sync::Arc::new(ReportTable::default());
         let view = ReadView::new(
             id,
             mode,
@@ -291,6 +296,7 @@ impl Server {
             std::sync::Arc::clone(&frontier),
             std::sync::Arc::clone(&view_stats),
             std::sync::Arc::clone(&tx_table),
+            std::sync::Arc::clone(&child_reports),
         );
         let mut server = Server {
             id,
@@ -308,7 +314,7 @@ impl Server {
             prepared_index: BTreeSet::new(),
             committed: BTreeMap::new(),
             blocked: Vec::new(),
-            child_reports: HashMap::new(),
+            child_reports,
             dc_gsts: HashMap::new(),
             unreachable: HashSet::new(),
             stats: ServerStats::default(),

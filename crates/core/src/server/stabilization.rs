@@ -27,14 +27,8 @@ impl Server {
     /// crate-internal hook).
     pub(crate) fn seed_child_reports(&mut self) {
         for child in self.topo.tree_children(self.id) {
-            let mins = self
-                .topo
-                .replicas(child.partition)
-                .into_iter()
-                .map(|dc| (dc, Timestamp::ZERO))
-                .collect();
             self.child_reports
-                .insert(child.partition, (mins, Timestamp::ZERO));
+                .seed(child.partition, self.topo.replicas(child.partition));
         }
     }
 
@@ -45,14 +39,14 @@ impl Server {
         let mut mins: HashMap<DcId, Timestamp> =
             self.vv.iter().map(|(dc, ts)| (*dc, *ts)).collect();
         let mut oldest = self.oldest_active_snapshot();
-        for (report, child_oldest) in self.child_reports.values() {
+        self.child_reports.for_each(|report, child_oldest| {
             for (dc, ts) in report {
                 mins.entry(*dc)
                     .and_modify(|cur| *cur = (*cur).min(*ts))
                     .or_insert(*ts);
             }
-            oldest = oldest.min(*child_oldest);
-        }
+            oldest = oldest.min(child_oldest);
+        });
         let mut mins: Vec<(DcId, Timestamp)> = mins.into_iter().collect();
         mins.sort_unstable_by_key(|(dc, _)| *dc);
         (mins, oldest)
@@ -139,15 +133,18 @@ impl Server {
             .collect()
     }
 
-    /// A child's subtree report (tree-internal message).
+    /// A child's subtree report (tree-internal message). The fold goes
+    /// through the shared [`super::ReportTable`] — the exact same path
+    /// [`crate::ReadView::serve_gst_report`] uses when the threaded
+    /// runtime serves an unbatched report off the loop — so loop and pool
+    /// deliveries can interleave safely.
     pub(super) fn on_gst_report(
         &mut self,
         partition: PartitionId,
         mins: &[(DcId, Timestamp)],
         oldest_active: Timestamp,
     ) -> Vec<Envelope> {
-        self.child_reports
-            .insert(partition, (mins.to_vec(), oldest_active));
+        self.child_reports.fold(partition, mins, oldest_active);
         Vec::new()
     }
 

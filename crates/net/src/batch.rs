@@ -8,7 +8,15 @@
 //! and folded into at most one [`Msg::ReplicateBatch`] and one
 //! [`Msg::GossipDigest`] wire message, flushed when
 //! [`BatchConfig::max_batch`] logical frames have accumulated or the
-//! oldest frame has waited [`BatchConfig::flush_interval_micros`].
+//! oldest frame reaches the link's [`FlushPolicy`] deadline.
+//!
+//! Deadlines come in two flavours: `Fixed` flushes a constant interval
+//! after a link's first queued frame, while `Adaptive` (the default)
+//! gives each link its own controller — a [`LinkLoad`] EWMA of the
+//! frame inter-arrival gap — so a hot link flushes after roughly two
+//! gaps (small delay, still folding) and a quiet link stretches its
+//! deadline toward the configured ceiling. The deadline is always inside
+//! the configured `[min_flush, max_flush]` bounds.
 //!
 //! Foreground transaction traffic (client operations, read fan-out, 2PC)
 //! is latency-critical and always passes through untouched.
@@ -26,7 +34,53 @@
 use std::collections::BTreeMap;
 
 use paris_proto::{DigestReport, Endpoint, Envelope, Msg, ReplicatedTx};
-use paris_types::{BatchConfig, DcId, PartitionId, Timestamp};
+use paris_types::{BatchConfig, DcId, FlushPolicy, PartitionId, Timestamp};
+
+/// Per-link arrival-rate estimate feeding the adaptive [`FlushPolicy`]:
+/// an exponentially-weighted moving average of the gap between
+/// consecutive background frames on one directed link. The state
+/// survives flushes (unlike the link's frame queue), so the controller
+/// remembers how busy a link was across batch windows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkLoad {
+    last_arrival: Option<u64>,
+    ewma_gap: Option<u64>,
+}
+
+impl LinkLoad {
+    /// Weight of history in the gap EWMA: `new = (3·old + sample) / 4`.
+    /// Converges within a handful of frames without whipsawing on one
+    /// odd gap.
+    const HISTORY_WEIGHT: u64 = 3;
+
+    /// Records a frame arrival at `now` (monotone microseconds).
+    pub fn observe(&mut self, now: u64) {
+        if let Some(last) = self.last_arrival {
+            let sample = now.saturating_sub(last);
+            self.ewma_gap = Some(match self.ewma_gap {
+                None => sample,
+                Some(ewma) => {
+                    (Self::HISTORY_WEIGHT
+                        .saturating_mul(ewma)
+                        .saturating_add(sample))
+                        / (Self::HISTORY_WEIGHT + 1)
+                }
+            });
+        }
+        self.last_arrival = Some(self.last_arrival.unwrap_or(0).max(now));
+    }
+
+    /// The estimated mean inter-arrival gap, once two frames have been
+    /// seen.
+    pub fn gap_micros(&self) -> Option<u64> {
+        self.ewma_gap
+    }
+
+    /// The flush deadline `policy` assigns this link right now.
+    pub fn deadline_micros(&self, policy: &FlushPolicy) -> u64 {
+        policy.interval_micros(self.ewma_gap)
+    }
+}
 
 /// Outcome of [`Coalescer::offer`].
 #[derive(Debug)]
@@ -54,6 +108,10 @@ pub struct CoalescerStats {
     pub frames_in: u64,
     /// Wire messages flushed out.
     pub messages_out: u64,
+    /// Link flushes triggered by the size bound (`max_batch`).
+    pub size_flushes: u64,
+    /// Link flushes triggered by a deadline (or a forced `flush_all`).
+    pub deadline_flushes: u64,
 }
 
 #[derive(Debug)]
@@ -225,6 +283,9 @@ impl LinkQueue {
 pub struct Coalescer {
     cfg: BatchConfig,
     links: BTreeMap<(Endpoint, Endpoint), LinkQueue>,
+    /// Per-link arrival-rate controllers; unlike `links`, entries persist
+    /// across flushes so the adaptive deadline remembers link load.
+    loads: BTreeMap<(Endpoint, Endpoint), LinkLoad>,
     stats: CoalescerStats,
 }
 
@@ -234,6 +295,7 @@ impl Coalescer {
         Coalescer {
             cfg,
             links: BTreeMap::new(),
+            loads: BTreeMap::new(),
             stats: CoalescerStats::default(),
         }
     }
@@ -255,14 +317,25 @@ impl Coalescer {
             return Offer::Pass(env);
         }
         let key = (env.src, env.dst);
+        let deadline = match self.cfg.flush {
+            // Fixed deadlines don't depend on link load: keep the PR-2
+            // hot path free of per-frame rate bookkeeping.
+            FlushPolicy::Fixed { interval_micros } => interval_micros,
+            FlushPolicy::Adaptive { .. } => {
+                let load = self.loads.entry(key).or_default();
+                load.observe(now);
+                load.deadline_micros(&self.cfg.flush)
+            }
+        };
         let queue = self.links.entry(key).or_insert_with(|| LinkQueue {
-            due: now + self.cfg.flush_interval_micros,
+            due: now + deadline,
             ..LinkQueue::default()
         });
         queue.fold(env.msg);
         self.stats.frames_in += 1;
         if queue.frames() as usize >= self.cfg.max_batch {
             let queue = self.links.remove(&key).expect("just inserted");
+            self.stats.size_flushes += 1;
             Offer::Flush(self.drain(key, queue))
         } else {
             Offer::Queued {
@@ -283,6 +356,7 @@ impl Coalescer {
         let mut out = Vec::new();
         for key in due {
             let queue = self.links.remove(&key).expect("collected above");
+            self.stats.deadline_flushes += 1;
             out.extend(self.drain(key, queue));
         }
         out
@@ -294,9 +368,15 @@ impl Coalescer {
         let mut out = Vec::new();
         for key in keys {
             let queue = self.links.remove(&key).expect("keyed");
+            self.stats.deadline_flushes += 1;
             out.extend(self.drain(key, queue));
         }
         out
+    }
+
+    /// The arrival-rate estimate of one directed link (tests, metrics).
+    pub fn link_load(&self, src: Endpoint, dst: Endpoint) -> Option<LinkLoad> {
+        self.loads.get(&(src, dst)).copied()
     }
 
     /// The earliest pending flush deadline, if any link is queued.
@@ -330,10 +410,7 @@ mod tests {
     use paris_types::{ClientId, Key, ServerId, TxId, Value, WriteSetEntry};
 
     fn cfg(max_batch: usize, flush: u64) -> BatchConfig {
-        BatchConfig {
-            max_batch,
-            flush_interval_micros: flush,
-        }
+        BatchConfig::fixed(max_batch, flush)
     }
 
     fn srv(dc: u16, p: u32) -> ServerId {
@@ -538,6 +615,77 @@ mod tests {
         // A second frame on the first link flushes only that link.
         assert!(matches!(c.offer(to(srv(1, 0)), 1), Offer::Flush(_)));
         assert_eq!(c.pending_links(), 1);
+    }
+
+    #[test]
+    fn adaptive_deadline_shortens_on_a_hot_link_and_stretches_when_quiet() {
+        let mut c = Coalescer::new(BatchConfig::adaptive(1_000, 500, 10_000));
+        // First frame ever: no gap estimate yet, the link is presumed
+        // quiet and gets the ceiling.
+        match c.offer(env(replicate(1, 10, 20)), 0) {
+            Offer::Queued { next_due } => assert_eq!(next_due, 10_000),
+            other => panic!("expected queue, got {other:?}"),
+        }
+        c.poll(10_000);
+        // A hot burst (100 µs gaps) drives the deadline to the floor.
+        let mut now = 10_000;
+        for seq in 2..40 {
+            now += 100;
+            c.offer(env(replicate(seq, 10 * seq, 20 * seq)), now);
+            c.poll(now + 20_000); // drain so windows keep reopening
+        }
+        let src = srv(0, 0).into();
+        let dst = srv(1, 0).into();
+        let load = c.link_load(src, dst).expect("tracked");
+        assert_eq!(
+            load.deadline_micros(&c.cfg.flush),
+            500,
+            "hot link must flush at the floor (gap ≈ 100 µs)"
+        );
+        // A long idle period stretches the estimate back toward quiet.
+        now += 1_000_000;
+        c.offer(env(replicate(99, 990, 999)), now);
+        let load = c.link_load(src, dst).expect("tracked");
+        assert_eq!(
+            load.deadline_micros(&c.cfg.flush),
+            10_000,
+            "a 1 s gap must stretch the deadline to the ceiling"
+        );
+    }
+
+    #[test]
+    fn adaptive_load_state_survives_flushes() {
+        let mut c = Coalescer::new(BatchConfig::adaptive(2, 500, 10_000));
+        // Size-trigger flush after two frames 200 µs apart.
+        c.offer(env(replicate(1, 10, 20)), 0);
+        assert!(matches!(
+            c.offer(env(replicate(2, 30, 40)), 200),
+            Offer::Flush(_)
+        ));
+        assert_eq!(c.pending_links(), 0, "queue gone after flush");
+        // The controller remembered the 200 µs gap: the next window opens
+        // with a floor deadline, not the quiet ceiling.
+        match c.offer(env(replicate(3, 50, 60)), 400) {
+            Offer::Queued { next_due } => assert_eq!(next_due, 400 + 500),
+            other => panic!("expected queue, got {other:?}"),
+        }
+        let stats = c.stats();
+        assert_eq!(stats.size_flushes, 1);
+    }
+
+    #[test]
+    fn stats_distinguish_size_and_deadline_flushes() {
+        let mut c = Coalescer::new(cfg(2, 1_000));
+        c.offer(env(replicate(1, 10, 20)), 0);
+        c.offer(env(replicate(2, 30, 40)), 1); // size flush
+        c.offer(env(replicate(3, 50, 60)), 2);
+        assert_eq!(c.poll(5_000).len(), 1); // deadline flush
+        c.offer(env(replicate(4, 70, 80)), 6_000);
+        assert_eq!(c.flush_all().len(), 1); // forced flush
+        let stats = c.stats();
+        assert_eq!(stats.size_flushes, 1);
+        assert_eq!(stats.deadline_flushes, 2);
+        assert_eq!(stats.frames_in, 4);
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub mod batch;
 pub mod sim;
 pub mod threaded;
 
-pub use batch::{Coalescer, CoalescerStats, Offer};
+pub use batch::{Coalescer, CoalescerStats, LinkLoad, Offer};

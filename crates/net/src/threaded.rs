@@ -164,12 +164,14 @@ impl Router {
     }
 
     /// Installs the read tap: from now on, read-path envelopes bound for
-    /// *server* endpoints — `ReadSliceReq` slice reads and `StartTxReq`
-    /// snapshot assignments, both read-only against published state — are
-    /// delivered round-robin into `lanes` (after their normal link
-    /// latency) instead of the destination inbox; the runtime's
-    /// read-thread pool drains the lanes and serves them off the server
-    /// loop. All other traffic is unaffected. A lane that has shut down is
+    /// *server* endpoints — `ReadSliceReq` slice reads, `StartTxReq`
+    /// snapshot assignments and unbatched `GstReport` stabilization
+    /// reports, all read-only against storage — are delivered
+    /// round-robin into `lanes` (after their normal link latency)
+    /// instead of the destination inbox; the runtime's read-thread pool
+    /// drains the lanes and serves them off the server loop. (Coalesced
+    /// gossip — `GossipDigest` — carries loop-owned components and is
+    /// never tapped.) All other traffic is unaffected. A lane that has shut down is
     /// pruned from the tap on first failed delivery (the tap uninstalls
     /// itself when the last lane goes), and the envelope is retried on the
     /// surviving lanes, falling back to the server inbox — so no request
@@ -255,15 +257,17 @@ impl WheelState {
 }
 
 /// Delivers one due envelope: read-tapped traffic (server-bound
-/// `ReadSliceReq`/`StartTxReq`) goes to a pool lane (round-robin), the
-/// rest to the destination inbox. On the tapped happy path only the lane
+/// `ReadSliceReq`/`StartTxReq`/`GstReport`) goes to a pool lane
+/// (round-robin), the rest to the destination inbox. On the tapped happy path only the lane
 /// sender is cloned under the registry lock — the inbox is looked up only
 /// when delivery actually falls back. A lane whose receiver is gone is
 /// pruned from the tap (uninstalling the tap when the last lane dies) so
 /// later deliveries never pay for it again.
 fn deliver(registry: &Arc<Mutex<Registry>>, mut env: Envelope) {
-    let is_tapped_read = matches!(env.msg, Msg::ReadSliceReq { .. } | Msg::StartTxReq { .. })
-        && matches!(env.dst, Endpoint::Server(_));
+    let is_tapped_read = matches!(
+        env.msg,
+        Msg::ReadSliceReq { .. } | Msg::StartTxReq { .. } | Msg::GstReport { .. }
+    ) && matches!(env.dst, Endpoint::Server(_));
     if is_tapped_read {
         loop {
             let picked = {
@@ -479,10 +483,7 @@ mod tests {
     #[test]
     fn batching_coalesces_heartbeats_into_one_frame() {
         let router = Router::start(ThreadedNetConfig {
-            batch: BatchConfig {
-                max_batch: 4,
-                flush_interval_micros: 2_000_000, // force the size trigger
-            },
+            batch: BatchConfig::fixed(4, 2_000_000), // force the size trigger
             ..ThreadedNetConfig::fast(2)
         });
         let a = ServerId::new(DcId(0), PartitionId(0));
@@ -516,10 +517,7 @@ mod tests {
     #[test]
     fn batching_flushes_on_deadline() {
         let router = Router::start(ThreadedNetConfig {
-            batch: BatchConfig {
-                max_batch: 1_000, // never hit the size trigger
-                flush_interval_micros: 20_000,
-            },
+            batch: BatchConfig::fixed(1_000, 20_000), // never hit the size trigger
             ..ThreadedNetConfig::fast(2)
         });
         let a = ServerId::new(DcId(0), PartitionId(0));
@@ -535,10 +533,7 @@ mod tests {
         let rx;
         {
             let router = Router::start(ThreadedNetConfig {
-                batch: BatchConfig {
-                    max_batch: 1_000,
-                    flush_interval_micros: 60_000_000, // would park for a minute
-                },
+                batch: BatchConfig::fixed(1_000, 60_000_000), // would park for a minute
                 ..ThreadedNetConfig::fast(2)
             });
             let a = ServerId::new(DcId(0), PartitionId(0));

@@ -1,0 +1,219 @@
+//! Property tests of the adaptive flush controller.
+//!
+//! Three guarantees keep the batching layer's staleness promise honest:
+//!
+//! 1. the per-link deadline never leaves `[min_flush, max_flush]`, no
+//!    matter what arrival pattern the link sees;
+//! 2. the deadline is monotone in the observed arrival rate — a hotter
+//!    link never waits longer;
+//! 3. fixed mode is exactly the original coalescer: its offer/flush
+//!    behaviour matches an independent model of the PR-2 fold (one
+//!    deadline per link window, size trigger at `max_batch`, newest
+//!    watermark survives), and an adaptive policy with collapsed bounds
+//!    (`min == max`) is indistinguishable from fixed.
+
+use paris_net::{Coalescer, LinkLoad, Offer};
+use paris_proto::{Envelope, Msg};
+use paris_types::{BatchConfig, DcId, FlushPolicy, PartitionId, ServerId, Timestamp};
+use proptest::prelude::*;
+
+fn hb(watermark: u64) -> Msg {
+    Msg::Heartbeat {
+        partition: PartitionId(0),
+        watermark: Timestamp::from_physical_micros(watermark),
+    }
+}
+
+fn env(watermark: u64) -> Envelope {
+    Envelope::new(
+        ServerId::new(DcId(0), PartitionId(0)),
+        ServerId::new(DcId(1), PartitionId(0)),
+        hb(watermark),
+    )
+}
+
+proptest! {
+    /// Bounds: whatever a link's history, the adaptive deadline stays in
+    /// `[min_flush, max_flush]`.
+    #[test]
+    fn prop_adaptive_deadline_within_bounds(
+        deltas in proptest::collection::vec(0u64..1_000_000, 1..100),
+        min in 1u64..50_000,
+        spread in 0u64..100_000,
+    ) {
+        let max = min + spread;
+        let policy = FlushPolicy::Adaptive {
+            min_flush_micros: min,
+            max_flush_micros: max,
+        };
+        let mut load = LinkLoad::default();
+        prop_assert!(load.deadline_micros(&policy) >= min);
+        prop_assert!(load.deadline_micros(&policy) <= max);
+        let mut now = 0u64;
+        for d in deltas {
+            now += d;
+            load.observe(now);
+            let deadline = load.deadline_micros(&policy);
+            prop_assert!(deadline >= min, "deadline {deadline} below floor {min}");
+            prop_assert!(deadline <= max, "deadline {deadline} above ceiling {max}");
+        }
+    }
+
+    /// Monotonicity in the observed arrival rate: a smaller gap (higher
+    /// rate) never yields a longer deadline.
+    #[test]
+    fn prop_adaptive_deadline_monotone_in_rate(
+        g1 in 0u64..1_000_000,
+        g2 in 0u64..1_000_000,
+        min in 1u64..50_000,
+        spread in 0u64..100_000,
+    ) {
+        let (fast, slow) = (g1.min(g2), g1.max(g2));
+        let policy = FlushPolicy::Adaptive {
+            min_flush_micros: min,
+            max_flush_micros: min + spread,
+        };
+        prop_assert!(
+            policy.interval_micros(Some(fast)) <= policy.interval_micros(Some(slow)),
+            "rate monotonicity violated: gap {fast} -> {}, gap {slow} -> {}",
+            policy.interval_micros(Some(fast)),
+            policy.interval_micros(Some(slow)),
+        );
+        // An unknown gap is the quiet extreme: no observed gap may beat it.
+        prop_assert!(policy.interval_micros(Some(slow)) <= policy.interval_micros(None));
+    }
+
+    /// Uniformly faster arrivals never stretch the deadline: feed two
+    /// controllers the same arrival pattern, one at half the gaps, and
+    /// the faster link's deadline can never exceed the slower one's.
+    #[test]
+    fn prop_faster_link_never_waits_longer(
+        deltas in proptest::collection::vec(2u64..100_000, 2..60),
+        min in 1u64..20_000,
+        spread in 0u64..50_000,
+    ) {
+        let policy = FlushPolicy::Adaptive {
+            min_flush_micros: min,
+            max_flush_micros: min + spread,
+        };
+        let (mut fast, mut slow) = (LinkLoad::default(), LinkLoad::default());
+        let (mut now_fast, mut now_slow) = (0u64, 0u64);
+        for d in deltas {
+            now_fast += d / 2;
+            now_slow += d;
+            fast.observe(now_fast);
+            slow.observe(now_slow);
+            prop_assert!(
+                fast.deadline_micros(&policy) <= slow.deadline_micros(&policy),
+                "half-gap link got deadline {} above full-gap link's {}",
+                fast.deadline_micros(&policy),
+                slow.deadline_micros(&policy),
+            );
+        }
+    }
+
+    /// Fixed mode is the original PR-2 coalescer: offer/flush behaviour
+    /// matches an independent single-link model (window deadline = first
+    /// enqueue + interval, size trigger at `max_batch`, heartbeats fold
+    /// into the newest watermark, frame counts exact).
+    #[test]
+    fn prop_fixed_mode_matches_reference_fold(
+        steps in proptest::collection::vec((0u64..20_000, 0u64..1_000, any::<bool>()), 1..200),
+        max_batch in 2usize..10,
+        interval in 1u64..30_000,
+    ) {
+        let mut c = Coalescer::new(BatchConfig::fixed(max_batch, interval));
+        // Reference model of one link's window.
+        let mut window: Option<(u64, u32, u64)> = None; // (due, frames, max_wm)
+        let mut now = 0u64;
+        for (advance, wm, do_poll) in steps {
+            now += advance;
+            if do_poll {
+                let flushed = c.poll(now);
+                match window {
+                    Some((due, frames, max_wm)) if due <= now => {
+                        prop_assert_eq!(flushed.len(), 1, "one batch per due link");
+                        match &flushed[0].msg {
+                            Msg::ReplicateBatch { frames: f, watermark, txs, .. } => {
+                                prop_assert_eq!(*f, frames);
+                                prop_assert_eq!(*watermark, Timestamp::from_physical_micros(max_wm));
+                                prop_assert!(txs.is_empty());
+                            }
+                            other => prop_assert!(false, "unexpected {}", other.kind()),
+                        }
+                        window = None;
+                    }
+                    _ => prop_assert!(flushed.is_empty(), "flushed before the deadline"),
+                }
+            } else {
+                match c.offer(env(wm), now) {
+                    Offer::Pass(_) => prop_assert!(false, "background frame passed through"),
+                    Offer::Flush(flushed) => {
+                        let (_, frames, max_wm) = window.take().unwrap_or((0, 0, 0));
+                        prop_assert_eq!(frames as usize + 1, max_batch, "size trigger only at max_batch");
+                        prop_assert_eq!(flushed.len(), 1);
+                        match &flushed[0].msg {
+                            Msg::ReplicateBatch { frames: f, watermark, .. } => {
+                                prop_assert_eq!(*f as usize, max_batch);
+                                prop_assert_eq!(
+                                    *watermark,
+                                    Timestamp::from_physical_micros(max_wm.max(wm))
+                                );
+                            }
+                            other => prop_assert!(false, "unexpected {}", other.kind()),
+                        }
+                    }
+                    Offer::Queued { next_due } => {
+                        let (due, frames, max_wm) = match window {
+                            None => (now + interval, 1, wm),
+                            Some((due, frames, max_wm)) => (due, frames + 1, max_wm.max(wm)),
+                        };
+                        window = Some((due, frames, max_wm));
+                        prop_assert_eq!(
+                            next_due, due,
+                            "fixed deadline must be first-enqueue + interval"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collapsed adaptive bounds (`min == max`) are observationally
+    /// identical to the fixed policy for any arrival/poll pattern.
+    #[test]
+    fn prop_collapsed_adaptive_equals_fixed(
+        steps in proptest::collection::vec((0u64..20_000, 0u64..1_000, any::<bool>()), 1..200),
+        max_batch in 2usize..10,
+        interval in 1u64..30_000,
+    ) {
+        let mut fixed = Coalescer::new(BatchConfig::fixed(max_batch, interval));
+        let mut collapsed = Coalescer::new(BatchConfig::adaptive(max_batch, interval, interval));
+        let mut now = 0u64;
+        for (advance, wm, do_poll) in steps {
+            now += advance;
+            if do_poll {
+                let a = fixed.poll(now);
+                let b = collapsed.poll(now);
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert_eq!(&x.msg, &y.msg);
+                }
+            } else {
+                match (fixed.offer(env(wm), now), collapsed.offer(env(wm), now)) {
+                    (Offer::Queued { next_due: a }, Offer::Queued { next_due: b }) => {
+                        prop_assert_eq!(a, b);
+                    }
+                    (Offer::Flush(a), Offer::Flush(b)) => {
+                        prop_assert_eq!(a.len(), b.len());
+                        for (x, y) in a.iter().zip(&b) {
+                            prop_assert_eq!(&x.msg, &y.msg);
+                        }
+                    }
+                    (a, b) => prop_assert!(false, "diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(fixed.stats(), collapsed.stats());
+    }
+}

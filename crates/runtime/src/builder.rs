@@ -20,7 +20,7 @@
 use paris_core::ServerTuning;
 use paris_net::sim::{RegionMatrix, ServiceModel};
 use paris_net::threaded::ThreadedNetConfig;
-use paris_types::{BatchConfig, ClusterConfig, ConfigError, Error, Intervals, Mode};
+use paris_types::{BatchConfig, ClusterConfig, ConfigError, Error, FlushPolicy, Intervals, Mode};
 use paris_workload::WorkloadConfig;
 
 use crate::mini_cluster::MiniCluster;
@@ -72,6 +72,20 @@ enum Latency {
     UniformMicros(u64),
 }
 
+/// The builder's flush-deadline selection, resolved against the protocol
+/// intervals at build time so fluent call order cannot change the
+/// outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FlushChoice {
+    /// Adaptive, bounds derived from the replication period (the
+    /// default): deadlines in `[∆R/8, 6·∆R]`.
+    Auto,
+    /// Fixed deadline; `0` resolves to two replication ticks.
+    FixedMicros(u64),
+    /// Adaptive with explicit bounds.
+    Adaptive { min: u64, max: u64 },
+}
+
 /// Fluent configuration of a PaRiS deployment on any backend.
 ///
 /// Shape knobs mirror [`ClusterConfig`]; load and substrate knobs cover
@@ -91,7 +105,8 @@ pub struct ClusterBuilder {
     mode: Mode,
     intervals: Intervals,
     max_clock_skew_micros: u64,
-    batch: BatchConfig,
+    batch_frames: Option<usize>,
+    flush: FlushChoice,
     // Load.
     clients_per_dc: u32,
     workload: WorkloadConfig,
@@ -151,7 +166,8 @@ impl ClusterBuilder {
             mode: Mode::Paris,
             intervals: Intervals::default(),
             max_clock_skew_micros: 500,
-            batch: BatchConfig::DISABLED,
+            batch_frames: None,
+            flush: FlushChoice::Auto,
             clients_per_dc: 4,
             workload: WorkloadConfig::read_heavy(),
             seed: 42,
@@ -223,24 +239,53 @@ impl ClusterBuilder {
         self
     }
 
-    /// Enables background-traffic batching: replication and gossip frames
-    /// to the same destination are coalesced into one wire message,
-    /// flushed once `frames` logical frames are queued on a link (or the
-    /// flush interval elapses). `0` or `1` disables batching (the
-    /// default). Honored by all three backends.
+    /// Size trigger of the background-traffic batching layer: a link
+    /// flushes once `frames` logical frames are queued on it (or its
+    /// flush deadline elapses). Batching is **on by default** with
+    /// [`BatchConfig::DEFAULT_MAX_BATCH`] frames and an adaptive flush
+    /// deadline; `0` or `1` disables batching entirely (see
+    /// [`no_batching`](Self::no_batching)). Honored by all three
+    /// backends.
     pub fn batch_size(mut self, frames: usize) -> Self {
-        self.batch.max_batch = frames;
+        self.batch_frames = Some(frames);
         self
     }
 
-    /// Maximum time a coalesced frame may wait before its link is
-    /// flushed, in microseconds — bounds the extra staleness batching
-    /// introduces. Only meaningful with [`batch_size`](Self::batch_size)
-    /// above 1. `0` (the default) resolves at build time to two
-    /// replication ticks' worth of accumulation, whatever order the
-    /// builder methods were called in; validated against the GC period.
+    /// Disables background-traffic batching: every replication and
+    /// gossip frame ships as its own wire message, the paper's
+    /// one-frame-per-tick behaviour. Equivalent to `batch_size(1)`.
+    pub fn no_batching(mut self) -> Self {
+        self.batch_frames = Some(1);
+        self
+    }
+
+    /// Switches the flush deadline to a **fixed** interval: a link
+    /// flushes once its oldest coalesced frame has waited `micros` —
+    /// a hard bound on the extra staleness batching introduces,
+    /// load-independent. `0` resolves at build time to two replication
+    /// ticks' worth of accumulation, whatever order the builder methods
+    /// were called in; validated against the GC period. The default is
+    /// not fixed but adaptive (see
+    /// [`adaptive_flush`](Self::adaptive_flush)).
     pub fn flush_interval_micros(mut self, micros: u64) -> Self {
-        self.batch.flush_interval_micros = micros;
+        self.flush = FlushChoice::FixedMicros(micros);
+        self
+    }
+
+    /// Uses a **load-responsive** flush deadline with explicit bounds
+    /// (the default policy, with bounds derived from the replication
+    /// period): each link tracks its background frame inter-arrival gap
+    /// and flushes after about two gaps — a hot link flushes early
+    /// (batching still wins, visibility barely taxed), a quiet link
+    /// stretches its deadline toward `max_micros`. `max_micros` is the
+    /// per-hop staleness ceiling the configuration promises; validation
+    /// rejects `min_micros == 0`, inverted bounds and ceilings at/above
+    /// the GC period.
+    pub fn adaptive_flush(mut self, min_micros: u64, max_micros: u64) -> Self {
+        self.flush = FlushChoice::Adaptive {
+            min: min_micros,
+            max: max_micros,
+        };
         self
     }
 
@@ -320,11 +365,12 @@ impl ClusterBuilder {
 
     /// Size of the read-thread pool: with `n > 0` (PaRiS only — BPR reads
     /// must block on the server loop), incoming `ReadSliceReq` slice
-    /// reads *and* `StartTxReq` snapshot assignments — both read-only
-    /// against published state — are served by `n` pool threads through
+    /// reads, `StartTxReq` snapshot assignments *and* unbatched
+    /// `GstReport` stabilization folds — all read-only against published
+    /// state — are served by `n` pool threads through
     /// the server's published `ReadView` instead of the server mailbox,
     /// so they never queue behind commits, replication batches or gossip
-    /// ticks — the paper's parallel non-blocking reads (§I, Alg. 2–3).
+    /// ticks — the paper's parallel non-blocking reads (§I, Alg. 2–4).
     ///
     /// `0` serves everything on the server loop. Left unset, the threaded
     /// backend derives a pool from the host's
@@ -394,13 +440,32 @@ impl ClusterBuilder {
         if self.store_shards == Some(0) {
             return Err(ConfigError::new("store_shards must be at least 1").into());
         }
-        let mut batch = self.batch;
-        if batch.is_enabled() && batch.flush_interval_micros == 0 {
-            // `.batch_size(n)` without an explicit interval: two
-            // replication ticks of accumulation, resolved here so the
-            // fluent call order cannot change the outcome.
-            batch.flush_interval_micros = 2 * self.intervals.replication_micros;
-        }
+        // The untouched default derives from the configured intervals
+        // (adaptive bounds capped below the GC period), so interval
+        // choices can neither invalidate nor silently neuter a batching
+        // policy the user never asked for; explicit choices are
+        // validated strictly. Resolving here keeps the fluent call
+        // order irrelevant.
+        let derived = BatchConfig::default_adaptive_for(&self.intervals);
+        let batch = BatchConfig {
+            max_batch: match self.batch_frames {
+                Some(frames) => frames,
+                // Degenerate GC periods (≤ 1 µs) derive batching off.
+                None if !derived.is_enabled() => derived.max_batch,
+                None => BatchConfig::DEFAULT_MAX_BATCH,
+            },
+            flush: match self.flush {
+                FlushChoice::Auto => derived.flush,
+                FlushChoice::FixedMicros(0) => FlushPolicy::Fixed {
+                    interval_micros: 2 * self.intervals.replication_micros,
+                },
+                FlushChoice::FixedMicros(m) => FlushPolicy::Fixed { interval_micros: m },
+                FlushChoice::Adaptive { min, max } => FlushPolicy::Adaptive {
+                    min_flush_micros: min,
+                    max_flush_micros: max,
+                },
+            },
+        };
         let cfg = ClusterConfig::builder()
             .dcs(self.dcs)
             .partitions(self.partitions)

@@ -52,9 +52,9 @@ pub(crate) struct ThreadClusterConfig {
     pub(crate) workload: WorkloadConfig,
     pub(crate) seed: u64,
     pub(crate) record_history: bool,
-    /// Read-pool size: `> 0` (PaRiS only) diverts `ReadSliceReq`s and
-    /// `StartTxReq`s to a pool serving through [`ReadView`]s, off the
-    /// server loop.
+    /// Read-pool size: `> 0` (PaRiS only) diverts `ReadSliceReq`s,
+    /// `StartTxReq`s and unbatched `GstReport`s to a pool serving
+    /// through [`ReadView`]s, off the server loop.
     pub(crate) read_threads: usize,
     /// Modeled per-slice-read service occupancy (µs wall clock).
     pub(crate) read_service_micros: u64,
@@ -451,10 +451,11 @@ impl Drop for ThreadCluster {
     }
 }
 
-/// One read-pool thread: drains its lane of tapped `ReadSliceReq`s and
-/// `StartTxReq`s and serves each through the destination server's
-/// [`ReadView`] — Alg. 3 slice reads and Alg. 2 snapshot assignment,
-/// both executed entirely off the server loop. A read whose snapshot
+/// One read-pool thread: drains its lane of tapped `ReadSliceReq`s,
+/// `StartTxReq`s and unbatched `GstReport`s and serves each through the
+/// destination server's [`ReadView`] — Alg. 3 slice reads, Alg. 2
+/// snapshot assignment and Alg. 4 child-report folds, all executed
+/// entirely off the server loop. A read whose snapshot
 /// fell below `S_old` (possible only for reads that raced a GC advance)
 /// is punted to the authoritative server state machine. `service_micros`
 /// models per-read storage/CPU occupancy (see
@@ -512,6 +513,17 @@ fn read_pool_loop(
                             // only): the loop owns the HLC.
                             None => punt(&env, sid),
                         }
+                    }
+                    paris_proto::Msg::GstReport {
+                        partition,
+                        ref mins,
+                        oldest_active,
+                    } => {
+                        // A tree child's stabilization aggregate: folded
+                        // into the shared report table off the loop (no
+                        // reply traffic). The parent's next ∆G tick reads
+                        // the fold.
+                        views[&sid].serve_gst_report(partition, mins, oldest_active);
                     }
                     // The tap only diverts read-path messages; anything
                     // else is handed to the owning server untouched.

@@ -138,6 +138,80 @@ fn threaded_read_pool_serves_interactive_reads() {
 }
 
 #[test]
+fn threaded_read_pool_serves_gst_reports() {
+    // With batching off, stabilization child reports travel as bare
+    // GstReport frames, which the router tap diverts into the read pool:
+    // the UST must still advance (the paper's liveness: stabilization
+    // keeps running), writes must become stable, and the per-view
+    // gst_reports counter proves the fold ran off the server loop.
+    use paris_types::{Key, Timestamp, Value};
+    let mut cluster = small(3, 6, Mode::Paris)
+        .clients_per_dc(0)
+        .no_batching()
+        .read_threads(2)
+        .build_thread()
+        .unwrap();
+    let a = cluster.open_client(0).unwrap();
+    let mut txn = cluster.begin(a).unwrap();
+    txn.write(Key(13), Value::from("gossiped"));
+    txn.commit().unwrap();
+    cluster.stabilize(5);
+    assert!(
+        cluster.min_ust() > Timestamp::ZERO,
+        "UST must advance with pool-served reports"
+    );
+    let b = cluster.open_client(1).unwrap();
+    let mut txn = cluster.begin(b).unwrap();
+    assert_eq!(
+        txn.read_one(Key(13)).unwrap(),
+        Some(Value::from("gossiped"))
+    );
+    txn.commit().unwrap();
+    let pooled_reports: u64 = cluster
+        .topology()
+        .all_servers()
+        .into_iter()
+        .filter_map(|id| cluster.read_view(id))
+        .map(|v| v.stats().gst_reports())
+        .sum();
+    assert!(
+        pooled_reports > 0,
+        "no GstReport was folded through the views"
+    );
+}
+
+#[test]
+fn threaded_batched_gossip_stays_on_the_loop() {
+    // With batching on (the default), gossip arrives folded inside
+    // GossipDigest frames, which carry loop-owned components and are
+    // never tapped: the pool's gst_reports counter must stay zero while
+    // stabilization still works.
+    use paris_types::{Key, Timestamp, Value};
+    let mut cluster = small(3, 6, Mode::Paris)
+        .clients_per_dc(0)
+        .read_threads(2)
+        .build_thread()
+        .unwrap();
+    let a = cluster.open_client(0).unwrap();
+    let mut txn = cluster.begin(a).unwrap();
+    txn.write(Key(14), Value::from("digested"));
+    txn.commit().unwrap();
+    cluster.stabilize(5);
+    assert!(cluster.min_ust() > Timestamp::ZERO);
+    let pooled_reports: u64 = cluster
+        .topology()
+        .all_servers()
+        .into_iter()
+        .filter_map(|id| cluster.read_view(id))
+        .map(|v| v.stats().gst_reports())
+        .sum();
+    assert_eq!(
+        pooled_reports, 0,
+        "digested gossip must not reach the read pool"
+    );
+}
+
+#[test]
 fn threaded_read_pool_serves_start_tx() {
     // Interactive `begin` issues a StartTxReq, which the router tap
     // diverts into the pool: snapshot assignment must run through the

@@ -54,42 +54,190 @@ impl Default for Intervals {
     }
 }
 
+/// How a coalescing link decides *when* to flush its queued frames.
+///
+/// The size trigger ([`BatchConfig::max_batch`]) is policy-independent;
+/// this chooses the deadline trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Every link flushes a constant interval after its first queued
+    /// frame — the original coalescing behaviour.
+    Fixed {
+        /// Flush a link once its oldest queued frame is this old, in
+        /// microseconds.
+        interval_micros: u64,
+    },
+    /// Load-responsive deadlines: each link tracks the inter-arrival gap
+    /// of its background frames and flushes after about two gaps —
+    /// shorter when the link is hot (frames arrive faster than a fixed
+    /// interval would drain them, so a short window still folds plenty),
+    /// stretched toward `max_flush_micros` when the link is quiet. The
+    /// deadline always stays within `[min_flush_micros,
+    /// max_flush_micros]`, so `max_flush_micros` is the staleness bound
+    /// the configuration promises.
+    Adaptive {
+        /// Floor of the per-link flush deadline, in microseconds.
+        min_flush_micros: u64,
+        /// Ceiling of the per-link flush deadline, in microseconds —
+        /// the most extra staleness any background frame can be charged
+        /// per hop.
+        max_flush_micros: u64,
+    },
+}
+
+impl FlushPolicy {
+    /// The flush deadline for a link whose observed mean frame
+    /// inter-arrival gap is `gap_micros` (`None` until a link has seen
+    /// two frames; an unknown gap is treated as quiet).
+    ///
+    /// Monotone: a higher arrival rate (smaller gap) never yields a
+    /// longer deadline, and adaptive deadlines always land inside
+    /// `[min_flush_micros, max_flush_micros]`.
+    pub fn interval_micros(&self, gap_micros: Option<u64>) -> u64 {
+        /// Target fold factor: wait about this many inter-arrival gaps so
+        /// a flush folds ≥ 2 frames without taxing latency further.
+        const ADAPTIVE_FOLD: u64 = 2;
+        match *self {
+            FlushPolicy::Fixed { interval_micros } => interval_micros,
+            FlushPolicy::Adaptive {
+                min_flush_micros,
+                max_flush_micros,
+            } => {
+                // Config validation rejects inverted bounds, but this is
+                // a pure function on a public type: normalize instead of
+                // letting `clamp` panic on an unvalidated literal.
+                let lo = min_flush_micros.min(max_flush_micros);
+                match gap_micros {
+                    None => max_flush_micros,
+                    Some(gap) => gap
+                        .saturating_mul(ADAPTIVE_FOLD)
+                        .clamp(lo, max_flush_micros),
+                }
+            }
+        }
+    }
+
+    /// The longest deadline this policy can produce — the per-hop
+    /// staleness bound.
+    pub fn max_interval_micros(&self) -> u64 {
+        match *self {
+            FlushPolicy::Fixed { interval_micros } => interval_micros,
+            FlushPolicy::Adaptive {
+                max_flush_micros, ..
+            } => max_flush_micros,
+        }
+    }
+}
+
 /// Coalescing policy for background (replication + stabilization) traffic.
 ///
 /// When enabled, the network substrate queues background frames per link
 /// and folds them into one `ReplicateBatch` / `GossipDigest` wire message,
 /// flushing a link when [`BatchConfig::max_batch`] frames have accumulated
-/// or the oldest queued frame has waited
-/// [`BatchConfig::flush_interval_micros`]. Foreground transaction traffic
-/// is never batched (it is latency-critical).
+/// or the oldest queued frame reaches the [`FlushPolicy`] deadline.
+/// Foreground transaction traffic is never batched (it is
+/// latency-critical).
+///
+/// **On by default** (adaptive): the fold is exact — replication frames
+/// concatenate in commit-time order keeping the newest watermark, every
+/// gossip component is monotonic — so batching changes *when* background
+/// messages travel, never what replicas agree on. Opt out with
+/// [`BatchConfig::DISABLED`] (or `ClusterBuilder::no_batching()` through
+/// the facade).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
     /// Flush a link once this many logical frames are queued on it.
     /// `0` or `1` disables batching (every frame ships immediately).
     pub max_batch: usize,
-    /// Flush a link once its oldest queued frame is this old, in
-    /// microseconds. Bounds the extra staleness batching introduces.
-    pub flush_interval_micros: u64,
+    /// When a link flushes queued frames that did not hit the size
+    /// trigger.
+    pub flush: FlushPolicy,
 }
 
 impl BatchConfig {
     /// Batching off: every envelope ships as its own wire message.
     pub const DISABLED: BatchConfig = BatchConfig {
         max_batch: 1,
-        flush_interval_micros: 0,
+        flush: FlushPolicy::Fixed { interval_micros: 0 },
     };
+
+    /// The default frame count of the size trigger.
+    pub const DEFAULT_MAX_BATCH: usize = 64;
+
+    /// Fixed-deadline batching (the original behaviour).
+    pub fn fixed(max_batch: usize, interval_micros: u64) -> Self {
+        BatchConfig {
+            max_batch,
+            flush: FlushPolicy::Fixed { interval_micros },
+        }
+    }
+
+    /// Load-responsive batching with deadlines in
+    /// `[min_flush_micros, max_flush_micros]`.
+    pub fn adaptive(max_batch: usize, min_flush_micros: u64, max_flush_micros: u64) -> Self {
+        BatchConfig {
+            max_batch,
+            flush: FlushPolicy::Adaptive {
+                min_flush_micros,
+                max_flush_micros,
+            },
+        }
+    }
+
+    /// The default adaptive policy for a deployment with replication
+    /// period `replication_micros`: deadlines between an eighth of a
+    /// tick and six ticks. The controller itself settles near two
+    /// inter-arrival gaps (≈ two ticks on a steadily ticking link), so
+    /// the ceiling's headroom exists for the *end-to-end* staleness
+    /// promise: an update's visibility pipeline crosses several
+    /// coalesced hops (replicate, tree report, root exchange, UST
+    /// broadcast), and `fig4` gates the total p90 visibility inflation
+    /// against this single ceiling.
+    pub fn default_adaptive(replication_micros: u64) -> Self {
+        BatchConfig::adaptive(
+            Self::DEFAULT_MAX_BATCH,
+            (replication_micros / 8).max(50),
+            6 * replication_micros,
+        )
+    }
+
+    /// The default adaptive policy *derived from a full interval set*:
+    /// [`BatchConfig::default_adaptive`] bounds, additionally capped to
+    /// half the GC period so an untouched default can never invalidate
+    /// interval combinations that were legal before batching-by-default
+    /// (a user who never asked for batching must never see a batching
+    /// validation error). Both config builders resolve an unset batch
+    /// policy through here at build time. Degenerate GC periods (≤ 1 µs
+    /// — nothing can flush below them) disable batching instead.
+    pub fn default_adaptive_for(intervals: &Intervals) -> Self {
+        if intervals.gc_micros <= 1 {
+            return BatchConfig::DISABLED;
+        }
+        let ceiling = (6 * intervals.replication_micros)
+            .min(intervals.gc_micros / 2)
+            .max(1);
+        let floor = (intervals.replication_micros / 8).max(50).min(ceiling);
+        BatchConfig::adaptive(Self::DEFAULT_MAX_BATCH, floor, ceiling)
+    }
 
     /// Whether this configuration actually coalesces anything.
     pub fn is_enabled(&self) -> bool {
         self.max_batch > 1
     }
+
+    /// The most extra staleness any background frame can be charged per
+    /// hop — the flush-deadline ceiling.
+    pub fn max_flush_micros(&self) -> u64 {
+        self.flush.max_interval_micros()
+    }
 }
 
 impl Default for BatchConfig {
-    /// Batching is opt-in; the default keeps the paper's one-frame-per-tick
-    /// wire behaviour.
+    /// Batching is on by default, adaptive, sized for the paper's 5 ms
+    /// replication tick (the builders re-derive the bounds when the
+    /// intervals change).
     fn default() -> Self {
-        BatchConfig::DISABLED
+        BatchConfig::default_adaptive(Intervals::default().replication_micros)
     }
 }
 
@@ -120,7 +268,7 @@ pub struct ClusterConfig {
     /// Maximum absolute physical-clock skew injected per server, in
     /// microseconds (NTP-like; 0 disables skew).
     pub max_clock_skew_micros: u64,
-    /// Background-traffic coalescing policy (off by default).
+    /// Background-traffic coalescing policy (adaptive, on by default).
     pub batch: BatchConfig,
 }
 
@@ -175,15 +323,37 @@ impl ClusterConfig {
         {
             return Err(ConfigError::new("protocol intervals must be non-zero"));
         }
-        if self.batch.is_enabled() && self.batch.flush_interval_micros == 0 {
-            return Err(ConfigError::new(
-                "batching needs a non-zero flush interval (unbounded queues otherwise)",
-            ));
-        }
-        if self.batch.is_enabled() && self.batch.flush_interval_micros >= self.intervals.gc_micros {
-            return Err(ConfigError::new(
-                "batch flush interval must stay below the GC period",
-            ));
+        if self.batch.is_enabled() {
+            match self.batch.flush {
+                FlushPolicy::Fixed { interval_micros } => {
+                    if interval_micros == 0 {
+                        return Err(ConfigError::new(
+                            "batching needs a non-zero flush interval (unbounded queues otherwise)",
+                        ));
+                    }
+                }
+                FlushPolicy::Adaptive {
+                    min_flush_micros,
+                    max_flush_micros,
+                } => {
+                    if min_flush_micros == 0 {
+                        return Err(ConfigError::new(
+                            "adaptive batching needs a non-zero minimum flush interval \
+                             (unbounded queues otherwise)",
+                        ));
+                    }
+                    if min_flush_micros > max_flush_micros {
+                        return Err(ConfigError::new(
+                            "adaptive flush bounds are inverted (min above max)",
+                        ));
+                    }
+                }
+            }
+            if self.batch.max_flush_micros() >= self.intervals.gc_micros {
+                return Err(ConfigError::new(
+                    "batch flush deadline ceiling must stay below the GC period",
+                ));
+            }
         }
         Ok(())
     }
@@ -216,6 +386,11 @@ impl Default for ClusterConfig {
 #[derive(Debug, Clone)]
 pub struct ClusterConfigBuilder {
     cfg: ClusterConfig,
+    /// Whether [`Self::batch`] was called: an untouched batch policy is
+    /// re-derived from the final intervals at build time, so setting
+    /// slow ticks or a short GC period never invalidates (or silently
+    /// neuters) the batching default.
+    batch_set: bool,
 }
 
 impl ClusterConfigBuilder {
@@ -231,8 +406,9 @@ impl ClusterConfigBuilder {
                 intervals: Intervals::default(),
                 mode: Mode::Paris,
                 max_clock_skew_micros: 500,
-                batch: BatchConfig::DISABLED,
+                batch: BatchConfig::default(),
             },
+            batch_set: false,
         }
     }
 
@@ -284,9 +460,13 @@ impl ClusterConfigBuilder {
         self
     }
 
-    /// Sets the background-traffic coalescing policy.
+    /// Sets the background-traffic coalescing policy explicitly
+    /// (explicit policies are validated strictly; left unset, the
+    /// default adaptive policy is derived from the final intervals at
+    /// build time).
     pub fn batch(mut self, batch: BatchConfig) -> Self {
         self.cfg.batch = batch;
+        self.batch_set = true;
         self
     }
 
@@ -296,7 +476,10 @@ impl ClusterConfigBuilder {
     ///
     /// Returns a [`ConfigError`] if any invariant is violated (e.g.
     /// `R > M`, zero partitions, zero intervals).
-    pub fn build(self) -> Result<ClusterConfig, ConfigError> {
+    pub fn build(mut self) -> Result<ClusterConfig, ConfigError> {
+        if !self.batch_set {
+            self.cfg.batch = BatchConfig::default_adaptive_for(&self.cfg.intervals);
+        }
         self.cfg.validate()?;
         Ok(self.cfg)
     }
@@ -384,39 +567,155 @@ mod tests {
     }
 
     #[test]
-    fn batch_config_default_is_disabled() {
+    fn batch_config_default_is_adaptive_and_enabled() {
         let b = BatchConfig::default();
-        assert!(!b.is_enabled());
+        assert!(b.is_enabled(), "batching is on by default");
+        assert_eq!(b.max_batch, BatchConfig::DEFAULT_MAX_BATCH);
+        let d = Intervals::default().replication_micros;
+        assert_eq!(
+            b.flush,
+            FlushPolicy::Adaptive {
+                min_flush_micros: d / 8,
+                max_flush_micros: 6 * d,
+            }
+        );
+        assert_eq!(b.max_flush_micros(), 6 * d);
         assert!(!BatchConfig::DISABLED.is_enabled());
-        assert!(BatchConfig {
-            max_batch: 2,
-            flush_interval_micros: 1_000,
-        }
-        .is_enabled());
+        assert!(BatchConfig::fixed(2, 1_000).is_enabled());
     }
 
     #[test]
     fn rejects_enabled_batching_without_flush_interval() {
-        let bad = BatchConfig {
-            max_batch: 8,
-            flush_interval_micros: 0,
-        };
+        let bad = BatchConfig::fixed(8, 0);
         assert!(ClusterConfig::builder().batch(bad).build().is_err());
-        let good = BatchConfig {
-            max_batch: 8,
-            flush_interval_micros: 10_000,
-        };
+        let good = BatchConfig::fixed(8, 10_000);
         let cfg = ClusterConfig::builder().batch(good).build().unwrap();
         assert_eq!(cfg.batch, good);
     }
 
     #[test]
     fn rejects_flush_interval_at_or_above_gc_period() {
-        let bad = BatchConfig {
-            max_batch: 8,
-            flush_interval_micros: Intervals::default().gc_micros,
+        let gc = Intervals::default().gc_micros;
+        assert!(ClusterConfig::builder()
+            .batch(BatchConfig::fixed(8, gc))
+            .build()
+            .is_err());
+        // The adaptive ceiling is held to the same rule.
+        assert!(ClusterConfig::builder()
+            .batch(BatchConfig::adaptive(8, 1_000, gc))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_adaptive_bounds() {
+        // A zero floor would mean unbounded queue churn decisions.
+        assert!(ClusterConfig::builder()
+            .batch(BatchConfig::adaptive(8, 0, 10_000))
+            .build()
+            .is_err());
+        // Inverted bounds.
+        assert!(ClusterConfig::builder()
+            .batch(BatchConfig::adaptive(8, 10_000, 1_000))
+            .build()
+            .is_err());
+        // A disabled config is never validated against flush rules.
+        assert!(ClusterConfig::builder()
+            .batch(BatchConfig::DISABLED)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn unset_batch_policy_derives_from_the_final_intervals() {
+        // Short GC period: legal before batching-by-default, must stay
+        // legal — the derived ceiling caps at half the GC period.
+        let cfg = ClusterConfig::builder()
+            .intervals(Intervals {
+                replication_micros: 5_000,
+                gst_micros: 5_000,
+                ust_micros: 5_000,
+                gc_micros: 25_000,
+            })
+            .build()
+            .expect("short GC must not invalidate the untouched default");
+        assert!(cfg.batch.is_enabled());
+        assert_eq!(cfg.batch.max_flush_micros(), 12_500);
+
+        // Slow ticks: the derived bounds must track them (a stale 30 ms
+        // ceiling would sit below one tick and fold nothing).
+        let cfg = ClusterConfig::builder()
+            .intervals(Intervals {
+                replication_micros: 50_000,
+                gst_micros: 50_000,
+                ust_micros: 50_000,
+                gc_micros: 1_000_000,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(
+            cfg.batch.flush,
+            FlushPolicy::Adaptive {
+                min_flush_micros: 6_250,
+                max_flush_micros: 300_000,
+            }
+        );
+
+        // An explicit policy is never overridden by the derivation.
+        let explicit = BatchConfig::fixed(8, 10_000);
+        let cfg = ClusterConfig::builder()
+            .batch(explicit)
+            .intervals(Intervals {
+                replication_micros: 50_000,
+                ..Intervals::default()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(cfg.batch, explicit);
+
+        // Degenerate GC (1 µs): nothing can legally flush below it, so
+        // the derivation turns batching off rather than erroring.
+        let cfg = ClusterConfig::builder()
+            .intervals(Intervals {
+                replication_micros: 5_000,
+                gst_micros: 5_000,
+                ust_micros: 5_000,
+                gc_micros: 1,
+            })
+            .build()
+            .unwrap();
+        assert!(!cfg.batch.is_enabled());
+    }
+
+    #[test]
+    fn adaptive_deadline_tracks_the_gap_within_bounds() {
+        let p = FlushPolicy::Adaptive {
+            min_flush_micros: 500,
+            max_flush_micros: 10_000,
         };
-        assert!(ClusterConfig::builder().batch(bad).build().is_err());
+        // Unknown gap = quiet = ceiling.
+        assert_eq!(p.interval_micros(None), 10_000);
+        // Hot link: clamped to the floor.
+        assert_eq!(p.interval_micros(Some(100)), 500);
+        // Mid-range: about two gaps.
+        assert_eq!(p.interval_micros(Some(2_000)), 4_000);
+        // Quiet link: clamped to the ceiling.
+        assert_eq!(p.interval_micros(Some(60_000)), 10_000);
+        // Fixed policy ignores the gap entirely.
+        let f = FlushPolicy::Fixed {
+            interval_micros: 7_000,
+        };
+        assert_eq!(f.interval_micros(None), 7_000);
+        assert_eq!(f.interval_micros(Some(1)), 7_000);
+        assert_eq!(f.max_interval_micros(), 7_000);
+        // Inverted bounds never reach a validated config, but the pure
+        // function must not panic on an unvalidated literal.
+        let inverted = FlushPolicy::Adaptive {
+            min_flush_micros: 10_000,
+            max_flush_micros: 1_000,
+        };
+        assert_eq!(inverted.interval_micros(Some(5_000)), 1_000);
+        assert_eq!(inverted.interval_micros(None), 1_000);
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod keyspace;
 mod timestamp;
 mod version;
 
-pub use config::{BatchConfig, ClusterConfig, ClusterConfigBuilder, Intervals, Mode};
+pub use config::{BatchConfig, ClusterConfig, ClusterConfigBuilder, FlushPolicy, Intervals, Mode};
 pub use error::{ConfigError, Error};
 pub use ids::{ClientId, DcId, PartitionId, ReplicaIdx, ServerId, TxId};
 pub use keyspace::{Key, Value};

@@ -160,11 +160,9 @@ fn builder_validation_errors() {
         Error::Unsupported(_)
     ));
 
-    // Batching with flush interval 0 means "default: two replication
-    // ticks", resolved at build time regardless of call order — so a
-    // huge replication interval set *after* batch_size still produces a
-    // valid (sub-GC) flush interval or a clear error, never a silent
-    // 10 ms default.
+    // Batching with fixed flush interval 0 means "default: two
+    // replication ticks", resolved at build time regardless of call
+    // order.
     assert!(Paris::builder()
         .dcs(3)
         .partitions(6)
@@ -173,11 +171,31 @@ fn builder_validation_errors() {
         .flush_interval_micros(0)
         .build()
         .is_ok());
+    // An *unset* flush policy derives from the final intervals, capped
+    // below the GC period — so interval choices (here 600 ms ticks,
+    // where six ticks would overrun the 1 s GC period) can never
+    // invalidate a deadline the user did not pick.
+    assert!(Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .batch_size(8)
+        .intervals(paris::types::Intervals {
+            replication_micros: 600_000,
+            gst_micros: 5_000,
+            ust_micros: 5_000,
+            gc_micros: 1_000_000,
+        })
+        .build()
+        .is_ok());
+    // An *explicit* fixed deadline resolving above the GC period is
+    // still a clear error, never a silent adjustment.
     let err = Paris::builder()
         .dcs(3)
         .partitions(6)
         .replication(2)
-        .batch_size(8) // default interval = 2 × 600ms > gc period
+        .batch_size(8)
+        .flush_interval_micros(0) // = 2 × 600 ms, above the gc period
         .intervals(paris::types::Intervals {
             replication_micros: 600_000,
             gst_micros: 5_000,
@@ -196,6 +214,46 @@ fn builder_validation_errors() {
         .flush_interval_micros(1_000_000)
         .build();
     assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
+
+    // Adaptive bounds: a zero floor is rejected (unbounded queue churn),
+    // as are inverted bounds and ceilings at/above the GC period.
+    let err = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .adaptive_flush(0, 10_000)
+        .build();
+    assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
+    let err = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .adaptive_flush(10_000, 1_000)
+        .build();
+    assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
+    let err = Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .adaptive_flush(1_000, 1_000_000)
+        .build();
+    assert!(matches!(err.err().expect("must fail"), Error::Config(_)));
+    // Valid bounds pass; with batching disabled the bounds are moot.
+    assert!(Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .adaptive_flush(1_000, 10_000)
+        .build()
+        .is_ok());
+    assert!(Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .no_batching()
+        .adaptive_flush(0, 0)
+        .build()
+        .is_ok());
 
     // Out-of-range client DC on a valid deployment.
     let mut cluster = Paris::builder()
@@ -344,12 +402,22 @@ fn builder_rejects_read_pool_with_bpr() {
     assert!(err.to_string().contains("read_threads"), "{err}");
 }
 
+/// The three batching configurations every combination test sweeps:
+/// explicitly off, fixed-deadline, and the adaptive default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Batching {
+    Off,
+    Fixed,
+    AdaptiveDefault,
+}
+
 #[test]
-fn backends_agree_on_causal_chain_with_batching_on_and_off() {
+fn backends_agree_on_causal_chain_under_every_batching_policy() {
     // The coalescing layer may delay and merge background frames but must
     // never change what any observer can read: the same causal chain has
-    // to come out of every (backend, batching) combination.
-    let scenario_builder = |backend, batched: bool| {
+    // to come out of every (backend, batching policy) combination —
+    // including the new default (adaptive, on).
+    let scenario_builder = |backend, batching: Batching| {
         let b = Paris::builder()
             .dcs(3)
             .partitions(6)
@@ -360,37 +428,37 @@ fn backends_agree_on_causal_chain_with_batching_on_and_off() {
             .jitter(0.0)
             .seed(23)
             .backend(backend);
-        if batched {
-            b.batch_size(32).flush_interval_micros(3_000)
-        } else {
-            b
+        match batching {
+            Batching::Off => b.no_batching(),
+            Batching::Fixed => b.batch_size(32).flush_interval_micros(3_000),
+            Batching::AdaptiveDefault => b, // on by default
         }
     };
 
     let mut outcomes = Vec::new();
     for backend in [Backend::Sim, Backend::Thread] {
-        for batched in [false, true] {
-            let mut cluster = scenario_builder(backend, batched).build().unwrap();
+        for batching in [Batching::Off, Batching::Fixed, Batching::AdaptiveDefault] {
+            let mut cluster = scenario_builder(backend, batching).build().unwrap();
             let outcome = causal_chain(cluster.as_mut());
             assert!(
                 cluster.check_convergence().unwrap().is_empty(),
-                "{backend:?} batched={batched}: replicas diverged"
+                "{backend:?} {batching:?}: replicas diverged"
             );
-            outcomes.push(((backend, batched), outcome));
+            outcomes.push(((backend, batching), outcome));
         }
     }
-    for ((backend, batched), outcome) in &outcomes {
+    for ((backend, batching), outcome) in &outcomes {
         assert_eq!(
             *outcome,
             (Some(Value::from("y")), Some(Value::from("x"))),
-            "{backend:?} batched={batched}: wrong causal observation"
+            "{backend:?} {batching:?}: wrong causal observation"
         );
     }
 }
 
 #[test]
 fn batching_reduces_network_messages_at_equal_load() {
-    let run = |batched: bool| {
+    let run = |batching: Batching| {
         let b = Paris::builder()
             .dcs(3)
             .partitions(9)
@@ -399,23 +467,40 @@ fn batching_reduces_network_messages_at_equal_load() {
             .clients_per_dc(2)
             .uniform_latency_micros(5_000)
             .seed(7)
+            .record_history(true)
             .backend(Backend::Sim);
-        let b = if batched {
-            b.batch_size(64).flush_interval_micros(15_000)
-        } else {
-            b
+        let b = match batching {
+            Batching::Off => b.no_batching(),
+            Batching::Fixed => b.batch_size(64).flush_interval_micros(15_000),
+            Batching::AdaptiveDefault => b, // on by default
         };
         let mut cluster = b.build().unwrap();
         cluster.run_workload(100_000, 400_000).unwrap()
     };
-    let off = run(false);
-    let on = run(true);
-    assert!(off.stats.committed > 0 && on.stats.committed > 0);
+    let off = run(Batching::Off);
+    let fixed = run(Batching::Fixed);
+    let adaptive = run(Batching::AdaptiveDefault);
+    for (report, name) in [(&off, "off"), (&fixed, "fixed"), (&adaptive, "default")] {
+        assert!(report.stats.committed > 0, "{name}: no progress");
+        assert!(
+            report.violations.is_empty(),
+            "{name}: checker violations {:?}",
+            report.violations
+        );
+    }
     assert!(
-        (on.net_messages as f64) < off.net_messages as f64 * 0.75,
-        "batching saved too little: {} -> {} messages",
+        (fixed.net_messages as f64) < off.net_messages as f64 * 0.75,
+        "fixed batching saved too little: {} -> {} messages",
         off.net_messages,
-        on.net_messages
+        fixed.net_messages
+    );
+    // The untouched default must batch: this is what "on by default"
+    // means at the wire.
+    assert!(
+        (adaptive.net_messages as f64) < off.net_messages as f64 * 0.75,
+        "default (adaptive) batching saved too little: {} -> {} messages",
+        off.net_messages,
+        adaptive.net_messages
     );
 }
 
