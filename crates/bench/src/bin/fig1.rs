@@ -15,12 +15,78 @@
 
 use paris_bench::{
     bench_doc, client_ladder, json::Json, load_sweep, paper_deployment, peak, section,
-    write_bench_json, write_csv,
+    warmup_micros, window_micros, write_bench_json, write_csv,
 };
+use paris_runtime::{Backend, Paris};
 use paris_types::Mode;
 use paris_workload::WorkloadConfig;
 
+/// `PARIS_BENCH_BACKEND=socket` reroutes fig1 to a multi-process smoke:
+/// the paper shape (90 servers) is unreasonable as one process each, so
+/// the socket run measures a 2-DC × 4-partition deployment (8 child
+/// processes) over loopback, checks the consistency checker's verdict,
+/// and emits `BENCH_fig1_socket.json` — informational, never part of the
+/// perf gate baseline.
+fn socket_smoke() {
+    section("Fig 1 socket smoke: multi-process over loopback TCP");
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut points: Vec<Json> = Vec::new();
+    let mut violations_total = 0usize;
+    for mode in [Mode::Bpr, Mode::Paris] {
+        for clients in [2u32, 8] {
+            let mut cluster = Paris::builder()
+                .dcs(2)
+                .partitions(4)
+                .replication(2)
+                .keys_per_partition(10_000)
+                .mode(mode)
+                .clients_per_dc(clients)
+                .workload(WorkloadConfig::read_heavy())
+                .seed(42 + u64::from(clients))
+                .record_history(true)
+                .backend(Backend::Socket)
+                .build()
+                .expect("valid socket deployment");
+            let report = cluster
+                .run_workload(warmup_micros(), window_micros())
+                .expect("socket workload failed");
+            println!(
+                "  {mode:<6} {clients:>3} clients/DC: {:.1} KTx/s, mean {:.2} ms, \
+                 {} wire msgs, {} violations",
+                report.ktps(),
+                report.stats.mean_latency_ms(),
+                report.net_messages,
+                report.violations.len(),
+            );
+            violations_total += report.violations.len();
+            let mode_slug = match mode {
+                Mode::Paris => "paris",
+                Mode::Bpr => "bpr",
+            };
+            metrics.push((format!("socket_{mode_slug}_{clients}c_ktps"), report.ktps()));
+            points.push(Json::obj(vec![
+                ("figure", "fig1_socket".into()),
+                ("mode", mode.to_string().into()),
+                ("clients_per_dc", clients.into()),
+                ("ktps", report.ktps().into()),
+                ("mean_ms", report.stats.mean_latency_ms().into()),
+                ("net_messages", report.net_messages.into()),
+                ("net_bytes", report.net_bytes.into()),
+                ("violations", (report.violations.len() as u64).into()),
+            ]));
+        }
+    }
+    write_bench_json(
+        "BENCH_fig1_socket.json",
+        &bench_doc("fig1_socket", metrics, points),
+    );
+    assert_eq!(violations_total, 0, "socket backend violated TCC");
+}
+
 fn main() {
+    if std::env::var("PARIS_BENCH_BACKEND").as_deref() == Ok("socket") {
+        return socket_smoke();
+    }
     let mut metrics: Vec<(String, f64)> = Vec::new();
     let mut points: Vec<Json> = Vec::new();
     for (label, slug, workload, csv) in [

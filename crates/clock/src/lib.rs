@@ -33,4 +33,4 @@ mod hlc;
 mod physical;
 
 pub use hlc::Hlc;
-pub use physical::{PhysicalClock, SimClock, SkewedClock, SystemClock};
+pub use physical::{PhysicalClock, SimClock, SkewedClock, SystemClock, WallClock};

@@ -45,6 +45,48 @@ impl PhysicalClock for SystemClock {
     }
 }
 
+/// Microseconds between the UNIX epoch and this crate's wall epoch
+/// (2024-01-01T00:00:00Z). [`WallClock`] measures from the later epoch so
+/// its readings fit the 48-bit physical component of a packed timestamp
+/// (which covers ≈ 8.9 years) with plenty of headroom.
+const WALL_EPOCH_UNIX_MICROS: u64 = 1_704_067_200_000_000;
+
+/// A host-wide wall clock: microseconds since a fixed recent epoch, read
+/// from the OS real-time clock.
+///
+/// Unlike [`SystemClock`] (whose epoch is the moment of construction, so
+/// two processes disagree by their start offset), every `WallClock` on one
+/// host reads the same timebase — which is what lets separate server
+/// *processes* of a socket deployment stamp mutually comparable
+/// timestamps, exactly as NTP-synchronized machines do in the paper's
+/// testbed. A monotonic guard absorbs small backward steps of the OS
+/// clock.
+#[derive(Debug, Default)]
+pub struct WallClock {
+    /// Highest reading handed out, enforcing monotonicity across steps.
+    floor: AtomicU64,
+}
+
+impl WallClock {
+    /// Creates a wall clock. All instances on one host share a timebase.
+    pub fn new() -> Self {
+        WallClock::default()
+    }
+}
+
+impl PhysicalClock for WallClock {
+    fn now_micros(&self) -> u64 {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+            .saturating_sub(WALL_EPOCH_UNIX_MICROS);
+        // fetch_max returns the previous floor: the reading we hand out is
+        // the max of both, so time never runs backwards.
+        self.floor.fetch_max(now, Ordering::Relaxed).max(now)
+    }
+}
+
 /// A simulation-controlled clock, shared by everything in one simulation.
 ///
 /// The discrete-event executor advances it; servers read it. Cloning shares
@@ -190,6 +232,22 @@ mod tests {
         assert_eq!(skewed.now_micros(), 0, "saturates instead of wrapping");
         base.advance_to(1_000);
         assert_eq!(skewed.now_micros(), 750);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_and_shares_a_timebase() {
+        let a = WallClock::new();
+        let b = WallClock::new();
+        let ra = a.now_micros();
+        let rb = b.now_micros();
+        // Same host, same epoch: two independent instances read within a
+        // second of each other (vs. Instant-based clocks, whose readings
+        // differ by their construction offset on top of elapsed time).
+        assert!(rb.abs_diff(ra) < 1_000_000, "ra={ra} rb={rb}");
+        assert!(a.now_micros() >= ra);
+        // Readings fit the 48-bit physical component of a timestamp.
+        assert!(ra < (1 << 48));
+        assert!(ra > 0, "wall epoch must lie in the past");
     }
 
     #[test]

@@ -170,7 +170,7 @@ pub struct ServerOptions {
 /// Concurrency-sizing knobs of a [`Server`]'s shared storage structures.
 /// [`Server::new`] uses the defaults; runtimes that know the host's
 /// parallelism pass explicit values through [`Server::with_tuning`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerTuning {
     /// Chain-shard count of the [`PartitionStore`] (`None` → the store's
     /// default of 16). More shards reduce reader/writer lock overlap.

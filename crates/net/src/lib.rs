@@ -12,6 +12,9 @@
 //! * [`threaded`] — a real multi-threaded in-process transport built on
 //!   crossbeam channels with a delay-wheel latency injector, used by
 //!   integration tests to exercise the protocol under true concurrency.
+//! * [`socket`] — a real TCP substrate for *multi-process* deployments:
+//!   loopback listeners, per-link writer threads and framed envelopes,
+//!   the closest shape to the paper's actual testbed.
 //!
 //! Both substrates carry the same [`paris_proto::Envelope`]s and drive the
 //! same protocol state machines, and both can interpose the [`batch`]
@@ -23,6 +26,7 @@
 
 pub mod batch;
 pub mod sim;
+pub mod socket;
 pub mod threaded;
 
 pub use batch::{Coalescer, CoalescerStats, LinkLoad, Offer};

@@ -25,7 +25,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ctrl;
 mod messages;
 pub mod wire;
 
+pub use ctrl::{Ctrl, ServerSnapshot};
 pub use messages::{DigestReport, Endpoint, Envelope, Msg, ReadResult, ReplicatedTx};

@@ -14,10 +14,28 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use paris_types::{
-    DcId, Key, PartitionId, ServerId, Timestamp, TxId, Value, Version, WriteSetEntry,
+    ClientId, DcId, Key, PartitionId, ServerId, Timestamp, TxId, Value, Version, WriteSetEntry,
 };
 
-use crate::messages::{DigestReport, Msg, ReadResult, ReplicatedTx};
+use crate::messages::{DigestReport, Endpoint, Envelope, Msg, ReadResult, ReplicatedTx};
+
+/// Connection-preamble magic: every PaRiS socket connection opens with
+/// these four bytes, so a stray client speaking another protocol is
+/// rejected before any frame is parsed.
+pub const MAGIC: [u8; 4] = *b"PaRS";
+
+/// Wire protocol version, exchanged in the connection preamble right after
+/// [`MAGIC`]. Bumped on any incompatible codec change; peers with a
+/// different version refuse the connection instead of misparsing frames.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on the payload length of one framed wire message.
+///
+/// Enforced *before* any allocation on the receive path, so a malicious or
+/// corrupt length prefix can neither trigger an OOM-sized allocation nor a
+/// multi-gigabyte read loop. Generous enough for the largest legitimate
+/// frame (a full store snapshot in a control reply).
+pub const MAX_FRAME_LEN: usize = 32 << 20;
 
 /// Error returned when decoding malformed bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +62,7 @@ impl std::error::Error for DecodeError {}
 
 // ---------------------------------------------------------------- helpers
 
-fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+pub(crate) fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
     if buf.remaining() < n {
         Err(DecodeError::Truncated)
     } else {
@@ -52,49 +70,49 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
     }
 }
 
-fn put_ts(buf: &mut BytesMut, ts: Timestamp) {
+pub(crate) fn put_ts(buf: &mut BytesMut, ts: Timestamp) {
     buf.put_u64_le(ts.as_u64());
 }
 
-fn get_ts(buf: &mut Bytes) -> Result<Timestamp, DecodeError> {
+pub(crate) fn get_ts(buf: &mut Bytes) -> Result<Timestamp, DecodeError> {
     need(buf, 8)?;
     Ok(Timestamp::from_u64(buf.get_u64_le()))
 }
 
-fn put_dc(buf: &mut BytesMut, dc: DcId) {
+pub(crate) fn put_dc(buf: &mut BytesMut, dc: DcId) {
     buf.put_u16_le(dc.0);
 }
 
-fn get_dc(buf: &mut Bytes) -> Result<DcId, DecodeError> {
+pub(crate) fn get_dc(buf: &mut Bytes) -> Result<DcId, DecodeError> {
     need(buf, 2)?;
     Ok(DcId(buf.get_u16_le()))
 }
 
-fn put_partition(buf: &mut BytesMut, p: PartitionId) {
+pub(crate) fn put_partition(buf: &mut BytesMut, p: PartitionId) {
     buf.put_u32_le(p.0);
 }
 
-fn get_partition(buf: &mut Bytes) -> Result<PartitionId, DecodeError> {
+pub(crate) fn get_partition(buf: &mut Bytes) -> Result<PartitionId, DecodeError> {
     need(buf, 4)?;
     Ok(PartitionId(buf.get_u32_le()))
 }
 
-fn put_server(buf: &mut BytesMut, s: ServerId) {
+pub(crate) fn put_server(buf: &mut BytesMut, s: ServerId) {
     put_dc(buf, s.dc);
     put_partition(buf, s.partition);
 }
 
-fn get_server(buf: &mut Bytes) -> Result<ServerId, DecodeError> {
+pub(crate) fn get_server(buf: &mut Bytes) -> Result<ServerId, DecodeError> {
     Ok(ServerId::new(get_dc(buf)?, get_partition(buf)?))
 }
 
-fn put_tx(buf: &mut BytesMut, tx: TxId) {
+pub(crate) fn put_tx(buf: &mut BytesMut, tx: TxId) {
     put_dc(buf, tx.dc);
     put_partition(buf, tx.partition);
     buf.put_u64_le(tx.seq);
 }
 
-fn get_tx(buf: &mut Bytes) -> Result<TxId, DecodeError> {
+pub(crate) fn get_tx(buf: &mut Bytes) -> Result<TxId, DecodeError> {
     let dc = get_dc(buf)?;
     let partition = get_partition(buf)?;
     need(buf, 8)?;
@@ -102,20 +120,20 @@ fn get_tx(buf: &mut Bytes) -> Result<TxId, DecodeError> {
     Ok(TxId { dc, partition, seq })
 }
 
-fn put_key(buf: &mut BytesMut, k: Key) {
+pub(crate) fn put_key(buf: &mut BytesMut, k: Key) {
     buf.put_u64_le(k.0);
 }
 
-fn get_key(buf: &mut Bytes) -> Result<Key, DecodeError> {
+pub(crate) fn get_key(buf: &mut Bytes) -> Result<Key, DecodeError> {
     need(buf, 8)?;
     Ok(Key(buf.get_u64_le()))
 }
 
-fn put_len(buf: &mut BytesMut, len: usize) {
+pub(crate) fn put_len(buf: &mut BytesMut, len: usize) {
     buf.put_u32_le(len as u32);
 }
 
-fn get_len(buf: &mut Bytes) -> Result<usize, DecodeError> {
+pub(crate) fn get_len(buf: &mut Bytes) -> Result<usize, DecodeError> {
     need(buf, 4)?;
     Ok(buf.get_u32_le() as usize)
 }
@@ -780,6 +798,73 @@ pub fn metadata_len(msg: &Msg) -> usize {
     encoded_len(msg) - 1 - payload_bytes
 }
 
+// ------------------------------------------------------------- envelopes
+
+/// Endpoint discriminants in the envelope codec.
+const E_SERVER: u8 = 0;
+const E_CLIENT: u8 = 1;
+
+/// Encoded size of an endpoint: tag byte + DC + partition/sequence.
+const ENDPOINT_LEN: usize = 1 + 2 + 4;
+
+fn put_endpoint(buf: &mut BytesMut, ep: Endpoint) {
+    match ep {
+        Endpoint::Server(s) => {
+            buf.put_u8(E_SERVER);
+            put_server(buf, s);
+        }
+        Endpoint::Client(c) => {
+            buf.put_u8(E_CLIENT);
+            put_dc(buf, c.dc);
+            buf.put_u32_le(c.seq);
+        }
+    }
+}
+
+fn get_endpoint(buf: &mut Bytes) -> Result<Endpoint, DecodeError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        E_SERVER => Ok(Endpoint::Server(get_server(buf)?)),
+        E_CLIENT => {
+            let dc = get_dc(buf)?;
+            need(buf, 4)?;
+            Ok(Endpoint::Client(ClientId::new(dc, buf.get_u32_le())))
+        }
+        other => Err(DecodeError::UnknownTag(other)),
+    }
+}
+
+/// Encodes a full envelope — source, destination and message — as one wire
+/// frame payload. This is what the socket transport ships: endpoints ride
+/// along so the receiving process can route replies without any
+/// transport-level correlation state.
+pub fn encode_envelope(env: &Envelope) -> Bytes {
+    let mut buf = BytesMut::with_capacity(envelope_len(env));
+    put_endpoint(&mut buf, env.src);
+    put_endpoint(&mut buf, env.dst);
+    buf.put_slice(&encode(&env.msg));
+    buf.freeze()
+}
+
+/// Decodes an envelope produced by [`encode_envelope`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated buffers, unknown endpoint or
+/// message tags, or impossible lengths — never panics, whatever the input.
+pub fn decode_envelope(bytes: &[u8]) -> Result<Envelope, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    let src = get_endpoint(&mut buf)?;
+    let dst = get_endpoint(&mut buf)?;
+    let msg = decode(&bytes[bytes.len() - buf.remaining()..])?;
+    Ok(Envelope { src, dst, msg })
+}
+
+/// Exact encoded size of an envelope, without allocating.
+pub fn envelope_len(env: &Envelope) -> usize {
+    2 * ENDPOINT_LEN + encoded_len(&env.msg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1219,6 +1304,42 @@ mod tests {
             })
     }
 
+    #[test]
+    fn envelopes_roundtrip_with_exact_length() {
+        let endpoints = [
+            Endpoint::Server(ServerId::new(DcId(3), PartitionId(17))),
+            Endpoint::Client(ClientId::new(DcId(1), u32::MAX - 7)),
+        ];
+        for src in endpoints {
+            for dst in endpoints {
+                for msg in sample_messages() {
+                    let env = Envelope { src, dst, msg };
+                    let bytes = encode_envelope(&env);
+                    assert_eq!(bytes.len(), envelope_len(&env));
+                    assert_eq!(decode_envelope(&bytes).unwrap(), env);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_decode_rejects_truncation_and_bad_endpoint_tags() {
+        let env = Envelope::new(
+            ClientId::new(DcId(0), 1),
+            ServerId::new(DcId(0), PartitionId(0)),
+            Msg::StartTxReq {
+                client_ust: Timestamp::ZERO,
+            },
+        );
+        let bytes = encode_envelope(&env);
+        for cut in 0..bytes.len() {
+            assert!(decode_envelope(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+        let mut corrupt = bytes.to_vec();
+        corrupt[0] = 9; // endpoint tags are 0 or 1
+        assert_eq!(decode_envelope(&corrupt), Err(DecodeError::UnknownTag(9)));
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip_arbitrary_messages(msg in arb_msg()) {
@@ -1230,6 +1351,23 @@ mod tests {
         #[test]
         fn prop_decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = decode(&bytes);
+        }
+
+        #[test]
+        fn prop_envelopes_roundtrip_arbitrary_messages(msg in arb_msg(), d in any::<u16>(), s in any::<u32>()) {
+            let env = Envelope::new(
+                ClientId::new(DcId(d), s),
+                ServerId::new(DcId(d), PartitionId(s)),
+                msg,
+            );
+            let bytes = encode_envelope(&env);
+            prop_assert_eq!(bytes.len(), envelope_len(&env));
+            prop_assert_eq!(decode_envelope(&bytes).unwrap(), env);
+        }
+
+        #[test]
+        fn prop_decode_envelope_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_envelope(&bytes);
         }
     }
 }

@@ -1,0 +1,13 @@
+//! Child server process of the socket backend.
+//!
+//! Spawned by [`paris_runtime::SocketCluster`] with a hex-encoded
+//! [`paris_runtime::ChildSpec`] in the `PARIS_CHILD_SPEC` environment
+//! variable; hosts exactly one partition server until the parent says
+//! stop (or disappears). Not meant to be launched by hand.
+
+fn main() {
+    if let Err(e) = paris_runtime::socket_child_main() {
+        eprintln!("paris-server: {e}");
+        std::process::exit(1);
+    }
+}

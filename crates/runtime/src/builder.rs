@@ -25,6 +25,7 @@ use paris_workload::WorkloadConfig;
 
 use crate::mini_cluster::MiniCluster;
 use crate::sim_cluster::{SimCluster, SimConfig};
+use crate::socket_cluster::{SocketCluster, SocketClusterConfig};
 use crate::thread_cluster::{ThreadCluster, ThreadClusterConfig};
 use crate::Cluster;
 
@@ -41,6 +42,13 @@ pub enum Backend {
     /// Real threads over an in-process transport: one thread per server,
     /// genuine concurrency and races.
     Thread,
+    /// Real **processes** over loopback TCP: one OS process per server
+    /// speaking length-prefixed protocol frames — the paper's
+    /// one-machine-per-server deployment shape on a single host.
+    /// Requires the `paris-server` binary next to the current executable
+    /// (or `PARIS_SERVER_BIN`); WAN latency knobs are ignored (loopback
+    /// is the network).
+    Socket,
 }
 
 impl std::fmt::Display for Backend {
@@ -49,6 +57,7 @@ impl std::fmt::Display for Backend {
             Backend::Mini => write!(f, "mini"),
             Backend::Sim => write!(f, "sim"),
             Backend::Thread => write!(f, "thread"),
+            Backend::Socket => write!(f, "socket"),
         }
     }
 }
@@ -521,6 +530,7 @@ impl ClusterBuilder {
             Backend::Mini => Box::new(self.build_mini()?),
             Backend::Sim => Box::new(self.build_sim()?),
             Backend::Thread => Box::new(self.build_thread()?),
+            Backend::Socket => Box::new(self.build_socket()?),
         })
     }
 
@@ -627,5 +637,47 @@ impl ClusterBuilder {
             read_service_micros: self.read_service_micros,
             tuning,
         }))
+    }
+
+    /// Builds the concrete [`SocketCluster`] backend: one child process
+    /// per server over loopback TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for invalid shapes, and
+    /// [`Error::Transport`]/[`Error::Unsupported`] when the child
+    /// processes cannot be spawned (missing `paris-server` binary,
+    /// bring-up timeout).
+    pub fn build_socket(self) -> Result<SocketCluster, Error> {
+        if self.record_events {
+            return Err(Error::Unsupported(
+                "event recording (visibility latency) needs the sim backend",
+            ));
+        }
+        if self.stab_branching != 0 {
+            return Err(Error::Unsupported(
+                "stabilization-tree branching needs the sim backend",
+            ));
+        }
+        let cluster = self.cluster_config()?;
+        let workload = self.workload_config();
+        let tuning = self.tuning();
+        // Processes already parallelize the servers across cores; pools
+        // inside every child would oversubscribe small hosts, so the
+        // unset default is loop-served (an explicit knob still wins and
+        // applies per child).
+        let read_threads = self.read_threads.unwrap_or(0);
+        SocketCluster::start(SocketClusterConfig {
+            cluster,
+            clients_per_dc: self.clients_per_dc,
+            workload,
+            seed: self.seed,
+            record_history: self.record_history,
+            read_threads,
+            read_service_micros: self.read_service_micros,
+            tuning,
+            connect_timeout: std::time::Duration::from_secs(5),
+            read_timeout: std::time::Duration::from_millis(100),
+        })
     }
 }

@@ -10,8 +10,11 @@
 //! * [`ThreadCluster`] — a real multi-threaded in-process deployment: one
 //!   thread per server, used by integration tests to exercise the protocol
 //!   under genuine concurrency.
+//! * [`SocketCluster`] — a real multi-**process** deployment: one OS
+//!   process per server speaking protocol frames over loopback TCP — the
+//!   paper's one-machine-per-server shape, scaled down to one host.
 //!
-//! All three execute the same `paris-core` state machines. Build any of
+//! All four execute the same `paris-core` state machines. Build any of
 //! them with [`Paris::builder`]; interact through [`Cluster`] and the RAII
 //! [`Txn`] handle; measure with [`Cluster::run_workload`], which produces
 //! a [`RunReport`] with throughput, latency percentiles, blocking
@@ -28,10 +31,12 @@ use paris_net::sim::RegionMatrix;
 use paris_types::{DcId, Intervals, Key, PartitionId, ServerId, VersionOrd};
 
 mod builder;
+mod driver;
 mod facade;
 mod measure;
 mod mini_cluster;
 mod sim_cluster;
+mod socket_cluster;
 mod thread_cluster;
 
 pub use builder::{Backend, ClusterBuilder, Paris};
@@ -39,6 +44,9 @@ pub use facade::{Cluster, Txn};
 pub use measure::{visibility_histogram, BlockingStats, RunReport};
 pub use mini_cluster::MiniCluster;
 pub use sim_cluster::SimCluster;
+pub use socket_cluster::{
+    socket_child_main, ChildSpec, SocketCluster, CHILD_SPEC_ENV, SERVER_BIN_ENV,
+};
 pub use thread_cluster::ThreadCluster;
 
 /// Interactive client sessions get sequence numbers far above the

@@ -21,8 +21,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use paris_clock::{PhysicalClock, SystemClock};
-use paris_core::checker::{HistoryChecker, RecordedTx};
+use paris_clock::SystemClock;
+use paris_core::checker::HistoryChecker;
 use paris_core::{
     ClientEvent, ClientRead, ClientSession, ReadStep, ReadView, Server, ServerOptions,
     ServerTuning, Topology, Violation,
@@ -30,11 +30,10 @@ use paris_core::{
 use paris_net::threaded::{NetHandle, Router, ThreadedNetConfig};
 use paris_proto::Envelope;
 use paris_types::{ClientId, ClusterConfig, DcId, Error, Key, Mode, ServerId, Timestamp, Value};
-use paris_workload::stats::{Histogram, RunStats};
-use paris_workload::{WorkloadConfig, WorkloadGenerator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use paris_workload::stats::RunStats;
+use paris_workload::WorkloadConfig;
 
+use crate::driver::{run_client, server_loop, ClientOutcome};
 use crate::measure::{BlockingStats, RunReport};
 use crate::{replica_convergence, Cluster, INTERACTIVE_SEQ_BASE};
 
@@ -129,7 +128,7 @@ impl ThreadCluster {
                         server_loop(
                             server,
                             inbox,
-                            net,
+                            move |e| net.send(e),
                             topo,
                             clock,
                             stop,
@@ -163,7 +162,15 @@ impl ThreadCluster {
                     std::thread::Builder::new()
                         .name(format!("read-pool-{i}"))
                         .spawn(move || {
-                            read_pool_loop(lane_rx, views, servers, net, clock, stop, service)
+                            crate::driver::read_pool_loop(
+                                lane_rx,
+                                views,
+                                servers,
+                                move |e| net.send(e),
+                                clock,
+                                stop,
+                                service,
+                            )
                         })
                         .expect("spawn read pool thread"),
                 );
@@ -362,7 +369,7 @@ impl Cluster for ThreadCluster {
                                 local,
                                 seed,
                                 inbox,
-                                net,
+                                move |e| net.send(e),
                                 stop,
                                 clock,
                                 measure_after,
@@ -448,297 +455,5 @@ impl Drop for ThreadCluster {
         for h in self.read_pool.drain(..) {
             let _ = h.join();
         }
-    }
-}
-
-/// One read-pool thread: drains its lane of tapped `ReadSliceReq`s,
-/// `StartTxReq`s and unbatched `GstReport`s and serves each through the
-/// destination server's [`ReadView`] — Alg. 3 slice reads, Alg. 2
-/// snapshot assignment and Alg. 4 child-report folds, all executed
-/// entirely off the server loop. A read whose snapshot
-/// fell below `S_old` (possible only for reads that raced a GC advance)
-/// is punted to the authoritative server state machine. `service_micros`
-/// models per-read storage/CPU occupancy (see
-/// [`crate::ClusterBuilder::read_service_micros`]); starts are pure
-/// admission work and are not charged it — the sim models their (small)
-/// fixed cost separately.
-fn read_pool_loop(
-    lane: Receiver<Envelope>,
-    views: HashMap<ServerId, ReadView>,
-    servers: HashMap<ServerId, Arc<Mutex<Server>>>,
-    net: NetHandle,
-    clock: Arc<SystemClock>,
-    stop: Arc<AtomicBool>,
-    service_micros: u64,
-) {
-    let punt = |env: &Envelope, sid: ServerId| {
-        let out = {
-            let mut server = servers[&sid].lock().expect("server poisoned");
-            server.handle(env, clock.now_micros())
-        };
-        for e in out {
-            net.send(e);
-        }
-    };
-    loop {
-        match lane.recv_timeout(Duration::from_millis(100)) {
-            Ok(env) => {
-                let paris_proto::Endpoint::Server(sid) = env.dst else {
-                    debug_assert!(false, "read tap delivered a client-bound envelope");
-                    continue;
-                };
-                match env.msg {
-                    paris_proto::Msg::ReadSliceReq {
-                        tx,
-                        snapshot,
-                        ref keys,
-                        reply_to,
-                    } => {
-                        if service_micros > 0 {
-                            std::thread::sleep(Duration::from_micros(service_micros));
-                        }
-                        match views[&sid].serve_slice(tx, snapshot, keys, reply_to) {
-                            Ok(resp) => net.send(resp),
-                            Err(_) => punt(&env, sid),
-                        }
-                    }
-                    paris_proto::Msg::StartTxReq { client_ust } => {
-                        let paris_proto::Endpoint::Client(client) = env.src else {
-                            debug_assert!(false, "StartTxReq from a server");
-                            continue;
-                        };
-                        match views[&sid].serve_start_tx(client, client_ust, clock.now_micros()) {
-                            Some(resp) => net.send(resp),
-                            // BPR view (cannot happen: pools are PaRiS-
-                            // only): the loop owns the HLC.
-                            None => punt(&env, sid),
-                        }
-                    }
-                    paris_proto::Msg::GstReport {
-                        partition,
-                        ref mins,
-                        oldest_active,
-                    } => {
-                        // A tree child's stabilization aggregate: folded
-                        // into the shared report table off the loop (no
-                        // reply traffic). The parent's next ∆G tick reads
-                        // the fold.
-                        views[&sid].serve_gst_report(partition, mins, oldest_active);
-                    }
-                    // The tap only diverts read-path messages; anything
-                    // else is handed to the owning server untouched.
-                    _ => punt(&env, sid),
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if stop.load(Ordering::Relaxed) {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn server_loop(
-    server: Arc<Mutex<Server>>,
-    inbox: Receiver<Envelope>,
-    net: NetHandle,
-    topo: Arc<Topology>,
-    clock: Arc<SystemClock>,
-    stop: Arc<AtomicBool>,
-    intervals: paris_types::Intervals,
-    id: ServerId,
-    read_service_micros: u64,
-) {
-    let is_root = topo.tree_parent(id).is_none();
-    let mut next_rep = clock.now_micros() + intervals.replication_micros;
-    let mut next_gst = clock.now_micros() + intervals.gst_micros;
-    let mut next_ust = clock.now_micros() + intervals.ust_micros;
-    let mut next_gc = clock.now_micros() + intervals.gc_micros;
-    loop {
-        let now = clock.now_micros();
-        let mut deadline = next_rep.min(next_gst).min(next_gc);
-        if is_root {
-            deadline = deadline.min(next_ust);
-        }
-        let timeout = Duration::from_micros(deadline.saturating_sub(now).min(5_000));
-        match inbox.recv_timeout(timeout) {
-            Ok(env) => {
-                // Loop-served reads pay the same modeled service occupancy
-                // as pool-served ones, so read_threads comparisons stay
-                // apples-to-apples.
-                if read_service_micros > 0
-                    && matches!(env.msg, paris_proto::Msg::ReadSliceReq { .. })
-                {
-                    std::thread::sleep(Duration::from_micros(read_service_micros));
-                }
-                let out = {
-                    let mut server = server.lock().expect("server poisoned");
-                    server.handle(&env, clock.now_micros())
-                };
-                for e in out {
-                    net.send(e);
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-        let now = clock.now_micros();
-        if now >= next_rep || now >= next_gst || (is_root && now >= next_ust) || now >= next_gc {
-            let mut out = Vec::new();
-            {
-                let mut server = server.lock().expect("server poisoned");
-                if now >= next_rep {
-                    out.extend(server.on_replicate_tick(now));
-                    next_rep = now + intervals.replication_micros;
-                }
-                if now >= next_gst {
-                    out.extend(server.on_gst_tick(now));
-                    next_gst = now + intervals.gst_micros;
-                }
-                if is_root && now >= next_ust {
-                    out.extend(server.on_ust_tick(now));
-                    next_ust = now + intervals.ust_micros;
-                }
-                if now >= next_gc {
-                    server.on_gc_tick();
-                    next_gc = now + intervals.gc_micros;
-                }
-            }
-            for e in out {
-                net.send(e);
-            }
-        }
-        if stop.load(Ordering::Relaxed) {
-            break;
-        }
-    }
-}
-
-struct ClientOutcome {
-    records: Vec<(ClientId, RecordedTx)>,
-    committed: u64,
-    aborted: u64,
-    latency: Histogram,
-    start_latency: Histogram,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_client(
-    id: ClientId,
-    coordinator: ServerId,
-    mode: Mode,
-    workload: WorkloadConfig,
-    n_partitions: u32,
-    local_partitions: Vec<paris_types::PartitionId>,
-    seed: u64,
-    inbox: Receiver<Envelope>,
-    net: NetHandle,
-    stop: Arc<AtomicBool>,
-    clock: Arc<SystemClock>,
-    measure_after: Instant,
-) -> ClientOutcome {
-    let mut session = ClientSession::new(id, coordinator, mode);
-    let mut generator = WorkloadGenerator::new(workload, n_partitions, local_partitions);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut records = Vec::new();
-    let mut latency = Histogram::new();
-    let mut start_latency = Histogram::new();
-    let mut committed = 0u64;
-    let mut aborted = 0u64;
-
-    // Waits for the next client event, bailing out on stop.
-    let wait_event = |session: &mut ClientSession| -> Option<ClientEvent> {
-        loop {
-            match inbox.recv_timeout(Duration::from_millis(100)) {
-                Ok(env) => {
-                    if let Some(ev) = session.handle(&env) {
-                        return Some(ev);
-                    }
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    if stop.load(Ordering::Relaxed) {
-                        return None;
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => return None,
-            }
-        }
-    };
-
-    while !stop.load(Ordering::Relaxed) {
-        let begin = clock.now_micros();
-        net.send(session.begin().expect("idle session"));
-        let Some(ClientEvent::Started { tx, snapshot }) = wait_event(&mut session) else {
-            break;
-        };
-        // Admission latency of the start phase alone — the pooled
-        // StartTxReq path is measured by this.
-        if Instant::now() >= measure_after {
-            start_latency.record(clock.now_micros().saturating_sub(begin));
-        }
-        let spec = generator.next_tx(&mut rng);
-        let mut reads = Vec::new();
-        if !spec.read_keys.is_empty() {
-            match session.read(&spec.read_keys).expect("open tx") {
-                ReadStep::Done(local) => {
-                    reads.extend(local.iter().map(HistoryChecker::recorded_read))
-                }
-                ReadStep::Send(env) => {
-                    net.send(env);
-                    match wait_event(&mut session) {
-                        Some(ClientEvent::ReadDone { reads: got, .. }) => {
-                            reads.extend(got.iter().map(HistoryChecker::recorded_read));
-                        }
-                        Some(ClientEvent::Aborted { .. }) => {
-                            if Instant::now() >= measure_after {
-                                aborted += 1;
-                            }
-                            continue; // retry
-                        }
-                        _ => break,
-                    }
-                }
-            }
-        }
-        if !spec.writes.is_empty() {
-            session.write(&spec.writes).expect("open tx");
-        }
-        net.send(session.commit().expect("open tx"));
-        let ct = match wait_event(&mut session) {
-            Some(ClientEvent::Committed { ct, .. }) => ct,
-            Some(ClientEvent::Aborted { .. }) => {
-                if Instant::now() >= measure_after {
-                    aborted += 1;
-                }
-                continue; // retry
-            }
-            _ => break,
-        };
-        // Stats count only the measurement window (warmup is untimed, as
-        // on the deterministic backends); the checker records everything.
-        if Instant::now() >= measure_after {
-            committed += 1;
-            latency.record(clock.now_micros().saturating_sub(begin));
-        }
-        records.push((
-            id,
-            RecordedTx {
-                tx,
-                snapshot,
-                reads,
-                writes: spec.writes.iter().map(|(k, _)| *k).collect(),
-                ct: Some(ct),
-            },
-        ));
-    }
-    ClientOutcome {
-        records,
-        committed,
-        aborted,
-        latency,
-        start_latency,
     }
 }
