@@ -66,6 +66,7 @@ const GATED: &[(&str, &str)] = &[
     ("fig1", "BENCH_fig1.json"),
     ("ablation_batch", "BENCH_batch.json"),
     ("fig_reads", "BENCH_reads.json"),
+    ("fig_writes", "BENCH_writes.json"),
     ("fig4", "BENCH_fig4.json"),
 ];
 

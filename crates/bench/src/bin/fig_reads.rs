@@ -45,7 +45,7 @@
 //! Emits `results/fig_reads.csv` and `results/BENCH_reads.json`.
 
 use paris_bench::{bench_doc, json::Json, quick, section, write_bench_json, write_csv};
-use paris_runtime::{Cluster, Paris, RunReport};
+use paris_runtime::{Cluster, Paris, RunReport, Tuning};
 use paris_types::Mode;
 use paris_workload::WorkloadConfig;
 
@@ -97,12 +97,14 @@ fn run_thread_arm(spec: &ArmSpec, warmup: u64, window: u64) -> Arm {
         .jitter(0.0)
         .seed(42)
         .batch_size(32) // batching on: coalescing must not disturb reads
-        .read_threads(spec.read_threads)
-        .read_service_micros(spec.read_service_micros)
         .record_history(true);
+    let mut tuning = Tuning::default()
+        .read_threads(spec.read_threads)
+        .read_service_micros(spec.read_service_micros);
     if let Some(slots) = spec.read_slots {
-        builder = builder.read_slots(slots);
+        tuning = tuning.read_slots(slots);
     }
+    builder = builder.tuning(tuning);
     let mut cluster = builder.build_thread().expect("valid fig_reads deployment");
     let report = cluster
         .run_workload(warmup, window)
@@ -147,8 +149,11 @@ fn run_sim_arm(lanes: usize, warmup: u64, window: u64) -> Arm {
         .jitter(0.0)
         .seed(42)
         .batch_size(32)
-        .read_threads(lanes)
-        .read_service_micros(2_000)
+        .tuning(
+            Tuning::default()
+                .read_threads(lanes)
+                .read_service_micros(2_000),
+        )
         .record_history(true)
         .build_sim()
         .expect("valid sim deployment");

@@ -69,7 +69,10 @@ mod topology;
 pub use checker::{HistoryChecker, RecordedRead, RecordedTx, Violation};
 pub use client::{ClientEvent, ClientRead, ClientSession, ReadSource, ReadStep};
 pub use read_view::{ReadView, ReadViewStats};
-pub use server::{EventLog, Server, ServerOptions, ServerStats, ServerTuning};
+pub use server::{
+    CommitPipeline, EventLog, LaneGuard, PipelineStats, RootState, Server, ServerOptions,
+    ServerStats, ServerTuning, StagedPrepare,
+};
 pub use topology::Topology;
 
 pub use paris_storage::StaleSnapshot;

@@ -17,8 +17,10 @@
 
 mod cohort;
 mod coordinator;
+mod pipeline;
 mod replication;
 mod report_table;
+mod root_state;
 mod stabilization;
 mod tx_table;
 
@@ -31,6 +33,9 @@ use paris_types::{ClientId, DcId, Mode, PartitionId, ServerId, Timestamp, TxId, 
 
 use crate::read_view::{ReadView, ReadViewStats};
 use crate::topology::Topology;
+
+pub use pipeline::{CommitPipeline, LaneGuard, PipelineStats, StagedPrepare};
+pub use root_state::RootState;
 
 pub(crate) use report_table::ReportTable;
 pub(crate) use tx_table::TxTable;
@@ -180,6 +185,10 @@ pub struct ServerTuning {
     /// disables the slots so every read admission takes the mutexed
     /// fallback — the pre-slot behavior, kept measurable for benches).
     pub read_slots: Option<usize>,
+    /// Apply-lane count of the [`CommitPipeline`] (`None` → one lane per
+    /// store shard — maximal write parallelism). Clamped to
+    /// `1..=store_shards`; more lanes than shards buys nothing.
+    pub write_lanes: Option<usize>,
 }
 
 /// The PaRiS partition server state machine. See the module docs.
@@ -196,6 +205,13 @@ pub struct Server {
     pub(crate) frontier: std::sync::Arc<StableFrontier>,
     /// Read-path counters shared with every [`ReadView`].
     pub(crate) view_stats: std::sync::Arc<ReadViewStats>,
+    /// The per-shard commit pipeline, shared with the runtimes' write
+    /// pools; the loop itself stages prepares and applies replication
+    /// batches through it, so every backend exercises one write path.
+    pub(crate) pipeline: std::sync::Arc<CommitPipeline>,
+    /// Loop-owned root state (HLC, installed watermark), published for
+    /// lock-free observation off the loop.
+    pub(crate) root_state: std::sync::Arc<RootState>,
     /// The server's own cached view (the loop-served read path uses it on
     /// every slice read; cloning three `Arc`s per read would be waste).
     pub(crate) view: ReadView,
@@ -287,6 +303,12 @@ impl Server {
             None => StableFrontier::new(),
         });
         let view_stats = std::sync::Arc::new(ReadViewStats::default());
+        let pipeline = std::sync::Arc::new(CommitPipeline::new(
+            std::sync::Arc::clone(&store),
+            std::sync::Arc::clone(&frontier),
+            tuning.write_lanes.unwrap_or_else(|| store.shard_count()),
+        ));
+        let root_state = std::sync::Arc::new(RootState::default());
         let tx_table = std::sync::Arc::new(TxTable::default());
         let child_reports = std::sync::Arc::new(ReportTable::default());
         let view = ReadView::new(
@@ -307,6 +329,8 @@ impl Server {
             store,
             frontier,
             view_stats,
+            pipeline,
+            root_state,
             view,
             vv,
             tx_table,
@@ -358,6 +382,21 @@ impl Server {
         stats.slice_reads += self.view_stats.slice_reads();
         stats.keys_read += self.view_stats.keys_read();
         stats
+    }
+
+    /// The shared per-shard commit pipeline: the write-path counterpart
+    /// of [`Server::read_view`]. The threaded runtime hands it to its
+    /// write-thread pool (prepare staging and replication apply run
+    /// off-loop through its lanes); the deterministic backends exercise
+    /// the same path synchronously.
+    pub fn commit_pipeline(&self) -> std::sync::Arc<CommitPipeline> {
+        std::sync::Arc::clone(&self.pipeline)
+    }
+
+    /// The published loop-owned root state (HLC, installed watermark):
+    /// lock-free reads of what only the server loop may mutate.
+    pub fn root_state(&self) -> std::sync::Arc<RootState> {
+        std::sync::Arc::clone(&self.root_state)
     }
 
     /// A cloneable handle serving Algorithm 3 snapshot reads from this

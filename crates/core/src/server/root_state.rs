@@ -1,0 +1,84 @@
+//! Loop-owned root state, published for lock-free observation.
+//!
+//! With the write path fanned out over pipeline lanes, two pieces of
+//! protocol state remain strictly **loop-owned**: the HLC (every stamp
+//! and observation happens under the server's single-writer discipline,
+//! Alg. 3 lines 12/16) and the installed watermark `min(VV)` (bumped
+//! only after a batch's store writes have landed, Alg. 4 lines 18/29).
+//! Off-loop workers, stats snapshots and benches still want to *read*
+//! both without taking the server mutex, so the loop publishes them here
+//! — the same pattern as [`StableFrontier`](paris_storage::StableFrontier)
+//! for UST/`S_old`: atomics with monotone publish methods that only the
+//! loop calls, and lock-free getters for everyone else.
+//!
+//! Publication is deliberately *after* the state change it mirrors, so a
+//! reader can under-approximate but never over-approximate the loop's
+//! progress — the same monotone-witness argument the `ReportTable` fold
+//! uses for off-loop gossip.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use paris_types::Timestamp;
+
+/// Published loop-owned state of one server. See the module docs.
+#[derive(Debug, Default)]
+pub struct RootState {
+    /// Packed [`Timestamp`]: the freshest HLC value the loop has stamped
+    /// or observed.
+    hlc: AtomicU64,
+    /// Packed [`Timestamp`]: the installed watermark `min(VV)` — every
+    /// version at or below it is readable in the store.
+    watermark: AtomicU64,
+}
+
+impl RootState {
+    /// The freshest published HLC value.
+    pub fn hlc(&self) -> Timestamp {
+        Timestamp::from_u64(self.hlc.load(Ordering::SeqCst))
+    }
+
+    /// The published installed watermark `min(VV)`.
+    pub fn installed_watermark(&self) -> Timestamp {
+        Timestamp::from_u64(self.watermark.load(Ordering::SeqCst))
+    }
+
+    /// Publishes an HLC advance. Loop-only; monotone, so a stale republish
+    /// (or a racing reader) can never observe time moving backwards.
+    pub(crate) fn publish_hlc(&self, ts: Timestamp) {
+        self.hlc.fetch_max(ts.as_u64(), Ordering::SeqCst);
+    }
+
+    /// Publishes an installed-watermark advance. Loop-only; monotone.
+    pub(crate) fn publish_watermark(&self, ts: Timestamp) {
+        self.watermark.fetch_max(ts.as_u64(), Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::from_physical_micros(t)
+    }
+
+    #[test]
+    fn starts_at_zero() {
+        let r = RootState::default();
+        assert_eq!(r.hlc(), Timestamp::ZERO);
+        assert_eq!(r.installed_watermark(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn publishes_are_monotone() {
+        let r = RootState::default();
+        r.publish_hlc(ts(10));
+        r.publish_hlc(ts(5));
+        assert_eq!(r.hlc(), ts(10), "stale republish cannot regress");
+        r.publish_watermark(ts(7));
+        r.publish_watermark(ts(3));
+        assert_eq!(r.installed_watermark(), ts(7));
+        r.publish_watermark(ts(9));
+        assert_eq!(r.installed_watermark(), ts(9));
+    }
+}

@@ -1,0 +1,386 @@
+//! Property tests of the split write path: driving the commit pipeline's
+//! public halves (`stage_prepare`/`admit_prepared` for prepares,
+//! `apply_replicated`/`note_remote_applied` for replication) under
+//! arbitrary cross-source interleavings must leave a server in exactly
+//! the state the monolithic `handle()` path produces — identical version
+//! chains, version vector and UST progression.
+//!
+//! This is the determinism contract the threaded and socket runtimes'
+//! write pools rely on: a pool may reorder work across sources (never
+//! within one source — per-src FIFO), and nothing observable may depend
+//! on which order it picked.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use paris_clock::SimClock;
+use paris_core::{Mode, Server, ServerOptions, ServerTuning, Topology};
+use paris_proto::{Envelope, Msg, ReplicatedTx};
+use paris_types::{
+    ClusterConfig, DcId, Key, PartitionId, ServerId, Timestamp, TxId, Value, WriteSetEntry,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Distinct keys per case, all owned by partition 0.
+const KEYS: usize = 6;
+
+/// All three DCs replicate both partitions, so server (0, 0) has two peer
+/// replicas (DCs 1 and 2) — two independent replication sources whose
+/// batches may interleave arbitrarily.
+fn topo() -> Arc<Topology> {
+    Arc::new(Topology::new(
+        ClusterConfig::builder()
+            .dcs(3)
+            .partitions(2)
+            .replication_factor(3)
+            .build()
+            .unwrap(),
+    ))
+}
+
+fn options(topo: &Arc<Topology>, clock: &SimClock) -> ServerOptions {
+    ServerOptions {
+        id: ServerId::new(DcId(0), PartitionId(0)),
+        topology: Arc::clone(topo),
+        clock: Box::new(clock.clone()),
+        mode: Mode::Paris,
+        record_events: false,
+    }
+}
+
+/// One replication source's stream: per batch, per transaction, the
+/// written (key index, value byte) pairs.
+type StreamSpec = Vec<Vec<Vec<(usize, u8)>>>;
+
+fn arb_stream() -> impl Strategy<Value = StreamSpec> {
+    pvec(pvec(pvec((0usize..KEYS, any::<u8>()), 1..4), 1..3), 1..5)
+}
+
+/// A materialized replication batch: source, transactions (ascending
+/// `ct`), sender watermark, coalesced-frame count.
+#[derive(Clone)]
+struct Batch {
+    src: DcId,
+    txs: Vec<ReplicatedTx>,
+    watermark: Timestamp,
+    frames: u32,
+}
+
+/// Assigns globally unique, per-source ascending commit timestamps to a
+/// stream spec. `seq` is shared across sources so no two versions ever
+/// collide on `(ct, tx)`.
+fn make_stream(topo: &Topology, src: DcId, spec: &StreamSpec, seq: &mut u64) -> VecDeque<Batch> {
+    let coord = ServerId::new(src, PartitionId(0));
+    spec.iter()
+        .map(|batch| {
+            let txs: Vec<ReplicatedTx> = batch
+                .iter()
+                .map(|writes| {
+                    *seq += 1;
+                    ReplicatedTx {
+                        tx: TxId::new(coord, *seq),
+                        ct: Timestamp::from_physical_micros(100_000 + *seq * 7),
+                        src,
+                        writes: writes
+                            .iter()
+                            .map(|&(k, v)| {
+                                WriteSetEntry::new(
+                                    topo.key_at(PartitionId(0), k as u64),
+                                    Value(vec![v, src.0 as u8]),
+                                )
+                            })
+                            .collect(),
+                    }
+                })
+                .collect();
+            let watermark = txs.last().expect("non-empty batch").ct;
+            let frames = txs.len() as u32;
+            Batch {
+                src,
+                txs,
+                watermark,
+                frames,
+            }
+        })
+        .collect()
+}
+
+/// Every retained version of every key: the store state the paths must
+/// agree on, chain order included (chains are newest-first).
+fn chains(server: &Server) -> HashMap<Key, Vec<(Timestamp, TxId, DcId, Value)>> {
+    let mut out = HashMap::new();
+    server.store().for_each_chain(|key, chain| {
+        out.insert(
+            key,
+            chain
+                .iter()
+                .map(|v| (v.ut, v.tx, v.src, v.value.clone()))
+                .collect(),
+        );
+    });
+    out
+}
+
+/// Runs one local transaction on both servers in lockstep: the subject
+/// through the two public halves (exactly as the write pools run them —
+/// staging off-loop, admission on-loop), the model through the
+/// monolithic `handle` path. Proposals must match; both then commit at
+/// the proposed timestamp.
+fn prepare_and_commit_both(
+    subject: &mut Server,
+    model: &mut Server,
+    tx: TxId,
+    snapshot: Timestamp,
+    writes: &[WriteSetEntry],
+    now: u64,
+) {
+    let coord = model.id();
+    let staged = subject.commit_pipeline().stage_prepare(snapshot, writes);
+    let from_split = subject.admit_prepared(tx, staged, Timestamp::ZERO, coord, DcId(0));
+    let env = Envelope::new(
+        coord,
+        coord,
+        Msg::PrepareReq {
+            tx,
+            snapshot,
+            ht: Timestamp::ZERO,
+            writes: writes.to_vec(),
+            reply_to: coord,
+            src_dc: DcId(0),
+        },
+    );
+    let from_loop = model.handle(&env, now);
+    assert_eq!(
+        from_split, from_loop,
+        "split and loop prepares must propose identically"
+    );
+    let proposed = match &from_split[0].msg {
+        Msg::PrepareResp { proposed, .. } => *proposed,
+        other => panic!("expected PrepareResp, got {}", other.kind()),
+    };
+    let commit = Envelope::new(coord, coord, Msg::CommitTx { tx, ct: proposed });
+    subject.handle(&commit, now);
+    model.handle(&commit, now);
+}
+
+proptest! {
+    /// Prepares, commits, replicate-batches and replication ticks woven
+    /// into an arbitrary schedule, with the two remote sources' batches
+    /// applied in an arbitrary cross-source interleaving through the
+    /// split halves — versus a model server fed the identical input in
+    /// one canonical order through `handle`. Final version chains,
+    /// version vector, UST and pipeline counters must all agree.
+    #[test]
+    fn split_write_path_matches_monolithic_handle(
+        stream_a in arb_stream(),
+        stream_b in arb_stream(),
+        preps in pvec((pvec((0usize..KEYS, any::<u8>()), 1..4), 1u64..5_000), 0..5),
+        sched in pvec(0usize..4, 4..24),
+    ) {
+        let topo = topo();
+        let clock = SimClock::new();
+        clock.advance_to(10_000);
+        let now = 10_000u64;
+
+        // Subject: a deliberately awkward shape — 4 store shards folded
+        // onto 3 lanes — driven through the public split halves. Model:
+        // default tuning, driven only through `handle`.
+        let mut subject = Server::with_tuning(
+            options(&topo, &clock),
+            ServerTuning {
+                store_shards: Some(4),
+                read_slots: None,
+                write_lanes: Some(3),
+            },
+        );
+        let mut model = Server::new(options(&topo, &clock));
+        let pipeline = subject.commit_pipeline();
+
+        let mut seq = 0u64;
+        let mut queues = [
+            make_stream(&topo, DcId(1), &stream_a, &mut seq),
+            make_stream(&topo, DcId(2), &stream_b, &mut seq),
+        ];
+        // Canonical delivery order for the model: source by source —
+        // per-source FIFO like every real substrate, but one fixed
+        // cross-source order unlike the subject's schedule.
+        let canonical: Vec<Batch> =
+            queues[0].iter().chain(queues[1].iter()).cloned().collect();
+        let total_batches = canonical.len() as u64;
+        // A transaction writing one key twice yields a single version
+        // (same total-order identity), so count distinct keys per tx.
+        let total_versions: u64 = canonical
+            .iter()
+            .flat_map(|b| &b.txs)
+            .map(|t| t.writes.iter().map(|w| w.key).collect::<HashSet<_>>().len() as u64)
+            .sum();
+
+        let mut prep_queue: VecDeque<(TxId, Timestamp, Vec<WriteSetEntry>)> = preps
+            .iter()
+            .enumerate()
+            .map(|(i, (spec, snap))| {
+                (
+                    TxId::new(subject.id(), 1_000_000 + i as u64),
+                    Timestamp::from_physical_micros(*snap),
+                    spec.iter()
+                        .map(|&(k, v)| {
+                            WriteSetEntry::new(
+                                topo.key_at(PartitionId(0), k as u64),
+                                Value(vec![v, 0xEE]),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let mut si = 0usize;
+        let mut ticks_left = 3u32;
+        while !(queues[0].is_empty() && queues[1].is_empty() && prep_queue.is_empty()) {
+            let op = sched[si % sched.len()];
+            si += 1;
+            if op == 3 && ticks_left > 0 {
+                ticks_left -= 1;
+                // Ticks drain local commits into replicate/heartbeat
+                // frames; the split path must not perturb them at any
+                // point of the schedule.
+                prop_assert_eq!(subject.on_replicate_tick(now), model.on_replicate_tick(now));
+                continue;
+            }
+            if op == 2 {
+                if let Some((tx, snapshot, writes)) = prep_queue.pop_front() {
+                    prepare_and_commit_both(&mut subject, &mut model, tx, snapshot, &writes, now);
+                    continue;
+                }
+            }
+            let pref = usize::from(op == 1);
+            let s = if queues[pref].is_empty() { 1 - pref } else { pref };
+            if let Some(batch) = queues[s].pop_front() {
+                // Subject: the two public halves — store writes through
+                // the lanes, then the loop-owned completion.
+                pipeline.apply_replicated(&batch.txs);
+                let out = subject.note_remote_applied(
+                    batch.src,
+                    PartitionId(0),
+                    &batch.txs,
+                    batch.watermark,
+                    batch.frames,
+                    now,
+                );
+                prop_assert!(out.is_empty(), "PaRiS mode never blocks on replication");
+            } else if let Some((tx, snapshot, writes)) = prep_queue.pop_front() {
+                prepare_and_commit_both(&mut subject, &mut model, tx, snapshot, &writes, now);
+            }
+        }
+
+        // Model: the same batches, canonical order, monolithic handler.
+        for batch in canonical {
+            let env = Envelope::new(
+                ServerId::new(batch.src, PartitionId(0)),
+                model.id(),
+                Msg::ReplicateBatch {
+                    partition: PartitionId(0),
+                    txs: batch.txs,
+                    watermark: batch.watermark,
+                    frames: batch.frames,
+                },
+            );
+            let out = model.handle(&env, now);
+            prop_assert!(out.is_empty());
+        }
+
+        // Drain local commits on both; outputs must agree one last time.
+        prop_assert_eq!(subject.on_replicate_tick(now), model.on_replicate_tick(now));
+
+        prop_assert_eq!(chains(&subject), chains(&model), "version chains diverged");
+        prop_assert_eq!(subject.version_vector(), model.version_vector());
+
+        // UST progression: only the staged snapshots may move the
+        // frontier here, and both paths must land on their maximum.
+        let expected_ust = preps
+            .iter()
+            .map(|(_, snap)| Timestamp::from_physical_micros(*snap))
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+        prop_assert_eq!(subject.ust(), expected_ust);
+        prop_assert_eq!(model.ust(), expected_ust);
+
+        // Counters: both servers route every write through their
+        // pipeline, whether the halves ran split or back to back.
+        let (s_stats, m_stats) = (subject.stats(), model.stats());
+        prop_assert_eq!(s_stats.prepares, preps.len() as u64);
+        prop_assert_eq!(s_stats.prepares, m_stats.prepares);
+        prop_assert_eq!(s_stats.applied_local, m_stats.applied_local);
+        prop_assert_eq!(s_stats.applied_remote, m_stats.applied_remote);
+        prop_assert_eq!(pipeline.stats().staged_prepares(), preps.len() as u64);
+        prop_assert_eq!(pipeline.stats().lane_batches(), total_batches);
+        prop_assert_eq!(pipeline.stats().lane_applies(), total_versions);
+        prop_assert_eq!(model.commit_pipeline().stats().lane_applies(), total_versions);
+    }
+
+    /// At-least-once delivery: re-running both halves on an already
+    /// applied batch (same transactions, same watermark) must change
+    /// nothing — chain inserts are idempotent and the version-vector
+    /// bump is monotone.
+    #[test]
+    fn split_apply_is_idempotent_under_redelivery(
+        stream in arb_stream(),
+        dups in pvec(any::<bool>(), 4..10),
+    ) {
+        let topo = topo();
+        let clock = SimClock::new();
+        clock.advance_to(10_000);
+        let mut subject = Server::with_tuning(
+            options(&topo, &clock),
+            ServerTuning {
+                store_shards: Some(4),
+                read_slots: None,
+                write_lanes: Some(2),
+            },
+        );
+        let mut model = Server::new(options(&topo, &clock));
+        let pipeline = subject.commit_pipeline();
+
+        let mut seq = 0u64;
+        let batches: Vec<Batch> = make_stream(&topo, DcId(1), &stream, &mut seq).into();
+        for (i, batch) in batches.iter().enumerate() {
+            let deliveries = if dups[i % dups.len()] { 2 } else { 1 };
+            for _ in 0..deliveries {
+                pipeline.apply_replicated(&batch.txs);
+                let out = subject.note_remote_applied(
+                    batch.src,
+                    PartitionId(0),
+                    &batch.txs,
+                    batch.watermark,
+                    batch.frames,
+                    10_000,
+                );
+                prop_assert!(out.is_empty());
+            }
+            let env = Envelope::new(
+                ServerId::new(batch.src, PartitionId(0)),
+                model.id(),
+                Msg::ReplicateBatch {
+                    partition: PartitionId(0),
+                    txs: batch.txs.clone(),
+                    watermark: batch.watermark,
+                    frames: batch.frames,
+                },
+            );
+            model.handle(&env, 10_000);
+        }
+
+        prop_assert_eq!(
+            chains(&subject),
+            chains(&model),
+            "re-delivered batches must be idempotent"
+        );
+        prop_assert_eq!(subject.version_vector(), model.version_vector());
+        // Re-deliveries applied zero new versions through the lanes.
+        prop_assert_eq!(
+            pipeline.stats().lane_applies(),
+            model.commit_pipeline().stats().lane_applies()
+        );
+    }
+}

@@ -21,10 +21,93 @@ use crate::wire::{
     put_server, put_ts, put_tx, DecodeError,
 };
 
+/// The flat protocol/pipeline counter block a child reports alongside its
+/// snapshot — a wire-stable mirror of the server's internal statistics
+/// (message counts, 2PC roles, replication applies) plus the per-shard
+/// commit-pipeline counters, so the parent can aggregate a cluster-wide
+/// view without reaching into child processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotCounters {
+    /// Messages handled, any kind.
+    pub msgs_handled: u64,
+    /// Update transactions committed with this server as coordinator.
+    pub txs_coordinated: u64,
+    /// Slice reads served.
+    pub slice_reads: u64,
+    /// Keys returned by slice reads.
+    pub keys_read: u64,
+    /// Prepares handled.
+    pub prepares: u64,
+    /// Transactions applied locally (as 2PC participant).
+    pub applied_local: u64,
+    /// Transactions applied from remote replication.
+    pub applied_remote: u64,
+    /// Replication batches sent.
+    pub replicate_batches: u64,
+    /// Heartbeats sent.
+    pub heartbeats: u64,
+    /// Logical frames folded inside coalesced messages.
+    pub coalesced_frames: u64,
+    /// Versions removed by GC.
+    pub gc_removed: u64,
+    /// Prepares staged through the commit pipeline.
+    pub staged_prepares: u64,
+    /// Replication frames applied through the pipeline's lanes.
+    pub lane_batches: u64,
+    /// Versions inserted through the pipeline's lanes.
+    pub lane_applies: u64,
+}
+
+impl SnapshotCounters {
+    const WIRE_LEN: usize = 14 * 8;
+
+    fn encode(&self, buf: &mut BytesMut) {
+        for v in [
+            self.msgs_handled,
+            self.txs_coordinated,
+            self.slice_reads,
+            self.keys_read,
+            self.prepares,
+            self.applied_local,
+            self.applied_remote,
+            self.replicate_batches,
+            self.heartbeats,
+            self.coalesced_frames,
+            self.gc_removed,
+            self.staged_prepares,
+            self.lane_batches,
+            self.lane_applies,
+        ] {
+            buf.put_u64_le(v);
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        need(buf, Self::WIRE_LEN)?;
+        Ok(SnapshotCounters {
+            msgs_handled: buf.get_u64_le(),
+            txs_coordinated: buf.get_u64_le(),
+            slice_reads: buf.get_u64_le(),
+            keys_read: buf.get_u64_le(),
+            prepares: buf.get_u64_le(),
+            applied_local: buf.get_u64_le(),
+            applied_remote: buf.get_u64_le(),
+            replicate_batches: buf.get_u64_le(),
+            heartbeats: buf.get_u64_le(),
+            coalesced_frames: buf.get_u64_le(),
+            gc_removed: buf.get_u64_le(),
+            staged_prepares: buf.get_u64_le(),
+            lane_batches: buf.get_u64_le(),
+            lane_applies: buf.get_u64_le(),
+        })
+    }
+}
+
 /// Everything the parent needs from one child at collection time: the
-/// server's stable frontier, its blocking counters, its wire accounting
-/// and the retained version orders of every key — the checker's ground
-/// truth and the convergence oracle's input.
+/// server's stable frontier, its blocking counters, its wire accounting,
+/// its protocol/pipeline counter block and the retained version orders of
+/// every key — the checker's ground truth and the convergence oracle's
+/// input.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServerSnapshot {
     /// The reporting server.
@@ -41,6 +124,8 @@ pub struct ServerSnapshot {
     pub net_messages: u64,
     /// Wire bytes this child's node sent.
     pub net_bytes: u64,
+    /// Protocol and commit-pipeline counters.
+    pub counters: SnapshotCounters,
     /// Per key: every retained version's order stamp, freshest first.
     pub chains: Vec<(Key, Vec<VersionOrd>)>,
 }
@@ -116,6 +201,7 @@ pub fn encode_ctrl(ctrl: &Ctrl) -> Bytes {
             buf.put_u64_le(snap.blocked_micros_max);
             buf.put_u64_le(snap.net_messages);
             buf.put_u64_le(snap.net_bytes);
+            snap.counters.encode(&mut buf);
             put_len(&mut buf, snap.chains.len());
             for (key, orders) in &snap.chains {
                 put_key(&mut buf, *key);
@@ -180,6 +266,7 @@ pub fn decode_ctrl(bytes: &[u8]) -> Result<Ctrl, DecodeError> {
             let blocked_micros_max = buf.get_u64_le();
             let net_messages = buf.get_u64_le();
             let net_bytes = buf.get_u64_le();
+            let counters = SnapshotCounters::decode(&mut buf)?;
             let n = get_len(&mut buf)?;
             let mut chains = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
@@ -203,6 +290,7 @@ pub fn decode_ctrl(bytes: &[u8]) -> Result<Ctrl, DecodeError> {
                 blocked_micros_max,
                 net_messages,
                 net_bytes,
+                counters,
                 chains,
             }))
         }
@@ -241,6 +329,22 @@ mod tests {
                 blocked_micros_max: 900,
                 net_messages: 12,
                 net_bytes: 3_456,
+                counters: SnapshotCounters {
+                    msgs_handled: 1,
+                    txs_coordinated: 2,
+                    slice_reads: 3,
+                    keys_read: 4,
+                    prepares: 5,
+                    applied_local: 6,
+                    applied_remote: 7,
+                    replicate_batches: 8,
+                    heartbeats: 9,
+                    coalesced_frames: 10,
+                    gc_removed: 11,
+                    staged_prepares: 12,
+                    lane_batches: 13,
+                    lane_applies: 14,
+                },
                 chains: vec![
                     (
                         Key(9),

@@ -29,5 +29,5 @@ pub mod ctrl;
 mod messages;
 pub mod wire;
 
-pub use ctrl::{Ctrl, ServerSnapshot};
+pub use ctrl::{Ctrl, ServerSnapshot, SnapshotCounters};
 pub use messages::{DigestReport, Endpoint, Envelope, Msg, ReadResult, ReplicatedTx};

@@ -17,7 +17,6 @@
 //! # Ok::<(), paris_types::Error>(())
 //! ```
 
-use paris_core::ServerTuning;
 use paris_net::sim::{RegionMatrix, ServiceModel};
 use paris_net::threaded::ThreadedNetConfig;
 use paris_types::{BatchConfig, ClusterConfig, ConfigError, Error, FlushPolicy, Intervals, Mode};
@@ -27,6 +26,7 @@ use crate::mini_cluster::MiniCluster;
 use crate::sim_cluster::{SimCluster, SimConfig};
 use crate::socket_cluster::{SocketCluster, SocketClusterConfig};
 use crate::thread_cluster::{ThreadCluster, ThreadClusterConfig};
+use crate::tuning::{derived_read_threads, Tuning};
 use crate::Cluster;
 
 /// The substrate a deployment runs on.
@@ -128,31 +128,7 @@ pub struct ClusterBuilder {
     record_events: bool,
     record_history: bool,
     stab_branching: usize,
-    read_threads: Option<usize>,
-    read_service_micros: u64,
-    store_shards: Option<usize>,
-    read_slots: Option<usize>,
-}
-
-/// The host's available parallelism, defaulting to 1 when unknown.
-fn host_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// Default read-pool size for the threaded backend under PaRiS: half the
-/// host's cores (the other half runs server loops and clients), at least
-/// one pool thread, capped so small CI hosts are not oversubscribed.
-fn derived_read_threads() -> usize {
-    (host_parallelism() / 2).clamp(1, 4)
-}
-
-/// Default store-shard count: enough shards that concurrent readers and
-/// the single writer rarely meet on one lock, floored at the historical
-/// default of 16 and kept a power of two for cheap modulo.
-fn derived_store_shards() -> usize {
-    (2 * host_parallelism()).next_power_of_two().clamp(16, 128)
+    tuning: Tuning,
 }
 
 impl Default for ClusterBuilder {
@@ -187,10 +163,7 @@ impl ClusterBuilder {
             record_events: false,
             record_history: false,
             stab_branching: 0,
-            read_threads: None,
-            read_service_micros: 0,
-            store_shards: None,
-            read_slots: None,
+            tuning: Tuning::default(),
         }
     }
 
@@ -372,63 +345,41 @@ impl ClusterBuilder {
         self
     }
 
-    /// Size of the read-thread pool: with `n > 0` (PaRiS only — BPR reads
-    /// must block on the server loop), incoming `ReadSliceReq` slice
-    /// reads, `StartTxReq` snapshot assignments *and* unbatched
-    /// `GstReport` stabilization folds — all read-only against published
-    /// state — are served by `n` pool threads through
-    /// the server's published `ReadView` instead of the server mailbox,
-    /// so they never queue behind commits, replication batches or gossip
-    /// ticks — the paper's parallel non-blocking reads (§I, Alg. 2–4).
-    ///
-    /// `0` serves everything on the server loop. Left unset, the threaded
-    /// backend derives a pool from the host's
-    /// [`available_parallelism`](std::thread::available_parallelism)
-    /// under PaRiS (an explicit value always wins); the mini and sim
-    /// backends default to `0`. The sim backend honors an explicit `n` as
-    /// `n` per-server read service queues (its deterministic counterpart
-    /// of the pool — see [`read_service_micros`](Self::read_service_micros)),
-    /// while mini always serves synchronously through the same `ReadView`
-    /// path, so cross-backend agreement tests can share one configuration.
+    /// Installs a typed concurrency [`Tuning`]: read pool, write
+    /// pipeline, store sharding, admission slots and modeled service
+    /// occupancies, in one value. Replaces the deprecated per-knob
+    /// builder methods; the last call wins wholesale (knobs are not
+    /// merged across calls).
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Size of the read-thread pool.
+    #[deprecated(note = "use `tuning(Tuning::default().read_threads(n))`")]
     pub fn read_threads(mut self, threads: usize) -> Self {
-        self.read_threads = Some(threads);
+        self.tuning.read_threads = Some(threads);
         self
     }
 
-    /// Number of chain shards in every server's `PartitionStore`. Left
-    /// unset, derived from the host's
-    /// [`available_parallelism`](std::thread::available_parallelism)
-    /// (at least the historical default of 16); an explicit value always
-    /// wins. More shards let more reader threads proceed without meeting
-    /// the single writer on a lock.
+    /// Number of chain shards in every server's `PartitionStore`.
+    #[deprecated(note = "use `tuning(Tuning::default().store_shards(n))`")]
     pub fn store_shards(mut self, shards: usize) -> Self {
-        self.store_shards = Some(shards);
+        self.tuning.store_shards = Some(shards);
         self
     }
 
-    /// Number of atomic read-admission slots in every server's
-    /// `StableFrontier` in-flight registry (default 64). Each off-loop
-    /// read claims a slot with one CAS; `0` disables the slots so every
-    /// admission takes the mutexed fallback registry — the pre-slot
-    /// behavior, kept configurable so `fig_reads` can measure exactly
-    /// what the lock-free path buys.
+    /// Number of atomic read-admission slots per server.
+    #[deprecated(note = "use `tuning(Tuning::default().read_slots(n))`")]
     pub fn read_slots(mut self, slots: usize) -> Self {
-        self.read_slots = Some(slots);
+        self.tuning.read_slots = Some(slots);
         self
     }
 
-    /// Models per-slice-read service occupancy on the threaded backend,
-    /// in wall-clock microseconds: each served read holds its serving
-    /// thread (pool thread, or server loop when
-    /// [`read_threads`](Self::read_threads) is 0) for this long, the
-    /// threaded counterpart of the sim's [`ServiceModel`] read costs.
-    /// This is what makes read-throughput scaling with
-    /// [`read_threads`](Self::read_threads) measurable on small machines:
-    /// occupancy overlaps across pool threads exactly like storage/CPU
-    /// time does on the paper's multi-core servers. `0` (the default)
-    /// serves at memory speed.
+    /// Modeled per-slice-read service occupancy, in microseconds.
+    #[deprecated(note = "use `tuning(Tuning::default().read_service_micros(n))`")]
     pub fn read_service_micros(mut self, micros: u64) -> Self {
-        self.read_service_micros = micros;
+        self.tuning.read_service_micros = micros;
         self
     }
 
@@ -439,16 +390,7 @@ impl ClusterBuilder {
         if !self.latency_scale.is_finite() || self.latency_scale <= 0.0 {
             return Err(ConfigError::new("latency scale must be positive").into());
         }
-        if self.read_threads.is_some_and(|n| n > 0) && self.mode == Mode::Bpr {
-            return Err(ConfigError::new(
-                "read_threads requires PaRiS: BPR reads block until the snapshot installs, \
-                 which only the server loop can arbitrate",
-            )
-            .into());
-        }
-        if self.store_shards == Some(0) {
-            return Err(ConfigError::new("store_shards must be at least 1").into());
-        }
+        self.tuning.validate(self.mode)?;
         // The untouched default derives from the configured intervals
         // (adaptive bounds capped below the GC period), so interval
         // choices can neither invalidate nor silently neuter a batching
@@ -510,15 +452,6 @@ impl ClusterBuilder {
         }
     }
 
-    /// Storage-concurrency sizing for every server: explicit knobs win,
-    /// otherwise the shard count comes from the host's parallelism.
-    fn tuning(&self) -> ServerTuning {
-        ServerTuning {
-            store_shards: Some(self.store_shards.unwrap_or_else(derived_store_shards)),
-            read_slots: self.read_slots,
-        }
-    }
-
     /// Builds the selected backend behind the [`Cluster`] trait.
     ///
     /// # Errors
@@ -552,7 +485,7 @@ impl ClusterBuilder {
         }
         let cfg = self.cluster_config()?;
         let workload = self.workload_config();
-        let tuning = self.tuning();
+        let tuning = self.tuning.server_tuning();
         Ok(MiniCluster::from_parts(
             cfg,
             workload,
@@ -572,7 +505,7 @@ impl ClusterBuilder {
     pub fn build_sim(self) -> Result<SimCluster, Error> {
         let cluster = self.cluster_config()?;
         let workload = self.workload_config();
-        let tuning = self.tuning();
+        let tuning = self.tuning.server_tuning();
         Ok(SimCluster::new(SimConfig {
             matrix: self.matrix(),
             cluster,
@@ -584,10 +517,12 @@ impl ClusterBuilder {
             record_events: self.record_events,
             record_history: self.record_history,
             stab_branching: self.stab_branching,
-            // Deterministic backend: the pool is modeled, never derived —
+            // Deterministic backend: pools are modeled, never derived —
             // an unset knob must not make sim results depend on the host.
-            read_threads: self.read_threads.unwrap_or(0),
-            read_service_micros: self.read_service_micros,
+            read_threads: self.tuning.read_threads.unwrap_or(0),
+            read_service_micros: self.tuning.read_service_micros,
+            write_threads: self.tuning.write_threads_or_zero(),
+            write_service_micros: self.tuning.write_service_micros,
             tuning,
         }))
     }
@@ -610,7 +545,7 @@ impl ClusterBuilder {
         }
         let cluster = self.cluster_config()?;
         let workload = self.workload_config();
-        let tuning = self.tuning();
+        let tuning = self.tuning.server_tuning();
         let net = ThreadedNetConfig {
             matrix: self.matrix(),
             scale: self.latency_scale,
@@ -618,10 +553,12 @@ impl ClusterBuilder {
             seed: self.seed,
             batch: cluster.batch,
         };
-        // Real threads: an unset pool size defaults to the host's
+        // Real threads: an unset read pool defaults to the host's
         // parallelism under PaRiS (explicit knobs always win; BPR pools
         // are rejected above, so the auto default stays loop-served).
-        let read_threads = match self.read_threads {
+        // The write pool stays opt-in: parallel commits pay for mutex
+        // re-entry, which only a write-heavy load amortizes.
+        let read_threads = match self.tuning.read_threads {
             Some(n) => n,
             None if cluster.mode == Mode::Paris => derived_read_threads(),
             None => 0,
@@ -634,7 +571,9 @@ impl ClusterBuilder {
             seed: self.seed,
             record_history: self.record_history,
             read_threads,
-            read_service_micros: self.read_service_micros,
+            read_service_micros: self.tuning.read_service_micros,
+            write_threads: self.tuning.write_threads_or_zero(),
+            write_service_micros: self.tuning.write_service_micros,
             tuning,
         }))
     }
@@ -661,12 +600,12 @@ impl ClusterBuilder {
         }
         let cluster = self.cluster_config()?;
         let workload = self.workload_config();
-        let tuning = self.tuning();
+        let tuning = self.tuning.server_tuning();
         // Processes already parallelize the servers across cores; pools
         // inside every child would oversubscribe small hosts, so the
         // unset default is loop-served (an explicit knob still wins and
         // applies per child).
-        let read_threads = self.read_threads.unwrap_or(0);
+        let read_threads = self.tuning.read_threads.unwrap_or(0);
         SocketCluster::start(SocketClusterConfig {
             cluster,
             clients_per_dc: self.clients_per_dc,
@@ -674,7 +613,9 @@ impl ClusterBuilder {
             seed: self.seed,
             record_history: self.record_history,
             read_threads,
-            read_service_micros: self.read_service_micros,
+            read_service_micros: self.tuning.read_service_micros,
+            write_threads: self.tuning.write_threads_or_zero(),
+            write_service_micros: self.tuning.write_service_micros,
             tuning,
             connect_timeout: std::time::Duration::from_secs(5),
             read_timeout: std::time::Duration::from_millis(100),

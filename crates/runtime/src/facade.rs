@@ -44,7 +44,7 @@
 use paris_core::{ClientRead, ReadSource, Violation};
 use paris_types::{ClientId, Error, Key, Mode, Timestamp, Value};
 
-use crate::measure::RunReport;
+use crate::measure::{ClusterStats, RunReport};
 
 /// A PaRiS deployment, independent of the substrate executing it.
 ///
@@ -137,6 +137,19 @@ pub trait Cluster {
     /// Returns transport failures; the report itself carries consistency
     /// violations when history recording is enabled.
     fn run_workload(&mut self, warmup_micros: u64, window_micros: u64) -> Result<RunReport, Error>;
+
+    /// A cluster-wide [`ClusterStats`] counters snapshot, aggregated over
+    /// every server: protocol message counts, 2PC roles, replication
+    /// applies, commit-pipeline lane activity, BPR blocking and network
+    /// accounting. Counters are cumulative since the cluster was built —
+    /// diff two snapshots to meter an interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures on backends that must reach server
+    /// processes (the socket backend pulls snapshots over its control
+    /// plane); the in-process backends are infallible.
+    fn stats(&mut self) -> Result<ClusterStats, Error>;
 
     /// Checks that all replicas of every partition agree on the latest
     /// version of every key. Meaningful after [`Cluster::stabilize`] (or a

@@ -38,16 +38,18 @@ mod mini_cluster;
 mod sim_cluster;
 mod socket_cluster;
 mod thread_cluster;
+mod tuning;
 
 pub use builder::{Backend, ClusterBuilder, Paris};
 pub use facade::{Cluster, Txn};
-pub use measure::{visibility_histogram, BlockingStats, RunReport};
+pub use measure::{visibility_histogram, BlockingStats, ClusterStats, RunReport};
 pub use mini_cluster::MiniCluster;
 pub use sim_cluster::SimCluster;
 pub use socket_cluster::{
     socket_child_main, ChildSpec, SocketCluster, CHILD_SPEC_ENV, SERVER_BIN_ENV,
 };
 pub use thread_cluster::ThreadCluster;
+pub use tuning::Tuning;
 
 /// Interactive client sessions get sequence numbers far above the
 /// workload clients' `0..clients_per_dc` range so the two populations

@@ -2,7 +2,6 @@
 //! visibility latency (paper §V-E).
 
 use paris_core::{EventLog, Violation};
-#[cfg(test)]
 use paris_types::Timestamp;
 use paris_types::{Mode, TxId};
 use paris_workload::stats::{Histogram, RunStats};
@@ -35,6 +34,134 @@ impl BlockingStats {
             return 0.0;
         }
         self.total_micros as f64 / self.blocked_reads as f64 / 1_000.0
+    }
+}
+
+/// A cluster-wide counters snapshot, aggregated over every server of a
+/// deployment — the unified statistics surface of
+/// [`Cluster::stats`](crate::Cluster::stats).
+///
+/// Every backend reports through this one struct: the in-process backends
+/// fold [`paris_core::ServerStats`] and the commit-pipeline counters
+/// directly; the socket backend carries the same numbers over its control
+/// plane (`SnapshotCounters`). Counters are cumulative since the cluster
+/// was built, so diff two snapshots to meter an interval.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterStats {
+    /// Servers folded into this snapshot.
+    pub servers: u64,
+    /// Messages handled, any kind.
+    pub msgs_handled: u64,
+    /// Update transactions committed (coordinator side).
+    pub txs_coordinated: u64,
+    /// Slice reads served.
+    pub slice_reads: u64,
+    /// Keys returned by slice reads.
+    pub keys_read: u64,
+    /// Prepares handled (2PC cohort side).
+    pub prepares: u64,
+    /// Transactions applied locally (as 2PC participant).
+    pub applied_local: u64,
+    /// Transactions applied from remote replication.
+    pub applied_remote: u64,
+    /// Replication batches sent.
+    pub replicate_batches: u64,
+    /// Heartbeats sent.
+    pub heartbeats: u64,
+    /// Logical frames folded inside coalesced messages.
+    pub coalesced_frames: u64,
+    /// Versions removed by GC.
+    pub gc_removed: u64,
+    /// Prepares staged through the commit pipelines (on- or off-loop).
+    pub staged_prepares: u64,
+    /// Replication frames applied through the pipelines' shard lanes.
+    pub lane_batches: u64,
+    /// Versions inserted through the pipelines' shard lanes.
+    pub lane_applies: u64,
+    /// Aggregated BPR read-blocking statistics (zero under PaRiS).
+    pub blocking: BlockingStats,
+    /// Total messages the network carried (0 on in-memory transports).
+    pub net_messages: u64,
+    /// Total wire bytes the network carried (0 on in-memory transports).
+    pub net_bytes: u64,
+    /// The minimum universal stable time across all servers.
+    pub min_ust: Timestamp,
+}
+
+impl ClusterStats {
+    /// Folds one server's protocol counters into the aggregate.
+    pub(crate) fn fold_server(&mut self, stats: &paris_core::ServerStats) {
+        self.servers += 1;
+        self.msgs_handled += stats.msgs_handled;
+        self.txs_coordinated += stats.txs_coordinated;
+        self.slice_reads += stats.slice_reads;
+        self.keys_read += stats.keys_read;
+        self.prepares += stats.prepares;
+        self.applied_local += stats.applied_local;
+        self.applied_remote += stats.applied_remote;
+        self.replicate_batches += stats.replicate_batches;
+        self.heartbeats += stats.heartbeats;
+        self.coalesced_frames += stats.coalesced_frames;
+        self.gc_removed += stats.gc_removed;
+        self.blocking.accumulate(stats);
+    }
+
+    /// Folds one server's commit-pipeline counters into the aggregate.
+    pub(crate) fn fold_pipeline(&mut self, stats: &paris_core::PipelineStats) {
+        self.staged_prepares += stats.staged_prepares();
+        self.lane_batches += stats.lane_batches();
+        self.lane_applies += stats.lane_applies();
+    }
+
+    /// Folds one socket-child snapshot counter block into the aggregate.
+    pub(crate) fn fold_snapshot(&mut self, snap: &paris_proto::ServerSnapshot) {
+        self.servers += 1;
+        let c = &snap.counters;
+        self.msgs_handled += c.msgs_handled;
+        self.txs_coordinated += c.txs_coordinated;
+        self.slice_reads += c.slice_reads;
+        self.keys_read += c.keys_read;
+        self.prepares += c.prepares;
+        self.applied_local += c.applied_local;
+        self.applied_remote += c.applied_remote;
+        self.replicate_batches += c.replicate_batches;
+        self.heartbeats += c.heartbeats;
+        self.coalesced_frames += c.coalesced_frames;
+        self.gc_removed += c.gc_removed;
+        self.staged_prepares += c.staged_prepares;
+        self.lane_batches += c.lane_batches;
+        self.lane_applies += c.lane_applies;
+        self.blocking.blocked_reads += snap.blocked_reads;
+        self.blocking.total_micros += snap.blocked_micros_total;
+        self.blocking.max_micros = self.blocking.max_micros.max(snap.blocked_micros_max);
+        self.net_messages += snap.net_messages;
+        self.net_bytes += snap.net_bytes;
+    }
+
+    /// Fraction of remote applies that went through the per-shard commit
+    /// pipeline lanes (1.0 when every apply used the parallel write path;
+    /// 0 when nothing was applied).
+    pub fn lane_apply_share(&self) -> f64 {
+        if self.applied_remote == 0 {
+            return 0.0;
+        }
+        self.lane_applies as f64 / self.applied_remote as f64
+    }
+
+    /// One-line summary, e.g. for progress output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} servers: {} msgs, {} coordinated, {} prepares ({} staged), \
+             {} applied remote ({} via lanes), ust {}",
+            self.servers,
+            self.msgs_handled,
+            self.txs_coordinated,
+            self.prepares,
+            self.staged_prepares,
+            self.applied_remote,
+            self.lane_applies,
+            self.min_ust,
+        )
     }
 }
 
@@ -201,6 +328,88 @@ mod tests {
         let replica = log(vec![], vec![(tx(9), ts(5), 10)], vec![]);
         let h = visibility_histogram(Mode::Bpr, [&replica]);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn cluster_stats_folds_servers_and_snapshots_identically() {
+        let server_stats = paris_core::ServerStats {
+            msgs_handled: 10,
+            txs_coordinated: 2,
+            slice_reads: 3,
+            keys_read: 9,
+            prepares: 4,
+            applied_local: 4,
+            applied_remote: 5,
+            replicate_batches: 6,
+            heartbeats: 7,
+            coalesced_frames: 8,
+            blocked_reads: 1,
+            blocked_micros_total: 500,
+            blocked_micros_max: 500,
+            gc_removed: 11,
+        };
+        let snap = paris_proto::ServerSnapshot {
+            ust: Timestamp::from_physical_micros(50),
+            blocked_reads: 1,
+            blocked_micros_total: 500,
+            blocked_micros_max: 500,
+            counters: paris_proto::SnapshotCounters {
+                msgs_handled: 10,
+                txs_coordinated: 2,
+                slice_reads: 3,
+                keys_read: 9,
+                prepares: 4,
+                applied_local: 4,
+                applied_remote: 5,
+                replicate_batches: 6,
+                heartbeats: 7,
+                coalesced_frames: 8,
+                gc_removed: 11,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut direct = ClusterStats::default();
+        direct.fold_server(&server_stats);
+        let mut wired = ClusterStats::default();
+        wired.fold_snapshot(&snap);
+        assert_eq!(direct.servers, 1);
+        assert_eq!(direct.msgs_handled, wired.msgs_handled);
+        assert_eq!(direct.applied_remote, wired.applied_remote);
+        assert_eq!(direct.gc_removed, wired.gc_removed);
+        assert_eq!(
+            direct.blocking.blocked_reads, wired.blocking.blocked_reads,
+            "blocking folds the same on both paths"
+        );
+    }
+
+    #[test]
+    fn cluster_stats_lane_apply_share() {
+        let mut s = ClusterStats::default();
+        assert_eq!(s.lane_apply_share(), 0.0, "no applies, no share");
+        s.applied_remote = 8;
+        s.lane_applies = 8;
+        assert!((s.lane_apply_share() - 1.0).abs() < 1e-9);
+        s.lane_applies = 2;
+        assert!((s.lane_apply_share() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_stats_summary_mentions_pipeline_counters() {
+        let s = ClusterStats {
+            servers: 18,
+            msgs_handled: 1_000,
+            staged_prepares: 42,
+            lane_applies: 17,
+            ..Default::default()
+        };
+        let line = s.summary();
+        assert!(line.contains("18 servers"), "{line}");
+        assert!(
+            line.contains("42 staged") || line.contains("(42 staged)"),
+            "{line}"
+        );
+        assert!(line.contains("17 via lanes"), "{line}");
     }
 
     #[test]

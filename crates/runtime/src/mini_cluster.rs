@@ -30,7 +30,7 @@ use paris_workload::{WorkloadConfig, WorkloadGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::measure::{BlockingStats, RunReport};
+use crate::measure::{BlockingStats, ClusterStats, RunReport};
 use crate::{replica_convergence, Cluster};
 
 /// A synchronous in-process PaRiS cluster. See the module docs.
@@ -416,6 +416,16 @@ impl Cluster for MiniCluster {
             net_messages: 0,
             net_bytes: 0,
         })
+    }
+
+    fn stats(&mut self) -> Result<ClusterStats, Error> {
+        let mut out = ClusterStats::default();
+        for server in self.servers.values() {
+            out.fold_server(&server.stats());
+            out.fold_pipeline(server.commit_pipeline().stats());
+        }
+        out.min_ust = self.min_ust();
+        Ok(out)
     }
 
     fn begin(&mut self, client: ClientId) -> Result<crate::Txn<'_>, Error> {

@@ -26,7 +26,7 @@ use paris_workload::{TxSpec, WorkloadConfig, WorkloadGenerator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::measure::{visibility_histogram, BlockingStats, RunReport};
+use crate::measure::{visibility_histogram, BlockingStats, ClusterStats, RunReport};
 use crate::{replica_convergence, Cluster, INTERACTIVE_SEQ_BASE};
 
 /// Configuration of a simulated deployment (assembled by the builder).
@@ -67,6 +67,22 @@ pub(crate) struct SimConfig {
     /// semantics: charged to the serving read lane, or to the single
     /// server queue when `read_threads` is 0.
     pub(crate) read_service_micros: u64,
+    /// Per-server write service lanes: with `n > 0` (PaRiS only), tapped
+    /// write-path messages (`PrepareReq`/`CommitTx`/`Replicate`/
+    /// `ReplicateBatch`/`Heartbeat`) occupy one of `n` independent write
+    /// lanes — chosen by the **source** endpoint's stable hash, exactly
+    /// like the threaded write pool's source-keyed lanes — instead of the
+    /// server's single CPU queue. Deterministic: state-machine effects
+    /// still apply in delivery order; only modeled occupancy overlaps.
+    /// `0` (default) keeps the single-queue model and is bit-identical
+    /// to the pre-pipeline simulator.
+    pub(crate) write_threads: usize,
+    /// Additional modeled occupancy per staged prepare or replication
+    /// apply (µs of simulated time), matching the threaded backend's
+    /// `write_service_micros`: charged to the serving write lane, or to
+    /// the single server queue when `write_threads` is 0. Never charged
+    /// on `CommitTx`/`Heartbeat` (loop-owned metadata moves).
+    pub(crate) write_service_micros: u64,
     /// Storage-concurrency sizing for every server (does not affect
     /// simulated time; kept consistent with the other backends so
     /// explicit knobs behave identically everywhere).
@@ -100,6 +116,11 @@ struct ServerSlot {
     /// Round-robin cursor over `read_lanes` — mirrors the threaded
     /// router's read-tap lane assignment.
     next_lane: usize,
+    /// Busy-until times of the server's write lanes (empty when the
+    /// write-pipeline service model is off). Write-path messages occupy
+    /// the lane their **source** hashes to — mirroring the threaded
+    /// write tap — so one link's traffic always queues on one lane.
+    write_lanes: Vec<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +212,7 @@ impl SimCluster {
                     busy_until: 0,
                     read_lanes: vec![0; config.read_threads],
                     next_lane: 0,
+                    write_lanes: vec![0; config.write_threads],
                 },
             );
             // Stagger the periodic protocols per server.
@@ -530,8 +552,34 @@ impl SimCluster {
                     self.send_all(finish, out);
                     return;
                 }
+                let extra_write_cost = if matches!(
+                    env.msg,
+                    paris_proto::Msg::PrepareReq { .. }
+                        | paris_proto::Msg::Replicate { .. }
+                        | paris_proto::Msg::ReplicateBatch { .. }
+                ) {
+                    self.config.write_service_micros
+                } else {
+                    0
+                };
+                if !slot.write_lanes.is_empty() && crate::driver::is_write_path(&env) {
+                    // Multi-lane write service model (PaRiS only): the
+                    // write-path message occupies the lane its source
+                    // hashes to — the deterministic counterpart of the
+                    // threaded write pool — so occupancy from disjoint
+                    // sources overlaps while one link's stays serial.
+                    // Effects still apply in delivery order: determinism
+                    // and per-src FIFO are untouched, only time moves.
+                    let lane = crate::driver::write_lane_of(env.src, slot.write_lanes.len());
+                    let start = self.now.max(slot.write_lanes[lane]);
+                    let finish = start + self.config.service.cost(&env.msg) + extra_write_cost;
+                    slot.write_lanes[lane] = finish;
+                    let out = slot.server.handle(&env, finish);
+                    self.send_all(finish, out);
+                    return;
+                }
                 let start = self.now.max(slot.busy_until);
-                let cost = self.config.service.cost(&env.msg) + extra_read_cost;
+                let cost = self.config.service.cost(&env.msg) + extra_read_cost + extra_write_cost;
                 let blocked_before = slot.server.blocked_reads_now() as u64;
                 let blocks_before = slot.server.stats().blocked_reads;
                 let finish = start + cost;
@@ -862,6 +910,18 @@ impl Cluster for SimCluster {
     fn run_workload(&mut self, warmup_micros: u64, window_micros: u64) -> Result<RunReport, Error> {
         self.drive_workload(warmup_micros, window_micros);
         Ok(self.report())
+    }
+
+    fn stats(&mut self) -> Result<ClusterStats, Error> {
+        let mut out = ClusterStats::default();
+        for slot in self.servers.values() {
+            out.fold_server(&slot.server.stats());
+            out.fold_pipeline(slot.server.commit_pipeline().stats());
+        }
+        out.net_messages = self.net.messages_sent();
+        out.net_bytes = self.net.bytes_sent();
+        out.min_ust = SimCluster::min_ust(self);
+        Ok(out)
     }
 
     fn begin(&mut self, client: ClientId) -> Result<crate::Txn<'_>, Error> {

@@ -57,7 +57,7 @@ use paris_net::socket::framing::{
     deadline_in, read_ctrl_deadline, read_preamble, write_ctrl, write_preamble,
 };
 use paris_net::socket::{NodeIdentity, SocketConfig, SocketHandle, SocketNode};
-use paris_proto::{Ctrl, Endpoint, Envelope, ServerSnapshot};
+use paris_proto::{Ctrl, Endpoint, Envelope, ServerSnapshot, SnapshotCounters};
 use paris_types::{
     BatchConfig, ClientId, ClusterConfig, DcId, Error, FlushPolicy, Intervals, Key, Mode, ServerId,
     Timestamp, Value, VersionOrd,
@@ -66,7 +66,7 @@ use paris_workload::stats::RunStats;
 use paris_workload::WorkloadConfig;
 
 use crate::driver::{run_client, server_loop, ClientOutcome};
-use crate::measure::{BlockingStats, RunReport};
+use crate::measure::{BlockingStats, ClusterStats, RunReport};
 use crate::{replica_convergence, Cluster, INTERACTIVE_SEQ_BASE};
 
 /// How long an interactive operation may wait for its reply.
@@ -98,6 +98,9 @@ pub(crate) struct SocketClusterConfig {
     /// Per-child read-pool size (see the threaded backend's knob).
     pub(crate) read_threads: usize,
     pub(crate) read_service_micros: u64,
+    /// Per-child write-pool size (see the threaded backend's knob).
+    pub(crate) write_threads: usize,
+    pub(crate) write_service_micros: u64,
     pub(crate) tuning: ServerTuning,
     pub(crate) connect_timeout: Duration,
     pub(crate) read_timeout: Duration,
@@ -124,6 +127,10 @@ pub struct ChildSpec {
     pub read_threads: usize,
     /// Modeled per-slice-read service occupancy (µs).
     pub read_service_micros: u64,
+    /// Write-pool size inside the child.
+    pub write_threads: usize,
+    /// Modeled per-write service occupancy (µs).
+    pub write_service_micros: u64,
     /// Data-plane connect window (µs).
     pub connect_timeout_micros: u64,
     /// Inbound read timeout (µs).
@@ -226,8 +233,11 @@ impl ChildSpec {
         }
         w.opt_u64(self.tuning.store_shards.map(|v| v as u64));
         w.opt_u64(self.tuning.read_slots.map(|v| v as u64));
+        w.opt_u64(self.tuning.write_lanes.map(|v| v as u64));
         w.u64(self.read_threads as u64);
         w.u64(self.read_service_micros);
+        w.u64(self.write_threads as u64);
+        w.u64(self.write_service_micros);
         w.u64(self.connect_timeout_micros);
         w.u64(self.read_timeout_micros);
         w.0.iter().map(|b| format!("{b:02x}")).collect()
@@ -291,6 +301,7 @@ impl ChildSpec {
         let tuning = ServerTuning {
             store_shards: r.opt_u64()?.map(|v| v as usize),
             read_slots: r.opt_u64()?.map(|v| v as usize),
+            write_lanes: r.opt_u64()?.map(|v| v as usize),
         };
         Ok(ChildSpec {
             ctrl_port,
@@ -299,6 +310,8 @@ impl ChildSpec {
             tuning,
             read_threads: r.u64()? as usize,
             read_service_micros: r.u64()?,
+            write_threads: r.u64()? as usize,
+            write_service_micros: r.u64()?,
             connect_timeout_micros: r.u64()?,
             read_timeout_micros: r.u64()?,
         })
@@ -422,6 +435,42 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
                 .map_err(|_| Error::Transport("could not spawn read pool thread"))?,
         );
     }
+    // The write-pipeline pool (the socket mirror of the threaded
+    // router's write tap): source-keyed lanes, each drained by one
+    // worker running the off-loop pipeline halves.
+    let write_threads = if spec.cluster.mode == Mode::Paris {
+        spec.write_threads
+    } else {
+        0
+    };
+    let mut write_lanes: Vec<Sender<Envelope>> = Vec::new();
+    for i in 0..write_threads {
+        let (lane_tx, lane_rx) = channel::<Envelope>();
+        write_lanes.push(lane_tx);
+        let pipelines =
+            HashMap::from([(id, server.lock().expect("fresh server").commit_pipeline())]);
+        let servers = HashMap::from([(id, Arc::clone(&server))]);
+        let send = node.handle();
+        let clock = Arc::clone(&clock);
+        let stop = Arc::clone(&stop);
+        let service = spec.write_service_micros;
+        pool_handles.push(
+            std::thread::Builder::new()
+                .name(format!("write-pool-{i}"))
+                .spawn(move || {
+                    crate::driver::write_pool_loop(
+                        lane_rx,
+                        pipelines,
+                        servers,
+                        move |e| send.send_lossy(e),
+                        clock,
+                        stop,
+                        service,
+                    )
+                })
+                .map_err(|_| Error::Transport("could not spawn write pool thread"))?,
+        );
+    }
     let inbox = node
         .take_inbox()
         .ok_or(Error::Transport("node inbox already taken"))?;
@@ -433,16 +482,23 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
             loop {
                 match inbox.recv_timeout(Duration::from_millis(100)) {
                     Ok(env) => {
-                        let tapped = !lanes.is_empty()
+                        let read_tapped = !lanes.is_empty()
                             && matches!(
                                 env.msg,
                                 paris_proto::Msg::ReadSliceReq { .. }
                                     | paris_proto::Msg::StartTxReq { .. }
                                     | paris_proto::Msg::GstReport { .. }
                             );
-                        let delivered = if tapped {
+                        let write_tapped =
+                            !write_lanes.is_empty() && crate::driver::is_write_path(&env);
+                        let delivered = if read_tapped {
                             rr = (rr + 1) % lanes.len();
                             lanes[rr].send(env).is_ok()
+                        } else if write_tapped {
+                            // Source-keyed, never round-robin: one link's
+                            // write traffic must drain through one lane.
+                            let lane = crate::driver::write_lane_of(env.src, write_lanes.len());
+                            write_lanes[lane].send(env).is_ok()
                         } else {
                             mailbox_tx.send(env).is_ok()
                         };
@@ -468,11 +524,16 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
     let loop_stop = Arc::clone(&stop);
     let intervals = spec.cluster.intervals;
     // With a read pool, the loop never sees ReadSliceReqs, so it must not
-    // also charge the modeled read service time.
+    // also charge the modeled read service time; same for the write pool.
     let loop_read_service = if read_threads > 0 {
         0
     } else {
         spec.read_service_micros
+    };
+    let loop_write_service = if write_threads > 0 {
+        0
+    } else {
+        spec.write_service_micros
     };
     let server_handle = std::thread::Builder::new()
         .name(format!("server-{id}"))
@@ -487,6 +548,7 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
                 intervals,
                 id,
                 loop_read_service,
+                loop_write_service,
             )
         })
         .map_err(|_| Error::Transport("could not spawn server loop"))?;
@@ -501,6 +563,8 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
                 let snap = {
                     let server = server.lock().expect("server poisoned");
                     let stats = server.stats();
+                    let pipeline = server.commit_pipeline();
+                    let pipeline = pipeline.stats();
                     let mut chains = Vec::new();
                     server.store().for_each_chain(|key, chain| {
                         chains.push((key, chain.iter().map(|v| v.order()).collect()));
@@ -513,6 +577,22 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
                         blocked_micros_max: stats.blocked_micros_max,
                         net_messages: counters.messages_out.load(Ordering::Relaxed),
                         net_bytes: counters.bytes_out.load(Ordering::Relaxed),
+                        counters: SnapshotCounters {
+                            msgs_handled: stats.msgs_handled,
+                            txs_coordinated: stats.txs_coordinated,
+                            slice_reads: stats.slice_reads,
+                            keys_read: stats.keys_read,
+                            prepares: stats.prepares,
+                            applied_local: stats.applied_local,
+                            applied_remote: stats.applied_remote,
+                            replicate_batches: stats.replicate_batches,
+                            heartbeats: stats.heartbeats,
+                            coalesced_frames: stats.coalesced_frames,
+                            gc_removed: stats.gc_removed,
+                            staged_prepares: pipeline.staged_prepares(),
+                            lane_batches: pipeline.lane_batches(),
+                            lane_applies: pipeline.lane_applies(),
+                        },
                         chains,
                     }
                 };
@@ -641,6 +721,8 @@ impl SocketCluster {
                 tuning: config.tuning,
                 read_threads: config.read_threads,
                 read_service_micros: config.read_service_micros,
+                write_threads: config.write_threads,
+                write_service_micros: config.write_service_micros,
                 connect_timeout_micros: config.connect_timeout.as_micros() as u64,
                 read_timeout_micros: config.read_timeout.as_micros() as u64,
             };
@@ -1092,6 +1174,22 @@ impl Cluster for SocketCluster {
         })
     }
 
+    fn stats(&mut self) -> Result<ClusterStats, Error> {
+        let snapshots = self.snapshot_all()?;
+        let mut out = ClusterStats::default();
+        let mut min_ust = None;
+        for snap in &snapshots {
+            out.fold_snapshot(snap);
+            min_ust = Some(min_ust.map_or(snap.ust, |u: Timestamp| u.min(snap.ust)));
+        }
+        // The parent's own node carries the client traffic.
+        let counters = self.node.counters();
+        out.net_messages += counters.messages_out.load(Ordering::Relaxed);
+        out.net_bytes += counters.bytes_out.load(Ordering::Relaxed);
+        out.min_ust = min_ust.unwrap_or(Timestamp::ZERO);
+        Ok(out)
+    }
+
     fn begin(&mut self, client: ClientId) -> Result<crate::Txn<'_>, Error> {
         crate::Txn::begin_on(self, client)
     }
@@ -1167,9 +1265,12 @@ mod tests {
             tuning: ServerTuning {
                 store_shards: Some(16),
                 read_slots: None,
+                write_lanes: Some(4),
             },
             read_threads: 2,
             read_service_micros: 7,
+            write_threads: 3,
+            write_service_micros: 11,
             connect_timeout_micros: 5_000_000,
             read_timeout_micros: 100_000,
         };
@@ -1181,6 +1282,8 @@ mod tests {
         spec2.cluster.mode = Mode::Bpr;
         spec2.cluster.batch = BatchConfig::fixed(8, 1_000);
         spec2.tuning.read_slots = Some(0);
+        spec2.tuning.write_lanes = None;
+        spec2.write_threads = 0;
         assert_eq!(ChildSpec::decode(&spec2.encode()).unwrap(), spec2);
     }
 
@@ -1196,6 +1299,8 @@ mod tests {
             tuning: ServerTuning::default(),
             read_threads: 0,
             read_service_micros: 0,
+            write_threads: 0,
+            write_service_micros: 0,
             connect_timeout_micros: 1,
             read_timeout_micros: 1,
         }

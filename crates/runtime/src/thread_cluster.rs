@@ -34,7 +34,7 @@ use paris_workload::stats::RunStats;
 use paris_workload::WorkloadConfig;
 
 use crate::driver::{run_client, server_loop, ClientOutcome};
-use crate::measure::{BlockingStats, RunReport};
+use crate::measure::{BlockingStats, ClusterStats, RunReport};
 use crate::{replica_convergence, Cluster, INTERACTIVE_SEQ_BASE};
 
 /// How long an interactive operation may wait for its reply before it is
@@ -57,8 +57,16 @@ pub(crate) struct ThreadClusterConfig {
     pub(crate) read_threads: usize,
     /// Modeled per-slice-read service occupancy (µs wall clock).
     pub(crate) read_service_micros: u64,
+    /// Write-pool size: `> 0` (PaRiS only) diverts the write path
+    /// (`PrepareReq`/`CommitTx`/`Replicate`/`ReplicateBatch`/`Heartbeat`)
+    /// to source-keyed pool lanes running the [`paris_core::CommitPipeline`]
+    /// halves off the server loop.
+    pub(crate) write_threads: usize,
+    /// Modeled per-write service occupancy (µs wall clock), charged on
+    /// prepares and replication applies wherever they are served.
+    pub(crate) write_service_micros: u64,
     /// Storage-concurrency sizing for every server (shard count, read
-    /// slots), resolved by the builder.
+    /// slots, write lanes), resolved by the builder.
     pub(crate) tuning: ServerTuning,
 }
 
@@ -77,6 +85,7 @@ pub struct ThreadCluster {
     stop_servers: Arc<AtomicBool>,
     server_handles: Vec<JoinHandle<()>>,
     read_pool: Vec<JoinHandle<()>>,
+    write_pool: Vec<JoinHandle<()>>,
     servers: HashMap<ServerId, Arc<Mutex<Server>>>,
     views: HashMap<ServerId, ReadView>,
     interactive: HashMap<ClientId, InteractiveClient>,
@@ -93,11 +102,17 @@ impl ThreadCluster {
         let stop_servers = Arc::new(AtomicBool::new(false));
 
         // With a read pool, the server loop never sees ReadSliceReqs, so
-        // it must not also charge the modeled read service time.
+        // it must not also charge the modeled read service time. Same for
+        // the write pool and write-path frames.
         let loop_read_service = if config.read_threads > 0 {
             0
         } else {
             config.read_service_micros
+        };
+        let loop_write_service = if config.write_threads > 0 {
+            0
+        } else {
+            config.write_service_micros
         };
         let mut servers = HashMap::new();
         let mut views = HashMap::new();
@@ -135,6 +150,7 @@ impl ThreadCluster {
                             intervals,
                             id,
                             loop_read_service,
+                            loop_write_service,
                         )
                     })
                     .expect("spawn server thread"),
@@ -178,6 +194,49 @@ impl ThreadCluster {
             router.set_read_tap(lanes);
         }
 
+        // The write-pipeline pool: lanes fed by the router's write tap,
+        // keyed by *source* endpoint so each link's FIFO survives the
+        // fan-out (CommitTx after its PrepareReq, watermark after its
+        // applies). Each worker runs the off-loop pipeline halves —
+        // prepare staging, replication apply — and re-enters the server
+        // mutex only for root state. PaRiS only (the builder rejects
+        // BPR + write_threads).
+        let mut write_pool = Vec::new();
+        if config.write_threads > 0 && config.cluster.mode == Mode::Paris {
+            let pipelines: HashMap<ServerId, _> = servers
+                .iter()
+                .map(|(id, s)| (*id, s.lock().expect("fresh server").commit_pipeline()))
+                .collect();
+            let mut lanes = Vec::with_capacity(config.write_threads);
+            for i in 0..config.write_threads {
+                let (lane_tx, lane_rx) = std::sync::mpsc::channel::<Envelope>();
+                lanes.push(lane_tx);
+                let pipelines = pipelines.clone();
+                let servers = servers.clone();
+                let net = router.handle();
+                let clock = Arc::clone(&clock);
+                let stop = Arc::clone(&stop_servers);
+                let service = config.write_service_micros;
+                write_pool.push(
+                    std::thread::Builder::new()
+                        .name(format!("write-pool-{i}"))
+                        .spawn(move || {
+                            crate::driver::write_pool_loop(
+                                lane_rx,
+                                pipelines,
+                                servers,
+                                move |e| net.send(e),
+                                clock,
+                                stop,
+                                service,
+                            )
+                        })
+                        .expect("spawn write pool thread"),
+                );
+            }
+            router.set_write_tap(lanes);
+        }
+
         ThreadCluster {
             config,
             topo,
@@ -187,6 +246,7 @@ impl ThreadCluster {
             stop_servers,
             server_handles,
             read_pool,
+            write_pool,
             servers,
             views,
             interactive: HashMap::new(),
@@ -434,6 +494,19 @@ impl Cluster for ThreadCluster {
         })
     }
 
+    fn stats(&mut self) -> Result<ClusterStats, Error> {
+        let mut out = ClusterStats::default();
+        let mut min_ust = None;
+        for server in self.servers.values() {
+            let server = server.lock().expect("server poisoned");
+            out.fold_server(&server.stats());
+            out.fold_pipeline(server.commit_pipeline().stats());
+            min_ust = Some(min_ust.map_or(server.ust(), |u: Timestamp| u.min(server.ust())));
+        }
+        out.min_ust = min_ust.unwrap_or(Timestamp::ZERO);
+        Ok(out)
+    }
+
     fn begin(&mut self, client: ClientId) -> Result<crate::Txn<'_>, Error> {
         crate::Txn::begin_on(self, client)
     }
@@ -453,6 +526,9 @@ impl Drop for ThreadCluster {
             let _ = h.join();
         }
         for h in self.read_pool.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.write_pool.drain(..) {
             let _ = h.join();
         }
     }

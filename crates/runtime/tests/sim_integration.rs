@@ -253,8 +253,11 @@ fn sim_read_lanes_scale_read_throughput_deterministically() {
             .jitter(0.0)
             .clients_per_dc(8)
             .workload(paris_workload::WorkloadConfig::read_mostly())
-            .read_threads(lanes)
-            .read_service_micros(2_000)
+            .tuning(
+                paris_runtime::Tuning::default()
+                    .read_threads(lanes)
+                    .read_service_micros(2_000),
+            )
             .build_sim()
             .unwrap();
         let report = sim.run_workload(300_000, 2_000_000).unwrap();

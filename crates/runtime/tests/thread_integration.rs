@@ -2,7 +2,7 @@
 //! protocol code under genuine concurrency, with the consistency checker
 //! as the oracle — built through the facade like every other backend.
 
-use paris_runtime::{Cluster, ClusterBuilder, Paris, ThreadCluster};
+use paris_runtime::{Cluster, ClusterBuilder, Paris, ThreadCluster, Tuning};
 use paris_types::{Intervals, Mode};
 use paris_workload::WorkloadConfig;
 
@@ -90,7 +90,7 @@ fn threaded_read_pool_run_is_consistent_and_converges() {
     // The same checker-verified workload, but with every PaRiS slice read
     // served by the read-thread pool instead of the server mailboxes.
     let cluster = small(3, 6, Mode::Paris)
-        .read_threads(2)
+        .tuning(Tuning::default().read_threads(2))
         .build_thread()
         .unwrap();
     let (report, _) = run(cluster, 1_500);
@@ -114,7 +114,7 @@ fn threaded_read_pool_serves_interactive_reads() {
     use paris_types::{Key, Value};
     let mut cluster = small(3, 6, Mode::Paris)
         .clients_per_dc(0)
-        .read_threads(3)
+        .tuning(Tuning::default().read_threads(3))
         .build_thread()
         .unwrap();
     let a = cluster.open_client(0).unwrap();
@@ -148,7 +148,7 @@ fn threaded_read_pool_serves_gst_reports() {
     let mut cluster = small(3, 6, Mode::Paris)
         .clients_per_dc(0)
         .no_batching()
-        .read_threads(2)
+        .tuning(Tuning::default().read_threads(2))
         .build_thread()
         .unwrap();
     let a = cluster.open_client(0).unwrap();
@@ -189,7 +189,7 @@ fn threaded_batched_gossip_stays_on_the_loop() {
     use paris_types::{Key, Timestamp, Value};
     let mut cluster = small(3, 6, Mode::Paris)
         .clients_per_dc(0)
-        .read_threads(2)
+        .tuning(Tuning::default().read_threads(2))
         .build_thread()
         .unwrap();
     let a = cluster.open_client(0).unwrap();
@@ -221,7 +221,7 @@ fn threaded_read_pool_serves_start_tx() {
     use paris_types::{Key, Value};
     let mut cluster = small(3, 6, Mode::Paris)
         .clients_per_dc(0)
-        .read_threads(2)
+        .tuning(Tuning::default().read_threads(2))
         .build_thread()
         .unwrap();
     let a = cluster.open_client(0).unwrap();
@@ -259,7 +259,10 @@ fn unset_read_threads_derives_a_pool_under_paris_but_not_bpr() {
 
 #[test]
 fn builder_rejects_read_threads_under_bpr() {
-    let err = match small(3, 6, Mode::Bpr).read_threads(2).build_thread() {
+    let err = match small(3, 6, Mode::Bpr)
+        .tuning(Tuning::default().read_threads(2))
+        .build_thread()
+    {
         Ok(_) => panic!("BPR + read_threads must be rejected"),
         Err(err) => err,
     };

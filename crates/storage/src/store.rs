@@ -80,11 +80,18 @@ impl PartitionStore {
         self.shards.len()
     }
 
-    /// The shard holding `key`'s chain (Fibonacci multiplicative hash so
-    /// the dense key layouts used by the workloads spread evenly).
-    fn shard_of(&self, key: Key) -> &RwLock<HashMap<Key, VersionChain>> {
+    /// Index of the shard holding `key`'s chain (Fibonacci multiplicative
+    /// hash so the dense key layouts used by the workloads spread evenly).
+    /// Public so the commit pipeline can partition write sets by shard and
+    /// route disjoint shard sets onto different apply lanes.
+    pub fn shard_index(&self, key: Key) -> usize {
         let h = key.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        &self.shards[(h as usize) % self.shards.len()]
+        (h as usize) % self.shards.len()
+    }
+
+    /// The shard holding `key`'s chain.
+    fn shard_of(&self, key: Key) -> &RwLock<HashMap<Key, VersionChain>> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Applies one update: creates version `⟨k, v, ut, tx, src⟩` and inserts
