@@ -7,6 +7,9 @@
 //! * any `*ktps*` metric may not drop more than 10% below baseline;
 //! * any `*net_messages*` metric may not rise more than 10% above
 //!   baseline;
+//! * any `*net_bytes*` / `*bytes_per_tx*` metric may not rise more than
+//!   10% above baseline — wire bytes are a first-class perf axis, so a
+//!   codec or framing change that bloats traffic fails the gate;
 //! * any `*speedup*` metric (the read-pool / read-lane scaling factors,
 //!   the slot-vs-mutex registry contention ratio and the pooled start-tx
 //!   scaling of `fig_reads`) may not drop more than 50% below baseline —
@@ -55,6 +58,7 @@ use paris_bench::json::Json;
 
 const KTPS_DROP_TOLERANCE: f64 = 0.10;
 const MSGS_RISE_TOLERANCE: f64 = 0.10;
+const BYTES_RISE_TOLERANCE: f64 = 0.10;
 const SPEEDUP_DROP_TOLERANCE: f64 = 0.50;
 const LATENCY_RISE_TOLERANCE: f64 = 1.50;
 
@@ -64,6 +68,7 @@ const LATENCY_RISE_TOLERANCE: f64 = 1.50;
 /// is a one-line change here.
 const GATED: &[(&str, &str)] = &[
     ("fig1", "BENCH_fig1.json"),
+    ("table1", "BENCH_table1.json"),
     ("ablation_batch", "BENCH_batch.json"),
     ("fig_reads", "BENCH_reads.json"),
     ("fig_writes", "BENCH_writes.json"),
@@ -118,6 +123,11 @@ fn judge(key: &str, base: f64, cur: f64) -> (&'static str, bool) {
         (
             "messages ≤ baseline +10%",
             cur <= base * (1.0 + MSGS_RISE_TOLERANCE),
+        )
+    } else if key.contains("net_bytes") || key.contains("bytes_per_tx") {
+        (
+            "bytes ≤ baseline +10%",
+            cur <= base * (1.0 + BYTES_RISE_TOLERANCE),
         )
     } else if key.contains("speedup") {
         (

@@ -64,6 +64,10 @@ fn socket_smoke() {
                 Mode::Bpr => "bpr",
             };
             metrics.push((format!("socket_{mode_slug}_{clients}c_ktps"), report.ktps()));
+            metrics.push((
+                format!("socket_{mode_slug}_{clients}c_net_bytes"),
+                report.net_bytes as f64,
+            ));
             points.push(Json::obj(vec![
                 ("figure", "fig1_socket".into()),
                 ("mode", mode.to_string().into()),
@@ -150,6 +154,14 @@ fn main() {
             metrics.push((
                 format!("{slug}_{mode_slug}_peak_net_messages"),
                 best.net_messages as f64,
+            ));
+            metrics.push((
+                format!("{slug}_{mode_slug}_peak_net_bytes"),
+                best.net_bytes as f64,
+            ));
+            metrics.push((
+                format!("{slug}_{mode_slug}_peak_bytes_per_tx"),
+                best.net_bytes as f64 / best.stats.committed.max(1) as f64,
             ));
             peaks.push((mode, best));
         }

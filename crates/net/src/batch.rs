@@ -33,8 +33,9 @@
 
 use std::collections::BTreeMap;
 
+use paris_proto::wire::envelope_len_with;
 use paris_proto::{DigestReport, Endpoint, Envelope, Msg, ReplicatedTx};
-use paris_types::{BatchConfig, DcId, FlushPolicy, PartitionId, Timestamp};
+use paris_types::{BatchConfig, DcId, FlushPolicy, PartitionId, Timestamp, WireFormat};
 
 /// Per-link arrival-rate estimate feeding the adaptive [`FlushPolicy`]:
 /// an exponentially-weighted moving average of the gap between
@@ -102,6 +103,11 @@ pub enum Offer {
 }
 
 /// Running totals of what the coalescer has seen and produced.
+///
+/// Byte totals are envelope-framed sizes in the coalescer's active
+/// [`WireFormat`]: `bytes_in` is what the queued frames would have cost
+/// sent as-is, `bytes_out` what the folded wire messages actually cost —
+/// so `bytes_in - bytes_out` is the wire traffic coalescing saved.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoalescerStats {
     /// Logical background frames offered and queued.
@@ -112,6 +118,10 @@ pub struct CoalescerStats {
     pub size_flushes: u64,
     /// Link flushes triggered by a deadline (or a forced `flush_all`).
     pub deadline_flushes: u64,
+    /// Encoded bytes of the frames offered and queued.
+    pub bytes_in: u64,
+    /// Encoded bytes of the wire messages flushed out.
+    pub bytes_out: u64,
 }
 
 #[derive(Debug)]
@@ -282,6 +292,8 @@ impl LinkQueue {
 #[derive(Debug)]
 pub struct Coalescer {
     cfg: BatchConfig,
+    /// Encoding the owning link speaks; sizes the byte accounting.
+    wire: WireFormat,
     links: BTreeMap<(Endpoint, Endpoint), LinkQueue>,
     /// Per-link arrival-rate controllers; unlike `links`, entries persist
     /// across flushes so the adaptive deadline remembers link load.
@@ -290,10 +302,12 @@ pub struct Coalescer {
 }
 
 impl Coalescer {
-    /// Creates a coalescer with the given policy.
-    pub fn new(cfg: BatchConfig) -> Self {
+    /// Creates a coalescer with the given policy, accounting bytes in the
+    /// given (negotiated) wire format.
+    pub fn new(cfg: BatchConfig, wire: WireFormat) -> Self {
         Coalescer {
             cfg,
+            wire,
             links: BTreeMap::new(),
             loads: BTreeMap::new(),
             stats: CoalescerStats::default(),
@@ -331,6 +345,7 @@ impl Coalescer {
             due: now + deadline,
             ..LinkQueue::default()
         });
+        self.stats.bytes_in += envelope_len_with(&env, self.wire) as u64;
         queue.fold(env.msg);
         self.stats.frames_in += 1;
         if queue.frames() as usize >= self.cfg.max_batch {
@@ -398,9 +413,15 @@ impl Coalescer {
         let (src, dst) = key;
         let msgs = queue.into_messages();
         self.stats.messages_out += msgs.len() as u64;
-        msgs.into_iter()
+        let out: Vec<Envelope> = msgs
+            .into_iter()
             .map(|msg| Envelope { src, dst, msg })
-            .collect()
+            .collect();
+        self.stats.bytes_out += out
+            .iter()
+            .map(|env| envelope_len_with(env, self.wire) as u64)
+            .sum::<u64>();
+        out
     }
 }
 
@@ -411,6 +432,10 @@ mod tests {
 
     fn cfg(max_batch: usize, flush: u64) -> BatchConfig {
         BatchConfig::fixed(max_batch, flush)
+    }
+
+    fn coal(cfg: BatchConfig) -> Coalescer {
+        Coalescer::new(cfg, WireFormat::V1)
     }
 
     fn srv(dc: u16, p: u32) -> ServerId {
@@ -440,7 +465,7 @@ mod tests {
 
     #[test]
     fn disabled_coalescer_passes_everything_through() {
-        let mut c = Coalescer::new(BatchConfig::DISABLED);
+        let mut c = coal(BatchConfig::DISABLED);
         assert!(!c.is_enabled());
         match c.offer(env(replicate(1, 10, 20)), 0) {
             Offer::Pass(e) => assert!(matches!(e.msg, Msg::Replicate { .. })),
@@ -451,7 +476,7 @@ mod tests {
 
     #[test]
     fn foreground_traffic_is_never_batched() {
-        let mut c = Coalescer::new(cfg(8, 1_000));
+        let mut c = coal(cfg(8, 1_000));
         let fg = Envelope::new(
             ClientId::new(DcId(0), 1),
             srv(0, 0),
@@ -464,7 +489,7 @@ mod tests {
 
     #[test]
     fn size_trigger_flushes_a_merged_batch_in_order() {
-        let mut c = Coalescer::new(cfg(3, 1_000_000));
+        let mut c = coal(cfg(3, 1_000_000));
         assert!(matches!(
             c.offer(env(replicate(1, 10, 20)), 0),
             Offer::Queued { .. }
@@ -497,7 +522,7 @@ mod tests {
 
     #[test]
     fn heartbeats_fold_into_the_watermark() {
-        let mut c = Coalescer::new(cfg(2, 1_000));
+        let mut c = coal(cfg(2, 1_000));
         let hb = |wm: u64| {
             env(Msg::Heartbeat {
                 partition: PartitionId(0),
@@ -526,7 +551,7 @@ mod tests {
 
     #[test]
     fn time_trigger_flushes_on_poll() {
-        let mut c = Coalescer::new(cfg(100, 500));
+        let mut c = coal(cfg(100, 500));
         match c.offer(env(replicate(1, 10, 20)), 1_000) {
             Offer::Queued { next_due } => assert_eq!(next_due, 1_500),
             other => panic!("expected queue, got {other:?}"),
@@ -539,7 +564,7 @@ mod tests {
 
     #[test]
     fn gossip_folds_to_freshest_per_source() {
-        let mut c = Coalescer::new(cfg(100, 1_000));
+        let mut c = coal(cfg(100, 1_000));
         let report = |wm: u64, oldest: u64| {
             Envelope::new(
                 srv(0, 1),
@@ -586,7 +611,7 @@ mod tests {
 
     #[test]
     fn mixed_link_produces_batch_and_digest() {
-        let mut c = Coalescer::new(cfg(100, 1_000));
+        let mut c = coal(cfg(100, 1_000));
         c.offer(env(replicate(1, 10, 20)), 0);
         c.offer(
             env(Msg::RootGst {
@@ -607,7 +632,7 @@ mod tests {
 
     #[test]
     fn links_are_independent() {
-        let mut c = Coalescer::new(cfg(2, 1_000));
+        let mut c = coal(cfg(2, 1_000));
         let to = |dst: ServerId| Envelope::new(srv(0, 0), dst, replicate(1, 10, 20));
         assert!(matches!(c.offer(to(srv(1, 0)), 0), Offer::Queued { .. }));
         assert!(matches!(c.offer(to(srv(2, 0)), 0), Offer::Queued { .. }));
@@ -619,7 +644,7 @@ mod tests {
 
     #[test]
     fn adaptive_deadline_shortens_on_a_hot_link_and_stretches_when_quiet() {
-        let mut c = Coalescer::new(BatchConfig::adaptive(1_000, 500, 10_000));
+        let mut c = coal(BatchConfig::adaptive(1_000, 500, 10_000));
         // First frame ever: no gap estimate yet, the link is presumed
         // quiet and gets the ceiling.
         match c.offer(env(replicate(1, 10, 20)), 0) {
@@ -655,7 +680,7 @@ mod tests {
 
     #[test]
     fn adaptive_load_state_survives_flushes() {
-        let mut c = Coalescer::new(BatchConfig::adaptive(2, 500, 10_000));
+        let mut c = coal(BatchConfig::adaptive(2, 500, 10_000));
         // Size-trigger flush after two frames 200 µs apart.
         c.offer(env(replicate(1, 10, 20)), 0);
         assert!(matches!(
@@ -675,7 +700,7 @@ mod tests {
 
     #[test]
     fn stats_distinguish_size_and_deadline_flushes() {
-        let mut c = Coalescer::new(cfg(2, 1_000));
+        let mut c = coal(cfg(2, 1_000));
         c.offer(env(replicate(1, 10, 20)), 0);
         c.offer(env(replicate(2, 30, 40)), 1); // size flush
         c.offer(env(replicate(3, 50, 60)), 2);
@@ -690,7 +715,7 @@ mod tests {
 
     #[test]
     fn reoffered_batch_frames_merge_with_exact_counts() {
-        let mut c = Coalescer::new(cfg(100, 1_000));
+        let mut c = coal(cfg(100, 1_000));
         c.offer(
             env(Msg::ReplicateBatch {
                 partition: PartitionId(0),
@@ -710,6 +735,35 @@ mod tests {
                 assert_eq!(*watermark, ts(40));
             }
             other => panic!("unexpected {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn byte_accounting_follows_the_active_encoding_exactly() {
+        use paris_proto::wire::envelope_len_with;
+
+        for wire in [WireFormat::V1, WireFormat::V2] {
+            let mut c = Coalescer::new(cfg(100, 1_000), wire);
+            let offered = [env(replicate(1, 10, 20)), env(replicate(2, 30, 40))];
+            let expect_in: u64 = offered
+                .iter()
+                .map(|e| envelope_len_with(e, wire) as u64)
+                .sum();
+            for e in offered {
+                c.offer(e, 0);
+            }
+            let flushed = c.flush_all();
+            let expect_out: u64 = flushed
+                .iter()
+                .map(|e| envelope_len_with(e, wire) as u64)
+                .sum();
+            let stats = c.stats();
+            assert_eq!(stats.bytes_in, expect_in, "{wire} bytes_in exact");
+            assert_eq!(stats.bytes_out, expect_out, "{wire} bytes_out exact");
+            assert!(
+                stats.bytes_out < stats.bytes_in,
+                "{wire}: folding two frames into one batch must save bytes"
+            );
         }
     }
 }

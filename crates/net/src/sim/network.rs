@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use paris_proto::{Endpoint, Envelope};
-use paris_types::DcId;
+use paris_types::{DcId, WireFormat};
 use rand::Rng;
 
 /// One-way intra-DC latency in microseconds (≈ 0.5 ms RTT, typical for an
@@ -118,24 +118,38 @@ pub struct SimNetwork {
     blocked: HashSet<(DcId, DcId)>,
     /// Traffic held on blocked links, per (src DC, dst DC), FIFO.
     held: HashMap<(DcId, DcId), VecDeque<Envelope>>,
+    /// Wire encoding sizing the byte accounting (the simulator never
+    /// serializes, but reports what each message would cost on the wire).
+    wire: WireFormat,
     /// Count of messages sent (delivered or held).
     sent: u64,
     /// Total bytes sent (wire-encoded size), for bandwidth accounting.
     bytes: u64,
+    /// The subset of `bytes` carried by background traffic (replication,
+    /// heartbeats, stabilization gossip).
+    background_bytes: u64,
 }
 
 impl SimNetwork {
     /// Creates a network over the given latency matrix with multiplicative
-    /// jitter fraction `jitter` (0.0 disables jitter).
+    /// jitter fraction `jitter` (0.0 disables jitter), accounting bytes in
+    /// the default wire encoding.
     pub fn new(matrix: RegionMatrix, jitter: f64) -> Self {
+        Self::with_wire(matrix, jitter, WireFormat::default())
+    }
+
+    /// Like [`SimNetwork::new`], but sizing the byte accounting in `wire`.
+    pub fn with_wire(matrix: RegionMatrix, jitter: f64, wire: WireFormat) -> Self {
         SimNetwork {
             matrix,
             jitter,
             fifo: HashMap::new(),
             blocked: HashSet::new(),
             held: HashMap::new(),
+            wire,
             sent: 0,
             bytes: 0,
+            background_bytes: 0,
         }
     }
 
@@ -201,7 +215,11 @@ impl SimNetwork {
     /// in which case the envelope is held until healed.
     pub fn send<R: Rng>(&mut self, now: u64, env: Envelope, rng: &mut R) -> Option<u64> {
         self.sent += 1;
-        self.bytes += paris_proto::wire::encoded_len(&env.msg) as u64;
+        let frame = paris_proto::wire::encoded_len_with(&env.msg, self.wire) as u64;
+        self.bytes += frame;
+        if env.msg.is_background() {
+            self.background_bytes += frame;
+        }
         let (sdc, ddc) = (env.src.dc(), env.dst.dc());
         if sdc != ddc && self.is_blocked(sdc, ddc) {
             self.held.entry((sdc, ddc)).or_default().push_back(env);
@@ -229,6 +247,17 @@ impl SimNetwork {
     /// Total wire bytes sent so far.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes
+    }
+
+    /// Wire bytes of background traffic (replication, heartbeats,
+    /// stabilization gossip) sent so far.
+    pub fn background_bytes_sent(&self) -> u64 {
+        self.background_bytes
+    }
+
+    /// The wire encoding sizing this network's byte accounting.
+    pub fn wire(&self) -> WireFormat {
+        self.wire
     }
 
     /// The latency matrix in use.
@@ -384,6 +413,39 @@ mod tests {
         net.send(0, env(0, 1), &mut rng);
         assert_eq!(net.messages_sent(), 2);
         assert!(net.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn byte_accounting_follows_the_configured_encoding() {
+        let count = |wire: WireFormat| {
+            let mut net = SimNetwork::with_wire(RegionMatrix::uniform(2, 1_000), 0.0, wire);
+            let mut rng = StdRng::seed_from_u64(1);
+            // One background heartbeat, one foreground transaction start.
+            net.send(0, env(0, 1), &mut rng);
+            net.send(
+                0,
+                Envelope::new(
+                    ClientId::new(DcId(0), 1),
+                    ServerId::new(DcId(1), PartitionId(0)),
+                    Msg::StartTxReq {
+                        client_ust: Timestamp::ZERO,
+                    },
+                ),
+                &mut rng,
+            );
+            (net.bytes_sent(), net.background_bytes_sent())
+        };
+        let (v1_total, v1_bg) = count(WireFormat::V1);
+        let (v2_total, v2_bg) = count(WireFormat::V2);
+        assert!(v2_total < v1_total, "v2 must be smaller on the same load");
+        assert!(v2_bg < v1_bg);
+        assert!(v1_bg < v1_total, "foreground bytes are not background");
+        let hb = env(0, 1);
+        assert_eq!(
+            v1_bg,
+            paris_proto::wire::encoded_len(&hb.msg) as u64,
+            "v1 sizing matches the v1 codec exactly"
+        );
     }
 
     #[test]

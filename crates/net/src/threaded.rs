@@ -9,6 +9,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -16,8 +17,9 @@ use std::time::{Duration, Instant};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Mutex;
 
+use paris_proto::wire::encoded_len_with;
 use paris_proto::{Endpoint, Envelope, Msg};
-use paris_types::BatchConfig;
+use paris_types::{BatchConfig, WireFormat};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,6 +43,9 @@ pub struct ThreadedNetConfig {
     /// latency injection. Flush deadlines are wall-clock and *not* scaled
     /// by [`ThreadedNetConfig::scale`].
     pub batch: BatchConfig,
+    /// Wire encoding sizing the router's byte accounting (the in-process
+    /// wheel never serializes, but reports what the traffic would cost).
+    pub wire: WireFormat,
 }
 
 impl ThreadedNetConfig {
@@ -53,6 +58,47 @@ impl ThreadedNetConfig {
             jitter: 0.0,
             seed: 0,
             batch: BatchConfig::DISABLED,
+            wire: WireFormat::default(),
+        }
+    }
+}
+
+/// Snapshot of the router's traffic counters: everything scheduled onto
+/// the (simulated) wire after coalescing, sized in the configured
+/// [`ThreadedNetConfig::wire`] encoding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Wire messages scheduled.
+    pub messages: u64,
+    /// Encoded message bytes scheduled.
+    pub bytes: u64,
+    /// The subset of `bytes` carried by background traffic
+    /// (replication, heartbeats, stabilization gossip).
+    pub background_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct NetCounters {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    background_bytes: AtomicU64,
+}
+
+impl NetCounters {
+    fn record(&self, env: &Envelope, wire: WireFormat) {
+        let frame = encoded_len_with(&env.msg, wire) as u64;
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(frame, Ordering::Relaxed);
+        if env.msg.is_background() {
+            self.background_bytes.fetch_add(frame, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            background_bytes: self.background_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -101,6 +147,7 @@ pub struct Router {
     registry: Arc<Mutex<Registry>>,
     wheel_tx: Sender<WheelCmd>,
     wheel: Option<JoinHandle<()>>,
+    counters: Arc<NetCounters>,
 }
 
 /// A cheap cloneable sender into the network.
@@ -133,15 +180,23 @@ impl Router {
         }));
         let (wheel_tx, wheel_rx) = channel::<WheelCmd>();
         let wheel_registry = Arc::clone(&registry);
+        let counters = Arc::new(NetCounters::default());
+        let wheel_counters = Arc::clone(&counters);
         let wheel = std::thread::Builder::new()
             .name("paris-net-wheel".into())
-            .spawn(move || wheel_loop(config, wheel_rx, wheel_registry))
+            .spawn(move || wheel_loop(config, wheel_rx, wheel_registry, wheel_counters))
             .expect("spawn delay wheel");
         Router {
             registry,
             wheel_tx,
             wheel: Some(wheel),
+            counters,
         }
+    }
+
+    /// Traffic scheduled onto the wire so far (post-coalescing).
+    pub fn net_stats(&self) -> NetStats {
+        self.counters.snapshot()
     }
 
     /// Registers an endpoint, returning the inbox it should drain.
@@ -270,10 +325,14 @@ struct WheelState {
     fifo: HashMap<(Endpoint, Endpoint), Instant>,
     rng: StdRng,
     seq: u64,
+    counters: Arc<NetCounters>,
 }
 
 impl WheelState {
     fn schedule(&mut self, config: &ThreadedNetConfig, env: Envelope, sent_at: Instant) {
+        // Every envelope entering the wheel is one wire message leaving
+        // the "NIC" — coalesced traffic was already folded upstream.
+        self.counters.record(&env, config.wire);
         let base = config.matrix.one_way(env.src.dc(), env.dst.dc()) as f64;
         let jittered = if config.jitter > 0.0 {
             base * (1.0 + config.jitter * (self.rng.gen::<f64>() * 2.0 - 1.0))
@@ -388,18 +447,24 @@ fn deliver(registry: &Arc<Mutex<Registry>>, mut env: Envelope) {
     }
 }
 
-fn wheel_loop(config: ThreadedNetConfig, rx: Receiver<WheelCmd>, registry: Arc<Mutex<Registry>>) {
+fn wheel_loop(
+    config: ThreadedNetConfig,
+    rx: Receiver<WheelCmd>,
+    registry: Arc<Mutex<Registry>>,
+    counters: Arc<NetCounters>,
+) {
     let mut wheel = WheelState {
         heap: BinaryHeap::new(),
         fifo: HashMap::new(),
         rng: StdRng::seed_from_u64(config.seed),
         seq: 0,
+        counters,
     };
     // The coalescer runs on a wall-clock microsecond timebase anchored at
     // wheel start; envelopes it holds back get their link latency applied
     // from flush time (the batch leaves the "NIC" when it flushes).
     let epoch = Instant::now();
-    let mut coalescer = Coalescer::new(config.batch);
+    let mut coalescer = Coalescer::new(config.batch, config.wire);
     let mut shutting_down = false;
 
     loop {
@@ -529,6 +594,7 @@ mod tests {
             jitter: 0.0,
             seed: 0,
             batch: BatchConfig::DISABLED,
+            wire: WireFormat::default(),
         });
         let a = ClientId::new(DcId(0), 0);
         let b = ServerId::new(DcId(1), PartitionId(0));
@@ -556,6 +622,41 @@ mod tests {
         router.deregister(b);
         router.handle().send(Envelope::new(a, b, hb(1)));
         assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn counters_report_scheduled_traffic_in_the_configured_encoding() {
+        for wire in [WireFormat::V1, WireFormat::V2] {
+            let router = Router::start(ThreadedNetConfig {
+                wire,
+                ..ThreadedNetConfig::fast(2)
+            });
+            let a = ServerId::new(DcId(0), PartitionId(0));
+            let b = ServerId::new(DcId(1), PartitionId(1));
+            let rx = router.register(b);
+            let background = Envelope::new(a, b, hb(1));
+            let foreground = Envelope::new(
+                ClientId::new(DcId(0), 0),
+                b,
+                Msg::StartTxReq {
+                    client_ust: Timestamp::ZERO,
+                },
+            );
+            let expect_bg = encoded_len_with(&background.msg, wire) as u64;
+            let expect_total = expect_bg + encoded_len_with(&foreground.msg, wire) as u64;
+            router.handle().send(background);
+            router.handle().send(foreground);
+            for _ in 0..2 {
+                rx.recv_timeout(Duration::from_secs(2)).expect("delivered");
+            }
+            let stats = router.net_stats();
+            assert_eq!(stats.messages, 2, "{wire}");
+            assert_eq!(stats.bytes, expect_total, "{wire}");
+            assert_eq!(
+                stats.background_bytes, expect_bg,
+                "{wire}: only the heartbeat is background"
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use paris_net::{Coalescer, LinkLoad, Offer};
 use paris_proto::{Envelope, Msg};
-use paris_types::{BatchConfig, DcId, FlushPolicy, PartitionId, ServerId, Timestamp};
+use paris_types::{BatchConfig, DcId, FlushPolicy, PartitionId, ServerId, Timestamp, WireFormat};
 use proptest::prelude::*;
 
 fn hb(watermark: u64) -> Msg {
@@ -122,7 +122,7 @@ proptest! {
         max_batch in 2usize..10,
         interval in 1u64..30_000,
     ) {
-        let mut c = Coalescer::new(BatchConfig::fixed(max_batch, interval));
+        let mut c = Coalescer::new(BatchConfig::fixed(max_batch, interval), WireFormat::default());
         // Reference model of one link's window.
         let mut window: Option<(u64, u32, u64)> = None; // (due, frames, max_wm)
         let mut now = 0u64;
@@ -187,8 +187,8 @@ proptest! {
         max_batch in 2usize..10,
         interval in 1u64..30_000,
     ) {
-        let mut fixed = Coalescer::new(BatchConfig::fixed(max_batch, interval));
-        let mut collapsed = Coalescer::new(BatchConfig::adaptive(max_batch, interval, interval));
+        let mut fixed = Coalescer::new(BatchConfig::fixed(max_batch, interval), WireFormat::default());
+        let mut collapsed = Coalescer::new(BatchConfig::adaptive(max_batch, interval, interval), WireFormat::default());
         let mut now = 0u64;
         for (advance, wm, do_poll) in steps {
             now += advance;

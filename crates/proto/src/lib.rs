@@ -5,10 +5,12 @@
 //! implement the UST gossip (§IV-B, "Stabilization protocol") and the
 //! garbage-collection aggregate piggybacked on it.
 //!
-//! The crate also provides a compact hand-rolled binary codec
-//! ([`wire`]) used to (a) measure the *metadata* cost of each message —
-//! reproducing the "1 timestamp" claim of the paper's Table I — and
-//! (b) property-test that every message round-trips losslessly.
+//! The crate also provides two compact hand-rolled binary codecs — the
+//! fixed-width **v1** ([`wire`]) and the varint **v2** ([`wire2`]),
+//! selected by `paris_types::WireFormat` and negotiated per connection —
+//! used to (a) measure the *metadata* cost of each message — reproducing
+//! the "1 timestamp" claim of the paper's Table I — and (b) property-test
+//! that every message round-trips losslessly under both encodings.
 //!
 //! # Example
 //!
@@ -27,7 +29,9 @@
 
 pub mod ctrl;
 mod messages;
+pub mod varint;
 pub mod wire;
+pub mod wire2;
 
 pub use ctrl::{Ctrl, ServerSnapshot, SnapshotCounters};
 pub use messages::{DigestReport, Endpoint, Envelope, Msg, ReadResult, ReplicatedTx};

@@ -1,33 +1,54 @@
 //! Compact binary wire codec.
 //!
-//! A fixed-layout little-endian codec over [`bytes`]. Its purposes:
+//! Two encodings share this surface:
+//!
+//! * **v1** (this module's bare `encode`/`decode`/`encoded_len`): the
+//!   original fixed-layout little-endian codec, kept bit-for-bit stable
+//!   for interop with older peers;
+//! * **v2** ([`crate::wire2`]): LEB128 varints for lengths, counts,
+//!   sequence numbers, keys and ids, plus trimmed timestamps.
+//!
+//! The `*_with` functions dispatch on a [`WireFormat`];
+//! [`decode_envelope_auto`] dispatches per frame on the first byte (v1
+//! envelopes open with an endpoint tag 0/1, v2 frames with the
+//! [`wire2::FRAME_V2`] marker), so a receiver
+//! never misparses one encoding as the other. Its purposes:
 //!
 //! 1. **Metadata accounting** (Table I of the paper): [`encoded_len`] gives
 //!    the exact on-wire size of every message, so the benchmark harness can
 //!    measure how many metadata bytes PaRiS spends per operation — one
-//!    8-byte timestamp, independent of the number of DCs or partitions.
+//!    timestamp, independent of the number of DCs or partitions.
 //! 2. **Round-trip testing**: property tests assert `decode(encode(m)) == m`
-//!    for arbitrary messages, ensuring the message definitions have no
-//!    hidden unserializable state.
+//!    for arbitrary messages under both encodings, ensuring the message
+//!    definitions have no hidden unserializable state.
 //! 3. The threaded runtime can optionally ship encoded frames to account
 //!    for bandwidth exactly as a networked deployment would.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use paris_types::{
-    ClientId, DcId, Key, PartitionId, ServerId, Timestamp, TxId, Value, Version, WriteSetEntry,
+    ClientId, DcId, Key, PartitionId, ServerId, Timestamp, TxId, Value, Version, WireFormat,
+    WriteSetEntry,
 };
 
 use crate::messages::{DigestReport, Endpoint, Envelope, Msg, ReadResult, ReplicatedTx};
+use crate::wire2;
 
 /// Connection-preamble magic: every PaRiS socket connection opens with
 /// these four bytes, so a stray client speaking another protocol is
 /// rejected before any frame is parsed.
 pub const MAGIC: [u8; 4] = *b"PaRS";
 
-/// Wire protocol version, exchanged in the connection preamble right after
-/// [`MAGIC`]. Bumped on any incompatible codec change; peers with a
-/// different version refuse the connection instead of misparsing frames.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Highest wire protocol version this build speaks. Each side advertises
+/// its *configured* encoding's version in the connection preamble right
+/// after [`MAGIC`]; both sides then speak the minimum of the two
+/// advertisements. A peer advertising a version outside
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] is refused instead
+/// of misparsing frames.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Lowest wire protocol version still decoded (v1 is preserved
+/// bit-for-bit).
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Upper bound on the payload length of one framed wire message.
 ///
@@ -258,26 +279,26 @@ fn get_digest_report(buf: &mut Bytes) -> Result<DigestReport, DecodeError> {
     })
 }
 
-// Message tags.
-const T_START_REQ: u8 = 1;
-const T_START_RESP: u8 = 2;
-const T_READ_REQ: u8 = 3;
-const T_READ_RESP: u8 = 4;
-const T_COMMIT_REQ: u8 = 5;
-const T_COMMIT_RESP: u8 = 6;
-const T_READ_SLICE_REQ: u8 = 7;
-const T_READ_SLICE_RESP: u8 = 8;
-const T_PREPARE_REQ: u8 = 9;
-const T_PREPARE_RESP: u8 = 10;
-const T_COMMIT_TX: u8 = 11;
-const T_REPLICATE: u8 = 12;
-const T_HEARTBEAT: u8 = 13;
-const T_GST_REPORT: u8 = 14;
-const T_ROOT_GST: u8 = 15;
-const T_UST_BROADCAST: u8 = 16;
-const T_OP_FAILED: u8 = 17;
-const T_REPLICATE_BATCH: u8 = 18;
-const T_GOSSIP_DIGEST: u8 = 19;
+// Message tags (shared verbatim by the v2 codec in `wire2`).
+pub(crate) const T_START_REQ: u8 = 1;
+pub(crate) const T_START_RESP: u8 = 2;
+pub(crate) const T_READ_REQ: u8 = 3;
+pub(crate) const T_READ_RESP: u8 = 4;
+pub(crate) const T_COMMIT_REQ: u8 = 5;
+pub(crate) const T_COMMIT_RESP: u8 = 6;
+pub(crate) const T_READ_SLICE_REQ: u8 = 7;
+pub(crate) const T_READ_SLICE_RESP: u8 = 8;
+pub(crate) const T_PREPARE_REQ: u8 = 9;
+pub(crate) const T_PREPARE_RESP: u8 = 10;
+pub(crate) const T_COMMIT_TX: u8 = 11;
+pub(crate) const T_REPLICATE: u8 = 12;
+pub(crate) const T_HEARTBEAT: u8 = 13;
+pub(crate) const T_GST_REPORT: u8 = 14;
+pub(crate) const T_ROOT_GST: u8 = 15;
+pub(crate) const T_UST_BROADCAST: u8 = 16;
+pub(crate) const T_OP_FAILED: u8 = 17;
+pub(crate) const T_REPLICATE_BATCH: u8 = 18;
+pub(crate) const T_GOSSIP_DIGEST: u8 = 19;
 
 /// Encodes a message to its wire representation.
 pub fn encode(msg: &Msg) -> Bytes {
@@ -764,38 +785,115 @@ pub fn encoded_len(msg: &Msg) -> usize {
     }
 }
 
-/// Metadata bytes in a message: everything that is not key or value
-/// payload and not the message tag — i.e. the dependency-tracking cost the
-/// paper's Table I compares across systems.
+/// Metadata bytes in a v1-encoded message: everything that is not key or
+/// value payload and not the message tag — i.e. the dependency-tracking
+/// cost the paper's Table I compares across systems.
 pub fn metadata_len(msg: &Msg) -> usize {
-    fn payload(v: &Value) -> usize {
-        v.len() + 4 // bytes + length prefix
-    }
+    metadata_len_with(msg, WireFormat::V1)
+}
+
+/// Metadata bytes in a message under the given encoding.
+///
+/// Key and payload bytes are sized as the *active* codec ships them — a
+/// key costs its fixed 8 bytes under v1 but its varint width under v2,
+/// and a value's length prefix likewise — so the split stays exact for
+/// both encodings instead of assuming v1's fixed field widths.
+pub fn metadata_len_with(msg: &Msg, wire: WireFormat) -> usize {
+    let key = |k: Key| match wire {
+        WireFormat::V1 => 8,
+        WireFormat::V2 => wire2::key_len(k),
+    };
+    let value = |v: &Value| match wire {
+        WireFormat::V1 => 4 + v.len(), // length prefix + bytes
+        WireFormat::V2 => wire2::value_len(v),
+    };
+    let result = |r: &ReadResult| {
+        key(r.key)
+            + r.version
+                .as_ref()
+                .map_or(0, |v| key(v.key) + value(&v.value))
+    };
+    let write = |w: &WriteSetEntry| key(w.key) + value(&w.value);
     let payload_bytes: usize = match msg {
-        Msg::ReadReq { keys, .. } => keys.len() * 8,
-        Msg::ReadResp { results, .. } => results
-            .iter()
-            .map(|r| 8 + r.version.as_ref().map_or(0, |v| 8 + payload(&v.value)))
-            .sum(),
-        Msg::CommitReq { writes, .. } => writes.iter().map(|w| 8 + payload(&w.value)).sum(),
-        Msg::ReadSliceReq { keys, .. } => keys.len() * 8,
-        Msg::ReadSliceResp { results, .. } => results
-            .iter()
-            .map(|r| 8 + r.version.as_ref().map_or(0, |v| 8 + payload(&v.value)))
-            .sum(),
-        Msg::PrepareReq { writes, .. } => writes.iter().map(|w| 8 + payload(&w.value)).sum(),
+        Msg::ReadReq { keys, .. } | Msg::ReadSliceReq { keys, .. } => {
+            keys.iter().map(|k| key(*k)).sum()
+        }
+        Msg::ReadResp { results, .. } | Msg::ReadSliceResp { results, .. } => {
+            results.iter().map(result).sum()
+        }
+        Msg::CommitReq { writes, .. } | Msg::PrepareReq { writes, .. } => {
+            writes.iter().map(write).sum()
+        }
         Msg::Replicate { txs, .. } | Msg::ReplicateBatch { txs, .. } => txs
             .iter()
-            .map(|t| {
-                t.writes
-                    .iter()
-                    .map(|w| 8 + payload(&w.value))
-                    .sum::<usize>()
-            })
+            .map(|t| t.writes.iter().map(write).sum::<usize>())
             .sum(),
         _ => 0,
     };
-    encoded_len(msg) - 1 - payload_bytes
+    encoded_len_with(msg, wire) - 1 - payload_bytes
+}
+
+// ----------------------------------------------------- encoding dispatch
+
+/// Encodes a message in the given encoding.
+pub fn encode_with(msg: &Msg, wire: WireFormat) -> Bytes {
+    match wire {
+        WireFormat::V1 => encode(msg),
+        WireFormat::V2 => wire2::encode(msg),
+    }
+}
+
+/// Decodes a message known to be in the given encoding.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for malformed bytes, as [`decode`].
+pub fn decode_with(bytes: &[u8], wire: WireFormat) -> Result<Msg, DecodeError> {
+    match wire {
+        WireFormat::V1 => decode(bytes),
+        WireFormat::V2 => wire2::decode(bytes),
+    }
+}
+
+/// Exact encoded size of a message under the given encoding.
+pub fn encoded_len_with(msg: &Msg, wire: WireFormat) -> usize {
+    match wire {
+        WireFormat::V1 => encoded_len(msg),
+        WireFormat::V2 => wire2::encoded_len(msg),
+    }
+}
+
+/// Encodes an envelope as a frame payload in the given encoding.
+pub fn encode_envelope_with(env: &Envelope, wire: WireFormat) -> Bytes {
+    match wire {
+        WireFormat::V1 => encode_envelope(env),
+        WireFormat::V2 => wire2::encode_envelope(env),
+    }
+}
+
+/// Exact frame-payload size of an envelope under the given encoding.
+pub fn envelope_len_with(env: &Envelope, wire: WireFormat) -> usize {
+    match wire {
+        WireFormat::V1 => envelope_len(env),
+        WireFormat::V2 => wire2::envelope_len(env),
+    }
+}
+
+/// Decodes an envelope frame of either encoding, dispatching on the
+/// first byte: v1 frames open with an endpoint tag (0 or 1), v2 frames
+/// with the [`wire2::FRAME_V2`] marker. Any other first byte is rejected
+/// as an unknown tag, so a frame can never be parsed under the wrong
+/// codec.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated or malformed frames of either
+/// encoding — never panics, whatever the input.
+pub fn decode_envelope_auto(bytes: &[u8]) -> Result<Envelope, DecodeError> {
+    match bytes.first() {
+        Some(&wire2::FRAME_V2) => wire2::decode_envelope(bytes),
+        _ => decode_envelope(bytes),
+    }
 }
 
 // ------------------------------------------------------------- envelopes
@@ -1340,12 +1438,268 @@ mod tests {
         assert_eq!(decode_envelope(&corrupt), Err(DecodeError::UnknownTag(9)));
     }
 
+    #[test]
+    fn v1_encoding_is_bit_for_bit_stable() {
+        // Golden bytes: v1 must never change shape, whatever happens to
+        // v2 — older peers negotiate down to exactly these frames.
+        let msg = Msg::StartTxReq {
+            client_ust: Timestamp::from_parts(0x0102_0304, 5),
+        };
+        assert_eq!(
+            encode(&msg).as_ref(),
+            [1u8, 5, 0, 4, 3, 2, 1, 0, 0],
+            "tag + packed LE timestamp"
+        );
+        let hb = Msg::Heartbeat {
+            partition: PartitionId(7),
+            watermark: Timestamp::from_parts(2, 1),
+        };
+        assert_eq!(
+            encode(&hb).as_ref(),
+            [13u8, 7, 0, 0, 0, 1, 0, 2, 0, 0, 0, 0, 0],
+            "tag + u32 partition + packed LE timestamp"
+        );
+        let env = Envelope::new(
+            ClientId::new(DcId(3), 9),
+            ServerId::new(DcId(0), PartitionId(2)),
+            msg,
+        );
+        assert_eq!(
+            encode_envelope(&env).as_ref(),
+            [
+                1u8, 3, 0, 9, 0, 0, 0, // client endpoint
+                0, 0, 0, 2, 0, 0, 0, // server endpoint
+                1, 5, 0, 4, 3, 2, 1, 0, 0, // message
+            ],
+        );
+    }
+
+    #[test]
+    fn v2_roundtrips_every_sample_with_exact_length() {
+        for msg in sample_messages() {
+            let bytes = wire2::encode(&msg);
+            assert_eq!(bytes.len(), wire2::encoded_len(&msg), "{}", msg.kind());
+            assert_eq!(wire2::decode(&bytes).unwrap(), msg, "{}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn v2_rejects_truncation_everywhere() {
+        for msg in sample_messages() {
+            let bytes = wire2::encode(&msg);
+            for cut in 0..bytes.len() {
+                assert!(
+                    wire2::decode(&bytes[..cut]).is_err(),
+                    "{} v2 prefix {cut} decoded",
+                    msg.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v2_shrinks_background_traffic() {
+        // The tentpole claim, on representative background frames
+        // (envelope included — that is what the byte accounting counts)
+        // with realistic timestamps: varints plus trimmed timestamps
+        // must cut at least 30% of v1's bytes.
+        let now = Timestamp::from_parts(3_600_000_000, 3); // 1h uptime in µs
+        let background = [
+            Msg::Heartbeat {
+                partition: PartitionId(17),
+                watermark: now,
+            },
+            Msg::GstReport {
+                partition: PartitionId(17),
+                mins: vec![(DcId(0), now), (DcId(1), now)],
+                oldest_active: now,
+            },
+            Msg::RootGst {
+                dc: DcId(2),
+                gst: now,
+                oldest_active: now,
+            },
+            Msg::UstBroadcast {
+                ust: now,
+                s_old: now,
+            },
+            Msg::Replicate {
+                partition: PartitionId(17),
+                txs: vec![ReplicatedTx {
+                    tx: tx(1, 17, 12_345),
+                    ct: now,
+                    src: DcId(1),
+                    writes: vec![WriteSetEntry::new(Key(831), Value::filled(8, 1))],
+                }],
+                watermark: now,
+            },
+        ];
+        for msg in background {
+            assert!(msg.is_background(), "{} classed background", msg.kind());
+            let env = Envelope::new(
+                ServerId::new(DcId(0), PartitionId(17)),
+                ServerId::new(DcId(1), PartitionId(17)),
+                msg,
+            );
+            let (v1, v2) = (envelope_len(&env), wire2::envelope_len(&env));
+            assert!(
+                (v2 as f64) <= 0.70 * v1 as f64,
+                "{}: v2 {v2}B vs v1 {v1}B — less than a 30% cut",
+                env.msg.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn v2_handles_u64_boundary_values() {
+        // Maximum-width varints everywhere a u64/u48/u32/u16 can ride.
+        let max_ts = Timestamp::from_parts((1 << 48) - 1, u16::MAX);
+        let msg = Msg::ReadResp {
+            tx: tx(u16::MAX, u32::MAX, u64::MAX),
+            results: vec![ReadResult {
+                key: Key(u64::MAX),
+                version: Some(Version::new(
+                    Key(u64::MAX),
+                    Value::filled(8, 0xff),
+                    max_ts,
+                    tx(u16::MAX, u32::MAX, u64::MAX),
+                    DcId(u16::MAX),
+                )),
+            }],
+        };
+        let bytes = wire2::encode(&msg);
+        assert_eq!(bytes.len(), wire2::encoded_len(&msg));
+        assert_eq!(wire2::decode(&bytes).unwrap(), msg);
+        // A physical part beyond 48 bits cannot come off the encoder;
+        // the decoder must reject it rather than silently truncate.
+        let mut forged = BytesMut::new();
+        forged.put_u8(T_UST_BROADCAST);
+        crate::varint::put(&mut forged, 1 << 48);
+        assert!(wire2::decode(forged.as_ref()).is_err());
+    }
+
+    #[test]
+    fn auto_dispatch_decodes_both_encodings_and_rejects_others() {
+        for msg in sample_messages() {
+            let env = Envelope::new(
+                ServerId::new(DcId(1), PartitionId(2)),
+                ServerId::new(DcId(3), PartitionId(4)),
+                msg,
+            );
+            let v1 = encode_envelope(&env);
+            let v2 = wire2::encode_envelope(&env);
+            assert_eq!(decode_envelope_auto(&v1).unwrap(), env);
+            assert_eq!(decode_envelope_auto(&v2).unwrap(), env);
+            assert_ne!(v1, v2, "{} encodings are distinguishable", env.msg.kind());
+        }
+        assert!(decode_envelope_auto(&[]).is_err());
+        assert_eq!(
+            decode_envelope_auto(&[9u8, 0, 0]),
+            Err(DecodeError::UnknownTag(9))
+        );
+    }
+
+    #[test]
+    fn dispatch_helpers_agree_with_their_codecs() {
+        for msg in sample_messages() {
+            for wire in [WireFormat::V1, WireFormat::V2] {
+                let bytes = encode_with(&msg, wire);
+                assert_eq!(bytes.len(), encoded_len_with(&msg, wire));
+                assert_eq!(decode_with(&bytes, wire).unwrap(), msg);
+                let env = Envelope::new(
+                    ClientId::new(DcId(0), 1),
+                    ServerId::new(DcId(1), PartitionId(0)),
+                    msg.clone(),
+                );
+                let frame = encode_envelope_with(&env, wire);
+                assert_eq!(frame.len(), envelope_len_with(&env, wire));
+                assert_eq!(decode_envelope_auto(&frame).unwrap(), env);
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_len_is_encoding_derived() {
+        // Metadata never scales with payload, under either encoding.
+        let mk = |size: usize| Msg::CommitReq {
+            tx: tx(0, 0, 1),
+            hwt: Timestamp::ZERO,
+            writes: vec![WriteSetEntry::new(Key(1), Value::filled(size, 1))],
+        };
+        for wire in [WireFormat::V1, WireFormat::V2] {
+            assert_eq!(
+                metadata_len_with(&mk(8), wire),
+                metadata_len_with(&mk(4096), wire),
+                "{wire}: metadata must not scale with payload"
+            );
+        }
+        // And the v2 split stays exact: tag + metadata + payload must
+        // reconstruct the full frame for a value whose varint length
+        // prefix is shorter than v1's fixed 4 bytes.
+        let msg = mk(8);
+        let payload_v2 = wire2::encoded_len(&msg) - 1 - metadata_len_with(&msg, WireFormat::V2);
+        assert_eq!(
+            payload_v2,
+            /* key varint */ 1 + /* len varint */ 1 + /* value */ 8
+        );
+        // Snapshot metadata stays one (now trimmed) timestamp under v2.
+        let start = Msg::StartTxReq {
+            client_ust: Timestamp::from_parts(123_456, 7),
+        };
+        assert_eq!(
+            metadata_len_with(&start, WireFormat::V2),
+            wire2::encoded_len(&start) - 1
+        );
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip_arbitrary_messages(msg in arb_msg()) {
             let bytes = encode(&msg);
             prop_assert_eq!(bytes.len(), encoded_len(&msg));
             prop_assert_eq!(decode(&bytes).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_v2_roundtrip_arbitrary_messages(msg in arb_msg()) {
+            let bytes = wire2::encode(&msg);
+            prop_assert_eq!(bytes.len(), wire2::encoded_len(&msg));
+            prop_assert_eq!(wire2::decode(&bytes).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_v2_decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = wire2::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_v2_envelopes_roundtrip_and_auto_dispatch(msg in arb_msg(), d in any::<u16>(), s in any::<u32>()) {
+            let env = Envelope::new(
+                ClientId::new(DcId(d), s),
+                ServerId::new(DcId(d), PartitionId(s)),
+                msg,
+            );
+            let bytes = wire2::encode_envelope(&env);
+            prop_assert_eq!(bytes.len(), wire2::envelope_len(&env));
+            prop_assert_eq!(wire2::decode_envelope(&bytes).unwrap(), env.clone());
+            prop_assert_eq!(decode_envelope_auto(&bytes).unwrap(), env.clone());
+            // The same envelope through v1 auto-dispatches too.
+            prop_assert_eq!(decode_envelope_auto(&encode_envelope(&env)).unwrap(), env);
+        }
+
+        #[test]
+        fn prop_auto_dispatch_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_envelope_auto(&bytes);
+        }
+
+        #[test]
+        fn prop_metadata_len_is_exact_under_both(msg in arb_msg()) {
+            // metadata + payload + tag == total, for each encoding.
+            for wire in [WireFormat::V1, WireFormat::V2] {
+                let meta = metadata_len_with(&msg, wire);
+                prop_assert!(meta < encoded_len_with(&msg, wire));
+            }
+            prop_assert_eq!(metadata_len(&msg), metadata_len_with(&msg, WireFormat::V1));
         }
 
         #[test]

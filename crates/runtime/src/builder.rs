@@ -19,7 +19,9 @@
 
 use paris_net::sim::{RegionMatrix, ServiceModel};
 use paris_net::threaded::ThreadedNetConfig;
-use paris_types::{BatchConfig, ClusterConfig, ConfigError, Error, FlushPolicy, Intervals, Mode};
+use paris_types::{
+    BatchConfig, ClusterConfig, ConfigError, Error, FlushPolicy, Intervals, Mode, WireFormat,
+};
 use paris_workload::WorkloadConfig;
 
 use crate::mini_cluster::MiniCluster;
@@ -129,6 +131,7 @@ pub struct ClusterBuilder {
     record_history: bool,
     stab_branching: usize,
     tuning: Tuning,
+    wire: WireFormat,
 }
 
 impl Default for ClusterBuilder {
@@ -164,6 +167,7 @@ impl ClusterBuilder {
             record_history: false,
             stab_branching: 0,
             tuning: Tuning::default(),
+            wire: WireFormat::default(),
         }
     }
 
@@ -347,39 +351,19 @@ impl ClusterBuilder {
 
     /// Installs a typed concurrency [`Tuning`]: read pool, write
     /// pipeline, store sharding, admission slots and modeled service
-    /// occupancies, in one value. Replaces the deprecated per-knob
-    /// builder methods; the last call wins wholesale (knobs are not
-    /// merged across calls).
+    /// occupancies, in one value. The last call wins wholesale (knobs
+    /// are not merged across calls).
     pub fn tuning(mut self, tuning: Tuning) -> Self {
         self.tuning = tuning;
         self
     }
 
-    /// Size of the read-thread pool.
-    #[deprecated(note = "use `tuning(Tuning::default().read_threads(n))`")]
-    pub fn read_threads(mut self, threads: usize) -> Self {
-        self.tuning.read_threads = Some(threads);
-        self
-    }
-
-    /// Number of chain shards in every server's `PartitionStore`.
-    #[deprecated(note = "use `tuning(Tuning::default().store_shards(n))`")]
-    pub fn store_shards(mut self, shards: usize) -> Self {
-        self.tuning.store_shards = Some(shards);
-        self
-    }
-
-    /// Number of atomic read-admission slots per server.
-    #[deprecated(note = "use `tuning(Tuning::default().read_slots(n))`")]
-    pub fn read_slots(mut self, slots: usize) -> Self {
-        self.tuning.read_slots = Some(slots);
-        self
-    }
-
-    /// Modeled per-slice-read service occupancy, in microseconds.
-    #[deprecated(note = "use `tuning(Tuning::default().read_service_micros(n))`")]
-    pub fn read_service_micros(mut self, micros: u64) -> Self {
-        self.tuning.read_service_micros = micros;
+    /// Wire encoding the deployment speaks: compact varint v2 (the
+    /// default) or the fixed-width v1 frames of earlier releases.
+    /// Socket peers negotiate down to the lower of the two sides'
+    /// versions; in-process backends use it for byte accounting.
+    pub fn wire_format(mut self, wire: WireFormat) -> Self {
+        self.wire = wire;
         self
     }
 
@@ -427,6 +411,7 @@ impl ClusterBuilder {
             .mode(self.mode)
             .max_clock_skew_micros(self.max_clock_skew_micros)
             .batch(batch)
+            .wire(self.wire)
             .build()?;
         if cfg.servers_per_dc() == 0 {
             return Err(ConfigError::new(
@@ -552,6 +537,7 @@ impl ClusterBuilder {
             jitter: self.jitter,
             seed: self.seed,
             batch: cluster.batch,
+            wire: cluster.wire,
         };
         // Real threads: an unset read pool defaults to the host's
         // parallelism under PaRiS (explicit knobs always win; BPR pools

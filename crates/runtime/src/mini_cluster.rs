@@ -66,6 +66,7 @@ impl MiniCluster {
     ) -> Self {
         let mode = cfg.mode;
         let batch = cfg.batch;
+        let wire = cfg.wire;
         let topo = Arc::new(Topology::new(cfg));
         let clock = SimClock::new();
         clock.advance_to(1_000);
@@ -94,7 +95,7 @@ impl MiniCluster {
             servers,
             clients: HashMap::new(),
             queue: VecDeque::new(),
-            coalescer: Coalescer::new(batch),
+            coalescer: Coalescer::new(batch, wire),
             events: VecDeque::new(),
             next_client: HashMap::new(),
             mode,

@@ -184,7 +184,7 @@ impl SimCluster {
         ));
         let clock = SimClock::new();
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let net = SimNetwork::new(config.matrix.clone(), config.jitter);
+        let net = SimNetwork::with_wire(config.matrix.clone(), config.jitter, config.cluster.wire);
         let mut queue = EventQueue::new();
 
         let mut servers = HashMap::new();
@@ -270,7 +270,7 @@ impl SimCluster {
         }
 
         let checker = config.record_history.then(HistoryChecker::new);
-        let coalescer = Coalescer::new(config.cluster.batch);
+        let coalescer = Coalescer::new(config.cluster.batch, config.cluster.wire);
         SimCluster {
             config,
             topo,
@@ -798,6 +798,12 @@ impl SimCluster {
             net_messages: self.net.messages_sent(),
             net_bytes: self.net.bytes_sent(),
         }
+    }
+
+    /// Wire bytes carried by background traffic (replication, heartbeats,
+    /// stabilization gossip) so far, sized in the configured encoding.
+    pub fn net_background_bytes(&self) -> u64 {
+        self.net.background_bytes_sent()
     }
 
     /// Number of transactions the checker has recorded.

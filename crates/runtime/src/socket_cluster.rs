@@ -60,7 +60,7 @@ use paris_net::socket::{NodeIdentity, SocketConfig, SocketHandle, SocketNode};
 use paris_proto::{Ctrl, Endpoint, Envelope, ServerSnapshot, SnapshotCounters};
 use paris_types::{
     BatchConfig, ClientId, ClusterConfig, DcId, Error, FlushPolicy, Intervals, Key, Mode, ServerId,
-    Timestamp, Value, VersionOrd,
+    Timestamp, Value, VersionOrd, WireFormat,
 };
 use paris_workload::stats::RunStats;
 use paris_workload::WorkloadConfig;
@@ -231,6 +231,7 @@ impl ChildSpec {
                 w.u64(max_flush_micros);
             }
         }
+        w.u8(c.wire.version() as u8);
         w.opt_u64(self.tuning.store_shards.map(|v| v as u64));
         w.opt_u64(self.tuning.read_slots.map(|v| v as u64));
         w.opt_u64(self.tuning.write_lanes.map(|v| v as u64));
@@ -287,6 +288,10 @@ impl ChildSpec {
             },
             _ => return Err(Error::Transport("unknown flush policy in child spec")),
         };
+        let wire = match WireFormat::from_version(r.u8()? as u16) {
+            Some(wire) => wire,
+            None => return Err(Error::Transport("unknown wire format in child spec")),
+        };
         let cluster = ClusterConfig {
             dcs,
             partitions,
@@ -297,6 +302,7 @@ impl ChildSpec {
             mode,
             max_clock_skew_micros,
             batch: BatchConfig { max_batch, flush },
+            wire,
         };
         let tuning = ServerTuning {
             store_shards: r.opt_u64()?.map(|v| v as usize),
@@ -346,6 +352,7 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
     let id = spec.server;
     let socket_cfg = SocketConfig {
         batch: spec.cluster.batch,
+        wire: spec.cluster.wire,
         connect_timeout: Duration::from_micros(spec.connect_timeout_micros),
         read_timeout: Duration::from_micros(spec.read_timeout_micros),
     };
@@ -358,7 +365,7 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
         .map_err(|_| Error::Transport("could not dial the control plane"))?;
     ctrl.set_read_timeout(Some(Duration::from_millis(100)))
         .map_err(|_| Error::Transport("could not configure the control socket"))?;
-    write_preamble(&mut ctrl)?;
+    write_preamble(&mut ctrl, spec.cluster.wire.version())?;
     read_preamble(&mut ctrl, deadline_in(HELLO_TIMEOUT))?;
     write_ctrl(
         &mut ctrl,
@@ -696,6 +703,7 @@ impl SocketCluster {
             NodeIdentity::ClientHost,
             SocketConfig {
                 batch: config.cluster.batch,
+                wire: config.cluster.wire,
                 connect_timeout: config.connect_timeout,
                 read_timeout: config.read_timeout,
             },
@@ -757,7 +765,7 @@ impl SocketCluster {
                             .set_read_timeout(Some(Duration::from_millis(100)))
                             .map_err(|_| Error::Transport("control socket"))?;
                         read_preamble(&mut stream, deadline)?;
-                        write_preamble(&mut stream)?;
+                        write_preamble(&mut stream, config.cluster.wire.version())?;
                         match read_ctrl_deadline(&mut stream, deadline)? {
                             Ctrl::Hello { server, data_port } => {
                                 hellos.insert(server, (stream, data_port));

@@ -483,14 +483,15 @@ impl Cluster for ThreadCluster {
             None => Vec::new(),
         };
 
+        let net = self.router.net_stats();
         Ok(RunReport {
             mode: self.config.cluster.mode,
             stats,
             blocking: self.blocking_stats(),
             visibility: None,
             violations,
-            net_messages: 0,
-            net_bytes: 0,
+            net_messages: net.messages,
+            net_bytes: net.bytes,
         })
     }
 

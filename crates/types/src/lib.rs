@@ -41,7 +41,9 @@ mod keyspace;
 mod timestamp;
 mod version;
 
-pub use config::{BatchConfig, ClusterConfig, ClusterConfigBuilder, FlushPolicy, Intervals, Mode};
+pub use config::{
+    BatchConfig, ClusterConfig, ClusterConfigBuilder, FlushPolicy, Intervals, Mode, WireFormat,
+};
 pub use error::{ConfigError, Error};
 pub use ids::{ClientId, DcId, PartitionId, ReplicaIdx, ServerId, TxId};
 pub use keyspace::{Key, Value};
