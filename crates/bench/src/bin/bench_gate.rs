@@ -73,6 +73,8 @@ const GATED: &[(&str, &str)] = &[
     ("fig_reads", "BENCH_reads.json"),
     ("fig_writes", "BENCH_writes.json"),
     ("fig4", "BENCH_fig4.json"),
+    ("fig2a", "BENCH_fig2a.json"),
+    ("fig_recovery", "BENCH_recovery.json"),
 ];
 
 fn load(path: &str) -> Json {

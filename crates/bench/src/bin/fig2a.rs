@@ -5,9 +5,16 @@
 //! machines/DC" — near-linear horizontal scalability. Machines per DC
 //! maps to partitions via N = M·K/R (each server hosts one partition
 //! replica, R = 2).
+//!
+//! Besides the CSV, emits `results/BENCH_fig2a.json`. The simulator is
+//! deterministic, so the per-point `ktps` metrics are bit-stable and feed
+//! the CI perf-regression gate (`bench_gate`); the 18-vs-6 scaling ratios
+//! ride along as informational.
 
-use paris_bench::deployment;
-use paris_bench::{paper_deployment, quick, run_point, section, write_csv};
+use paris_bench::{
+    bench_doc, deployment, json::Json, paper_deployment, quick, run_point, section,
+    write_bench_json, write_csv,
+};
 use paris_types::Mode;
 use paris_workload::WorkloadConfig;
 
@@ -19,12 +26,15 @@ fn main() {
     let clients_per_machine = if quick() { 4 } else { 8 };
 
     let mut rows = Vec::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut points: Vec<Json> = Vec::new();
     println!(
         "\n  {:>4} {:>8} {:>14} {:>12}",
         "DCs", "M/DC", "tput (KTx/s)", "scale vs 6"
     );
     for &m in &dcs {
         let mut base = None;
+        let mut last_scale = 1.0;
         for &k in &machines {
             let partitions = u32::from(m) * k / 2; // N = M·K/R
             let config = if m == 5 && partitions == 45 {
@@ -53,10 +63,23 @@ fn main() {
                 }
                 Some(b) => ktps / b,
             };
+            last_scale = scale;
             println!("  {m:>4} {k:>8} {ktps:>14.1} {scale:>11.2}x");
             rows.push(format!("{m},{k},{ktps:.3},{scale:.3}"));
+            metrics.push((format!("fig2a_{m}dc_{k}m_ktps"), ktps));
+            points.push(Json::obj(vec![
+                ("figure", "fig2a".into()),
+                ("dcs", u64::from(m).into()),
+                ("machines_per_dc", u64::from(k).into()),
+                ("ktps", ktps.into()),
+                ("scale_vs_6", scale.into()),
+                ("net_messages", report.net_messages.into()),
+                ("net_bytes", report.net_bytes.into()),
+            ]));
         }
+        metrics.push((format!("fig2a_{m}dc_scale_18v6"), last_scale));
     }
     write_csv("fig2a.csv", "dcs,machines_per_dc,ktps,scale_vs_6", &rows);
+    write_bench_json("BENCH_fig2a.json", &bench_doc("fig2a", metrics, points));
     println!("\n  (paper: ideal 3x from 6 to 18 machines/DC at both 3 and 5 DCs)");
 }

@@ -75,5 +75,5 @@ pub use server::{
 };
 pub use topology::Topology;
 
-pub use paris_storage::StaleSnapshot;
+pub use paris_storage::{DurableConfig, DurableStats, FsyncPolicy, RecoveryInfo, StaleSnapshot};
 pub use paris_types::Mode;

@@ -2,7 +2,7 @@
 //! the server loop.
 //!
 //! A [`ReadView`] is a cheap cloneable handle onto a server's shared
-//! state — the sharded [`PartitionStore`] and the atomic
+//! state — the sharded storage [`Engine`] and the atomic
 //! [`StableFrontier`] — that executes the read half of Algorithm 3
 //! (`ust ← max(ust, snapshot)`, then the freshest version `≤ snapshot`
 //! per key) **without entering the single-writer state machine**. Any
@@ -30,10 +30,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use paris_proto::{Envelope, Msg, ReadResult};
-use paris_storage::{PartitionStore, StableFrontier, StaleSnapshot};
+use paris_storage::{Engine, StableFrontier, StaleSnapshot};
 use paris_types::{ClientId, Key, Mode, ServerId, Timestamp, TxId, Version};
 
-use crate::server::{ReportTable, TxTable};
+use crate::server::{ReportTable, RootsTable, TxTable};
 
 /// Read-path counters, shared between a server and all its views.
 #[derive(Debug, Default)]
@@ -49,6 +49,12 @@ pub struct ReadViewStats {
     /// Stabilization child reports folded through views (off-loop
     /// `GstReport` handling).
     pub(crate) gst_reports: AtomicU64,
+    /// Whole coalesced `GossipDigest`s folded through views (off-loop
+    /// digest handling).
+    pub(crate) gossip_digests: AtomicU64,
+    /// Logical frames carried inside those digests (the server folds
+    /// this into its `coalesced_frames` counter).
+    pub(crate) digest_frames: AtomicU64,
 }
 
 impl ReadViewStats {
@@ -77,6 +83,16 @@ impl ReadViewStats {
     pub fn gst_reports(&self) -> u64 {
         self.gst_reports.load(Ordering::Relaxed)
     }
+
+    /// Whole gossip digests folded through views so far.
+    pub fn gossip_digests(&self) -> u64 {
+        self.gossip_digests.load(Ordering::Relaxed)
+    }
+
+    /// Logical frames carried inside view-folded digests so far.
+    pub fn digest_frames(&self) -> u64 {
+        self.digest_frames.load(Ordering::Relaxed)
+    }
 }
 
 /// A concurrently-usable handle serving Algorithm 3 snapshot reads from a
@@ -87,22 +103,25 @@ impl ReadViewStats {
 pub struct ReadView {
     id: ServerId,
     mode: Mode,
-    store: Arc<PartitionStore>,
+    store: Arc<dyn Engine>,
     frontier: Arc<StableFrontier>,
     stats: Arc<ReadViewStats>,
     tx_table: Arc<TxTable>,
     child_reports: Arc<ReportTable>,
+    dc_roots: Arc<RootsTable>,
 }
 
 impl ReadView {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: ServerId,
         mode: Mode,
-        store: Arc<PartitionStore>,
+        store: Arc<dyn Engine>,
         frontier: Arc<StableFrontier>,
         stats: Arc<ReadViewStats>,
         tx_table: Arc<TxTable>,
         child_reports: Arc<ReportTable>,
+        dc_roots: Arc<RootsTable>,
     ) -> Self {
         ReadView {
             id,
@@ -112,6 +131,7 @@ impl ReadView {
             stats,
             tx_table,
             child_reports,
+            dc_roots,
         }
     }
 
@@ -223,10 +243,9 @@ impl ReadView {
     /// pool lanes, or a pool frame racing a loop frame) are handled by
     /// the table's monotone fold — see `server::report_table`.
     ///
-    /// Only *unbatched* reports travel through here: with coalescing
-    /// enabled, gossip arrives folded inside `GossipDigest` frames, which
-    /// carry loop-owned components (root GSTs, UST broadcasts) and stay
-    /// on the server loop.
+    /// Unbatched reports travel through here; with coalescing enabled,
+    /// gossip arrives folded inside `GossipDigest` frames, which
+    /// [`ReadView::serve_gossip_digest`] absorbs whole.
     pub fn serve_gst_report(
         &self,
         partition: paris_types::PartitionId,
@@ -235,6 +254,40 @@ impl ReadView {
     ) {
         self.child_reports.fold(partition, mins, oldest_active);
         self.stats.gst_reports.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one coalesced `GossipDigest` entirely off the server loop:
+    /// child reports into the shared report table, root GSTs into the
+    /// shared roots table, and the UST/`S_old` broadcast into the atomic
+    /// frontier. Every component is a monotone maximum, so pool delivery
+    /// is indistinguishable from in-order loop delivery — the digest
+    /// never has to queue behind commits and replication batches.
+    ///
+    /// Runtimes that record protocol events must keep digests on the
+    /// loop instead: the off-loop path cannot stamp `ust_advances` into
+    /// the server's [`EventLog`](crate::EventLog).
+    pub fn serve_gossip_digest(
+        &self,
+        reports: &[paris_proto::DigestReport],
+        roots: &[(paris_types::DcId, Timestamp, Timestamp)],
+        ust: Option<(Timestamp, Timestamp)>,
+        frames: u32,
+    ) {
+        for r in reports {
+            self.child_reports
+                .fold(r.partition, &r.mins, r.oldest_active);
+        }
+        for (dc, gst, oldest_active) in roots {
+            self.dc_roots.fold_remote(*dc, *gst, *oldest_active);
+        }
+        if let Some((ust, s_old)) = ust {
+            self.frontier.advance_ust(ust);
+            self.frontier.advance_s_old(s_old);
+        }
+        self.stats.gossip_digests.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .digest_frames
+            .fetch_add(u64::from(frames), Ordering::Relaxed);
     }
 
     /// Reads one key at `snapshot` through the view (stress tests and

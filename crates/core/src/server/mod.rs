@@ -21,6 +21,7 @@ mod pipeline;
 mod replication;
 mod report_table;
 mod root_state;
+mod roots_table;
 mod stabilization;
 mod tx_table;
 
@@ -28,7 +29,9 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use paris_clock::{Hlc, PhysicalClock};
 use paris_proto::{Envelope, Msg, ReadResult};
-use paris_storage::{PartitionStore, StableFrontier};
+use paris_storage::{
+    DurableConfig, DurableEngine, Engine, MemEngine, RecoveryInfo, StableFrontier,
+};
 use paris_types::{ClientId, DcId, Mode, PartitionId, ServerId, Timestamp, TxId, WriteSetEntry};
 
 use crate::read_view::{ReadView, ReadViewStats};
@@ -38,6 +41,7 @@ pub use pipeline::{CommitPipeline, LaneGuard, PipelineStats, StagedPrepare};
 pub use root_state::RootState;
 
 pub(crate) use report_table::ReportTable;
+pub(crate) use roots_table::RootsTable;
 pub(crate) use tx_table::TxTable;
 
 /// Coordinator-side state of one running transaction (the paper's
@@ -141,6 +145,10 @@ pub struct ServerStats {
     pub blocked_micros_max: u64,
     /// Versions removed by GC.
     pub gc_removed: u64,
+    /// Coalesced `GossipDigest` messages folded off the server loop by
+    /// the read pool (via [`crate::ReadView::serve_gossip_digest`]);
+    /// proves digest handling actually moved off the loop.
+    pub pooled_gossip_digests: u64,
 }
 
 /// Timestamped protocol events, recorded when
@@ -175,9 +183,9 @@ pub struct ServerOptions {
 /// Concurrency-sizing knobs of a [`Server`]'s shared storage structures.
 /// [`Server::new`] uses the defaults; runtimes that know the host's
 /// parallelism pass explicit values through [`Server::with_tuning`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerTuning {
-    /// Chain-shard count of the [`PartitionStore`] (`None` → the store's
+    /// Chain-shard count of the [`MemEngine`] (`None` → the store's
     /// default of 16). More shards reduce reader/writer lock overlap.
     pub store_shards: Option<usize>,
     /// Atomic read-slot count of the [`StableFrontier`]'s in-flight
@@ -189,6 +197,14 @@ pub struct ServerTuning {
     /// store shard — maximal write parallelism). Clamped to
     /// `1..=store_shards`; more lanes than shards buys nothing.
     pub write_lanes: Option<usize>,
+    /// Durable-storage configuration. `None` (the default) keeps the
+    /// pure in-memory [`MemEngine`]; `Some` wraps it in a
+    /// [`DurableEngine`] — write-ahead log plus stable-prefix checkpoints
+    /// under `durable.dir` — and recovers any state already there at
+    /// construction ([`Server::recovery`] reports what came back).
+    /// Runtimes append a per-server subdirectory, so one base directory
+    /// serves a whole cluster.
+    pub durable: Option<DurableConfig>,
 }
 
 /// The PaRiS partition server state machine. See the module docs.
@@ -198,8 +214,9 @@ pub struct Server {
     pub(crate) mode: Mode,
     pub(crate) clock: Box<dyn PhysicalClock + Send>,
     pub(crate) hlc: Hlc,
-    /// The sharded multi-version store, shared with every [`ReadView`].
-    pub(crate) store: std::sync::Arc<PartitionStore>,
+    /// The storage engine — in-memory or durable — shared with every
+    /// [`ReadView`] and the [`CommitPipeline`].
+    pub(crate) store: std::sync::Arc<dyn Engine>,
     /// Published stable timestamps (`ust_n^m`, `S_old`) and the in-flight
     /// read registry, shared with every [`ReadView`].
     pub(crate) frontier: std::sync::Arc<StableFrontier>,
@@ -233,8 +250,14 @@ pub struct Server {
     /// with every [`ReadView`] so unbatched `GstReport`s can be folded
     /// off the server loop (see [`report_table`]).
     pub(crate) child_reports: std::sync::Arc<ReportTable>,
-    /// Root only: latest (gst, oldest_active) per DC.
-    pub(crate) dc_gsts: HashMap<DcId, (Timestamp, Timestamp)>,
+    /// Root only: latest (gst, oldest_active) per DC, shared with every
+    /// [`ReadView`] so coalesced `GossipDigest`s can be folded off the
+    /// server loop (see [`roots_table`]).
+    pub(crate) dc_roots: std::sync::Arc<RootsTable>,
+    /// What the durable engine recovered at construction, if durability
+    /// is on ([`RecoveryInfo::default`]-equal when the directory was
+    /// empty).
+    pub(crate) recovery: Option<RecoveryInfo>,
     /// DCs this server currently considers unreachable (fed by the
     /// runtime's failure detector; §III-C availability).
     pub(crate) unreachable: HashSet<DcId>,
@@ -275,9 +298,36 @@ impl Server {
     /// # Panics
     ///
     /// Panics if the topology does not place this server's partition in
-    /// its DC (the server would not exist in the deployment), or if
-    /// `tuning.store_shards` is `Some(0)`.
+    /// its DC (the server would not exist in the deployment), if
+    /// `tuning.store_shards` is `Some(0)`, or if `tuning.durable` is set
+    /// and the durable store cannot be opened (use
+    /// [`Server::try_with_tuning`] to handle that case).
     pub fn with_tuning(options: ServerOptions, tuning: ServerTuning) -> Self {
+        match Server::try_with_tuning(options, tuning) {
+            Ok(server) => server,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a server with explicit tuning, surfacing durable-storage
+    /// open/recovery failures as [`paris_types::Error::Storage`] instead
+    /// of panicking.
+    ///
+    /// When `tuning.durable` is set, construction is also **recovery**:
+    /// the newest intact checkpoint is loaded, the WAL suffix replayed
+    /// (truncating a torn tail), and the server's version vector, HLC
+    /// floor, stable frontier and published root state are re-seeded so
+    /// the state machine resumes exactly where the log ends. What came
+    /// back is reported by [`Server::recovery`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology does not place this server's partition in
+    /// its DC, or if `tuning.store_shards` is `Some(0)`.
+    pub fn try_with_tuning(
+        options: ServerOptions,
+        tuning: ServerTuning,
+    ) -> Result<Self, paris_types::Error> {
         let ServerOptions {
             id,
             topology,
@@ -289,15 +339,20 @@ impl Server {
             topology.is_replicated_at(id.partition, id.dc),
             "server {id} is not part of the placement"
         );
-        let vv = topology
+        let mut vv: BTreeMap<DcId, Timestamp> = topology
             .replicas(id.partition)
             .into_iter()
             .map(|dc| (dc, Timestamp::ZERO))
             .collect();
-        let store = std::sync::Arc::new(match tuning.store_shards {
-            Some(shards) => PartitionStore::with_shards(shards),
-            None => PartitionStore::new(),
-        });
+        let shards = tuning.store_shards.unwrap_or(paris_storage::DEFAULT_SHARDS);
+        let (store, recovery): (std::sync::Arc<dyn Engine>, Option<RecoveryInfo>) =
+            match tuning.durable {
+                Some(cfg) => {
+                    let (engine, info) = DurableEngine::open(cfg, shards)?;
+                    (std::sync::Arc::new(engine), Some(info))
+                }
+                None => (std::sync::Arc::new(MemEngine::with_shards(shards)), None),
+            };
         let frontier = std::sync::Arc::new(match tuning.read_slots {
             Some(slots) => StableFrontier::with_slots(slots),
             None => StableFrontier::new(),
@@ -311,6 +366,28 @@ impl Server {
         let root_state = std::sync::Arc::new(RootState::default());
         let tx_table = std::sync::Arc::new(TxTable::default());
         let child_reports = std::sync::Arc::new(ReportTable::default());
+        let dc_roots = std::sync::Arc::new(RootsTable::default());
+        let mut hlc = Hlc::new();
+        if let Some(info) = &recovery {
+            // Resume where the log ends: recovered versions were committed
+            // and acknowledged, so the replication watermark per source DC
+            // restarts at the newest recovered update time — peers resend
+            // watermarks at or above it, keeping the monotonicity invariant.
+            for &(src, ut) in &info.max_ut_by_src {
+                if let Some(entry) = vv.get_mut(&src) {
+                    *entry = ut;
+                }
+            }
+            // The stable frontier the checkpoint froze is still valid:
+            // every DC had installed `≤ ust` before the crash, and GC may
+            // already have trimmed up to `s_old`.
+            frontier.advance_ust(info.ust);
+            frontier.advance_s_old(info.s_old);
+            root_state.publish_hlc(info.max_recovered());
+            root_state.publish_watermark(vv.values().copied().min().unwrap_or(Timestamp::ZERO));
+            // New commit timestamps must sort after everything persisted.
+            hlc.observe(&clock, info.max_recovered());
+        }
         let view = ReadView::new(
             id,
             mode,
@@ -319,13 +396,14 @@ impl Server {
             std::sync::Arc::clone(&view_stats),
             std::sync::Arc::clone(&tx_table),
             std::sync::Arc::clone(&child_reports),
+            std::sync::Arc::clone(&dc_roots),
         );
         let mut server = Server {
             id,
             topo: topology,
             mode,
             clock,
-            hlc: Hlc::new(),
+            hlc,
             store,
             frontier,
             view_stats,
@@ -339,7 +417,8 @@ impl Server {
             committed: BTreeMap::new(),
             blocked: Vec::new(),
             child_reports,
-            dc_gsts: HashMap::new(),
+            dc_roots,
+            recovery,
             unreachable: HashSet::new(),
             stats: ServerStats::default(),
             events: record_events.then(EventLog::default),
@@ -347,7 +426,7 @@ impl Server {
         // The stabilization aggregate must under-approximate unreported
         // children (see `stabilization`).
         server.seed_child_reports();
-        server
+        Ok(server)
     }
 
     /// The server's identity.
@@ -376,11 +455,14 @@ impl Server {
     }
 
     /// Statistics counters: the state machine's own plus the shared
-    /// read-view counters (slice reads may be served off-loop).
+    /// read-view counters (slice reads and gossip digests may be served
+    /// off-loop).
     pub fn stats(&self) -> ServerStats {
         let mut stats = self.stats;
         stats.slice_reads += self.view_stats.slice_reads();
         stats.keys_read += self.view_stats.keys_read();
+        stats.pooled_gossip_digests += self.view_stats.gossip_digests();
+        stats.coalesced_frames += self.view_stats.digest_frames();
         stats
     }
 
@@ -413,9 +495,22 @@ impl Server {
         self.events.as_ref()
     }
 
-    /// Read-only access to the partition store (checker, tests).
-    pub fn store(&self) -> &PartitionStore {
-        &self.store
+    /// Read-only access to the storage engine (checker, tests).
+    pub fn store(&self) -> &dyn Engine {
+        &*self.store
+    }
+
+    /// What the durable engine recovered at construction: `Some` iff
+    /// [`ServerTuning::durable`] was set (an empty data directory yields
+    /// a default-valued [`RecoveryInfo`]).
+    pub fn recovery(&self) -> Option<&RecoveryInfo> {
+        self.recovery.as_ref()
+    }
+
+    /// Durable-engine counters (WAL bytes, checkpoints, …), if
+    /// durability is on.
+    pub fn durable_stats(&self) -> Option<paris_storage::DurableStats> {
+        self.store.durable_stats()
     }
 
     /// Number of currently open coordinator contexts.
@@ -543,7 +638,14 @@ impl Server {
     /// the stabilization protocol, further bounded by the oldest snapshot
     /// of any in-flight off-loop read (so the read pool never loses a
     /// version it is entitled to). Returns versions removed.
-    pub fn on_gc_tick(&mut self) -> usize {
+    ///
+    /// With durability on, the same tick drives checkpointing: the engine
+    /// freezes the ≤ UST stable prefix when its interval has elapsed
+    /// (`now` is the substrate clock in microseconds), and GC doubles as
+    /// the WAL-truncation point — closed segments fully covered by both
+    /// the last checkpoint and the GC horizon are deleted.
+    pub fn on_gc_tick(&mut self, now: u64) -> usize {
+        self.store.maybe_checkpoint(self.frontier.ust(), now);
         let removed = self.store.gc(self.frontier.gc_horizon());
         self.stats.gc_removed += removed as u64;
         removed

@@ -4,7 +4,7 @@
 //! PaRiS parallelized the *read* path first (Alg. 3 slice reads off the
 //! loop via [`crate::ReadView`]); this module does the same for the write
 //! path. A [`CommitPipeline`] is a cheap `Arc`-shared handle onto a
-//! server's sharded [`PartitionStore`] plus a fixed set of **apply
+//! server's sharded storage [`Engine`] plus a fixed set of **apply
 //! lanes** — one mutex per lane, each lane owning a disjoint set of store
 //! shards (`lane = shard % lanes`). Two halves of every write-path
 //! message run through it:
@@ -45,7 +45,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use paris_proto::ReplicatedTx;
-use paris_storage::{PartitionStore, StableFrontier};
+use paris_storage::{Engine, StableFrontier};
 use paris_types::{Timestamp, WriteSetEntry};
 
 /// Write-path counters, shared between a server and all pipeline handles.
@@ -113,7 +113,7 @@ pub struct LaneGuard<'a> {
 /// `Arc`-shared, so clones are cheap and all of them hit the same lanes.
 #[derive(Debug)]
 pub struct CommitPipeline {
-    store: Arc<PartitionStore>,
+    store: Arc<dyn Engine>,
     frontier: Arc<StableFrontier>,
     lanes: Box<[Mutex<()>]>,
     stats: PipelineStats,
@@ -123,11 +123,7 @@ impl CommitPipeline {
     /// A pipeline over `store` with `lanes` apply lanes (clamped to at
     /// least one; more lanes than shards buys nothing and is clamped
     /// down).
-    pub(crate) fn new(
-        store: Arc<PartitionStore>,
-        frontier: Arc<StableFrontier>,
-        lanes: usize,
-    ) -> Self {
+    pub(crate) fn new(store: Arc<dyn Engine>, frontier: Arc<StableFrontier>, lanes: usize) -> Self {
         let lanes = lanes.clamp(1, store.shard_count());
         CommitPipeline {
             store,
@@ -230,6 +226,7 @@ impl CommitPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use paris_storage::PartitionStore;
     use paris_types::{DcId, Key, PartitionId, ServerId, TxId, Value};
 
     fn ts(t: u64) -> Timestamp {

@@ -74,7 +74,7 @@ impl Server {
                     .map(|(_, ts)| *ts)
                     .min()
                     .unwrap_or(Timestamp::ZERO);
-                self.dc_gsts.insert(self.id.dc, (gst, oldest_active));
+                self.dc_roots.publish_own(self.id.dc, gst, oldest_active);
                 self.topo
                     .all_roots()
                     .into_iter()
@@ -103,21 +103,10 @@ impl Server {
             return Vec::new(); // not a root
         }
         // All M DCs must have reported at least once (own included).
-        if self.dc_gsts.len() < self.topo.dcs() as usize {
+        let Some((min_gst, min_oldest)) = self.dc_roots.stable_mins(self.topo.dcs() as usize)
+        else {
             return Vec::new();
-        }
-        let min_gst = self
-            .dc_gsts
-            .values()
-            .map(|(gst, _)| *gst)
-            .min()
-            .expect("non-empty");
-        let min_oldest = self
-            .dc_gsts
-            .values()
-            .map(|(_, oldest)| *oldest)
-            .min()
-            .expect("non-empty");
+        };
         // Alg. 4 line 38: enforce monotonicity (the frontier's fetch_max).
         if self.frontier.advance_ust(min_gst) {
             self.log_ust(min_gst, now);
@@ -148,20 +137,17 @@ impl Server {
         Vec::new()
     }
 
-    /// Another DC root's GST (inter-DC exchange).
+    /// Another DC root's GST (inter-DC exchange). The fold goes through
+    /// the shared [`super::RootsTable`] — the same path
+    /// [`crate::ReadView::serve_gossip_digest`] uses when the threaded
+    /// runtime folds a whole digest off the loop.
     pub(super) fn on_root_gst(
         &mut self,
         dc: DcId,
         gst: Timestamp,
         oldest_active: Timestamp,
     ) -> Vec<Envelope> {
-        // FIFO channels keep these monotonic per sender; max defensively.
-        let entry = self
-            .dc_gsts
-            .entry(dc)
-            .or_insert((Timestamp::ZERO, Timestamp::ZERO));
-        entry.0 = entry.0.max(gst);
-        entry.1 = entry.1.max(oldest_active);
+        self.dc_roots.fold_remote(dc, gst, oldest_active);
         Vec::new()
     }
 

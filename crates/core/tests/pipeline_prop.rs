@@ -110,7 +110,7 @@ fn make_stream(topo: &Topology, src: DcId, spec: &StreamSpec, seq: &mut u64) -> 
 /// agree on, chain order included (chains are newest-first).
 fn chains(server: &Server) -> HashMap<Key, Vec<(Timestamp, TxId, DcId, Value)>> {
     let mut out = HashMap::new();
-    server.store().for_each_chain(|key, chain| {
+    server.store().for_each_chain(&mut |key, chain| {
         out.insert(
             key,
             chain
@@ -192,6 +192,7 @@ proptest! {
                 store_shards: Some(4),
                 read_slots: None,
                 write_lanes: Some(3),
+                durable: None,
             },
         );
         let mut model = Server::new(options(&topo, &clock));
@@ -337,6 +338,7 @@ proptest! {
                 store_shards: Some(4),
                 read_slots: None,
                 write_lanes: Some(2),
+                durable: None,
             },
         );
         let mut model = Server::new(options(&topo, &clock));

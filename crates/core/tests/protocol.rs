@@ -496,7 +496,7 @@ fn garbage_collection_trims_old_versions_but_preserves_reads() {
     assert!(s_old > Timestamp::ZERO, "GC horizon must advance");
     let removed: usize = {
         let server = c.servers.get_mut(&sid).unwrap();
-        server.on_gc_tick()
+        server.on_gc_tick(0)
     };
     assert!(removed > 0, "old versions must be collected");
 

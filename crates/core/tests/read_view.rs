@@ -282,7 +282,7 @@ fn inflight_view_read_pins_gc() {
     );
     // The pin caps the horizon at 20, so only version 10 is reclaimed and
     // the pinned read still finds its version.
-    assert_eq!(s.on_gc_tick(), 1);
+    assert_eq!(s.on_gc_tick(0), 1);
     assert_eq!(s.store().stats().versions, 2);
     // The version the pinned read is entitled to is still in the store
     // (a fresh registration at 20 would rightly be rejected — the pin
@@ -291,7 +291,7 @@ fn inflight_view_read_pins_gc() {
     assert_eq!(v.ut, ts(20));
     // Releasing the pin lets the next GC trim to S_old.
     drop(pin);
-    assert_eq!(s.on_gc_tick(), 1);
+    assert_eq!(s.on_gc_tick(0), 1);
     assert_eq!(s.store().stats().versions, 1);
     assert!(view.read_at(Key(0), ts(30)).unwrap().is_some());
 }

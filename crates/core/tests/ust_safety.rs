@@ -234,7 +234,7 @@ impl RandomizedCluster {
             for dc in &replicas {
                 self.servers[&ServerId::new(*dc, p)]
                     .store()
-                    .for_each_chain(|k, chain| {
+                    .for_each_chain(&mut |k, chain| {
                         all.extend(chain.iter().map(|v| (v.order(), k)));
                     });
             }
@@ -275,7 +275,7 @@ impl RandomizedCluster {
             let mut stable: Vec<paris_types::VersionOrd> = Vec::new();
             for dc in &replicas {
                 let server = &self.servers[&ServerId::new(*dc, p)];
-                server.store().for_each_chain(|_, chain| {
+                server.store().for_each_chain(&mut |_, chain| {
                     stable.extend(chain.iter().filter(|v| v.ut <= ust).map(|v| v.order()));
                 });
             }
@@ -284,7 +284,7 @@ impl RandomizedCluster {
                 let server = &self.servers[&ServerId::new(*dc, p)];
                 for v in &stable {
                     let mut found = false;
-                    server.store().for_each_chain(|_, chain| {
+                    server.store().for_each_chain(&mut |_, chain| {
                         if !found {
                             found = chain.iter().any(|w| w.order() == *v);
                         }

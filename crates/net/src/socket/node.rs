@@ -100,7 +100,9 @@ impl NodeShared {
     }
 
     fn route(&self, dst: &Endpoint) -> Option<SocketAddr> {
-        let routes = self.routes.lock().expect("route table poisoned");
+        // A poisoned table (a panicked peer thread) routes nothing; the
+        // caller surfaces that as a clean "no route" transport error.
+        let routes = self.routes.lock().ok()?;
         match dst {
             Endpoint::Client(_) => routes.client_host,
             Endpoint::Server(s) => routes.servers.get(s).copied(),
@@ -121,7 +123,10 @@ impl NodeShared {
             return Err(Error::Transport("no route to destination"));
         };
 
-        let mut links = self.links.lock().expect("link table poisoned");
+        let mut links = self
+            .links
+            .lock()
+            .map_err(|_| Error::Transport("link table poisoned"))?;
         if let Some(link) = links.get(&addr) {
             if link.send(env) {
                 return Ok(());
@@ -129,10 +134,9 @@ impl NodeShared {
             // The writer gave up on this peer: discard the link and put
             // the address on cooldown so we don't redial in a hot loop.
             links.remove(&addr);
-            self.down_until
-                .lock()
-                .expect("cooldown table poisoned")
-                .insert(addr, Instant::now() + REDIAL_COOLDOWN);
+            if let Ok(mut down) = self.down_until.lock() {
+                down.insert(addr, Instant::now() + REDIAL_COOLDOWN);
+            }
             self.counters.dropped.fetch_add(1, Ordering::Relaxed);
             return Err(Error::Transport("peer connection lost"));
         }
@@ -140,9 +144,8 @@ impl NodeShared {
         let cooling = self
             .down_until
             .lock()
-            .expect("cooldown table poisoned")
-            .get(&addr)
-            .is_some_and(|until| Instant::now() < *until);
+            .map(|down| down.get(&addr).is_some_and(|until| Instant::now() < *until))
+            .unwrap_or(false);
         if cooling {
             self.counters.dropped.fetch_add(1, Ordering::Relaxed);
             return Err(Error::Transport("peer is down"));
@@ -169,10 +172,9 @@ impl NodeShared {
                 }
             }
             Err(e) => {
-                self.down_until
-                    .lock()
-                    .expect("cooldown table poisoned")
-                    .insert(addr, Instant::now() + REDIAL_COOLDOWN);
+                if let Ok(mut down) = self.down_until.lock() {
+                    down.insert(addr, Instant::now() + REDIAL_COOLDOWN);
+                }
                 self.counters.dropped.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
@@ -268,7 +270,9 @@ impl SocketNode {
         client_host: Option<SocketAddr>,
         servers: impl IntoIterator<Item = (ServerId, SocketAddr)>,
     ) {
-        let mut routes = self.inner.routes.lock().expect("route table poisoned");
+        let Ok(mut routes) = self.inner.routes.lock() else {
+            return;
+        };
         routes.client_host = client_host;
         routes.servers.extend(servers);
     }
@@ -299,18 +303,13 @@ impl SocketNode {
             let _ = handle.join();
         }
         // Dropping links closes their queues; writers flush and exit.
-        self.inner
-            .links
-            .lock()
-            .expect("link table poisoned")
-            .clear();
-        let readers: Vec<_> = self
-            .inner
-            .readers
-            .lock()
-            .expect("reader table poisoned")
-            .drain(..)
-            .collect();
+        if let Ok(mut links) = self.inner.links.lock() {
+            links.clear();
+        }
+        let readers: Vec<_> = match self.inner.readers.lock() {
+            Ok(mut readers) => readers.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
         for handle in readers {
             let _ = handle.join();
         }
@@ -332,11 +331,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<NodeShared>) {
                     .name("paris-reader".into())
                     .spawn(move || reader_loop(stream, conn_shared));
                 if let Ok(handle) = spawned {
-                    shared
-                        .readers
-                        .lock()
-                        .expect("reader table poisoned")
-                        .push(handle);
+                    if let Ok(mut readers) = shared.readers.lock() {
+                        readers.push(handle);
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {

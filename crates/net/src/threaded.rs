@@ -232,13 +232,13 @@ impl Router {
 
     /// Installs the read tap: from now on, read-path envelopes bound for
     /// *server* endpoints — `ReadSliceReq` slice reads, `StartTxReq`
-    /// snapshot assignments and unbatched `GstReport` stabilization
-    /// reports, all read-only against storage — are delivered
+    /// snapshot assignments, unbatched `GstReport` stabilization
+    /// reports and whole coalesced `GossipDigest`s, all served against
+    /// shared (lock-free or table-folded) state — are delivered
     /// round-robin into `lanes` (after their normal link latency)
     /// instead of the destination inbox; the runtime's read-thread pool
-    /// drains the lanes and serves them off the server loop. (Coalesced
-    /// gossip — `GossipDigest` — carries loop-owned components and is
-    /// never tapped.) All other traffic is unaffected. A lane that has shut down is
+    /// drains the lanes and serves them off the server loop. All other
+    /// traffic is unaffected. A lane that has shut down is
     /// pruned from the tap on first failed delivery (the tap uninstalls
     /// itself when the last lane goes), and the envelope is retried on the
     /// surviving lanes, falling back to the server inbox — so no request
@@ -354,8 +354,8 @@ impl WheelState {
 }
 
 /// Delivers one due envelope: read-tapped traffic (server-bound
-/// `ReadSliceReq`/`StartTxReq`/`GstReport`) goes to a pool lane
-/// (round-robin), the rest to the destination inbox. On the tapped happy path only the lane
+/// `ReadSliceReq`/`StartTxReq`/`GstReport`/`GossipDigest`) goes to a
+/// pool lane (round-robin), the rest to the destination inbox. On the tapped happy path only the lane
 /// sender is cloned under the registry lock — the inbox is looked up only
 /// when delivery actually falls back. A lane whose receiver is gone is
 /// pruned from the tap (uninstalling the tap when the last lane dies) so
@@ -364,7 +364,10 @@ fn deliver(registry: &Arc<Mutex<Registry>>, mut env: Envelope) {
     let server_bound = matches!(env.dst, Endpoint::Server(_));
     let is_tapped_read = matches!(
         env.msg,
-        Msg::ReadSliceReq { .. } | Msg::StartTxReq { .. } | Msg::GstReport { .. }
+        Msg::ReadSliceReq { .. }
+            | Msg::StartTxReq { .. }
+            | Msg::GstReport { .. }
+            | Msg::GossipDigest { .. }
     ) && server_bound;
     let is_tapped_write = matches!(
         env.msg,

@@ -48,6 +48,9 @@ pub struct SnapshotCounters {
     pub heartbeats: u64,
     /// Logical frames folded inside coalesced messages.
     pub coalesced_frames: u64,
+    /// Whole coalesced gossip digests served off the server loop by the
+    /// read pool (through the published `ReadView`).
+    pub pooled_gossip_digests: u64,
     /// Versions removed by GC.
     pub gc_removed: u64,
     /// Prepares staged through the commit pipeline.
@@ -59,7 +62,7 @@ pub struct SnapshotCounters {
 }
 
 impl SnapshotCounters {
-    const WIRE_LEN: usize = 14 * 8;
+    const WIRE_LEN: usize = 15 * 8;
 
     fn encode(&self, buf: &mut BytesMut) {
         for v in [
@@ -73,6 +76,7 @@ impl SnapshotCounters {
             self.replicate_batches,
             self.heartbeats,
             self.coalesced_frames,
+            self.pooled_gossip_digests,
             self.gc_removed,
             self.staged_prepares,
             self.lane_batches,
@@ -95,6 +99,7 @@ impl SnapshotCounters {
             replicate_batches: buf.get_u64_le(),
             heartbeats: buf.get_u64_le(),
             coalesced_frames: buf.get_u64_le(),
+            pooled_gossip_digests: buf.get_u64_le(),
             gc_removed: buf.get_u64_le(),
             staged_prepares: buf.get_u64_le(),
             lane_batches: buf.get_u64_le(),
@@ -340,6 +345,7 @@ mod tests {
                     replicate_batches: 8,
                     heartbeats: 9,
                     coalesced_frames: 10,
+                    pooled_gossip_digests: 15,
                     gc_removed: 11,
                     staged_prepares: 12,
                     lane_batches: 13,

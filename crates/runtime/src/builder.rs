@@ -28,7 +28,7 @@ use crate::mini_cluster::MiniCluster;
 use crate::sim_cluster::{SimCluster, SimConfig};
 use crate::socket_cluster::{SocketCluster, SocketClusterConfig};
 use crate::thread_cluster::{ThreadCluster, ThreadClusterConfig};
-use crate::tuning::{derived_read_threads, Tuning};
+use crate::tuning::{derived_read_threads, Durability, Tuning};
 use crate::Cluster;
 
 /// The substrate a deployment runs on.
@@ -132,6 +132,7 @@ pub struct ClusterBuilder {
     stab_branching: usize,
     tuning: Tuning,
     wire: WireFormat,
+    durability: Option<Durability>,
 }
 
 impl Default for ClusterBuilder {
@@ -168,6 +169,7 @@ impl ClusterBuilder {
             stab_branching: 0,
             tuning: Tuning::default(),
             wire: WireFormat::default(),
+            durability: None,
         }
     }
 
@@ -358,6 +360,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Turns on the durable storage engine: every server writes its
+    /// committed versions to a write-ahead log and periodic stable-prefix
+    /// checkpoints under `durability`'s base directory (one
+    /// `dc{d}-p{p}` subdirectory per server), and a restarted server
+    /// recovers its state from them. Off by default — the in-memory
+    /// engine — and honored by all four backends; the socket backend
+    /// additionally supports [`Cluster::restart_server`] when this is on.
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
     /// Wire encoding the deployment speaks: compact varint v2 (the
     /// default) or the fixed-width v1 frames of earlier releases.
     /// Socket peers negotiate down to the lower of the two sides'
@@ -471,14 +485,15 @@ impl ClusterBuilder {
         let cfg = self.cluster_config()?;
         let workload = self.workload_config();
         let tuning = self.tuning.server_tuning();
-        Ok(MiniCluster::from_parts(
+        MiniCluster::from_parts(
             cfg,
             workload,
             self.clients_per_dc,
             self.seed,
             self.record_history,
             tuning,
-        ))
+            self.durability,
+        )
     }
 
     /// Builds the concrete [`SimCluster`] backend (fault injection,
@@ -491,7 +506,7 @@ impl ClusterBuilder {
         let cluster = self.cluster_config()?;
         let workload = self.workload_config();
         let tuning = self.tuning.server_tuning();
-        Ok(SimCluster::new(SimConfig {
+        SimCluster::new(SimConfig {
             matrix: self.matrix(),
             cluster,
             jitter: self.jitter,
@@ -509,7 +524,8 @@ impl ClusterBuilder {
             write_threads: self.tuning.write_threads_or_zero(),
             write_service_micros: self.tuning.write_service_micros,
             tuning,
-        }))
+            durability: self.durability,
+        })
     }
 
     /// Builds the concrete [`ThreadCluster`] backend.
@@ -549,7 +565,7 @@ impl ClusterBuilder {
             None if cluster.mode == Mode::Paris => derived_read_threads(),
             None => 0,
         };
-        Ok(ThreadCluster::start(ThreadClusterConfig {
+        ThreadCluster::start(ThreadClusterConfig {
             cluster,
             net,
             clients_per_dc: self.clients_per_dc,
@@ -561,7 +577,8 @@ impl ClusterBuilder {
             write_threads: self.tuning.write_threads_or_zero(),
             write_service_micros: self.tuning.write_service_micros,
             tuning,
-        }))
+            durability: self.durability,
+        })
     }
 
     /// Builds the concrete [`SocketCluster`] backend: one child process
@@ -603,6 +620,7 @@ impl ClusterBuilder {
             write_threads: self.tuning.write_threads_or_zero(),
             write_service_micros: self.tuning.write_service_micros,
             tuning,
+            durability: self.durability,
             connect_timeout: std::time::Duration::from_secs(5),
             read_timeout: std::time::Duration::from_millis(100),
         })

@@ -101,6 +101,18 @@ pub(crate) fn read_pool_loop(
                         // the fold.
                         views[&sid].serve_gst_report(partition, mins, oldest_active);
                     }
+                    paris_proto::Msg::GossipDigest {
+                        ref reports,
+                        ref roots,
+                        ust,
+                        frames,
+                    } => {
+                        // A whole coalesced gossip digest: every component
+                        // folds into shared tables (child reports, DC
+                        // roots) or the lock-free frontier, so the digest
+                        // never queues behind commits on the server loop.
+                        views[&sid].serve_gossip_digest(reports, roots, ust, frames);
+                    }
                     // The tap only diverts read-path messages; anything
                     // else is handed to the owning server untouched.
                     _ => punt(&env, sid),
@@ -347,7 +359,7 @@ pub(crate) fn server_loop(
                     next_ust = now + intervals.ust_micros;
                 }
                 if now >= next_gc {
-                    server.on_gc_tick();
+                    server.on_gc_tick(now);
                     next_gc = now + intervals.gc_micros;
                 }
             }

@@ -160,6 +160,42 @@ pub trait Cluster {
     /// Returns transport failures on backends that must reach servers.
     fn check_convergence(&mut self) -> Result<Vec<Violation>, Error>;
 
+    /// Forcibly kills the server at `index` (in
+    /// [`paris_core::Topology::all_servers`] order) without any shutdown
+    /// handshake — the fault-injection half of a crash-recovery drill.
+    ///
+    /// Only the socket backend hosts servers in killable processes; the
+    /// in-process backends report [`Error::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unsupported`] on backends without server processes,
+    /// [`Error::Transport`] if the process cannot be killed.
+    fn kill_server(&mut self, index: usize) -> Result<(), Error> {
+        let _ = index;
+        Err(Error::Unsupported(
+            "kill_server requires a backend with server processes (socket)",
+        ))
+    }
+
+    /// Relaunches the server at `index` after [`Cluster::kill_server`].
+    /// With durability configured the replacement process recovers its
+    /// pre-crash state from the newest checkpoint plus WAL replay before
+    /// serving a single request; without durability it comes back empty
+    /// and relies on replication to repopulate.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unsupported`] on backends without server processes,
+    /// [`Error::Transport`] if the replacement cannot be spawned or fails
+    /// to rejoin the deployment.
+    fn restart_server(&mut self, index: usize) -> Result<(), Error> {
+        let _ = index;
+        Err(Error::Unsupported(
+            "restart_server requires a backend with server processes (socket)",
+        ))
+    }
+
     /// Starts a transaction and returns its RAII [`Txn`] handle.
     ///
     /// Dropping the handle without [`Txn::commit`] aborts the

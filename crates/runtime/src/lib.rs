@@ -49,7 +49,9 @@ pub use socket_cluster::{
     socket_child_main, ChildSpec, SocketCluster, CHILD_SPEC_ENV, SERVER_BIN_ENV,
 };
 pub use thread_cluster::ThreadCluster;
-pub use tuning::Tuning;
+pub use tuning::{Durability, Tuning};
+
+pub use paris_core::{DurableStats, FsyncPolicy, RecoveryInfo};
 
 /// Interactive client sessions get sequence numbers far above the
 /// workload clients' `0..clients_per_dc` range so the two populations
@@ -93,11 +95,9 @@ pub(crate) fn gossip_round_micros(
 
 /// Snapshot of each key's freshest version order in one store — the
 /// per-server input every backend feeds to [`replica_convergence`].
-pub(crate) fn latest_orders(
-    store: &paris_storage::PartitionStore,
-) -> HashMap<Key, Option<VersionOrd>> {
+pub(crate) fn latest_orders(store: &dyn paris_storage::Engine) -> HashMap<Key, Option<VersionOrd>> {
     let mut latest = HashMap::new();
-    store.for_each_chain(|k, chain| {
+    store.for_each_chain(&mut |k, chain| {
         latest.insert(k, chain.latest_order());
     });
     latest
@@ -107,9 +107,9 @@ pub(crate) fn latest_orders(
 /// truth — shared by every backend's report path.
 pub(crate) fn record_store_versions(
     checker: &mut HistoryChecker,
-    store: &paris_storage::PartitionStore,
+    store: &dyn paris_storage::Engine,
 ) {
-    store.for_each_chain(|key, chain| {
+    store.for_each_chain(&mut |key, chain| {
         checker.record_versions(key, chain.iter().map(|v| v.order()));
     });
 }

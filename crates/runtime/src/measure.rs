@@ -70,6 +70,9 @@ pub struct ClusterStats {
     pub heartbeats: u64,
     /// Logical frames folded inside coalesced messages.
     pub coalesced_frames: u64,
+    /// Whole coalesced gossip digests served off the server loops by the
+    /// read pools (zero when digests are loop-served).
+    pub pooled_gossip_digests: u64,
     /// Versions removed by GC.
     pub gc_removed: u64,
     /// Prepares staged through the commit pipelines (on- or off-loop).
@@ -102,6 +105,7 @@ impl ClusterStats {
         self.replicate_batches += stats.replicate_batches;
         self.heartbeats += stats.heartbeats;
         self.coalesced_frames += stats.coalesced_frames;
+        self.pooled_gossip_digests += stats.pooled_gossip_digests;
         self.gc_removed += stats.gc_removed;
         self.blocking.accumulate(stats);
     }
@@ -127,6 +131,7 @@ impl ClusterStats {
         self.replicate_batches += c.replicate_batches;
         self.heartbeats += c.heartbeats;
         self.coalesced_frames += c.coalesced_frames;
+        self.pooled_gossip_digests += c.pooled_gossip_digests;
         self.gc_removed += c.gc_removed;
         self.staged_prepares += c.staged_prepares;
         self.lane_batches += c.lane_batches;
@@ -343,6 +348,7 @@ mod tests {
             replicate_batches: 6,
             heartbeats: 7,
             coalesced_frames: 8,
+            pooled_gossip_digests: 12,
             blocked_reads: 1,
             blocked_micros_total: 500,
             blocked_micros_max: 500,
@@ -364,6 +370,7 @@ mod tests {
                 replicate_batches: 6,
                 heartbeats: 7,
                 coalesced_frames: 8,
+                pooled_gossip_digests: 12,
                 gc_removed: 11,
                 ..Default::default()
             },

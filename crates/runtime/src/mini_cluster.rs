@@ -56,6 +56,11 @@ pub struct MiniCluster {
 
 impl MiniCluster {
     /// Builds the deployment; called by [`crate::ClusterBuilder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Storage`] when durability is requested and a
+    /// server's data directory cannot be opened or recovered.
     pub(crate) fn from_parts(
         cfg: ClusterConfig,
         workload: WorkloadConfig,
@@ -63,33 +68,33 @@ impl MiniCluster {
         seed: u64,
         record_history: bool,
         tuning: ServerTuning,
-    ) -> Self {
+        durability: Option<crate::Durability>,
+    ) -> Result<Self, Error> {
         let mode = cfg.mode;
         let batch = cfg.batch;
         let wire = cfg.wire;
         let topo = Arc::new(Topology::new(cfg));
         let clock = SimClock::new();
         clock.advance_to(1_000);
-        let servers = topo
-            .all_servers()
-            .into_iter()
-            .map(|id| {
-                (
-                    id,
-                    Server::with_tuning(
-                        ServerOptions {
-                            id,
-                            topology: Arc::clone(&topo),
-                            clock: Box::new(clock.clone()),
-                            mode,
-                            record_events: false,
-                        },
-                        tuning,
-                    ),
-                )
-            })
-            .collect();
-        MiniCluster {
+        let mut servers = HashMap::new();
+        for id in topo.all_servers() {
+            let mut tuning = tuning.clone();
+            tuning.durable = durability.as_ref().map(|d| d.server_config(id));
+            servers.insert(
+                id,
+                Server::try_with_tuning(
+                    ServerOptions {
+                        id,
+                        topology: Arc::clone(&topo),
+                        clock: Box::new(clock.clone()),
+                        mode,
+                        record_events: false,
+                    },
+                    tuning,
+                )?,
+            );
+        }
+        Ok(MiniCluster {
             topo,
             clock,
             servers,
@@ -104,7 +109,7 @@ impl MiniCluster {
             clients_per_dc,
             seed,
             record_history,
-        }
+        })
     }
 
     /// The topology, for inspecting placement.

@@ -87,6 +87,12 @@ pub(crate) struct SimConfig {
     /// simulated time; kept consistent with the other backends so
     /// explicit knobs behave identically everywhere).
     pub(crate) tuning: ServerTuning,
+    /// Durable storage engine (WAL + checkpoints) for every server; off
+    /// (`None`, purely in-memory) by default. Does not affect simulated
+    /// time — gated metrics stay bit-identical — but real files are
+    /// written, so a restarted deployment over the same directory
+    /// recovers the committed prefix.
+    pub(crate) durability: Option<crate::Durability>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -177,7 +183,12 @@ pub struct SimCluster {
 impl SimCluster {
     /// Builds the deployment: all servers with skewed clocks, all client
     /// sessions, background ticks scheduled with random phase offsets.
-    pub(crate) fn new(config: SimConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Storage`] when durability is requested and a
+    /// server's data directory cannot be opened or recovered.
+    pub(crate) fn new(config: SimConfig) -> Result<Self, Error> {
         let topo = Arc::new(Topology::with_branching(
             config.cluster.clone(),
             config.stab_branching,
@@ -195,7 +206,9 @@ impl SimCluster {
             } else {
                 0
             };
-            let server = Server::with_tuning(
+            let mut tuning = config.tuning.clone();
+            tuning.durable = config.durability.as_ref().map(|d| d.server_config(id));
+            let server = Server::try_with_tuning(
                 ServerOptions {
                     id,
                     topology: Arc::clone(&topo),
@@ -203,8 +216,8 @@ impl SimCluster {
                     mode: config.cluster.mode,
                     record_events: config.record_events,
                 },
-                config.tuning,
-            );
+                tuning,
+            )?;
             servers.insert(
                 id,
                 ServerSlot {
@@ -271,7 +284,7 @@ impl SimCluster {
 
         let checker = config.record_history.then(HistoryChecker::new);
         let coalescer = Coalescer::new(config.cluster.batch, config.cluster.wire);
-        SimCluster {
+        Ok(SimCluster {
             config,
             topo,
             clock,
@@ -292,7 +305,7 @@ impl SimCluster {
             interactive: HashMap::new(),
             interactive_events: VecDeque::new(),
             next_interactive: HashMap::new(),
-        }
+        })
     }
 
     /// Current simulated time (microseconds).
@@ -631,7 +644,7 @@ impl SimCluster {
             TickKind::Gst => slot.server.on_gst_tick(finish),
             TickKind::Ust => slot.server.on_ust_tick(finish),
             TickKind::Gc => {
-                slot.server.on_gc_tick();
+                slot.server.on_gc_tick(finish);
                 Vec::new()
             }
         };

@@ -49,8 +49,8 @@ use std::time::{Duration, Instant};
 use paris_clock::WallClock;
 use paris_core::checker::HistoryChecker;
 use paris_core::{
-    ClientEvent, ClientRead, ClientSession, ReadStep, Server, ServerOptions, ServerTuning,
-    Topology, Violation,
+    ClientEvent, ClientRead, ClientSession, DurableConfig, FsyncPolicy, ReadStep, Server,
+    ServerOptions, ServerTuning, Topology, Violation,
 };
 use paris_net::sim::RegionMatrix;
 use paris_net::socket::framing::{
@@ -102,6 +102,9 @@ pub(crate) struct SocketClusterConfig {
     pub(crate) write_threads: usize,
     pub(crate) write_service_micros: u64,
     pub(crate) tuning: ServerTuning,
+    /// Durable-engine deployment: each child gets its own log directory
+    /// derived from this (see [`crate::Durability::server_config`]).
+    pub(crate) durability: Option<crate::Durability>,
     pub(crate) connect_timeout: Duration,
     pub(crate) read_timeout: Duration,
 }
@@ -161,6 +164,10 @@ impl SpecWriter {
             }
         }
     }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+    }
 }
 
 struct SpecReader<'a>(&'a [u8]);
@@ -191,6 +198,10 @@ impl SpecReader<'_> {
             0 => None,
             _ => Some(self.u64()?),
         })
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, Error> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
     }
 }
 
@@ -235,6 +246,20 @@ impl ChildSpec {
         w.opt_u64(self.tuning.store_shards.map(|v| v as u64));
         w.opt_u64(self.tuning.read_slots.map(|v| v as u64));
         w.opt_u64(self.tuning.write_lanes.map(|v| v as u64));
+        match &self.tuning.durable {
+            None => w.u8(0),
+            Some(d) => {
+                w.u8(1);
+                // The log directory travels as UTF-8; `Durability` dirs
+                // come from strings, so lossy conversion is the identity.
+                w.bytes(d.dir.to_string_lossy().as_bytes());
+                w.u8(match d.fsync {
+                    FsyncPolicy::Never => 0,
+                    FsyncPolicy::Always => 1,
+                });
+                w.u64(d.checkpoint_interval_micros);
+            }
+        }
         w.u64(self.read_threads as u64);
         w.u64(self.read_service_micros);
         w.u64(self.write_threads as u64);
@@ -304,10 +329,32 @@ impl ChildSpec {
             batch: BatchConfig { max_batch, flush },
             wire,
         };
+        let store_shards = r.opt_u64()?.map(|v| v as usize);
+        let read_slots = r.opt_u64()?.map(|v| v as usize);
+        let write_lanes = r.opt_u64()?.map(|v| v as usize);
+        let durable = match r.u8()? {
+            0 => None,
+            1 => {
+                let dir = String::from_utf8(r.bytes()?)
+                    .map_err(|_| Error::Transport("non-UTF-8 durable dir in child spec"))?;
+                let fsync = match r.u8()? {
+                    0 => FsyncPolicy::Never,
+                    1 => FsyncPolicy::Always,
+                    _ => return Err(Error::Transport("unknown fsync policy in child spec")),
+                };
+                Some(
+                    DurableConfig::new(dir)
+                        .fsync(fsync)
+                        .checkpoint_interval_micros(r.u64()?),
+                )
+            }
+            _ => return Err(Error::Transport("unknown durable flag in child spec")),
+        };
         let tuning = ServerTuning {
-            store_shards: r.opt_u64()?.map(|v| v as usize),
-            read_slots: r.opt_u64()?.map(|v| v as usize),
-            write_lanes: r.opt_u64()?.map(|v| v as usize),
+            store_shards,
+            read_slots,
+            write_lanes,
+            durable,
         };
         Ok(ChildSpec {
             ctrl_port,
@@ -358,6 +405,22 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
     };
     let mut node = SocketNode::bind(NodeIdentity::Server(id), socket_cfg)?;
 
+    // The server state machine, stamped by the host-wide wall clock so
+    // every process in the deployment shares a timebase. With a durable
+    // tuning this is also the recovery point: a relaunched child replays
+    // its checkpoint + WAL suffix here, *before* it says hello — joining
+    // the deployment advertises readiness to serve.
+    let server = Arc::new(Mutex::new(Server::try_with_tuning(
+        ServerOptions {
+            id,
+            topology: Arc::clone(&topo),
+            clock: Box::new(WallClock::new()),
+            mode: spec.cluster.mode,
+            record_events: false,
+        },
+        spec.tuning.clone(),
+    )?));
+
     // Join the deployment: dial the control port, handshake, say hello,
     // learn the peer map.
     let ctrl_addr = SocketAddr::from(([127, 0, 0, 1], spec.ctrl_port));
@@ -388,20 +451,10 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
             .into_iter()
             .map(|(s, port)| (s, SocketAddr::from(([127, 0, 0, 1], port)))),
     );
-
-    // The server state machine, stamped by the host-wide wall clock so
-    // every process in the deployment shares a timebase.
-    let server = Arc::new(Mutex::new(Server::with_tuning(
-        ServerOptions {
-            id,
-            topology: Arc::clone(&topo),
-            clock: Box::new(WallClock::new()),
-            mode: spec.cluster.mode,
-            record_events: false,
-        },
-        spec.tuning,
-    )));
-    let view = server.lock().expect("fresh server").read_view();
+    let view = server
+        .lock()
+        .map_err(|_| Error::Transport("server poisoned"))?
+        .read_view();
     let clock = Arc::new(WallClock::new());
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -454,8 +507,11 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
     for i in 0..write_threads {
         let (lane_tx, lane_rx) = channel::<Envelope>();
         write_lanes.push(lane_tx);
-        let pipelines =
-            HashMap::from([(id, server.lock().expect("fresh server").commit_pipeline())]);
+        let pipeline = server
+            .lock()
+            .map_err(|_| Error::Transport("server poisoned"))?
+            .commit_pipeline();
+        let pipelines = HashMap::from([(id, pipeline)]);
         let servers = HashMap::from([(id, Arc::clone(&server))]);
         let send = node.handle();
         let clock = Arc::clone(&clock);
@@ -495,6 +551,7 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
                                 paris_proto::Msg::ReadSliceReq { .. }
                                     | paris_proto::Msg::StartTxReq { .. }
                                     | paris_proto::Msg::GstReport { .. }
+                                    | paris_proto::Msg::GossipDigest { .. }
                             );
                         let write_tapped =
                             !write_lanes.is_empty() && crate::driver::is_write_path(&env);
@@ -568,12 +625,14 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
         match read_ctrl_deadline(&mut ctrl, deadline_in(Duration::from_secs(3600))) {
             Ok(Ctrl::StatsReq) => {
                 let snap = {
-                    let server = server.lock().expect("server poisoned");
+                    // A poisoned server means a loop thread panicked;
+                    // treat it as fatal and let the parent see EOF.
+                    let Ok(server) = server.lock() else { break };
                     let stats = server.stats();
                     let pipeline = server.commit_pipeline();
                     let pipeline = pipeline.stats();
                     let mut chains = Vec::new();
-                    server.store().for_each_chain(|key, chain| {
+                    server.store().for_each_chain(&mut |key, chain| {
                         chains.push((key, chain.iter().map(|v| v.order()).collect()));
                     });
                     ServerSnapshot {
@@ -595,6 +654,7 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
                             replicate_batches: stats.replicate_batches,
                             heartbeats: stats.heartbeats,
                             coalesced_frames: stats.coalesced_frames,
+                            pooled_gossip_digests: stats.pooled_gossip_digests,
                             gc_removed: stats.gc_removed,
                             staged_prepares: pipeline.staged_prepares(),
                             lane_batches: pipeline.lane_batches(),
@@ -606,6 +666,20 @@ fn run_child(spec: ChildSpec) -> Result<(), Error> {
                 if write_ctrl(&mut ctrl, &Ctrl::StatsResp(Box::new(snap))).is_err() {
                     break;
                 }
+            }
+            Ok(Ctrl::Peers {
+                client_port,
+                servers,
+            }) => {
+                // A peer process restarted on fresh ports: install the
+                // updated map so future dials reach the new addresses
+                // (stale links fail on their own and are redialed).
+                node.set_routes(
+                    Some(SocketAddr::from(([127, 0, 0, 1], client_port))),
+                    servers
+                        .into_iter()
+                        .map(|(s, port)| (s, SocketAddr::from(([127, 0, 0, 1], port)))),
+                );
             }
             Ok(Ctrl::Stop) | Err(_) => break,
             // Unexpected frames are ignored: the control protocol may
@@ -680,6 +754,12 @@ pub struct SocketCluster {
     demux_handle: Option<JoinHandle<()>>,
     interactive: HashMap<ClientId, InteractiveClient>,
     next_interactive: HashMap<DcId, u32>,
+    // Retained for `restart_server`: a relaunched child dials back on the
+    // same control port and slots into the updated peer map.
+    binary: PathBuf,
+    ctrl_listener: TcpListener,
+    ctrl_port: u16,
+    peer_map: Vec<(ServerId, u16)>,
 }
 
 /// Kills and reaps every child in `children` (bring-up failure path).
@@ -722,11 +802,13 @@ impl SocketCluster {
         let all_servers: Vec<ServerId> = topo.all_servers();
         let mut procs: Vec<Child> = Vec::with_capacity(all_servers.len());
         for &id in &all_servers {
+            let mut tuning = config.tuning.clone();
+            tuning.durable = config.durability.as_ref().map(|d| d.server_config(id));
             let spec = ChildSpec {
                 ctrl_port,
                 server: id,
                 cluster: config.cluster.clone(),
-                tuning: config.tuning,
+                tuning,
                 read_threads: config.read_threads,
                 read_service_micros: config.read_service_micros,
                 write_threads: config.write_threads,
@@ -837,7 +919,9 @@ impl SocketCluster {
                     match inbox.recv_timeout(Duration::from_millis(100)) {
                         Ok(env) => {
                             if let Endpoint::Client(cid) = env.dst {
-                                let guard = registry.lock().expect("registry poisoned");
+                                // A poisoned registry means the parent is
+                                // tearing down mid-panic; just exit.
+                                let Ok(guard) = registry.lock() else { return };
                                 if let Some(tx) = guard.get(&cid) {
                                     let _ = tx.send(env);
                                 }
@@ -867,6 +951,10 @@ impl SocketCluster {
             demux_handle: Some(demux_handle),
             interactive: HashMap::new(),
             next_interactive: HashMap::new(),
+            binary,
+            ctrl_listener,
+            ctrl_port,
+            peer_map,
         })
     }
 
@@ -881,14 +969,14 @@ impl SocketCluster {
         self.children
             .iter()
             .find(|c| c.id == id)
-            .map(|c| c.proc.lock().expect("child poisoned").id())
+            .and_then(|c| c.proc.lock().ok().map(|p| p.id()))
     }
 
     /// The OS process ids of every child server.
     pub fn server_pids(&self) -> Vec<u32> {
         self.children
             .iter()
-            .map(|c| c.proc.lock().expect("child poisoned").id())
+            .filter_map(|c| c.proc.lock().ok().map(|p| p.id()))
             .collect()
     }
 
@@ -896,13 +984,8 @@ impl SocketCluster {
     /// effect).
     fn dead_child(&self) -> Option<ServerId> {
         self.children.iter().find_map(|c| {
-            c.proc
-                .lock()
-                .expect("child poisoned")
-                .try_wait()
-                .ok()
-                .flatten()
-                .map(|_| c.id)
+            let mut proc = c.proc.lock().ok()?;
+            proc.try_wait().ok().flatten().map(|_| c.id)
         })
     }
 
@@ -949,7 +1032,10 @@ impl SocketCluster {
     fn snapshot_all(&self) -> Result<Vec<ServerSnapshot>, Error> {
         let mut snaps = Vec::with_capacity(self.children.len());
         for child in &self.children {
-            let mut ctrl = child.ctrl.lock().expect("control poisoned");
+            let mut ctrl = child
+                .ctrl
+                .lock()
+                .map_err(|_| Error::Transport("control channel poisoned"))?;
             write_ctrl(&mut *ctrl, &Ctrl::StatsReq)?;
             match read_ctrl_deadline(&mut *ctrl, deadline_in(OP_TIMEOUT))? {
                 Ctrl::StatsResp(snap) => snaps.push(*snap),
@@ -957,6 +1043,63 @@ impl SocketCluster {
             }
         }
         Ok(snaps)
+    }
+
+    /// The spawn spec for the child hosting `id` — identical for the
+    /// initial bring-up and for every relaunch, so a restarted server
+    /// finds its own durable directory again.
+    fn child_spec(&self, id: ServerId) -> ChildSpec {
+        let mut tuning = self.config.tuning.clone();
+        tuning.durable = self.config.durability.as_ref().map(|d| d.server_config(id));
+        ChildSpec {
+            ctrl_port: self.ctrl_port,
+            server: id,
+            cluster: self.config.cluster.clone(),
+            tuning,
+            read_threads: self.config.read_threads,
+            read_service_micros: self.config.read_service_micros,
+            write_threads: self.config.write_threads,
+            write_service_micros: self.config.write_service_micros,
+            connect_timeout_micros: self.config.connect_timeout.as_micros() as u64,
+            read_timeout_micros: self.config.read_timeout.as_micros() as u64,
+        }
+    }
+
+    /// Accepts control-plane dialers on the retained listener until the
+    /// child hosting `id` says hello; returns its control stream and data
+    /// port. Stray dialers are ignored — the deadline guards the wait.
+    fn await_rejoin(&self, id: ServerId, deadline: Instant) -> Result<(TcpStream, u16), Error> {
+        loop {
+            if Instant::now() >= deadline {
+                return Err(Error::Transport(
+                    "timed out waiting for the restarted server to rejoin",
+                ));
+            }
+            match self.ctrl_listener.accept() {
+                Ok((mut stream, _)) => {
+                    let hello = (|| -> Result<(ServerId, u16), Error> {
+                        stream
+                            .set_read_timeout(Some(Duration::from_millis(100)))
+                            .map_err(|_| Error::Transport("control socket"))?;
+                        read_preamble(&mut stream, deadline)?;
+                        write_preamble(&mut stream, self.config.cluster.wire.version())?;
+                        match read_ctrl_deadline(&mut stream, deadline)? {
+                            Ctrl::Hello { server, data_port } => Ok((server, data_port)),
+                            _ => Err(Error::Transport("expected a hello")),
+                        }
+                    })();
+                    if let Ok((server, data_port)) = hello {
+                        if server == id {
+                            return Ok((stream, data_port));
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
     }
 
     /// One stabilization round in wall-clock microseconds. Loopback has
@@ -995,7 +1138,7 @@ impl Cluster for SocketCluster {
         let (tx, inbox) = channel();
         self.registry
             .lock()
-            .expect("registry poisoned")
+            .map_err(|_| Error::Transport("client registry poisoned"))?
             .insert(id, tx);
         let coordinator = self.topo.coordinator_for(dc, id.seq);
         let session = ClientSession::new(id, coordinator, self.config.cluster.mode);
@@ -1067,7 +1210,7 @@ impl Cluster for SocketCluster {
                 let (tx, inbox) = channel();
                 self.registry
                     .lock()
-                    .expect("registry poisoned")
+                    .map_err(|_| Error::Transport("client registry poisoned"))?
                     .insert(id, tx);
                 let send = self.handle.clone();
                 let coordinator = self.topo.coordinator_for(dc, seq);
@@ -1198,6 +1341,94 @@ impl Cluster for SocketCluster {
         Ok(out)
     }
 
+    fn kill_server(&mut self, index: usize) -> Result<(), Error> {
+        let child = self.children.get(index).ok_or_else(|| {
+            Error::from(paris_types::ConfigError::new("server index out of range"))
+        })?;
+        let mut proc = child
+            .proc
+            .lock()
+            .map_err(|_| Error::Transport("child handle poisoned"))?;
+        // SIGKILL on unix: no shutdown handshake, no final fsync — the
+        // durable log's torn tail is exactly what recovery must survive.
+        let _ = proc.kill();
+        proc.wait()
+            .map_err(|_| Error::Transport("could not reap the killed server"))?;
+        Ok(())
+    }
+
+    fn restart_server(&mut self, index: usize) -> Result<(), Error> {
+        let id = self
+            .children
+            .get(index)
+            .ok_or_else(|| Error::from(paris_types::ConfigError::new("server index out of range")))?
+            .id;
+        {
+            // Idempotent after kill_server: make sure the old process is
+            // gone before its replacement binds anything.
+            let mut proc = self.children[index]
+                .proc
+                .lock()
+                .map_err(|_| Error::Transport("child handle poisoned"))?;
+            let _ = proc.kill();
+            let _ = proc.wait();
+        }
+
+        let spec = self.child_spec(id);
+        let child = Command::new(&self.binary)
+            .env(CHILD_SPEC_ENV, spec.encode())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|_| Error::Transport("could not spawn a replacement server process"))?;
+
+        // The replacement recovers (checkpoint + WAL replay) before it
+        // says hello, so rejoining means ready-to-serve.
+        let (stream, data_port) = match self.await_rejoin(id, deadline_in(HELLO_TIMEOUT)) {
+            Ok(joined) => joined,
+            Err(e) => {
+                let mut child = child;
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(e);
+            }
+        };
+
+        // Slot the replacement in, then publish its new data port to
+        // every child (including the new one, which is blocked waiting
+        // for exactly this peer map) and to the parent's own routes.
+        if let Some(entry) = self.peer_map.iter_mut().find(|(s, _)| *s == id) {
+            entry.1 = data_port;
+        }
+        self.children[index] = ChildProc {
+            id,
+            proc: Mutex::new(child),
+            ctrl: Mutex::new(stream),
+        };
+        let client_port = self.node.local_addr().port();
+        for child in &self.children {
+            let mut ctrl = child
+                .ctrl
+                .lock()
+                .map_err(|_| Error::Transport("control channel poisoned"))?;
+            write_ctrl(
+                &mut *ctrl,
+                &Ctrl::Peers {
+                    client_port,
+                    servers: self.peer_map.clone(),
+                },
+            )
+            .map_err(|_| Error::Transport("a server process left during restart"))?;
+        }
+        self.node.set_routes(
+            None,
+            self.peer_map
+                .iter()
+                .map(|&(s, port)| (s, SocketAddr::from(([127, 0, 0, 1], port)))),
+        );
+        Ok(())
+    }
+
     fn begin(&mut self, client: ClientId) -> Result<crate::Txn<'_>, Error> {
         crate::Txn::begin_on(self, client)
     }
@@ -1225,12 +1456,15 @@ impl Drop for SocketCluster {
     fn drop(&mut self) {
         // Ask every child to stop, give them a grace window, then kill.
         for child in &self.children {
-            let mut ctrl = child.ctrl.lock().expect("control poisoned");
-            let _ = write_ctrl(&mut *ctrl, &Ctrl::Stop);
+            if let Ok(mut ctrl) = child.ctrl.lock() {
+                let _ = write_ctrl(&mut *ctrl, &Ctrl::Stop);
+            }
         }
         let deadline = Instant::now() + STOP_GRACE;
         for child in &self.children {
-            let mut proc = child.proc.lock().expect("child poisoned");
+            let Ok(mut proc) = child.proc.lock() else {
+                continue;
+            };
             loop {
                 match proc.try_wait() {
                     Ok(Some(_)) => break,
@@ -1274,6 +1508,7 @@ mod tests {
                 store_shards: Some(16),
                 read_slots: None,
                 write_lanes: Some(4),
+                durable: None,
             },
             read_threads: 2,
             read_service_micros: 7,
@@ -1293,6 +1528,16 @@ mod tests {
         spec2.tuning.write_lanes = None;
         spec2.write_threads = 0;
         assert_eq!(ChildSpec::decode(&spec2.encode()).unwrap(), spec2);
+
+        // A durable tuning (the crash-recovery deployment shape) survives
+        // too, directory path and knobs intact.
+        let mut spec3 = spec.clone();
+        spec3.tuning.durable = Some(
+            DurableConfig::new("/tmp/paris-test/dc1-p3")
+                .fsync(FsyncPolicy::Always)
+                .checkpoint_interval_micros(250_000),
+        );
+        assert_eq!(ChildSpec::decode(&spec3.encode()).unwrap(), spec3);
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub(crate) struct ThreadClusterConfig {
     /// Storage-concurrency sizing for every server (shard count, read
     /// slots, write lanes), resolved by the builder.
     pub(crate) tuning: ServerTuning,
+    /// Durable storage engine (WAL + checkpoints) for every server; off
+    /// (`None`, purely in-memory) by default.
+    pub(crate) durability: Option<crate::Durability>,
 }
 
 struct InteractiveClient {
@@ -94,7 +97,12 @@ pub struct ThreadCluster {
 
 impl ThreadCluster {
     /// Spawns the server threads and returns the live deployment.
-    pub(crate) fn start(config: ThreadClusterConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Storage`] when durability is requested and a
+    /// server's data directory cannot be opened or recovered.
+    pub(crate) fn start(config: ThreadClusterConfig) -> Result<Self, Error> {
         let topo = Arc::new(Topology::new(config.cluster.clone()));
         let router = Router::start(config.net.clone());
         let net = router.handle();
@@ -118,7 +126,9 @@ impl ThreadCluster {
         let mut views = HashMap::new();
         let mut server_handles = Vec::new();
         for id in topo.all_servers() {
-            let server = Arc::new(Mutex::new(Server::with_tuning(
+            let mut tuning = config.tuning.clone();
+            tuning.durable = config.durability.as_ref().map(|d| d.server_config(id));
+            let server = Arc::new(Mutex::new(Server::try_with_tuning(
                 ServerOptions {
                     id,
                     topology: Arc::clone(&topo),
@@ -126,8 +136,8 @@ impl ThreadCluster {
                     mode: config.cluster.mode,
                     record_events: false,
                 },
-                config.tuning,
-            )));
+                tuning,
+            )?));
             views.insert(id, server.lock().expect("fresh server").read_view());
             servers.insert(id, Arc::clone(&server));
             let inbox = router.register(id);
@@ -237,7 +247,7 @@ impl ThreadCluster {
             router.set_write_tap(lanes);
         }
 
-        ThreadCluster {
+        Ok(ThreadCluster {
             config,
             topo,
             router,
@@ -251,7 +261,7 @@ impl ThreadCluster {
             views,
             interactive: HashMap::new(),
             next_interactive: HashMap::new(),
-        }
+        })
     }
 
     /// The published [`ReadView`] of one server (tests and direct

@@ -21,8 +21,10 @@
 //! Cross-field validation lives here too ([`Tuning::validate`]), so every
 //! backend rejects the same nonsense configurations with the same words.
 
-use paris_core::ServerTuning;
-use paris_types::{ConfigError, Error, Mode};
+use std::path::PathBuf;
+
+use paris_core::{DurableConfig, FsyncPolicy, ServerTuning};
+use paris_types::{ConfigError, Error, Mode, ServerId};
 
 /// The host's available parallelism, defaulting to 1 when unknown.
 pub(crate) fn host_parallelism() -> usize {
@@ -241,6 +243,11 @@ impl Tuning {
             store_shards: Some(self.store_shards.unwrap_or_else(derived_store_shards)),
             read_slots: self.read_slots,
             write_lanes: self.write_lanes,
+            // Durability is deployment state (a data directory), not a
+            // Copy-able sizing knob: it rides [`crate::ClusterBuilder::
+            // durability`], which stamps the per-server engine config in
+            // before the server is built.
+            durable: None,
         }
     }
 
@@ -248,6 +255,73 @@ impl Tuning {
     /// synchronous.
     pub(crate) fn write_threads_or_zero(&self) -> usize {
         self.write_threads.unwrap_or(0)
+    }
+}
+
+/// Durable-storage configuration for a whole deployment: every server
+/// runs a [`paris_storage::DurableEngine`] (WAL + stable-prefix
+/// checkpoints) rooted in its own subdirectory of `dir`, named
+/// `dc{d}-p{p}`. Off by default — without a `Durability` every backend
+/// keeps the purely in-memory engine and no byte of behavior changes.
+///
+/// ```
+/// use paris_runtime::{Backend, Durability, FsyncPolicy, Paris};
+///
+/// let dir = std::env::temp_dir().join("paris-durability-doc");
+/// let mut cluster = Paris::builder()
+///     .dcs(2)
+///     .partitions(2)
+///     .backend(Backend::Mini)
+///     .durability(Durability::new(&dir).fsync(FsyncPolicy::Never))
+///     .build()?;
+/// # let _ = &mut cluster;
+/// # drop(cluster);
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// # Ok::<(), paris_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Durability {
+    pub(crate) dir: PathBuf,
+    pub(crate) fsync: FsyncPolicy,
+    pub(crate) checkpoint_interval_micros: u64,
+}
+
+impl Durability {
+    /// Durability rooted at `dir` (created on demand), with fsync off and
+    /// the default checkpoint cadence — the configuration the overhead
+    /// benchmarks run.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Durability {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Never,
+            checkpoint_interval_micros: paris_storage::DEFAULT_CHECKPOINT_INTERVAL_MICROS,
+        }
+    }
+
+    /// When the WAL is flushed to stable media: [`FsyncPolicy::Never`]
+    /// (crash-safe against process death, the default) or
+    /// [`FsyncPolicy::Always`] (also power-loss safe, much slower).
+    #[must_use]
+    pub fn fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Minimum spacing between stable-prefix checkpoints, in microseconds
+    /// of the driving clock. `0` checkpoints on every GC tick.
+    #[must_use]
+    pub fn checkpoint_interval_micros(mut self, micros: u64) -> Self {
+        self.checkpoint_interval_micros = micros;
+        self
+    }
+
+    /// The per-server engine config: this deployment's knobs, rooted at
+    /// `dir/dc{d}-p{p}` so collocated servers never share a log.
+    pub(crate) fn server_config(&self, id: ServerId) -> DurableConfig {
+        DurableConfig::new(self.dir.join(format!("dc{}-p{}", id.dc.0, id.partition.0)))
+            .fsync(self.fsync)
+            .checkpoint_interval_micros(self.checkpoint_interval_micros)
     }
 }
 

@@ -18,6 +18,12 @@
 //! on any number of threads while the single-writer server applies updates
 //! (the paper's *parallel non-blocking reads*, §I).
 //!
+//! Storage sits behind the [`Engine`] trait: [`MemEngine`] is the sharded
+//! in-memory store above, and [`DurableEngine`] wraps it with an
+//! append-only write-ahead log plus immutable checkpoints of the ≤ UST
+//! stable prefix, giving crash recovery ([`DurableEngine::open`]) at a
+//! configurable fsync cost ([`FsyncPolicy`]).
+//!
 //! # Example
 //!
 //! ```
@@ -38,11 +44,24 @@
 #![warn(missing_docs)]
 
 mod chain;
+pub mod checkpoint;
+mod durable;
+mod engine;
 mod stable;
 mod store;
+pub mod wal;
 
 pub use chain::VersionChain;
+pub use durable::{
+    DurableConfig, DurableEngine, DurableError, FsyncPolicy, RecoveryInfo,
+    DEFAULT_CHECKPOINT_INTERVAL_MICROS,
+};
+pub use engine::{DurableStats, Engine};
 pub use stable::{ReadGuard, StableFrontier, StaleSnapshot, DEFAULT_READ_SLOTS};
-pub use store::{PartitionStore, StoreStats};
+pub use store::{MemEngine, StoreStats, DEFAULT_SHARDS};
 
 pub use paris_types::Version;
+
+/// The historical name of [`MemEngine`], kept for call sites that want
+/// the concrete in-memory store rather than a `dyn Engine`.
+pub type PartitionStore = MemEngine;

@@ -7,11 +7,13 @@ use std::sync::RwLock;
 use paris_types::{DcId, Key, Timestamp, TxId, Value, Version};
 
 use crate::chain::VersionChain;
+use crate::engine::Engine;
 
 /// Default number of chain shards per store.
-const DEFAULT_SHARDS: usize = 16;
+/// Default chain-shard count of a [`MemEngine`].
+pub const DEFAULT_SHARDS: usize = 16;
 
-/// Counters describing a [`PartitionStore`]'s contents and activity.
+/// Counters describing a [`MemEngine`]'s contents and activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Number of distinct keys with at least one version.
@@ -24,10 +26,13 @@ pub struct StoreStats {
     pub gc_removed: u64,
 }
 
-/// The multi-version store owned by one partition server.
+/// The in-memory multi-version store — the default [`Engine`].
 ///
 /// This is the `update(k, v, ut, id_T)` target of Alg. 4 lines 1–4: each
 /// apply "insert[s the] new item d in the version chain of key k".
+/// [`DurableEngine`](crate::DurableEngine) wraps one of these with a
+/// write-ahead log and checkpoints; the protocol layers only see the
+/// [`Engine`] trait.
 ///
 /// The key space is hashed over N *chain shards*, each behind its own
 /// `RwLock`, so any number of reader threads can execute Alg. 3 snapshot
@@ -36,10 +41,10 @@ pub struct StoreStats {
 /// non-blocking read* property. Writers (`apply`, `gc`) take one shard
 /// write lock at a time; readers take shard read locks, so a read only
 /// ever waits for the microseconds a writer spends inside one chain.
-/// Aggregate counters are carried in atomics, so [`PartitionStore::stats`]
+/// Aggregate counters are carried in atomics, so [`MemEngine::stats`]
 /// is O(1) and lock-free (it used to walk every chain).
 #[derive(Debug)]
-pub struct PartitionStore {
+pub struct MemEngine {
     shards: Box<[RwLock<HashMap<Key, VersionChain>>]>,
     keys: AtomicU64,
     versions: AtomicU64,
@@ -47,16 +52,16 @@ pub struct PartitionStore {
     gc_removed: AtomicU64,
 }
 
-impl Default for PartitionStore {
+impl Default for MemEngine {
     fn default() -> Self {
-        PartitionStore::new()
+        MemEngine::new()
     }
 }
 
-impl PartitionStore {
+impl MemEngine {
     /// Creates an empty store with the default shard count.
     pub fn new() -> Self {
-        PartitionStore::with_shards(DEFAULT_SHARDS)
+        MemEngine::with_shards(DEFAULT_SHARDS)
     }
 
     /// Creates an empty store with `shards` chain shards.
@@ -66,7 +71,7 @@ impl PartitionStore {
     /// Panics if `shards` is zero.
     pub fn with_shards(shards: usize) -> Self {
         assert!(shards > 0, "store needs at least one shard");
-        PartitionStore {
+        MemEngine {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             keys: AtomicU64::new(0),
             versions: AtomicU64::new(0),
@@ -182,6 +187,44 @@ impl PartitionStore {
     }
 }
 
+impl Engine for MemEngine {
+    fn apply(&self, key: Key, value: Value, ut: Timestamp, tx: TxId, src: DcId) -> bool {
+        MemEngine::apply(self, key, value, ut, tx, src)
+    }
+
+    fn read_at(&self, key: Key, ts: Timestamp) -> Option<Version> {
+        MemEngine::read_at(self, key, ts)
+    }
+
+    fn latest(&self, key: Key) -> Option<Version> {
+        MemEngine::latest(self, key)
+    }
+
+    fn chain(&self, key: Key) -> Option<VersionChain> {
+        MemEngine::chain(self, key)
+    }
+
+    fn gc(&self, s_old: Timestamp) -> usize {
+        MemEngine::gc(self, s_old)
+    }
+
+    fn for_each_chain(&self, f: &mut dyn FnMut(Key, &VersionChain)) {
+        MemEngine::for_each_chain(self, f);
+    }
+
+    fn stats(&self) -> StoreStats {
+        MemEngine::stats(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        MemEngine::shard_count(self)
+    }
+
+    fn shard_index(&self, key: Key) -> usize {
+        MemEngine::shard_index(self, key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,7 +240,7 @@ mod tests {
 
     #[test]
     fn apply_then_read_roundtrip() {
-        let s = PartitionStore::new();
+        let s = MemEngine::new();
         assert!(s.apply(Key(1), Value::from("x"), ts(10), tx(1), DcId(0)));
         let v = s.read_at(Key(1), ts(10)).unwrap();
         assert_eq!(v.value.as_bytes(), b"x");
@@ -207,7 +250,7 @@ mod tests {
 
     #[test]
     fn apply_is_idempotent_and_counts_once() {
-        let s = PartitionStore::new();
+        let s = MemEngine::new();
         assert!(s.apply(Key(1), Value::from("x"), ts(10), tx(1), DcId(0)));
         assert!(!s.apply(Key(1), Value::from("x"), ts(10), tx(1), DcId(0)));
         assert_eq!(s.stats().applied, 1);
@@ -217,7 +260,7 @@ mod tests {
 
     #[test]
     fn distinct_keys_have_independent_chains() {
-        let s = PartitionStore::new();
+        let s = MemEngine::new();
         s.apply(Key(1), Value::from("a"), ts(10), tx(1), DcId(0));
         s.apply(Key(2), Value::from("b"), ts(20), tx(2), DcId(0));
         assert_eq!(s.stats().keys, 2);
@@ -227,7 +270,7 @@ mod tests {
 
     #[test]
     fn gc_across_keys_counts_removed() {
-        let s = PartitionStore::new();
+        let s = MemEngine::new();
         for t in [10u64, 20, 30] {
             s.apply(Key(1), Value::filled(4, t), ts(t), tx(t), DcId(0));
             s.apply(Key(2), Value::filled(4, t), ts(t), tx(t), DcId(0));
@@ -242,7 +285,7 @@ mod tests {
 
     #[test]
     fn for_each_chain_visits_all_chains() {
-        let s = PartitionStore::new();
+        let s = MemEngine::new();
         s.apply(Key(1), Value::from("a"), ts(1), tx(1), DcId(0));
         s.apply(Key(9), Value::from("b"), ts(2), tx(2), DcId(0));
         let keys: Vec<u64> = {
@@ -256,7 +299,7 @@ mod tests {
 
     #[test]
     fn chain_accessor_exposes_versions() {
-        let s = PartitionStore::new();
+        let s = MemEngine::new();
         s.apply(Key(1), Value::from("a"), ts(1), tx(1), DcId(0));
         s.apply(Key(1), Value::from("b"), ts(2), tx(2), DcId(0));
         assert_eq!(s.chain(Key(1)).unwrap().len(), 2);
@@ -265,7 +308,7 @@ mod tests {
 
     #[test]
     fn single_shard_store_still_works() {
-        let s = PartitionStore::with_shards(1);
+        let s = MemEngine::with_shards(1);
         for k in 0..64u64 {
             s.apply(Key(k), Value::from("v"), ts(k + 1), tx(k), DcId(0));
         }
@@ -276,7 +319,7 @@ mod tests {
 
     #[test]
     fn dense_keys_spread_over_shards() {
-        let s = PartitionStore::new();
+        let s = MemEngine::new();
         for k in 0..256u64 {
             s.apply(Key(k), Value::from("v"), ts(k + 1), tx(k), DcId(0));
         }
@@ -295,6 +338,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
-        let _ = PartitionStore::with_shards(0);
+        let _ = MemEngine::with_shards(0);
     }
 }

@@ -49,6 +49,9 @@ pub enum Error {
     Transport(&'static str),
     /// The selected backend does not support the requested operation.
     Unsupported(&'static str),
+    /// A durable-storage failure: the WAL or checkpoint directory could
+    /// not be opened, written, or recovered.
+    Storage(String),
 }
 
 impl fmt::Display for Error {
@@ -66,6 +69,7 @@ impl fmt::Display for Error {
             Error::EmptyWriteSet => write!(f, "commit requires a non-empty write set"),
             Error::Transport(what) => write!(f, "transport failure: {what}"),
             Error::Unsupported(what) => write!(f, "unsupported by this backend: {what}"),
+            Error::Storage(what) => write!(f, "durable storage failure: {what}"),
         }
     }
 }

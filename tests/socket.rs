@@ -195,6 +195,87 @@ fn killed_server_surfaces_transport_error_and_leaks_no_children() {
 }
 
 #[test]
+fn crash_recovery_restores_committed_data() {
+    let dir = std::env::temp_dir().join(format!("paris-sock-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cluster = small(Backend::Socket)
+        .durability(paris::Durability::new(&dir))
+        .record_history(true)
+        .build()
+        .unwrap();
+
+    // Commit to both partitions, then let replication settle: pushes to
+    // peer replicas are fire-and-forget, so anything not yet replicated
+    // when the server dies is legitimately gone at that replica.
+    let a = cluster.open_client(0).unwrap();
+    let mut txn = cluster.begin(a).unwrap();
+    txn.write(Key(0), Value::from("even"));
+    txn.write(Key(1), Value::from("odd"));
+    txn.commit().unwrap();
+    cluster.stabilize(8);
+
+    // SIGKILL dc0-p0 (index 0 in `Topology::all_servers` order), then
+    // keep committing through the outage — from DC 1, to partition-1
+    // keys only, so no path needs the dead server.
+    cluster.kill_server(0).unwrap();
+    let b = cluster.open_client(1).unwrap();
+    let mut txn = cluster.begin(b).unwrap();
+    txn.write(Key(3), Value::from("during-outage"));
+    txn.commit().unwrap();
+
+    // The restarted child replays its checkpoint + WAL suffix before it
+    // rejoins; `restart_server` returns only once it is routed again.
+    cluster.restart_server(0).unwrap();
+    cluster.stabilize(8);
+
+    // Fresh clients (empty write caches) in both DCs must see every
+    // commit. The DC-0 read of Key(0) is served by the restarted server:
+    // it has the value only if recovery restored it from disk.
+    for dc in 0..2 {
+        let reader = cluster.open_client(dc).unwrap();
+        let mut txn = cluster.begin(reader).unwrap();
+        assert_eq!(
+            txn.read_one(Key(0)).unwrap(),
+            Some(Value::from("even")),
+            "dc{dc}: pre-kill write on the killed partition lost"
+        );
+        assert_eq!(txn.read_one(Key(1)).unwrap(), Some(Value::from("odd")));
+        assert_eq!(
+            txn.read_one(Key(3)).unwrap(),
+            Some(Value::from("during-outage")),
+            "dc{dc}: outage-window write lost"
+        );
+        txn.commit().unwrap();
+    }
+    assert!(
+        cluster.check_convergence().unwrap().is_empty(),
+        "replicas diverged after crash recovery"
+    );
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_and_restart_are_socket_only_and_index_checked() {
+    // The trait defaults: in-process backends have no processes to kill.
+    let mut mini = small(Backend::Mini).build().unwrap();
+    assert!(matches!(mini.kill_server(0), Err(Error::Unsupported(_))));
+    assert!(matches!(mini.restart_server(0), Err(Error::Unsupported(_))));
+
+    // The socket backend bounds-checks the server index.
+    let mut socket = small(Backend::Socket).build_socket().unwrap();
+    assert!(matches!(socket.kill_server(99), Err(Error::Config(_))));
+    assert!(matches!(socket.restart_server(99), Err(Error::Config(_))));
+
+    // Restart without a prior kill is a plain (idempotent) respawn.
+    socket.restart_server(1).unwrap();
+    let a = socket.open_client(0).unwrap();
+    let mut txn = socket.begin(a).unwrap();
+    txn.write(Key(5), Value::from("post-respawn"));
+    txn.commit().unwrap();
+}
+
+#[test]
 fn interactive_operation_on_a_killed_server_fails_cleanly() {
     let mut cluster = small(Backend::Socket).build_socket().unwrap();
     let a = cluster.open_client(0).unwrap();
