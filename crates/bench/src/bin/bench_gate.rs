@@ -75,6 +75,9 @@ const GATED: &[(&str, &str)] = &[
     ("fig4", "BENCH_fig4.json"),
     ("fig2a", "BENCH_fig2a.json"),
     ("fig_recovery", "BENCH_recovery.json"),
+    ("fig2b", "BENCH_fig2b.json"),
+    ("fig3", "BENCH_fig3.json"),
+    ("fig_chaos", "BENCH_chaos.json"),
 ];
 
 fn load(path: &str) -> Json {

@@ -1,0 +1,251 @@
+//! Chaos suite: scripted fault schedules with the consistency checker as
+//! the judge.
+//!
+//! **Sim drills.** Every scenario in
+//! [`paris_runtime::CHAOS_SCENARIOS`] runs on the deterministic sim
+//! backend with a scripted [`paris_types::FaultPlan`] — partitions
+//! mid-commit, a DC crash that rejoins far behind the UST, clock-skew
+//! steps past the bound, a slowed gossip link, a flapping link, rolling
+//! DC outages. Each drill gates on: zero checker violations, zero
+//! convergence violations (no committed write lost), a UST that stays
+//! monotone through the heal and recovers, and clients that kept
+//! committing. Deterministic: same scenario ⇒ bit-identical verdicts.
+//!
+//! **Socket rolling-restart arm.** On the socket backend (real child
+//! processes, durability on) every server is killed and restarted in
+//! turn — the rolling-maintenance drill — with tracked commits between
+//! rounds; afterwards every tracked key must read back exactly from both
+//! DCs and the replicas must converge.
+//!
+//! Emits `results/BENCH_chaos.json`; `chaos_violations_total` and the
+//! per-scenario `chaos_<name>_violations` metrics are gated to exactly 0
+//! by `bench_gate`. Committed counts are informational.
+//!
+//! CLI (for CI isolation): `--list` prints one scenario name per line;
+//! `--scenario <name>` runs a single drill (no JSON) and exits non-zero
+//! on any violation.
+
+use std::collections::BTreeMap;
+
+use paris_bench::{bench_doc, json::Json, quick, section, write_bench_json};
+use paris_runtime::{chaos_scenario, Backend, Cluster, Durability, FsyncPolicy, Paris};
+use paris_runtime::{ChaosOutcome, CHAOS_SCENARIOS};
+use paris_types::{Key, Mode, Value};
+
+/// The socket arm's name in `--list`/`--scenario` (it is not a sim
+/// scenario, so it lives here rather than in the library).
+const SOCKET_ARM: &str = "rolling_restart_socket";
+
+fn print_outcome(o: &ChaosOutcome) {
+    println!(
+        "  {:<28} committed {:>6}  aborted {:>4}  checker {}  convergence {}  \
+         ust monotone {}  recovered {} (lag {} µs)  => {}",
+        o.name,
+        o.committed,
+        o.aborted,
+        o.checker_violations,
+        o.convergence_violations,
+        o.ust_monotone,
+        o.ust_recovered,
+        o.ust_lag_micros,
+        if o.passed() { "PASS" } else { "FAIL" },
+    );
+}
+
+/// Runs one sim drill and returns (metrics, point).
+fn run_sim_scenario(name: &str) -> (Vec<(String, f64)>, Json) {
+    let scenario = chaos_scenario(name).unwrap_or_else(|| panic!("unknown chaos scenario {name}"));
+    let outcome = scenario.run(quick()).expect("chaos drill shape is valid");
+    print_outcome(&outcome);
+    let metrics = vec![
+        (
+            format!("chaos_{name}_violations"),
+            outcome.violations_total() as f64,
+        ),
+        (format!("chaos_{name}_committed"), outcome.committed as f64),
+    ];
+    let point = Json::obj(vec![
+        ("figure", "fig_chaos".into()),
+        ("scenario", name.into()),
+        ("backend", "sim".into()),
+        ("summary", scenario.summary.into()),
+        ("committed", outcome.committed.into()),
+        ("aborted", outcome.aborted.into()),
+        (
+            "checker_violations",
+            (outcome.checker_violations as u64).into(),
+        ),
+        (
+            "convergence_violations",
+            (outcome.convergence_violations as u64).into(),
+        ),
+        ("ust_monotone", outcome.ust_monotone.into()),
+        ("ust_recovered", outcome.ust_recovered.into()),
+        ("ust_lag_micros", outcome.ust_lag_micros.into()),
+        ("violations_total", outcome.violations_total().into()),
+    ]);
+    (metrics, point)
+}
+
+/// The socket arm: roll a kill + recover + rejoin across every server
+/// (2 DCs × 2 partitions × R = 2 → four child processes), tracked
+/// commits between rounds, full readback from both DCs at the end.
+/// Returns (violations_total, metrics, point).
+fn rolling_restart_socket() -> (u64, Vec<(String, f64)>, Json) {
+    section("rolling restart (socket, durability on)");
+    let dir = std::env::temp_dir().join(format!("paris-fig-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let commits_per_round = if quick() { 8u64 } else { 20 };
+
+    let mut cluster = Paris::builder()
+        .dcs(2)
+        .partitions(2)
+        .replication(2)
+        .keys_per_partition(100)
+        .mode(Mode::Paris)
+        .clients_per_dc(0)
+        .uniform_latency_micros(2_000)
+        .jitter(0.0)
+        .seed(1303)
+        .record_history(true)
+        .durability(Durability::new(&dir).fsync(FsyncPolicy::Never))
+        .backend(Backend::Socket)
+        .build()
+        .expect("valid socket deployment");
+
+    let writer0 = cluster.open_client(0).expect("open dc0 client");
+    let writer1 = cluster.open_client(1).expect("open dc1 client");
+    let mut expected: BTreeMap<Key, Value> = BTreeMap::new();
+    let mut tick = 0u64;
+    let mut commit_round = |cluster: &mut Box<dyn Cluster>, round: u64| {
+        for i in 0..commits_per_round {
+            let writer = if i % 2 == 0 { writer0 } else { writer1 };
+            let key = Key((tick + i) % 40);
+            let value = Value::from(format!("round-{round}-{i}").as_str());
+            let mut txn = cluster.begin(writer).expect("begin");
+            txn.write(key, value.clone());
+            txn.commit().expect("tracked commit");
+            expected.insert(key, value);
+        }
+        tick += commits_per_round;
+        // Fire-and-forget replication: push every batch to its peer
+        // replica before the next kill, or the outage would (correctly)
+        // drop it at the dead server and prove nothing about recovery.
+        cluster.stabilize(8);
+    };
+
+    commit_round(&mut cluster, 0);
+    // 2 DCs × 2 partitions: server index = dc * 2 + partition.
+    for index in 0..4usize {
+        println!("  rolling server {index}: kill, recover, rejoin");
+        cluster.kill_server(index).expect("kill server");
+        cluster.restart_server(index).expect("restart server");
+        cluster.stabilize(4);
+        commit_round(&mut cluster, 1 + index as u64);
+    }
+
+    let mut lost = 0u64;
+    for dc in 0..2u16 {
+        let reader = cluster.open_client(dc).expect("open reader");
+        for (key, want) in &expected {
+            let mut txn = cluster.begin(reader).expect("begin readback");
+            let got = txn.read_one(*key).expect("readback read");
+            txn.commit().expect("readback commit");
+            if got.as_ref() != Some(want) {
+                lost += 1;
+                println!("  LOST dc{dc} {key:?}: want {want:?}, got {got:?}");
+            }
+        }
+    }
+    let convergence = cluster.check_convergence().expect("convergence check");
+    for v in &convergence {
+        println!("  VIOLATION {v:?}");
+    }
+    let preserved = expected.len() as u64 - lost;
+    let violations_total = lost + convergence.len() as u64;
+    println!(
+        "  {} tracked keys × 2 DCs, {lost} lost, {} convergence violations => {}",
+        expected.len(),
+        convergence.len(),
+        if violations_total == 0 {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+    );
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let metrics = vec![
+        (
+            format!("chaos_{SOCKET_ARM}_violations"),
+            violations_total as f64,
+        ),
+        (
+            format!("chaos_{SOCKET_ARM}_commits_preserved"),
+            preserved as f64,
+        ),
+    ];
+    let point = Json::obj(vec![
+        ("figure", "fig_chaos".into()),
+        ("scenario", SOCKET_ARM.into()),
+        ("backend", "socket".into()),
+        ("tracked_keys", (expected.len() as u64).into()),
+        ("lost", lost.into()),
+        ("convergence_violations", (convergence.len() as u64).into()),
+        ("violations_total", violations_total.into()),
+    ]);
+    (violations_total, metrics, point)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--list") => {
+            for s in CHAOS_SCENARIOS {
+                println!("{}", s.name);
+            }
+            println!("{SOCKET_ARM}");
+            return;
+        }
+        Some("--scenario") => {
+            let name = args.get(1).expect("--scenario needs a name");
+            let total = if name == SOCKET_ARM {
+                rolling_restart_socket().0
+            } else {
+                let scenario =
+                    chaos_scenario(name).unwrap_or_else(|| panic!("unknown chaos scenario {name}"));
+                let outcome = scenario.run(quick()).expect("chaos drill shape is valid");
+                print_outcome(&outcome);
+                outcome.violations_total()
+            };
+            assert_eq!(total, 0, "chaos scenario {name} failed its verdicts");
+            println!("fig_chaos --scenario {name}: PASS");
+            return;
+        }
+        Some(other) => panic!("unknown argument {other} (use --list or --scenario <name>)"),
+        None => {}
+    }
+
+    section("sim chaos drills (deterministic)");
+    let mut metrics = Vec::new();
+    let mut points = Vec::new();
+    let mut total = 0u64;
+    for s in CHAOS_SCENARIOS {
+        let (m, p) = run_sim_scenario(s.name);
+        // The per-scenario violations metric is the first entry.
+        total += m[0].1 as u64;
+        metrics.extend(m);
+        points.push(p);
+    }
+
+    let (socket_total, socket_metrics, socket_point) = rolling_restart_socket();
+    total += socket_total;
+    metrics.extend(socket_metrics);
+    points.push(socket_point);
+
+    metrics.insert(0, ("chaos_violations_total".to_string(), total as f64));
+    write_bench_json("BENCH_chaos.json", &bench_doc("fig_chaos", metrics, points));
+    assert_eq!(total, 0, "chaos suite found violations");
+    println!("\nfig_chaos: every drill passed (checker silent, nothing lost, UST recovered)");
+}

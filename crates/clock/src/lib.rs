@@ -33,4 +33,6 @@ mod hlc;
 mod physical;
 
 pub use hlc::Hlc;
-pub use physical::{PhysicalClock, SimClock, SkewedClock, SystemClock, WallClock};
+pub use physical::{
+    PhysicalClock, SimClock, SkewCell, SkewedClock, SteppableClock, SystemClock, WallClock,
+};

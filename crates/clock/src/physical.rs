@@ -1,6 +1,6 @@
 //! Physical clock sources.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -161,6 +161,100 @@ impl<C: PhysicalClock> PhysicalClock for SkewedClock<C> {
     }
 }
 
+/// A shared, steppable skew offset: the mutable half of a
+/// [`SteppableClock`].
+///
+/// Cloning shares the cell, so a fault injector can hold handles to the
+/// clocks of running servers and step them mid-run (the NTP-jump
+/// scenario) without any access to the servers themselves.
+#[derive(Debug, Clone, Default)]
+pub struct SkewCell {
+    offset: Arc<AtomicI64>,
+}
+
+impl SkewCell {
+    /// Creates a cell holding `offset_micros` (may be negative).
+    pub fn new(offset_micros: i64) -> Self {
+        SkewCell {
+            offset: Arc::new(AtomicI64::new(offset_micros)),
+        }
+    }
+
+    /// The current skew offset in microseconds.
+    pub fn offset_micros(&self) -> i64 {
+        self.offset.load(Ordering::SeqCst)
+    }
+
+    /// Replaces the offset.
+    pub fn set(&self, offset_micros: i64) {
+        self.offset.store(offset_micros, Ordering::SeqCst);
+    }
+
+    /// Steps the offset by `delta_micros`, saturating at the `i64` range.
+    pub fn step(&self, delta_micros: i64) {
+        // No fetch_saturating_add exists; a CAS loop keeps the step atomic
+        // against concurrent readers on the threaded backend.
+        let mut cur = self.offset.load(Ordering::SeqCst);
+        loop {
+            let next = cur.saturating_add(delta_micros);
+            match self
+                .offset
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A [`SkewedClock`] whose offset can change while the clock is in use:
+/// models an NTP step or VM-migration clock jump mid-run.
+///
+/// Readings use the same saturating arithmetic as [`SkewedClock`], so a
+/// `SteppableClock` whose cell is never stepped is reading-for-reading
+/// identical to a `SkewedClock` with the same initial offset — which is
+/// what keeps the simulator bit-reproducible when no fault plan is
+/// installed. A step is *not* smoothed: the next reading jumps by the
+/// delta (backwards jumps are what the HLC layer must absorb).
+#[derive(Debug, Clone)]
+pub struct SteppableClock<C> {
+    inner: C,
+    cell: SkewCell,
+}
+
+impl<C: PhysicalClock> SteppableClock<C> {
+    /// Wraps `inner` with an initial skew; returns the clock and the
+    /// shared [`SkewCell`] that steps it.
+    pub fn new(inner: C, offset_micros: i64) -> (Self, SkewCell) {
+        let cell = SkewCell::new(offset_micros);
+        (
+            SteppableClock {
+                inner,
+                cell: cell.clone(),
+            },
+            cell,
+        )
+    }
+
+    /// The current skew offset in microseconds.
+    pub fn offset_micros(&self) -> i64 {
+        self.cell.offset_micros()
+    }
+}
+
+impl<C: PhysicalClock> PhysicalClock for SteppableClock<C> {
+    fn now_micros(&self) -> u64 {
+        let base = self.inner.now_micros();
+        let offset = self.cell.offset_micros();
+        if offset >= 0 {
+            base.saturating_add(offset as u64)
+        } else {
+            base.saturating_sub(offset.unsigned_abs())
+        }
+    }
+}
+
 impl<C: PhysicalClock + ?Sized> PhysicalClock for &C {
     fn now_micros(&self) -> u64 {
         (**self).now_micros()
@@ -248,6 +342,34 @@ mod tests {
         // Readings fit the 48-bit physical component of a timestamp.
         assert!(ra < (1 << 48));
         assert!(ra > 0, "wall epoch must lie in the past");
+    }
+
+    #[test]
+    fn steppable_clock_matches_skewed_clock_until_stepped() {
+        let base = SimClock::new();
+        base.advance_to(1_000);
+        let fixed = SkewedClock::new(base.clone(), -250);
+        let (steppable, cell) = SteppableClock::new(base.clone(), -250);
+        assert_eq!(steppable.now_micros(), fixed.now_micros());
+        base.advance_to(5_000);
+        assert_eq!(steppable.now_micros(), fixed.now_micros());
+        cell.step(1_000);
+        assert_eq!(steppable.now_micros(), 5_750);
+        assert_eq!(cell.offset_micros(), 750);
+    }
+
+    #[test]
+    fn skew_cell_is_shared_and_saturates() {
+        let base = SimClock::new();
+        base.advance_to(100);
+        let (clock, cell) = SteppableClock::new(base, 0);
+        let other = cell.clone();
+        other.step(i64::MAX);
+        other.step(i64::MAX);
+        assert_eq!(cell.offset_micros(), i64::MAX, "saturating add");
+        cell.set(-1_000);
+        assert_eq!(clock.now_micros(), 0, "negative skew saturates at zero");
+        assert_eq!(clock.offset_micros(), -1_000);
     }
 
     #[test]

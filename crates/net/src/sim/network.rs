@@ -118,6 +118,11 @@ pub struct SimNetwork {
     blocked: HashSet<(DcId, DcId)>,
     /// Traffic held on blocked links, per (src DC, dst DC), FIFO.
     held: HashMap<(DcId, DcId), VecDeque<Envelope>>,
+    /// Per-link latency multipliers (stored with a ≤ b): a degraded link,
+    /// not a dead one. Absent entries mean the nominal latency; the map is
+    /// only populated by fault injection, so fault-free runs never pay
+    /// (or float-round through) a lookup result.
+    link_scale: HashMap<(DcId, DcId), f64>,
     /// Wire encoding sizing the byte accounting (the simulator never
     /// serializes, but reports what each message would cost on the wire).
     wire: WireFormat,
@@ -146,6 +151,7 @@ impl SimNetwork {
             fifo: HashMap::new(),
             blocked: HashSet::new(),
             held: HashMap::new(),
+            link_scale: HashMap::new(),
             wire,
             sent: 0,
             bytes: 0,
@@ -210,6 +216,27 @@ impl SimNetwork {
         out
     }
 
+    /// Multiplies the one-way latency of the `a`–`b` link by `factor`
+    /// (≥ 1.0); `1.0` (or anything below) restores the nominal latency.
+    /// Messages already scheduled keep their delivery times — only new
+    /// traffic sees the degraded link, as with a real congestion onset.
+    pub fn set_link_scale(&mut self, a: DcId, b: DcId, factor: f64) {
+        let key = Self::key(a, b);
+        if factor > 1.0 {
+            self.link_scale.insert(key, factor);
+        } else {
+            self.link_scale.remove(&key);
+        }
+    }
+
+    /// The current latency multiplier of the `a`–`b` link.
+    pub fn link_scale(&self, a: DcId, b: DcId) -> f64 {
+        self.link_scale
+            .get(&Self::key(a, b))
+            .copied()
+            .unwrap_or(1.0)
+    }
+
     /// Computes the delivery time for `env` sent at `now`, enforcing FIFO
     /// on the (src, dst) link. Returns `None` if the link is partitioned,
     /// in which case the envelope is held until healed.
@@ -225,7 +252,12 @@ impl SimNetwork {
             self.held.entry((sdc, ddc)).or_default().push_back(env);
             return None;
         }
-        let base = self.matrix.one_way(sdc, ddc);
+        let mut base = self.matrix.one_way(sdc, ddc);
+        if sdc != ddc {
+            if let Some(scale) = self.link_scale.get(&Self::key(sdc, ddc)) {
+                base = ((base as f64) * scale).max(1.0) as u64;
+            }
+        }
         let delay = if self.jitter > 0.0 {
             let j = 1.0 + self.jitter * (rng.gen::<f64>() * 2.0 - 1.0);
             ((base as f64) * j).max(1.0) as u64
@@ -403,6 +435,23 @@ mod tests {
             },
         );
         assert!(net.send(0, local, &mut rng).is_some());
+    }
+
+    #[test]
+    fn slow_link_scales_latency_and_restore_undoes_it() {
+        let mut net = SimNetwork::new(RegionMatrix::uniform(3, 1_000), 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        net.set_link_scale(DcId(0), DcId(1), 10.0);
+        assert_eq!(net.link_scale(DcId(0), DcId(1)), 10.0);
+        assert_eq!(net.send(0, env(0, 1), &mut rng), Some(10_000));
+        // Symmetric: the reverse direction is scaled too.
+        assert_eq!(net.send(0, env(1, 0), &mut rng), Some(10_000));
+        // Other links keep the nominal latency.
+        assert_eq!(net.send(0, env(0, 2), &mut rng), Some(1_000));
+        net.set_link_scale(DcId(1), DcId(0), 1.0);
+        assert_eq!(net.link_scale(DcId(0), DcId(1)), 1.0);
+        let at = net.send(20_000, env(0, 1), &mut rng).unwrap();
+        assert_eq!(at, 21_000);
     }
 
     #[test]

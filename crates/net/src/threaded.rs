@@ -8,7 +8,7 @@
 //! cannot.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -19,7 +19,7 @@ use std::sync::Mutex;
 
 use paris_proto::wire::encoded_len_with;
 use paris_proto::{Endpoint, Envelope, Msg};
-use paris_types::{BatchConfig, WireFormat};
+use paris_types::{BatchConfig, DcId, WireFormat};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -104,8 +104,39 @@ impl NetCounters {
 }
 
 enum WheelCmd {
-    Send { env: Envelope, sent_at: Instant },
+    Send {
+        env: Envelope,
+        sent_at: Instant,
+    },
+    /// Fault injection: reconfigure one inter-DC link. Shares the command
+    /// channel with `Send`, so a partition is totally ordered against the
+    /// traffic around it.
+    SetLink {
+        a: DcId,
+        b: DcId,
+        op: LinkOp,
+    },
     Shutdown,
+}
+
+enum LinkOp {
+    /// Cut the link; cross-DC traffic on it is held (TCP semantics), not
+    /// dropped.
+    Partition,
+    /// Reconnect the link and schedule everything held, in FIFO order.
+    Heal,
+    /// Multiply the link's one-way latency by the factor (≤ 1.0 restores
+    /// the nominal latency).
+    Scale(f64),
+}
+
+/// The unordered map key of the `a`–`b` link.
+fn link_key(a: DcId, b: DcId) -> (DcId, DcId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 struct Registry {
@@ -169,6 +200,66 @@ impl NetHandle {
     }
 }
 
+/// A cheap cloneable fault-injection handle: link partition, heal and
+/// latency scaling, executed by the delay-wheel thread in arrival order
+/// relative to the traffic around each command.
+///
+/// A partitioned link *holds* cross-DC traffic instead of dropping it
+/// (the TCP model, matching the simulated network); healing releases the
+/// held messages in FIFO order. Intra-DC traffic is never affected.
+#[derive(Clone)]
+pub struct LinkControl {
+    wheel_tx: Sender<WheelCmd>,
+}
+
+impl LinkControl {
+    /// Cuts the `a`–`b` link (both directions).
+    pub fn partition_link(&self, a: DcId, b: DcId) {
+        let _ = self.wheel_tx.send(WheelCmd::SetLink {
+            a,
+            b,
+            op: LinkOp::Partition,
+        });
+    }
+
+    /// Reconnects the `a`–`b` link, releasing held traffic.
+    pub fn heal_link(&self, a: DcId, b: DcId) {
+        let _ = self.wheel_tx.send(WheelCmd::SetLink {
+            a,
+            b,
+            op: LinkOp::Heal,
+        });
+    }
+
+    /// Multiplies the `a`–`b` link latency by `factor` (≥ 1.0); `1.0`
+    /// restores the nominal latency.
+    pub fn set_link_scale(&self, a: DcId, b: DcId, factor: f64) {
+        let _ = self.wheel_tx.send(WheelCmd::SetLink {
+            a,
+            b,
+            op: LinkOp::Scale(factor),
+        });
+    }
+
+    /// Cuts every link between `dc` and the other `dcs` DCs.
+    pub fn isolate_dc(&self, dc: DcId, dcs: u16) {
+        for other in 0..dcs {
+            if DcId(other) != dc {
+                self.partition_link(dc, DcId(other));
+            }
+        }
+    }
+
+    /// Reconnects every link between `dc` and the other `dcs` DCs.
+    pub fn rejoin_dc(&self, dc: DcId, dcs: u16) {
+        for other in 0..dcs {
+            if DcId(other) != dc {
+                self.heal_link(dc, DcId(other));
+            }
+        }
+    }
+}
+
 impl Router {
     /// Starts the router and its delay-wheel thread.
     pub fn start(config: ThreadedNetConfig) -> Self {
@@ -226,6 +317,13 @@ impl Router {
     /// A sender handle for use by server/client threads.
     pub fn handle(&self) -> NetHandle {
         NetHandle {
+            wheel_tx: self.wheel_tx.clone(),
+        }
+    }
+
+    /// A fault-injection handle (see [`LinkControl`]).
+    pub fn link_control(&self) -> LinkControl {
+        LinkControl {
             wheel_tx: self.wheel_tx.clone(),
         }
     }
@@ -326,14 +424,39 @@ struct WheelState {
     rng: StdRng,
     seq: u64,
     counters: Arc<NetCounters>,
+    /// Partitioned DC pairs (stored with a ≤ b).
+    blocked: HashSet<(DcId, DcId)>,
+    /// Traffic held on blocked links, per ordered (src DC, dst DC), FIFO.
+    held: HashMap<(DcId, DcId), VecDeque<Envelope>>,
+    /// Per-link latency multipliers (stored with a ≤ b); absent = nominal.
+    link_scale: HashMap<(DcId, DcId), f64>,
 }
 
 impl WheelState {
     fn schedule(&mut self, config: &ThreadedNetConfig, env: Envelope, sent_at: Instant) {
         // Every envelope entering the wheel is one wire message leaving
-        // the "NIC" — coalesced traffic was already folded upstream.
+        // the "NIC" — coalesced traffic was already folded upstream. Held
+        // traffic counts as sent (it left the source; the link lost it),
+        // matching the simulated network's accounting.
         self.counters.record(&env, config.wire);
-        let base = config.matrix.one_way(env.src.dc(), env.dst.dc()) as f64;
+        let (sdc, ddc) = (env.src.dc(), env.dst.dc());
+        if sdc != ddc && self.blocked.contains(&link_key(sdc, ddc)) {
+            self.held.entry((sdc, ddc)).or_default().push_back(env);
+            return;
+        }
+        self.schedule_now(config, env, sent_at);
+    }
+
+    /// Latency injection without the partition check — the release path
+    /// for healed traffic, which must not be re-held or re-counted.
+    fn schedule_now(&mut self, config: &ThreadedNetConfig, env: Envelope, sent_at: Instant) {
+        let (sdc, ddc) = (env.src.dc(), env.dst.dc());
+        let mut base = config.matrix.one_way(sdc, ddc) as f64;
+        if sdc != ddc {
+            if let Some(scale) = self.link_scale.get(&link_key(sdc, ddc)) {
+                base *= scale;
+            }
+        }
         let jittered = if config.jitter > 0.0 {
             base * (1.0 + config.jitter * (self.rng.gen::<f64>() * 2.0 - 1.0))
         } else {
@@ -350,6 +473,52 @@ impl WheelState {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Pending { due, seq, env }));
+    }
+
+    fn set_link(&mut self, config: &ThreadedNetConfig, a: DcId, b: DcId, op: LinkOp) {
+        let key = link_key(a, b);
+        match op {
+            LinkOp::Partition => {
+                self.blocked.insert(key);
+            }
+            LinkOp::Heal => {
+                self.blocked.remove(&key);
+                let now = Instant::now();
+                let mut release = Vec::new();
+                if let Some(q) = self.held.remove(&(a, b)) {
+                    release.extend(q);
+                }
+                if let Some(q) = self.held.remove(&(b, a)) {
+                    release.extend(q);
+                }
+                for env in release {
+                    self.schedule_now(config, env, now);
+                }
+            }
+            LinkOp::Scale(factor) => {
+                if factor > 1.0 {
+                    self.link_scale.insert(key, factor);
+                } else {
+                    self.link_scale.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Shutdown path: nothing may stay held past teardown — heal every
+    /// link and schedule all held traffic for delivery.
+    fn release_all(&mut self, config: &ThreadedNetConfig) {
+        self.blocked.clear();
+        let now = Instant::now();
+        let mut links: Vec<(DcId, DcId)> = self.held.keys().copied().collect();
+        links.sort_unstable();
+        for link in links {
+            if let Some(q) = self.held.remove(&link) {
+                for env in q {
+                    self.schedule_now(config, env, now);
+                }
+            }
+        }
     }
 }
 
@@ -462,6 +631,9 @@ fn wheel_loop(
         rng: StdRng::seed_from_u64(config.seed),
         seq: 0,
         counters,
+        blocked: HashSet::new(),
+        held: HashMap::new(),
+        link_scale: HashMap::new(),
     };
     // The coalescer runs on a wall-clock microsecond timebase anchored at
     // wheel start; envelopes it holds back get their link latency applied
@@ -518,12 +690,21 @@ fn wheel_loop(
                     Offer::Queued { .. } => {}
                 }
             }
+            Ok(WheelCmd::SetLink { a, b, op }) => {
+                // Past shutdown a fresh partition would strand traffic in
+                // the held queues and hang `Router::drop`; heals and scale
+                // changes stay harmless.
+                if !(shutting_down && matches!(op, LinkOp::Partition)) {
+                    wheel.set_link(&config, a, b, op);
+                }
+            }
             Ok(WheelCmd::Shutdown) => {
                 shutting_down = true;
-                // Nothing may stay parked past teardown.
+                // Nothing may stay parked or held past teardown.
                 for env in coalescer.flush_all() {
                     wheel.schedule(&config, env, Instant::now());
                 }
+                wheel.release_all(&config);
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {
@@ -531,6 +712,7 @@ fn wheel_loop(
                 for env in coalescer.flush_all() {
                     wheel.schedule(&config, env, Instant::now());
                 }
+                wheel.release_all(&config);
             }
         }
     }
@@ -972,6 +1154,101 @@ mod tests {
             inbox.recv_timeout(Duration::from_secs(2)).unwrap().msg,
             Msg::UstBroadcast { .. }
         ));
+    }
+
+    #[test]
+    fn partitioned_link_holds_and_heal_releases_in_order() {
+        let router = Router::start(ThreadedNetConfig::fast(3));
+        let a = ServerId::new(DcId(0), PartitionId(0));
+        let b = ServerId::new(DcId(1), PartitionId(1));
+        let c = ServerId::new(DcId(2), PartitionId(2));
+        let rx_b = router.register(b);
+        let rx_c = router.register(c);
+        let ctl = router.link_control();
+        ctl.partition_link(DcId(0), DcId(1));
+        let h = router.handle();
+        for i in 0..5 {
+            h.send(Envelope::new(a, b, hb(i)));
+        }
+        // The unrelated 0–2 link is unaffected.
+        h.send(Envelope::new(a, c, hb(99)));
+        assert_eq!(
+            rx_c.recv_timeout(Duration::from_secs(2)).expect("0-2").msg,
+            hb(99)
+        );
+        assert!(
+            rx_b.recv_timeout(Duration::from_millis(150)).is_err(),
+            "partitioned link must hold traffic"
+        );
+        ctl.heal_link(DcId(1), DcId(0)); // unordered: either orientation heals
+        for i in 0..5 {
+            let got = rx_b.recv_timeout(Duration::from_secs(2)).expect("released");
+            assert_eq!(got.msg, hb(i), "held traffic must release in order");
+        }
+    }
+
+    #[test]
+    fn isolate_dc_cuts_every_link_and_rejoin_restores() {
+        let router = Router::start(ThreadedNetConfig::fast(3));
+        let a = ServerId::new(DcId(0), PartitionId(0));
+        let b = ServerId::new(DcId(1), PartitionId(1));
+        let rx = router.register(b);
+        let ctl = router.link_control();
+        ctl.isolate_dc(DcId(1), 3);
+        router.handle().send(Envelope::new(a, b, hb(1)));
+        assert!(rx.recv_timeout(Duration::from_millis(150)).is_err());
+        ctl.rejoin_dc(DcId(1), 3);
+        let got = rx.recv_timeout(Duration::from_secs(2)).expect("rejoined");
+        assert_eq!(got.msg, hb(1));
+    }
+
+    #[test]
+    fn slow_link_stretches_delivery_and_restore_undoes_it() {
+        let router = Router::start(ThreadedNetConfig {
+            matrix: RegionMatrix::uniform(2, 2_000), // 2 ms one-way
+            scale: 1.0,
+            jitter: 0.0,
+            seed: 0,
+            batch: BatchConfig::DISABLED,
+            wire: WireFormat::default(),
+        });
+        let a = ServerId::new(DcId(0), PartitionId(0));
+        let b = ServerId::new(DcId(1), PartitionId(1));
+        let rx = router.register(b);
+        let ctl = router.link_control();
+        ctl.set_link_scale(DcId(0), DcId(1), 25.0); // → 50 ms
+        let start = Instant::now();
+        router.handle().send(Envelope::new(a, b, hb(1)));
+        rx.recv_timeout(Duration::from_secs(2)).expect("delivered");
+        assert!(
+            start.elapsed() >= Duration::from_millis(40),
+            "slowdown factor must apply"
+        );
+        ctl.set_link_scale(DcId(0), DcId(1), 1.0);
+        let start = Instant::now();
+        router.handle().send(Envelope::new(a, b, hb(2)));
+        rx.recv_timeout(Duration::from_secs(2)).expect("delivered");
+        assert!(
+            start.elapsed() < Duration::from_millis(40),
+            "restore must return to nominal latency"
+        );
+    }
+
+    #[test]
+    fn dropping_a_router_with_held_traffic_releases_it() {
+        let rx;
+        {
+            let router = Router::start(ThreadedNetConfig::fast(2));
+            let a = ServerId::new(DcId(0), PartitionId(0));
+            let b = ServerId::new(DcId(1), PartitionId(1));
+            rx = router.register(b);
+            router.link_control().partition_link(DcId(0), DcId(1));
+            router.handle().send(Envelope::new(a, b, hb(7)));
+            // Router dropped with the link still cut: the held message
+            // must not hang the wheel thread, and still arrives.
+        }
+        let got = rx.recv_timeout(Duration::from_secs(2)).expect("released");
+        assert_eq!(got.msg, hb(7));
     }
 
     #[test]

@@ -20,7 +20,8 @@
 use paris_net::sim::{RegionMatrix, ServiceModel};
 use paris_net::threaded::ThreadedNetConfig;
 use paris_types::{
-    BatchConfig, ClusterConfig, ConfigError, Error, FlushPolicy, Intervals, Mode, WireFormat,
+    BatchConfig, ClusterConfig, ConfigError, Error, FaultPlan, FlushPolicy, Intervals, Mode,
+    WireFormat,
 };
 use paris_workload::WorkloadConfig;
 
@@ -133,6 +134,7 @@ pub struct ClusterBuilder {
     tuning: Tuning,
     wire: WireFormat,
     durability: Option<Durability>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ClusterBuilder {
@@ -170,6 +172,7 @@ impl ClusterBuilder {
             tuning: Tuning::default(),
             wire: WireFormat::default(),
             durability: None,
+            fault_plan: None,
         }
     }
 
@@ -381,6 +384,17 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a scripted [`FaultPlan`]: timed DC crashes, link
+    /// partitions/slowdowns and clock-skew steps, applied automatically
+    /// once the cluster is built. Validated against the deployment shape
+    /// at build time; supported by the sim backend (virtual time,
+    /// bit-reproducible per seed) and the thread backend (wall-clock
+    /// time at the router). `build_mini`/`build_socket` reject it.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     fn cluster_config(&self) -> Result<ClusterConfig, Error> {
         if !(0.0..1.0).contains(&self.jitter) {
             return Err(ConfigError::new("jitter must be in [0, 1)").into());
@@ -389,6 +403,9 @@ impl ClusterBuilder {
             return Err(ConfigError::new("latency scale must be positive").into());
         }
         self.tuning.validate(self.mode)?;
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self.dcs)?;
+        }
         // The untouched default derives from the configured intervals
         // (adaptive bounds capped below the GC period), so interval
         // choices can neither invalidate nor silently neuter a batching
@@ -482,6 +499,11 @@ impl ClusterBuilder {
                 "stabilization-tree branching needs the sim backend",
             ));
         }
+        if self.fault_plan.is_some() {
+            return Err(Error::Unsupported(
+                "fault plans need a backend with a controllable network (sim or thread)",
+            ));
+        }
         let cfg = self.cluster_config()?;
         let workload = self.workload_config();
         let tuning = self.tuning.server_tuning();
@@ -525,6 +547,7 @@ impl ClusterBuilder {
             write_service_micros: self.tuning.write_service_micros,
             tuning,
             durability: self.durability,
+            fault_plan: self.fault_plan,
         })
     }
 
@@ -565,7 +588,8 @@ impl ClusterBuilder {
             None if cluster.mode == Mode::Paris => derived_read_threads(),
             None => 0,
         };
-        ThreadCluster::start(ThreadClusterConfig {
+        let fault_plan = self.fault_plan;
+        let mut cluster = ThreadCluster::start(ThreadClusterConfig {
             cluster,
             net,
             clients_per_dc: self.clients_per_dc,
@@ -578,7 +602,11 @@ impl ClusterBuilder {
             write_service_micros: self.tuning.write_service_micros,
             tuning,
             durability: self.durability,
-        })
+        })?;
+        if let Some(plan) = fault_plan {
+            cluster.install_fault_plan(plan)?;
+        }
+        Ok(cluster)
     }
 
     /// Builds the concrete [`SocketCluster`] backend: one child process
@@ -599,6 +627,12 @@ impl ClusterBuilder {
         if self.stab_branching != 0 {
             return Err(Error::Unsupported(
                 "stabilization-tree branching needs the sim backend",
+            ));
+        }
+        if self.fault_plan.is_some() {
+            return Err(Error::Unsupported(
+                "fault plans need a backend with a controllable network (sim or thread); \
+                 the socket backend injects faults via kill_server/restart_server",
             ));
         }
         let cluster = self.cluster_config()?;

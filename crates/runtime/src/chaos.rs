@@ -1,0 +1,321 @@
+//! The chaos drill library: named, scripted fault schedules with the
+//! consistency checker as the judge.
+//!
+//! Each [`ChaosScenario`] pairs a [`FaultPlan`] shape (timed DC crashes,
+//! link partitions, slowdowns, flaps, clock-skew steps — §III-C's fault
+//! discussion turned into schedules) with the verdicts that must hold
+//! after the dust settles:
+//!
+//! * zero consistency-checker violations (TCC holds through the faults),
+//! * zero replica-convergence violations (no committed write lost —
+//!   links *hold* traffic, TCP-style, and deliver on heal),
+//! * the UST is monotone through the heal and recovers to within a
+//!   healthy lag of virtual now,
+//! * clients kept committing (faults never block the read path).
+//!
+//! Scenarios run on the deterministic sim backend, so a given scenario is
+//! bit-reproducible and cheap enough to gate in CI (`fig_chaos` emits
+//! `BENCH_chaos.json` with `chaos_violations_total`, gated at zero).
+
+use paris_types::{DcId, Error, FaultPlan, Mode, Timestamp};
+
+use crate::{Cluster, ClusterBuilder, Paris};
+
+/// A named fault schedule plus the shape knobs it runs under.
+///
+/// `build` receives the workload's `(warmup_micros, window_micros)` and
+/// returns the plan with every event placed at an **absolute** virtual
+/// time (the sim schedules plan events from t = 0 at build).
+#[derive(Clone, Copy)]
+pub struct ChaosScenario {
+    /// Stable machine name (used by `fig_chaos --scenario <name>` and as
+    /// the per-scenario metric key).
+    pub name: &'static str,
+    /// One-line description of the drill.
+    pub summary: &'static str,
+    /// RNG seed for the deployment (distinct per scenario so drills do
+    /// not share interleavings).
+    pub seed: u64,
+    build: fn(warmup: u64, window: u64) -> FaultPlan,
+}
+
+impl std::fmt::Debug for ChaosScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosScenario")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The verdicts of one drill. `violations_total() == 0` is the gate.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Scenario name this outcome belongs to.
+    pub name: &'static str,
+    /// Transactions committed across the whole run (must be > 0: faults
+    /// never wedge the cluster).
+    pub committed: u64,
+    /// Transactions aborted across the whole run (informational).
+    pub aborted: u64,
+    /// Consistency-checker violations (TCC) — must be zero.
+    pub checker_violations: usize,
+    /// Replica-convergence violations (lost committed writes) — must be
+    /// zero.
+    pub convergence_violations: usize,
+    /// The global UST never moved backwards between the workload end and
+    /// the post-heal settle.
+    pub ust_monotone: bool,
+    /// The UST caught back up after every link healed: its lag behind
+    /// virtual now ended below the recovery bound.
+    pub ust_recovered: bool,
+    /// UST lag behind virtual now after the final settle, µs
+    /// (informational; the bound behind `ust_recovered`).
+    pub ust_lag_micros: u64,
+}
+
+impl ChaosOutcome {
+    /// Everything the scenario gates, folded to one number: checker +
+    /// convergence violations, plus one each for a non-monotone or
+    /// non-recovered UST, plus one if nothing committed.
+    pub fn violations_total(&self) -> u64 {
+        self.checker_violations as u64
+            + self.convergence_violations as u64
+            + u64::from(!self.ust_monotone)
+            + u64::from(!self.ust_recovered)
+            + u64::from(self.committed == 0)
+    }
+
+    /// `true` when the drill passed every verdict.
+    pub fn passed(&self) -> bool {
+        self.violations_total() == 0
+    }
+}
+
+/// UST lag behind virtual now that counts as "recovered" after the final
+/// settle. Healthy steady-state lag on the drill shape is a few hundred
+/// ms of virtual time (10 ms links, default intervals); partitions push
+/// it into the multi-second range until healed.
+const RECOVERY_LAG_MICROS: u64 = 2_000_000;
+
+/// Injected clock-step size: well beyond the deployment's configured
+/// 500 µs skew bound, so the HLC's logical component must absorb it.
+const SKEW_STEP_MICROS: i64 = 5_000;
+
+fn at(warmup: u64, window: u64, fraction_percent: u64) -> u64 {
+    warmup + window * fraction_percent / 100
+}
+
+fn partition_during_commit(warmup: u64, window: u64) -> FaultPlan {
+    // Ring placement: partitions straddle DC0–DC1, so this link carries
+    // prepares, commits and replication while it is down.
+    FaultPlan::new()
+        .partition_link(at(warmup, window, 25), DcId(0), DcId(1))
+        .heal_link(at(warmup, window, 60), DcId(0), DcId(1))
+}
+
+fn crash_then_rejoin_behind_ust(warmup: u64, window: u64) -> FaultPlan {
+    // A whole DC disappears (§III-C "crash" = network disappearance,
+    // state intact) and rejoins far behind the UST; held replication
+    // traffic must bring it back without losing a commit.
+    FaultPlan::new()
+        .crash_dc(at(warmup, window, 20), DcId(1))
+        .rejoin_dc(at(warmup, window, 65), DcId(1))
+}
+
+fn skew_step_beyond_bound(warmup: u64, window: u64) -> FaultPlan {
+    // Step one DC's physical clocks 10× past the configured skew bound,
+    // then back: HLC timestamps must stay monotone (logical component)
+    // and the checker must stay silent.
+    FaultPlan::new()
+        .skew_clock(at(warmup, window, 30), DcId(1), SKEW_STEP_MICROS)
+        .skew_clock(at(warmup, window, 70), DcId(1), -SKEW_STEP_MICROS)
+}
+
+fn slow_gossip_link(warmup: u64, window: u64) -> FaultPlan {
+    // An 8× slower link between two replica-sharing DCs: stabilization
+    // limps but never stalls, and visibility recovers on restore.
+    FaultPlan::new()
+        .slow_link(at(warmup, window, 20), DcId(0), DcId(1), 8.0)
+        .restore_link(at(warmup, window, 70), DcId(0), DcId(1))
+}
+
+fn flapping_link(warmup: u64, window: u64) -> FaultPlan {
+    // The DC0–DC2 link flaps three times (down 10% of the window each
+    // time), ending healed: every held burst must drain in FIFO order.
+    let mut plan = FaultPlan::new();
+    for flap in 0..3u64 {
+        let down = 15 + flap * 20;
+        plan = plan
+            .partition_link(at(warmup, window, down), DcId(0), DcId(2))
+            .heal_link(at(warmup, window, down + 10), DcId(0), DcId(2));
+    }
+    plan
+}
+
+fn rolling_outages(warmup: u64, window: u64) -> FaultPlan {
+    // Every DC takes a turn offline (crash + rejoin, no overlap): the
+    // rolling-maintenance shape. The cluster must ride through all three.
+    let mut plan = FaultPlan::new();
+    for dc in 0..3u16 {
+        let start = 10 + u64::from(dc) * 25;
+        plan = plan
+            .crash_dc(at(warmup, window, start), DcId(dc))
+            .rejoin_dc(at(warmup, window, start + 15), DcId(dc));
+    }
+    plan
+}
+
+/// The drill library, in the order `fig_chaos` runs them.
+pub const CHAOS_SCENARIOS: &[ChaosScenario] = &[
+    ChaosScenario {
+        name: "partition_during_commit",
+        summary: "cut a replica-group link mid-commit-traffic, heal, converge",
+        seed: 0xC4A0_5001,
+        build: partition_during_commit,
+    },
+    ChaosScenario {
+        name: "crash_then_rejoin_behind_ust",
+        summary: "crash a whole DC, rejoin it far behind the UST",
+        seed: 0xC4A0_5002,
+        build: crash_then_rejoin_behind_ust,
+    },
+    ChaosScenario {
+        name: "skew_step_beyond_bound",
+        summary: "step one DC's clocks 10x past the skew bound and back",
+        seed: 0xC4A0_5003,
+        build: skew_step_beyond_bound,
+    },
+    ChaosScenario {
+        name: "slow_gossip_link",
+        summary: "slow a stabilization link 8x, then restore it",
+        seed: 0xC4A0_5004,
+        build: slow_gossip_link,
+    },
+    ChaosScenario {
+        name: "flapping_link",
+        summary: "flap one link down/up three times, ending healed",
+        seed: 0xC4A0_5005,
+        build: flapping_link,
+    },
+    ChaosScenario {
+        name: "rolling_outages",
+        summary: "crash and rejoin every DC in turn, no overlap",
+        seed: 0xC4A0_5006,
+        build: rolling_outages,
+    },
+];
+
+/// Looks a scenario up by its stable name.
+pub fn chaos_scenario(name: &str) -> Option<&'static ChaosScenario> {
+    CHAOS_SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// The deployment every drill runs on: 3 DCs in a ring (every pair of
+/// adjacent DCs shares replica groups, so any single link matters),
+/// uniform 10 ms links, history recording on for the checker.
+fn drill_builder(seed: u64) -> ClusterBuilder {
+    Paris::builder()
+        .dcs(3)
+        .partitions(6)
+        .replication(2)
+        .keys_per_partition(200)
+        .uniform_latency_micros(10_000)
+        .jitter(0.02)
+        .clients_per_dc(4)
+        .mode(Mode::Paris)
+        .seed(seed)
+        .record_history(true)
+}
+
+impl ChaosScenario {
+    /// The scenario's plan for a given workload placement (absolute
+    /// virtual-time events).
+    pub fn plan(&self, warmup_micros: u64, window_micros: u64) -> FaultPlan {
+        (self.build)(warmup_micros, window_micros)
+    }
+
+    /// Runs the drill on a fresh sim deployment and returns its
+    /// verdicts. `quick` shrinks the virtual window (CI); the full
+    /// window is the nightly soak. Deterministic: same scenario, same
+    /// mode ⇒ bit-identical outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error when the drill shape is invalid —
+    /// not when verdicts fail (those land in the outcome).
+    pub fn run(&self, quick: bool) -> Result<ChaosOutcome, Error> {
+        let (warmup, window) = if quick {
+            (200_000, 1_500_000)
+        } else {
+            (500_000, 4_000_000)
+        };
+        let plan = self.plan(warmup, window);
+        let mut sim = drill_builder(self.seed).fault_plan(plan).build_sim()?;
+        sim.run_workload(warmup, window)?;
+        let ust_mid = sim.min_ust();
+
+        // Every plan ends healed within the window; give stabilization
+        // room to drain held traffic and re-establish the UST.
+        sim.settle(5_000_000);
+        let ust_after = sim.min_ust();
+        let ust_lag_micros = sim.now().saturating_sub(ust_after.physical_micros());
+
+        let report = sim.report();
+        let convergence = sim.check_convergence()?;
+        Ok(ChaosOutcome {
+            name: self.name,
+            committed: report.stats.committed,
+            aborted: report.stats.aborted,
+            checker_violations: report.violations.len(),
+            convergence_violations: convergence.len(),
+            ust_monotone: ust_after >= ust_mid && ust_after > Timestamp::ZERO,
+            ust_recovered: ust_lag_micros < RECOVERY_LAG_MICROS,
+            ust_lag_micros,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_are_unique_and_lookup_works() {
+        let mut names: Vec<_> = CHAOS_SCENARIOS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CHAOS_SCENARIOS.len());
+        assert!(chaos_scenario("flapping_link").is_some());
+        assert!(chaos_scenario("no_such_drill").is_none());
+    }
+
+    #[test]
+    fn every_plan_validates_against_the_drill_shape_and_ends_in_window() {
+        for s in CHAOS_SCENARIOS {
+            let plan = s.plan(200_000, 1_500_000);
+            assert!(!plan.is_empty(), "{} has no events", s.name);
+            plan.validate(3)
+                .unwrap_or_else(|e| panic!("{} plan invalid for the drill shape: {e}", s.name));
+            assert!(
+                plan.horizon_micros() <= 200_000 + 1_500_000,
+                "{} schedules events past the workload window",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn quick_partition_drill_passes_all_verdicts() {
+        let outcome = chaos_scenario("partition_during_commit")
+            .unwrap()
+            .run(true)
+            .unwrap();
+        assert!(
+            outcome.passed(),
+            "partition drill must pass: {outcome:?} (total {})",
+            outcome.violations_total()
+        );
+    }
+}

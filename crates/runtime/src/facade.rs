@@ -42,7 +42,7 @@
 //! ```
 
 use paris_core::{ClientRead, ReadSource, Violation};
-use paris_types::{ClientId, Error, Key, Mode, Timestamp, Value};
+use paris_types::{ClientId, Error, FaultPlan, Key, Mode, Timestamp, Value};
 
 use crate::measure::{ClusterStats, RunReport};
 
@@ -193,6 +193,31 @@ pub trait Cluster {
         let _ = index;
         Err(Error::Unsupported(
             "restart_server requires a backend with server processes (socket)",
+        ))
+    }
+
+    /// Installs a scripted [`FaultPlan`]: each event fires at its
+    /// plan-relative time — virtual time on the deterministic simulator
+    /// (same seed + same plan ⇒ bit-identical run), wall-clock time on
+    /// the threaded backend (a chaos thread drives the router's link
+    /// controls). Prefer `ClusterBuilder::fault_plan`, which validates
+    /// and installs the plan at build time; this method is the facade
+    /// path for plans constructed after the cluster is up.
+    ///
+    /// The mini backend has no network to break, and the socket backend
+    /// injects real process faults through [`Cluster::kill_server`] /
+    /// [`Cluster::restart_server`] instead; both report
+    /// [`Error::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// A configuration error when the plan targets a DC or link outside
+    /// the deployment, [`Error::Unsupported`] on backends without
+    /// scripted fault injection.
+    fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<(), Error> {
+        let _ = plan;
+        Err(Error::Unsupported(
+            "fault plans need a backend with a controllable network (sim or thread)",
         ))
     }
 

@@ -31,6 +31,7 @@ use paris_net::sim::RegionMatrix;
 use paris_types::{DcId, Intervals, Key, PartitionId, ServerId, VersionOrd};
 
 mod builder;
+pub mod chaos;
 mod driver;
 mod facade;
 mod measure;
@@ -41,6 +42,7 @@ mod thread_cluster;
 mod tuning;
 
 pub use builder::{Backend, ClusterBuilder, Paris};
+pub use chaos::{chaos_scenario, ChaosOutcome, ChaosScenario, CHAOS_SCENARIOS};
 pub use facade::{Cluster, Txn};
 pub use measure::{visibility_histogram, BlockingStats, ClusterStats, RunReport};
 pub use mini_cluster::MiniCluster;

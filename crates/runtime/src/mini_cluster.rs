@@ -434,6 +434,24 @@ impl Cluster for MiniCluster {
         Ok(out)
     }
 
+    fn kill_server(&mut self, index: usize) -> Result<(), Error> {
+        if index >= self.servers.len() {
+            return Err(paris_types::ConfigError::new("server index out of range").into());
+        }
+        Err(Error::Unsupported(
+            "kill_server is not available on the mini backend (no server processes); use the socket backend",
+        ))
+    }
+
+    fn restart_server(&mut self, index: usize) -> Result<(), Error> {
+        if index >= self.servers.len() {
+            return Err(paris_types::ConfigError::new("server index out of range").into());
+        }
+        Err(Error::Unsupported(
+            "restart_server is not available on the mini backend (no server processes); use the socket backend",
+        ))
+    }
+
     fn begin(&mut self, client: ClientId) -> Result<crate::Txn<'_>, Error> {
         crate::Txn::begin_on(self, client)
     }

@@ -9,7 +9,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use paris_clock::{SimClock, SkewedClock};
+use paris_clock::{SimClock, SkewCell, SteppableClock};
 use paris_core::checker::{HistoryChecker, RecordedTx};
 use paris_core::ClientRead;
 use paris_core::{
@@ -19,7 +19,8 @@ use paris_net::batch::{Coalescer, Offer};
 use paris_net::sim::{EventQueue, RegionMatrix, ServiceModel, SimNetwork};
 use paris_proto::{Endpoint, Envelope};
 use paris_types::{
-    ClientId, ClusterConfig, DcId, Error, Key, Mode, ServerId, Timestamp, TxId, Value,
+    ClientId, ClusterConfig, DcId, Error, FaultKind, FaultPlan, Key, Mode, ServerId, Timestamp,
+    TxId, Value,
 };
 use paris_workload::stats::RunStats;
 use paris_workload::{TxSpec, WorkloadConfig, WorkloadGenerator};
@@ -93,6 +94,11 @@ pub(crate) struct SimConfig {
     /// written, so a restarted deployment over the same directory
     /// recovers the committed prefix.
     pub(crate) durability: Option<crate::Durability>,
+    /// Scripted fault schedule, validated by the builder; events fire at
+    /// their virtual times from simulation start. `None` (the default)
+    /// adds no events and no RNG draws, keeping fault-free runs
+    /// bit-identical to a simulator without the chaos subsystem.
+    pub(crate) fault_plan: Option<FaultPlan>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +116,8 @@ enum SimEvent {
     ClientKick(ClientId),
     /// Deadline-triggered flush of the batching coalescer.
     NetFlush,
+    /// A scripted fault from the installed [`FaultPlan`] fires.
+    Fault(FaultKind),
 }
 
 struct ServerSlot {
@@ -175,6 +183,9 @@ pub struct SimCluster {
     stats: RunStats,
     checker: Option<HistoryChecker>,
     failure_detection: bool,
+    /// Per-DC skew cells of the servers' steppable clocks, for the
+    /// clock-skew-step fault (one cell per server, grouped by DC).
+    skew_cells: HashMap<DcId, Vec<SkewCell>>,
     interactive: HashMap<ClientId, ClientSession>,
     interactive_events: VecDeque<(ClientId, ClientEvent)>,
     next_interactive: HashMap<DcId, u32>,
@@ -199,6 +210,7 @@ impl SimCluster {
         let mut queue = EventQueue::new();
 
         let mut servers = HashMap::new();
+        let mut skew_cells: HashMap<DcId, Vec<SkewCell>> = HashMap::new();
         let skew = config.cluster.max_clock_skew_micros as i64;
         for id in topo.all_servers() {
             let offset = if skew > 0 {
@@ -208,11 +220,16 @@ impl SimCluster {
             };
             let mut tuning = config.tuning.clone();
             tuning.durable = config.durability.as_ref().map(|d| d.server_config(id));
+            // Steppable skew: reading-identical to a fixed SkewedClock
+            // until a fault plan steps the cell, so fault-free runs stay
+            // bit-reproducible across the chaos subsystem's introduction.
+            let (server_clock, cell) = SteppableClock::new(clock.clone(), offset);
+            skew_cells.entry(id.dc).or_default().push(cell);
             let server = Server::try_with_tuning(
                 ServerOptions {
                     id,
                     topology: Arc::clone(&topo),
-                    clock: Box::new(SkewedClock::new(clock.clone(), offset)),
+                    clock: Box::new(server_clock),
                     mode: config.cluster.mode,
                     record_events: config.record_events,
                 },
@@ -284,6 +301,14 @@ impl SimCluster {
 
         let checker = config.record_history.then(HistoryChecker::new);
         let coalescer = Coalescer::new(config.cluster.batch, config.cluster.wire);
+        // Schedule the fault plan last: with no plan this is a no-op, so
+        // fault-free runs push exactly the same events in exactly the same
+        // order as before the chaos subsystem existed.
+        if let Some(plan) = config.fault_plan.as_ref() {
+            for event in plan.sorted_events() {
+                queue.push(event.at_micros, SimEvent::Fault(event.kind));
+            }
+        }
         Ok(SimCluster {
             config,
             topo,
@@ -302,6 +327,7 @@ impl SimCluster {
             stats: RunStats::new(0),
             checker,
             failure_detection: false,
+            skew_cells,
             interactive: HashMap::new(),
             interactive_events: VecDeque::new(),
             next_interactive: HashMap::new(),
@@ -396,6 +422,29 @@ impl SimCluster {
         self.notify_link(a, b, true);
     }
 
+    /// Applies one scripted fault (the execution half of a [`FaultPlan`]).
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            // The simulator has no processes to kill: a DC "crash" is its
+            // disappearance from the network (§III-C), with state intact —
+            // the rejoin-behind-UST scenario.
+            FaultKind::CrashDc(dc) => self.isolate_dc(dc),
+            FaultKind::RejoinDc(dc) => self.heal_dc(dc),
+            FaultKind::PartitionLink(a, b) => self.partition_link(a, b),
+            FaultKind::HealLink(a, b) => self.heal_link(a, b),
+            FaultKind::SlowLink { a, b, factor } => self.net.set_link_scale(a, b, factor),
+            FaultKind::RestoreLink(a, b) => self.net.set_link_scale(a, b, 1.0),
+            FaultKind::SkewClock { dc, delta_micros } => {
+                for cell in self.skew_cells.get(&dc).into_iter().flatten() {
+                    cell.step(delta_micros);
+                }
+            }
+            // Non-exhaustive upstream: unknown future fault kinds are
+            // no-ops rather than panics mid-simulation.
+            _ => {}
+        }
+    }
+
     fn reinject(&mut self, held: Vec<Envelope>) {
         for env in held {
             if let Some(at) = self.net.send(self.now, env.clone(), &mut self.rng) {
@@ -451,6 +500,7 @@ impl SimCluster {
             SimEvent::Tick(id, kind) => self.tick(id, kind),
             SimEvent::ClientKick(id) => self.kick_client(id),
             SimEvent::NetFlush => self.net_flush(),
+            SimEvent::Fault(kind) => self.apply_fault(kind),
         }
         true
     }
@@ -941,6 +991,33 @@ impl Cluster for SimCluster {
         out.net_bytes = self.net.bytes_sent();
         out.min_ust = SimCluster::min_ust(self);
         Ok(out)
+    }
+
+    fn kill_server(&mut self, index: usize) -> Result<(), Error> {
+        if index >= self.servers.len() {
+            return Err(paris_types::ConfigError::new("server index out of range").into());
+        }
+        Err(Error::Unsupported(
+            "kill_server is not available on the sim backend (no server processes); crash a whole DC with a FaultPlan instead",
+        ))
+    }
+
+    fn restart_server(&mut self, index: usize) -> Result<(), Error> {
+        if index >= self.servers.len() {
+            return Err(paris_types::ConfigError::new("server index out of range").into());
+        }
+        Err(Error::Unsupported(
+            "restart_server is not available on the sim backend (no server processes); rejoin a crashed DC with a FaultPlan instead",
+        ))
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<(), Error> {
+        plan.validate(self.config.cluster.dcs)?;
+        for event in plan.sorted_events() {
+            self.queue
+                .push(self.now + event.at_micros, SimEvent::Fault(event.kind));
+        }
+        Ok(())
     }
 
     fn begin(&mut self, client: ClientId) -> Result<crate::Txn<'_>, Error> {

@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use paris_clock::SystemClock;
+use paris_clock::{SkewCell, SteppableClock, SystemClock};
 use paris_core::checker::HistoryChecker;
 use paris_core::{
     ClientEvent, ClientRead, ClientSession, ReadStep, ReadView, Server, ServerOptions,
@@ -29,7 +29,10 @@ use paris_core::{
 };
 use paris_net::threaded::{NetHandle, Router, ThreadedNetConfig};
 use paris_proto::Envelope;
-use paris_types::{ClientId, ClusterConfig, DcId, Error, Key, Mode, ServerId, Timestamp, Value};
+use paris_types::{
+    ClientId, ClusterConfig, DcId, Error, FaultKind, FaultPlan, Key, Mode, ServerId, Timestamp,
+    Value,
+};
 use paris_workload::stats::RunStats;
 use paris_workload::WorkloadConfig;
 
@@ -93,6 +96,11 @@ pub struct ThreadCluster {
     views: HashMap<ServerId, ReadView>,
     interactive: HashMap<ClientId, InteractiveClient>,
     next_interactive: HashMap<DcId, u32>,
+    /// One shared skew cell per server, grouped by DC, so a scripted
+    /// `SkewClock` event can step every HLC clock in that DC at once.
+    skew_cells: HashMap<DcId, Vec<SkewCell>>,
+    chaos_stop: Arc<AtomicBool>,
+    chaos_handles: Vec<JoinHandle<()>>,
 }
 
 impl ThreadCluster {
@@ -125,14 +133,19 @@ impl ThreadCluster {
         let mut servers = HashMap::new();
         let mut views = HashMap::new();
         let mut server_handles = Vec::new();
+        let mut skew_cells: HashMap<DcId, Vec<SkewCell>> = HashMap::new();
         for id in topo.all_servers() {
             let mut tuning = config.tuning.clone();
             tuning.durable = config.durability.as_ref().map(|d| d.server_config(id));
+            // Each server's HLC reads wall time through a steppable shim so
+            // a scripted SkewClock fault can shift one DC's clocks at runtime.
+            let (server_clock, cell) = SteppableClock::new(Arc::clone(&clock), 0);
+            skew_cells.entry(id.dc).or_default().push(cell);
             let server = Arc::new(Mutex::new(Server::try_with_tuning(
                 ServerOptions {
                     id,
                     topology: Arc::clone(&topo),
-                    clock: Box::new(Arc::clone(&clock)),
+                    clock: Box::new(server_clock),
                     mode: config.cluster.mode,
                     record_events: false,
                 },
@@ -261,6 +274,9 @@ impl ThreadCluster {
             views,
             interactive: HashMap::new(),
             next_interactive: HashMap::new(),
+            skew_cells,
+            chaos_stop: Arc::new(AtomicBool::new(false)),
+            chaos_handles: Vec::new(),
         })
     }
 
@@ -334,6 +350,77 @@ impl Cluster for ThreadCluster {
 
     fn mode(&self) -> Mode {
         self.config.cluster.mode
+    }
+
+    fn kill_server(&mut self, index: usize) -> Result<(), Error> {
+        if index >= self.servers.len() {
+            return Err(paris_types::ConfigError::new("server index out of range").into());
+        }
+        Err(Error::Unsupported(
+            "kill_server is not available on the thread backend (no server processes); \
+             crash a whole DC with a FaultPlan instead",
+        ))
+    }
+
+    fn restart_server(&mut self, index: usize) -> Result<(), Error> {
+        if index >= self.servers.len() {
+            return Err(paris_types::ConfigError::new("server index out of range").into());
+        }
+        Err(Error::Unsupported(
+            "restart_server is not available on the thread backend (no server processes); \
+             rejoin a crashed DC with a FaultPlan instead",
+        ))
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<(), Error> {
+        plan.validate(self.config.cluster.dcs)?;
+        if plan.is_empty() {
+            return Ok(());
+        }
+        let control = self.router.link_control();
+        let cells = self.skew_cells.clone();
+        let dcs = self.config.cluster.dcs;
+        let stop = Arc::clone(&self.chaos_stop);
+        let events = plan.sorted_events();
+        let started = Instant::now();
+        let handle = std::thread::Builder::new()
+            .name("chaos-plan".into())
+            .spawn(move || {
+                for event in events {
+                    // Sleep toward the event's wall-clock due time in short
+                    // slices so a dropped cluster never blocks on us.
+                    let due = started + Duration::from_micros(event.at_micros);
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let left = due.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            break;
+                        }
+                        std::thread::sleep(left.min(Duration::from_millis(20)));
+                    }
+                    match event.kind {
+                        FaultKind::CrashDc(dc) => control.isolate_dc(dc, dcs),
+                        FaultKind::RejoinDc(dc) => control.rejoin_dc(dc, dcs),
+                        FaultKind::PartitionLink(a, b) => control.partition_link(a, b),
+                        FaultKind::HealLink(a, b) => control.heal_link(a, b),
+                        FaultKind::SlowLink { a, b, factor } => {
+                            control.set_link_scale(a, b, factor)
+                        }
+                        FaultKind::RestoreLink(a, b) => control.set_link_scale(a, b, 1.0),
+                        FaultKind::SkewClock { dc, delta_micros } => {
+                            for cell in cells.get(&dc).into_iter().flatten() {
+                                cell.step(delta_micros);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            })
+            .expect("spawn chaos thread");
+        self.chaos_handles.push(handle);
+        Ok(())
     }
 
     fn open_client(&mut self, dc: u16) -> Result<ClientId, Error> {
@@ -532,6 +619,10 @@ impl Cluster for ThreadCluster {
 
 impl Drop for ThreadCluster {
     fn drop(&mut self) {
+        self.chaos_stop.store(true, Ordering::Relaxed);
+        for h in self.chaos_handles.drain(..) {
+            let _ = h.join();
+        }
         self.stop_servers.store(true, Ordering::Relaxed);
         for h in self.server_handles.drain(..) {
             let _ = h.join();

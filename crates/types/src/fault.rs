@@ -1,0 +1,280 @@
+//! Deterministic fault schedules: the vocabulary of the chaos suite.
+//!
+//! A [`FaultPlan`] is a list of timed [`FaultEvent`]s — DC crash/rejoin,
+//! inter-DC partition + heal, per-link slowdown, clock-skew step — that a
+//! cluster backend replays while a workload runs. The plan itself is pure
+//! data: it carries no randomness and no backend knowledge, so the same
+//! plan drives the deterministic simulator (where events fire at exact
+//! virtual times and every run is bit-reproducible per seed) and the
+//! threaded backend (where events fire on the wall clock).
+//!
+//! Plans are validated against the deployment shape at build time:
+//! [`FaultPlan::validate`] rejects events that name a DC outside the
+//! topology, a self-link, or a nonsensical slowdown factor, so a typo in
+//! a chaos scenario fails the build step instead of silently targeting
+//! the wrong link mid-run.
+//!
+//! # Example
+//!
+//! ```
+//! use paris_types::{DcId, FaultPlan};
+//!
+//! let plan = FaultPlan::new()
+//!     .partition_link(200_000, DcId(0), DcId(1))
+//!     .slow_link(250_000, DcId(1), DcId(2), 10.0)
+//!     .heal_link(600_000, DcId(0), DcId(1))
+//!     .restore_link(600_000, DcId(1), DcId(2));
+//! assert!(plan.validate(3).is_ok());
+//! // DC 7 does not exist in a 3-DC deployment:
+//! assert!(plan.clone().crash_dc(100, DcId(7)).validate(3).is_err());
+//! ```
+
+use crate::error::ConfigError;
+use crate::ids::DcId;
+
+/// One scripted fault, without its firing time. See [`FaultEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// The whole DC drops off the network (every inter-DC link to it is
+    /// cut). In-flight and future traffic to and from it is *held*, not
+    /// dropped — the TCP model — and delivered on [`FaultKind::RejoinDc`].
+    /// On backends with real processes (socket), a crash additionally
+    /// kills the DC's server processes.
+    CrashDc(DcId),
+    /// Reverses [`FaultKind::CrashDc`]: reconnects the DC and releases
+    /// all traffic held while it was away.
+    RejoinDc(DcId),
+    /// Cuts the single bidirectional link between two DCs; traffic is
+    /// held until [`FaultKind::HealLink`].
+    PartitionLink(DcId, DcId),
+    /// Reverses [`FaultKind::PartitionLink`] and releases held traffic.
+    HealLink(DcId, DcId),
+    /// Multiplies the one-way latency of the link between two DCs by
+    /// `factor` (≥ 1.0) — a congested or degraded link, not a dead one.
+    SlowLink {
+        /// One endpoint of the link (unordered).
+        a: DcId,
+        /// The other endpoint.
+        b: DcId,
+        /// Latency multiplier; `1.0` restores the nominal latency.
+        factor: f64,
+    },
+    /// Restores the nominal latency of a link slowed by
+    /// [`FaultKind::SlowLink`].
+    RestoreLink(DcId, DcId),
+    /// Steps every physical clock in one DC by `delta_micros`
+    /// (positive or negative) — the NTP-jump / VM-migration scenario the
+    /// HLC must absorb without violating snapshot monotonicity.
+    SkewClock {
+        /// The DC whose clocks jump.
+        dc: DcId,
+        /// The step, in microseconds; applied on top of any existing skew.
+        delta_micros: i64,
+    },
+}
+
+/// One scripted fault with its firing time, relative to plan start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires, in microseconds after the plan is installed
+    /// (virtual time on the simulator, wall time on the thread backend).
+    pub at_micros: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, backend-agnostic schedule of timed faults.
+///
+/// Build one with the fluent methods, validate with
+/// [`FaultPlan::validate`] (cluster builders do this for you), and hand
+/// it to `ClusterBuilder::fault_plan` or `Cluster::install_fault_plan`.
+/// Events fire in time order; ties fire in insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Appends an arbitrary event.
+    pub fn push(mut self, at_micros: u64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at_micros, kind });
+        self
+    }
+
+    /// The whole DC drops off the network at `at_micros`.
+    pub fn crash_dc(self, at_micros: u64, dc: DcId) -> Self {
+        self.push(at_micros, FaultKind::CrashDc(dc))
+    }
+
+    /// The DC reconnects and held traffic is released.
+    pub fn rejoin_dc(self, at_micros: u64, dc: DcId) -> Self {
+        self.push(at_micros, FaultKind::RejoinDc(dc))
+    }
+
+    /// Cuts the `a`–`b` link (both directions).
+    pub fn partition_link(self, at_micros: u64, a: DcId, b: DcId) -> Self {
+        self.push(at_micros, FaultKind::PartitionLink(a, b))
+    }
+
+    /// Reconnects the `a`–`b` link and releases held traffic.
+    pub fn heal_link(self, at_micros: u64, a: DcId, b: DcId) -> Self {
+        self.push(at_micros, FaultKind::HealLink(a, b))
+    }
+
+    /// Multiplies the `a`–`b` link latency by `factor` (≥ 1.0).
+    pub fn slow_link(self, at_micros: u64, a: DcId, b: DcId, factor: f64) -> Self {
+        self.push(at_micros, FaultKind::SlowLink { a, b, factor })
+    }
+
+    /// Restores the nominal `a`–`b` link latency.
+    pub fn restore_link(self, at_micros: u64, a: DcId, b: DcId) -> Self {
+        self.push(at_micros, FaultKind::RestoreLink(a, b))
+    }
+
+    /// Steps every clock in `dc` by `delta_micros`.
+    pub fn skew_clock(self, at_micros: u64, dc: DcId, delta_micros: i64) -> Self {
+        self.push(at_micros, FaultKind::SkewClock { dc, delta_micros })
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The firing time of the last event, or 0 for an empty plan.
+    pub fn horizon_micros(&self) -> u64 {
+        self.events.iter().map(|e| e.at_micros).max().unwrap_or(0)
+    }
+
+    /// The events sorted by firing time (stable: ties keep insertion
+    /// order) — the order backends replay them in.
+    pub fn sorted_events(&self) -> Vec<FaultEvent> {
+        let mut out = self.events.clone();
+        out.sort_by_key(|e| e.at_micros);
+        out
+    }
+
+    /// Checks every event against a deployment with `dcs` data centers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when an event names a DC outside
+    /// `0..dcs`, a link from a DC to itself, or a slowdown factor that is
+    /// not a finite number ≥ 1.0.
+    pub fn validate(&self, dcs: u16) -> Result<(), ConfigError> {
+        let dc_ok = |dc: DcId| dc.0 < dcs;
+        for event in &self.events {
+            match event.kind {
+                FaultKind::CrashDc(dc) | FaultKind::RejoinDc(dc) => {
+                    if !dc_ok(dc) {
+                        return Err(ConfigError::new("fault plan targets a DC out of range"));
+                    }
+                }
+                FaultKind::SkewClock { dc, .. } => {
+                    if !dc_ok(dc) {
+                        return Err(ConfigError::new("fault plan targets a DC out of range"));
+                    }
+                }
+                FaultKind::PartitionLink(a, b)
+                | FaultKind::HealLink(a, b)
+                | FaultKind::RestoreLink(a, b)
+                | FaultKind::SlowLink { a, b, .. } => {
+                    if !dc_ok(a) || !dc_ok(b) {
+                        return Err(ConfigError::new("fault plan targets a DC out of range"));
+                    }
+                    if a == b {
+                        return Err(ConfigError::new(
+                            "fault plan targets a link from a DC to itself",
+                        ));
+                    }
+                }
+            }
+            if let FaultKind::SlowLink { factor, .. } = event.kind {
+                if !factor.is_finite() || factor < 1.0 {
+                    return Err(ConfigError::new(
+                        "fault plan slow-link factor must be a finite number >= 1.0",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluent_plan_builds_in_insertion_order() {
+        let plan = FaultPlan::new()
+            .crash_dc(500, DcId(1))
+            .rejoin_dc(900, DcId(1))
+            .partition_link(100, DcId(0), DcId(2));
+        assert_eq!(plan.events().len(), 3);
+        assert_eq!(plan.horizon_micros(), 900);
+        let sorted = plan.sorted_events();
+        assert_eq!(sorted[0].kind, FaultKind::PartitionLink(DcId(0), DcId(2)));
+        assert_eq!(sorted[2].kind, FaultKind::RejoinDc(DcId(1)));
+    }
+
+    #[test]
+    fn validate_accepts_in_range_events() {
+        let plan = FaultPlan::new()
+            .crash_dc(0, DcId(2))
+            .partition_link(1, DcId(0), DcId(1))
+            .slow_link(2, DcId(1), DcId(2), 25.0)
+            .skew_clock(3, DcId(0), -40_000);
+        assert!(plan.validate(3).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_dc_out_of_range() {
+        assert!(FaultPlan::new().crash_dc(0, DcId(3)).validate(3).is_err());
+        assert!(FaultPlan::new()
+            .skew_clock(0, DcId(9), 1)
+            .validate(3)
+            .is_err());
+        assert!(FaultPlan::new()
+            .heal_link(0, DcId(0), DcId(3))
+            .validate(3)
+            .is_err());
+    }
+
+    #[test]
+    fn validate_rejects_self_link_and_bad_factor() {
+        assert!(FaultPlan::new()
+            .partition_link(0, DcId(1), DcId(1))
+            .validate(3)
+            .is_err());
+        assert!(FaultPlan::new()
+            .slow_link(0, DcId(0), DcId(1), 0.5)
+            .validate(3)
+            .is_err());
+        assert!(FaultPlan::new()
+            .slow_link(0, DcId(0), DcId(1), f64::NAN)
+            .validate(3)
+            .is_err());
+    }
+
+    #[test]
+    fn ties_keep_insertion_order() {
+        let plan = FaultPlan::new()
+            .partition_link(100, DcId(0), DcId(1))
+            .heal_link(100, DcId(0), DcId(1));
+        let sorted = plan.sorted_events();
+        assert_eq!(sorted[0].kind, FaultKind::PartitionLink(DcId(0), DcId(1)));
+        assert_eq!(sorted[1].kind, FaultKind::HealLink(DcId(0), DcId(1)));
+    }
+}

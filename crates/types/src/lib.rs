@@ -36,6 +36,7 @@
 
 mod config;
 mod error;
+mod fault;
 mod ids;
 mod keyspace;
 mod timestamp;
@@ -45,6 +46,7 @@ pub use config::{
     BatchConfig, ClusterConfig, ClusterConfigBuilder, FlushPolicy, Intervals, Mode, WireFormat,
 };
 pub use error::{ConfigError, Error};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{ClientId, DcId, PartitionId, ReplicaIdx, ServerId, TxId};
 pub use keyspace::{Key, Value};
 pub use timestamp::Timestamp;
